@@ -1,0 +1,34 @@
+//! Criterion bench: time to the first counterexample on the three
+//! bug-injected designs (the "Time (bug)" column of Table I; the paper
+//! reports 0.01s / 0.7s / 0.61s).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gila_designs::all_case_studies;
+use gila_verify::{verify_module, VerifyOptions};
+
+fn bench_bugs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bug_hunting");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let opts = VerifyOptions {
+        stop_at_first_cex: true,
+        ..Default::default()
+    };
+    for cs in all_case_studies() {
+        let Some(buggy) = cs.buggy_rtl.clone() else {
+            continue;
+        };
+        group.bench_function(cs.name, |b| {
+            b.iter(|| {
+                let report =
+                    verify_module(&cs.ila, &buggy, &cs.refmaps, &opts).expect("well-formed");
+                assert!(report.time_to_first_counterexample().is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bugs);
+criterion_main!(benches);

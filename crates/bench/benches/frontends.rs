@@ -1,0 +1,36 @@
+//! Criterion bench: frontend throughput — Verilog parsing/elaboration,
+//! `.ila` parsing (with integration), synthesis, and emission.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gila_designs::{axi, i8051, openpiton};
+use gila_verify::synthesize_module;
+
+fn bench_frontends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontends");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("parse_verilog_axi_slave", |b| {
+        b.iter(axi::slave::rtl)
+    });
+    group.bench_function("parse_verilog_noc_router", |b| {
+        b.iter(openpiton::noc_router::rtl)
+    });
+    group.bench_function("build_ila_noc_router_with_round_robin_integration", |b| {
+        b.iter(openpiton::noc_router::ila)
+    });
+    group.bench_function("build_ila_mem_iface_with_value_priority_integration", |b| {
+        b.iter(i8051::mem_iface::ila)
+    });
+    group.bench_function("synthesize_and_emit_mem_iface", |b| {
+        let ila = i8051::mem_iface::ila();
+        b.iter(|| {
+            let rtl = synthesize_module(&ila).expect("synthesizable");
+            rtl.to_verilog().expect("emittable")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontends);
+criterion_main!(benches);

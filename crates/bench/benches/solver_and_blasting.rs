@@ -1,0 +1,97 @@
+//! Criterion bench: the decision-procedure substrate in isolation —
+//! CDCL SAT on pigeonhole instances and bit-blasted bit-vector
+//! equivalences. These calibrate where the verification time goes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gila_expr::{ExprCtx, Sort};
+use gila_sat::{Lit, Solver};
+use gila_smt::SmtSolver;
+
+fn pigeonhole(n: usize) -> Solver {
+    // n pigeons into n-1 holes: UNSAT, exponential for resolution.
+    let m = n - 1;
+    let mut s = Solver::new();
+    let mut grid = Vec::new();
+    for _ in 0..n {
+        let row: Vec<Lit> = (0..m).map(|_| s.new_var().positive()).collect();
+        grid.push(row);
+    }
+    for row in &grid {
+        s.add_clause(row.iter().copied());
+    }
+    for j in 0..m {
+        for a in 0..n {
+            for b in (a + 1)..n {
+                s.add_clause([!grid[a][j], !grid[b][j]]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_solver");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for n in [6usize, 7, 8] {
+        group.bench_function(format!("pigeonhole_{n}_into_{}", n - 1), |b| {
+            b.iter(|| {
+                let mut s = pigeonhole(n);
+                assert!(!s.solve().is_sat());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_blasting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bit_blasting");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    // Equivalence of two structurally different multipliers is the
+    // classic SAT cliff: bv10 already needs minutes, so the bench stays
+    // at widths where the proof is interactive.
+    for w in [6u32, 8] {
+        group.bench_function(format!("mul_commutes_bv{w}"), |b| {
+            b.iter(|| {
+                let mut ctx = ExprCtx::new();
+                let x = ctx.var("x", Sort::Bv(w));
+                let y = ctx.var("y", Sort::Bv(w));
+                let l = ctx.bvmul(x, y);
+                let r = ctx.bvmul(y, x);
+                let ne = ctx.ne(l, r);
+                let mut smt = SmtSolver::new();
+                smt.assert(&ctx, ne);
+                assert!(!smt.check().is_sat());
+            })
+        });
+    }
+    for aw in [4u32, 6, 8] {
+        group.bench_function(format!("mem_rw_consistency_2e{aw}_words"), |b| {
+            b.iter(|| {
+                let mut ctx = ExprCtx::new();
+                let m = ctx.var(
+                    "m",
+                    Sort::Mem {
+                        addr_width: aw,
+                        data_width: 8,
+                    },
+                );
+                let a = ctx.var("a", Sort::Bv(aw));
+                let d = ctx.var("d", Sort::Bv(8));
+                let wr = ctx.mem_write(m, a, d);
+                let rd = ctx.mem_read(wr, a);
+                let ne = ctx.ne(rd, d);
+                let mut smt = SmtSolver::new();
+                smt.assert(&ctx, ne);
+                assert!(!smt.check().is_sat());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_blasting);
+criterion_main!(benches);

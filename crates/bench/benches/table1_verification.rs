@@ -1,0 +1,28 @@
+//! Criterion bench: full verification time per case study (the "Time"
+//! column of Table I).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gila_designs::all_case_studies;
+use gila_verify::{verify_module, VerifyOptions};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_verification");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for cs in all_case_studies() {
+        group.bench_function(cs.name, |b| {
+            b.iter(|| {
+                let report =
+                    verify_module(&cs.ila, &cs.rtl, &cs.refmaps, &VerifyOptions::default())
+                        .expect("well-formed");
+                assert!(report.all_hold());
+                report.total_time()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

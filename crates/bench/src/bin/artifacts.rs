@@ -1,0 +1,96 @@
+//! Writes the reproduction artifacts to `artifacts/`:
+//!
+//! * `refmaps/<design>.<port>.json` — every refinement map (the JSON
+//!   artifact whose line count Table I reports),
+//! * `figures/fig{1,2,3,5}.txt` — the regenerated model sketches,
+//! * `verilog/<design>.v` — every case-study RTL re-emitted from the IR,
+//! * `verilog/<design>_synth.v` — ILA-synthesized implementations,
+//! * `properties/<design>.<port>.txt` — the auto-generated refinement
+//!   properties in Fig. 5 notation.
+
+use std::fs;
+use std::path::Path;
+
+use gila_designs::all_case_studies;
+use gila_verify::render_all_properties;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = Path::new("artifacts");
+    for sub in ["refmaps", "figures", "verilog", "properties"] {
+        fs::create_dir_all(root.join(sub))?;
+    }
+    for cs in all_case_studies() {
+        let slug = cs.name.to_lowercase().replace([' ', '.'], "_");
+        // Refinement maps.
+        for map in &cs.refmaps {
+            let port_slug = map.name.to_lowercase().replace(['-', ' '], "_");
+            fs::write(
+                root.join("refmaps").join(format!("{slug}.{port_slug}.json")),
+                map.to_json(),
+            )?;
+        }
+        // RTL (re-emitted) and synthesized implementations.
+        match cs.rtl.to_verilog() {
+            Ok(v) => fs::write(root.join("verilog").join(format!("{slug}.v")), v)?,
+            Err(e) => eprintln!("note: {slug}: hand-written RTL not re-emittable: {e}"),
+        }
+        match gila_verify::synthesize_module(&cs.ila) {
+            Ok(synth) => match synth.to_verilog() {
+                Ok(v) => {
+                    fs::write(root.join("verilog").join(format!("{slug}_synth.v")), v)?
+                }
+                Err(e) => eprintln!("note: {slug}: synthesized RTL not emittable: {e}"),
+            },
+            Err(e) => eprintln!("note: {slug}: not synthesizable: {e}"),
+        }
+        // Auto-generated properties per port.
+        for (port, map) in cs.ila.ports().iter().zip(&cs.refmaps) {
+            let port_slug = map.name.to_lowercase().replace(['-', ' '], "_");
+            fs::write(
+                root.join("properties")
+                    .join(format!("{slug}.{port_slug}.txt")),
+                render_all_properties(port, map),
+            )?;
+        }
+    }
+    // Figures.
+    use gila_designs::{axi, i8051};
+    fs::write(
+        root.join("figures/fig1.txt"),
+        i8051::decoder::port_ila().describe(),
+    )?;
+    fs::write(
+        root.join("figures/fig2.txt"),
+        format!(
+            "{}\n{}",
+            axi::slave::read_port().describe(),
+            axi::slave::write_port().describe()
+        ),
+    )?;
+    fs::write(
+        root.join("figures/fig3.txt"),
+        format!(
+            "{}\n{}\n{}\n{}",
+            i8051::mem_iface::rom_port().describe(),
+            i8051::mem_iface::ram_port().describe(),
+            i8051::mem_iface::integrated_rom_ram_port().describe(),
+            i8051::mem_iface::pc_port().describe()
+        ),
+    )?;
+    let decoder_maps = i8051::decoder::refinement_maps();
+    fs::write(
+        root.join("figures/fig5.txt"),
+        format!(
+            "{}\n\n{}",
+            decoder_maps[0].to_json(),
+            gila_verify::render_property(
+                &i8051::decoder::port_ila(),
+                &decoder_maps[0],
+                "stall"
+            )
+            .expect("stall exists")
+        ),
+    )?;
+    println!("artifacts written to {}/", root.display());
+    Ok(())
+}

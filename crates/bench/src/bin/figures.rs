@@ -1,0 +1,76 @@
+//! Regenerates the paper's figures:
+//!
+//! * `fig1` — the 8051 decoder ILA sketch,
+//! * `fig2` — the AXI slave two-port ILA sketch,
+//! * `fig3` — the memory-interface port ILAs, their integration, and
+//!   the PC-port,
+//! * `fig5` — the decoder refinement map (JSON) and the auto-generated
+//!   property for the `stall` instruction.
+//!
+//! (Fig. 4, the verification flow, is exercised end-to-end by
+//! `examples/quickstart.rs`.)
+
+use gila_designs::{axi, i8051};
+use gila_verify::render_property;
+
+fn fig1() {
+    println!("=== Fig. 1: 8051 decoder ILA (sketch) ===\n");
+    println!("{}", i8051::decoder::port_ila().describe());
+}
+
+fn fig2() {
+    println!("=== Fig. 2: AXI slave ILA (sketch) ===\n");
+    println!("{}", axi::slave::read_port().describe());
+    println!("{}", axi::slave::write_port().describe());
+}
+
+fn fig3() {
+    println!("=== Fig. 3: 8051 memory interface ILA (sketch) ===\n");
+    println!("--- ROM-port and RAM-port, before integration ---\n");
+    println!("{}", i8051::mem_iface::rom_port().describe());
+    println!("{}", i8051::mem_iface::ram_port().describe());
+    println!("--- integrated ROM-RAM-port (cross product, mem_wait resolved by value priority) ---\n");
+    println!("{}", i8051::mem_iface::integrated_rom_ram_port().describe());
+    println!("--- PC-port (independent) ---\n");
+    println!("{}", i8051::mem_iface::pc_port().describe());
+}
+
+fn fig5() {
+    println!("=== Fig. 5: refinement map for the 8051 decoder + auto-generated property ===\n");
+    let maps = i8051::decoder::refinement_maps();
+    println!("--- refinement map (JSON, {} lines) ---\n", maps[0].size_loc());
+    println!("{}\n", maps[0].to_json());
+    let port = i8051::decoder::port_ila();
+    println!("--- auto-generated property for \"stall\" ---\n");
+    println!(
+        "{}",
+        render_property(&port, &maps[0], "stall").expect("stall exists")
+    );
+    println!("--- auto-generated property for \"process_s1\" ---\n");
+    println!(
+        "{}",
+        render_property(&port, &maps[0], "process_s1").expect("process_s1 exists")
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which: Vec<&str> = if args.is_empty() {
+        vec!["fig1", "fig2", "fig3", "fig5"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for w in which {
+        match w {
+            "fig1" => fig1(),
+            "fig2" => fig2(),
+            "fig3" => fig3(),
+            "fig4" => println!("Fig. 4 is the verification flow; run examples/quickstart.rs"),
+            "fig5" => fig5(),
+            other => {
+                eprintln!("unknown figure {other:?} (expected fig1|fig2|fig3|fig5)");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # gila-bench — Table I / figure regeneration harness
+//!
+//! Binaries and Criterion benches that reproduce the evaluation of the
+//! DATE 2021 paper:
+//!
+//! * `cargo run --release -p gila-bench --bin table1` prints the full
+//!   Table I reproduction (design stats, ILA stats, refinement-map
+//!   sizes, verification times with and without the injected bugs, and
+//!   the CNF-size memory proxy); `-- --ablation` adds the small-memory
+//!   ablation rows.
+//! * `cargo run --release -p gila-bench --bin figures -- fig1|fig2|fig3|fig5`
+//!   regenerates the paper's model sketches and the auto-generated
+//!   property example.
+//! * `cargo bench -p gila-bench` measures per-design verification and
+//!   the ablation with Criterion.
+
+#![warn(missing_docs)]
+
+pub mod report;

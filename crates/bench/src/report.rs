@@ -1,0 +1,279 @@
+//! Assembly of Table I rows from case studies and verification reports.
+
+use std::time::Duration;
+
+use gila_designs::CaseStudy;
+use gila_verify::{verify_module, ModuleReport, VerifyError, VerifyOptions};
+
+/// One reproduced row of Table I.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Design name.
+    pub design: &'static str,
+    /// RTL size in (non-empty) source lines.
+    pub rtl_loc: usize,
+    /// RTL state bits (registers + memories).
+    pub rtl_state_bits: u64,
+    /// Ports, as `before` or `before/after integration`.
+    pub ports: String,
+    /// Atomic instructions across all ports.
+    pub instructions: usize,
+    /// ILA model size (rendered-description lines).
+    pub ila_loc: usize,
+    /// ILA architectural state bits.
+    pub arch_state_bits: u64,
+    /// Refinement-map size (JSON lines, all ports).
+    pub refmap_loc: usize,
+    /// Time to the first counterexample on the buggy variant, if any.
+    pub time_bug: Option<Duration>,
+    /// Verification time of the fixed design (all instructions).
+    pub time: Duration,
+    /// Peak CNF size as a memory-usage proxy (estimated MB).
+    pub memory_mb: f64,
+    /// Peak CNF clauses (raw proxy value).
+    pub peak_clauses: u64,
+    /// Whether every instruction of the fixed design verified.
+    pub verified: bool,
+}
+
+/// Verifies one case study (buggy variant first if present, then the
+/// fixed design) and assembles its Table I row.
+///
+/// # Errors
+///
+/// Propagates [`VerifyError`] for malformed refinement maps — which
+/// would indicate a bug in the case-study definitions, not a property
+/// failure.
+pub fn run_case_study(cs: &CaseStudy) -> Result<TableRow, VerifyError> {
+    // Time (bug): verify the buggy RTL, stopping at the first cex.
+    let time_bug = match &cs.buggy_rtl {
+        Some(buggy) => {
+            let opts = VerifyOptions {
+                stop_at_first_cex: true,
+                ..Default::default()
+            };
+            let report = verify_module(&cs.ila, buggy, &cs.refmaps, &opts)?;
+            report.time_to_first_counterexample()
+        }
+        None => None,
+    };
+    // Full verification of the fixed design.
+    let report = verify_module(&cs.ila, &cs.rtl, &cs.refmaps, &VerifyOptions::default())?;
+    Ok(assemble_row(cs, &report, time_bug))
+}
+
+fn assemble_row(cs: &CaseStudy, report: &ModuleReport, time_bug: Option<Duration>) -> TableRow {
+    let stats = cs.ila.stats();
+    TableRow {
+        design: cs.name,
+        rtl_loc: cs.rtl.source_loc().unwrap_or(0),
+        rtl_state_bits: cs.rtl.state_bits(),
+        ports: cs.ports_cell(),
+        instructions: stats.instructions,
+        ila_loc: cs.ila.size_loc(),
+        arch_state_bits: stats.arch_state_bits,
+        refmap_loc: cs.refmaps.iter().map(|m| m.size_loc()).sum(),
+        time_bug,
+        time: report.total_time(),
+        memory_mb: report.peak_stats().estimated_mb(),
+        peak_clauses: report.peak_stats().clauses,
+        verified: report.all_hold(),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.01 {
+        format!("{:.2}ms", s * 1000.0)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Renders rows in the layout of Table I.
+pub fn render_table(rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| Design          | RTL LoC | RTL bits | ports | insts | ILA LoC | Arch bits | Refmap LoC | Time(bug) | Time     | Mem (MB) | Verified |\n",
+    );
+    out.push_str(
+        "|-----------------|---------|----------|-------|-------|---------|-----------|------------|-----------|----------|----------|----------|\n",
+    );
+    for r in rows {
+        let bug = r
+            .time_bug
+            .map(fmt_duration)
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "| {:<15} | {:>7} | {:>8} | {:>5} | {:>5} | {:>7} | {:>9} | {:>10} | {:>9} | {:>8} | {:>8.1} | {:>8} |\n",
+            r.design,
+            r.rtl_loc,
+            r.rtl_state_bits,
+            r.ports,
+            r.instructions,
+            r.ila_loc,
+            r.arch_state_bits,
+            r.refmap_loc,
+            bug,
+            fmt_duration(r.time),
+            r.memory_mb,
+            if r.verified { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+/// The memory-abstraction ablation (paper §V.B.3 / §V.C.2): full-size
+/// vs 16-entry verification of the datapath and store buffer.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Design name.
+    pub design: &'static str,
+    /// Full-size verification time.
+    pub full_time: Duration,
+    /// Abstracted (16-entry) verification time.
+    pub abstracted_time: Duration,
+    /// Full-size peak clauses.
+    pub full_clauses: u64,
+    /// Abstracted peak clauses.
+    pub abstracted_clauses: u64,
+}
+
+/// Runs the two ablation experiments.
+///
+/// # Errors
+///
+/// Propagates [`VerifyError`] (setup errors only).
+pub fn run_ablation() -> Result<Vec<AblationRow>, VerifyError> {
+    use gila_designs::i8051::datapath;
+    use gila_designs::riscv::store_buffer;
+    let opts = VerifyOptions::default();
+    let mut rows = Vec::new();
+    {
+        let full = verify_module(
+            &datapath::ila(),
+            &datapath::rtl(),
+            &datapath::refinement_maps(),
+            &opts,
+        )?;
+        let abst = verify_module(
+            &datapath::ila_abstracted(),
+            &datapath::rtl_abstracted(),
+            &datapath::refinement_maps(),
+            &opts,
+        )?;
+        assert!(full.all_hold() && abst.all_hold());
+        rows.push(AblationRow {
+            design: "Datapath",
+            full_time: full.total_time(),
+            abstracted_time: abst.total_time(),
+            full_clauses: full.peak_stats().clauses,
+            abstracted_clauses: abst.peak_stats().clauses,
+        });
+    }
+    {
+        let full = verify_module(
+            &store_buffer::ila(),
+            &store_buffer::rtl(),
+            &store_buffer::refinement_maps(),
+            &opts,
+        )?;
+        let abst = verify_module(
+            &store_buffer::ila_abstracted(),
+            &store_buffer::rtl_abstracted(),
+            &store_buffer::refinement_maps(),
+            &opts,
+        )?;
+        assert!(full.all_hold() && abst.all_hold());
+        rows.push(AblationRow {
+            design: "Store Buffer",
+            full_time: full.total_time(),
+            abstracted_time: abst.total_time(),
+            full_clauses: full.peak_stats().clauses,
+            abstracted_clauses: abst.peak_stats().clauses,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the ablation rows.
+pub fn render_ablation(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    out.push_str("| Design       | Time (full) | Time (16-entry) | Speedup | Clauses (full) | Clauses (16) |\n");
+    out.push_str("|--------------|-------------|-----------------|---------|----------------|--------------|\n");
+    for r in rows {
+        let speedup = r.full_time.as_secs_f64() / r.abstracted_time.as_secs_f64().max(1e-9);
+        out.push_str(&format!(
+            "| {:<12} | {:>11} | {:>15} | {:>6.1}x | {:>14} | {:>12} |\n",
+            r.design,
+            fmt_duration(r.full_time),
+            fmt_duration(r.abstracted_time),
+            speedup,
+            r.full_clauses,
+            r.abstracted_clauses,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> TableRow {
+        TableRow {
+            design: "Decoder",
+            rtl_loc: 42,
+            rtl_state_bits: 17,
+            ports: "1".into(),
+            instructions: 5,
+            ila_loc: 10,
+            arch_state_bits: 17,
+            refmap_loc: 18,
+            time_bug: Some(Duration::from_millis(2)),
+            time: Duration::from_millis(321),
+            memory_mb: 1.5,
+            peak_clauses: 1234,
+            verified: true,
+        }
+    }
+
+    #[test]
+    fn table_renders_all_columns() {
+        let text = render_table(&[sample_row()]);
+        assert!(text.contains("| Decoder"));
+        assert!(text.contains("2.00ms"));
+        assert!(text.contains("0.32s"));
+        assert!(text.contains("yes"));
+        let mut failing = sample_row();
+        failing.verified = false;
+        failing.time_bug = None;
+        let text = render_table(&[failing]);
+        assert!(text.contains("NO"));
+        assert!(text.contains("| -".trim_start()) || text.contains(" - "));
+    }
+
+    #[test]
+    fn ablation_renders_speedup() {
+        let rows = [AblationRow {
+            design: "Datapath",
+            full_time: Duration::from_secs(10),
+            abstracted_time: Duration::from_millis(100),
+            full_clauses: 50_000,
+            abstracted_clauses: 4_000,
+        }];
+        let text = render_ablation(&rows);
+        assert!(text.contains("100.0x"), "{text}");
+        assert!(text.contains("50000"));
+    }
+
+    #[test]
+    fn run_case_study_produces_a_verified_row() {
+        // The decoder is the cheapest full pipeline exercise.
+        let cs = gila_designs::all_case_studies().remove(0);
+        let row = run_case_study(&cs).expect("well-formed");
+        assert!(row.verified);
+        assert_eq!(row.instructions, 5);
+        assert!(row.time_bug.is_none());
+    }
+}

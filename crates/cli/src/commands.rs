@@ -1,0 +1,330 @@
+//! Implementations of the `gila` subcommands.
+
+use std::error::Error;
+use std::fs;
+
+use gila_core::ModuleIla;
+use gila_lang::parse_ila;
+use gila_mc::InductionOutcome;
+use gila_rtl::{parse_verilog, RtlModule};
+use gila_verify::{
+    cex_to_vcd, render_all_properties, validate_invariants, verify_module, CheckResult,
+    RefinementMap, VerifyOptions,
+};
+
+type CmdResult = Result<bool, Box<dyn Error>>;
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn flag_all<'a>(flags: &'a [(String, String)], name: &str) -> Vec<&'a str> {
+    flags
+        .iter()
+        .filter(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+        .collect()
+}
+
+fn require<'a>(flags: &'a [(String, String)], name: &str) -> Result<&'a str, Box<dyn Error>> {
+    flag(flags, name).ok_or_else(|| format!("missing required flag --{name}").into())
+}
+
+fn load_ila(path: &str) -> Result<ModuleIla, Box<dyn Error>> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(parse_ila(&text).map_err(|e| format!("{path}: {e}"))?)
+}
+
+fn load_rtl(path: &str) -> Result<RtlModule, Box<dyn Error>> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(parse_verilog(&text).map_err(|e| format!("{path}: {e}"))?)
+}
+
+fn load_maps(flags: &[(String, String)]) -> Result<Vec<RefinementMap>, Box<dyn Error>> {
+    let paths = flag_all(flags, "map");
+    if paths.is_empty() {
+        return Err("at least one --map MAP.json is required".into());
+    }
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+            RefinementMap::from_json(&text).map_err(|e| format!("{p}: {e}").into())
+        })
+        .collect()
+}
+
+/// `gila verify`: the full refinement check.
+pub fn verify(flags: &[(String, String)]) -> CmdResult {
+    let ila = load_ila(require(flags, "ila")?)?;
+    let rtl = load_rtl(require(flags, "rtl")?)?;
+    let maps = load_maps(flags)?;
+    let opts = VerifyOptions {
+        stop_at_first_cex: flag(flags, "stop-at-first-cex").is_some(),
+        parallel: flag(flags, "parallel").is_some(),
+        incremental: flag(flags, "incremental").is_some(),
+    };
+    let report = verify_module(&ila, &rtl, &maps, &opts)?;
+    let mut vcd_count = 0usize;
+    for port in &report.ports {
+        println!("port {}:", port.port);
+        for v in &port.verdicts {
+            let status = match &v.result {
+                CheckResult::Holds => "HOLDS".to_string(),
+                CheckResult::CounterExample(cex) => {
+                    format!("FAILS ({})", cex.mismatched_states.join(", "))
+                }
+                CheckResult::FinishNotReached { max_cycles } => {
+                    format!("VACUOUS (finish not reached within {max_cycles} cycles)")
+                }
+            };
+            println!(
+                "  {:<28} {status:<32} {:>9.2?}  {:>8} clauses",
+                v.instruction, v.time, v.stats.clauses
+            );
+            if let CheckResult::CounterExample(cex) = &v.result {
+                if let Some(prefix) = flag(flags, "vcd") {
+                    let path = format!("{prefix}_{}.vcd", sanitize(&v.instruction));
+                    fs::write(&path, cex_to_vcd(cex, &port.port))?;
+                    println!("    trace written to {path}");
+                    vcd_count += 1;
+                }
+            }
+        }
+    }
+    let _ = vcd_count;
+    println!(
+        "\n{} instructions checked in {:.2?}; peak CNF ~{:.1} MB",
+        report.instructions_checked(),
+        report.total_time(),
+        report.peak_stats().estimated_mb()
+    );
+    if report.all_hold() {
+        println!("RESULT: the RTL refines the ILA (all properties hold)");
+        Ok(true)
+    } else {
+        println!("RESULT: refinement FAILS");
+        Ok(false)
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// `gila describe`: print the model sketch (Figs. 1-3 style), or the
+/// canonical `.ila` text with `--format ila`.
+pub fn describe(flags: &[(String, String)]) -> CmdResult {
+    let ila = load_ila(require(flags, "ila")?)?;
+    if flag(flags, "format") == Some("ila") {
+        println!("{}", gila_lang::to_ila_text(&ila)?);
+        return Ok(true);
+    }
+    println!("{}", ila.describe());
+    let stats = ila.stats();
+    println!(
+        "{} port(s), {} atomic instructions, {} architectural state bits",
+        stats.ports, stats.instructions, stats.arch_state_bits
+    );
+    Ok(true)
+}
+
+/// `gila synth`: generate Verilog from the specification.
+pub fn synth(flags: &[(String, String)]) -> CmdResult {
+    let ila = load_ila(require(flags, "ila")?)?;
+    let rtl = gila_verify::synthesize_module(&ila)?;
+    let verilog = rtl.to_verilog()?;
+    match flag(flags, "o") {
+        Some(path) => {
+            fs::write(path, &verilog)?;
+            println!("wrote {path} ({} lines)", verilog.lines().count());
+        }
+        None => print!("{verilog}"),
+    }
+    Ok(true)
+}
+
+/// `gila check-inv`: prove or refute RTL invariants by k-induction.
+pub fn check_inv(flags: &[(String, String)]) -> CmdResult {
+    let rtl = load_rtl(require(flags, "rtl")?)?;
+    let invariants: Vec<String> = flag_all(flags, "invariant")
+        .into_iter()
+        .map(String::from)
+        .collect();
+    if invariants.is_empty() {
+        return Err("at least one --invariant EXPR is required".into());
+    }
+    let depth: usize = flag(flags, "depth").unwrap_or("3").parse()?;
+    match validate_invariants(&rtl, &invariants, depth)? {
+        InductionOutcome::Proved { k } => {
+            println!("PROVED: invariants are {k}-inductive");
+            Ok(true)
+        }
+        InductionOutcome::Violated(cex) => {
+            println!(
+                "REFUTED: violated {} step(s) from reset:",
+                cex.violation_step
+            );
+            for (i, step) in cex.steps.iter().enumerate() {
+                println!("  step {i}:");
+                for (name, value) in &step.states {
+                    println!("    {name:<20} = {value:?}");
+                }
+            }
+            Ok(false)
+        }
+        InductionOutcome::Unknown { max_k } => {
+            println!(
+                "UNKNOWN: neither proved nor refuted with induction depth <= {max_k}; \
+                 raise --depth or strengthen the invariants"
+            );
+            Ok(false)
+        }
+    }
+}
+
+/// `gila export`: serialize an RTL module as a BTOR2 model-checking
+/// problem (with an optional safety property) for external checkers.
+pub fn export(flags: &[(String, String)]) -> CmdResult {
+    let rtl = load_rtl(require(flags, "rtl")?)?;
+    let mut rtl_scratch = rtl.clone();
+    let (mut ts, _signals) = gila_verify::rtl_to_ts(&rtl);
+    let prop = match flag(flags, "prop") {
+        Some(expr) => {
+            let e = gila_rtl::parse_rtl_expr(&mut rtl_scratch, expr)
+                .map_err(|e| format!("--prop: {e}"))?;
+            let mut memo = std::collections::HashMap::new();
+            let e = gila_expr::import(ts.ctx_mut(), rtl_scratch.ctx(), e, &mut memo);
+            ts.ctx_mut().bv_to_bool(e)
+        }
+        None => ts.ctx_mut().tt(),
+    };
+    let doc = gila_mc::to_btor2(&ts, prop)?;
+    match flag(flags, "o") {
+        Some(path) => {
+            fs::write(path, &doc)?;
+            println!("wrote {path} ({} lines)", doc.lines().count());
+        }
+        None => print!("{doc}"),
+    }
+    Ok(true)
+}
+
+/// `gila sim`: scripted simulation of an RTL module or an `.ila` port.
+///
+/// The stimulus file has one cycle per line: `name=value` pairs
+/// separated by whitespace (values decimal or 0x-hex). States print
+/// after every cycle.
+pub fn sim(flags: &[(String, String)]) -> CmdResult {
+    let stim_path = require(flags, "stimulus")?;
+    let stim = fs::read_to_string(stim_path).map_err(|e| format!("reading {stim_path}: {e}"))?;
+    let parse_line = |line: &str| -> Result<Vec<(String, u64)>, Box<dyn Error>> {
+        line.split_whitespace()
+            .map(|tok| {
+                let (name, value) = tok
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad stimulus token {tok:?}"))?;
+                let value = if let Some(hex) = value.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).map_err(|e| format!("{tok:?}: {e}"))?
+                } else {
+                    value.parse().map_err(|e| format!("{tok:?}: {e}"))?
+                };
+                Ok((name.to_string(), value))
+            })
+            .collect()
+    };
+    if let Some(rtl_path) = flag(flags, "rtl") {
+        let rtl = load_rtl(rtl_path)?;
+        let mut sim = gila_rtl::RtlSimulator::new(&rtl);
+        for (cycle, line) in stim.lines().enumerate() {
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            let mut inputs = std::collections::BTreeMap::new();
+            for i in rtl.inputs() {
+                inputs.insert(i.name.clone(), gila_expr::BitVecValue::zero(i.width));
+            }
+            inputs.insert(
+                "clk".to_string(),
+                gila_expr::BitVecValue::from_u64(1, 1),
+            );
+            for (name, value) in parse_line(line)? {
+                let width = rtl
+                    .find_input(&name)
+                    .map(|i| i.width)
+                    .ok_or_else(|| format!("unknown input {name:?}"))?;
+                inputs.insert(name, gila_expr::BitVecValue::from_u64(value, width));
+            }
+            sim.step(&inputs).map_err(|e| e.to_string())?;
+            print!("cycle {cycle}:");
+            for (name, v) in sim.state() {
+                print!(" {name}={v:?}");
+            }
+            println!();
+        }
+        return Ok(true);
+    }
+    let ila = load_ila(require(flags, "ila")?)?;
+    let port = &ila.ports()[0];
+    let mut sim = gila_core::PortSimulator::new(port);
+    for (cycle, line) in stim.lines().enumerate() {
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let mut inputs = std::collections::BTreeMap::new();
+        for i in port.inputs() {
+            let v: gila_expr::Value = match i.sort {
+                gila_expr::Sort::Bool => gila_expr::Value::Bool(false),
+                gila_expr::Sort::Bv(w) => gila_expr::BitVecValue::zero(w).into(),
+                gila_expr::Sort::Mem {
+                    addr_width,
+                    data_width,
+                } => gila_expr::MemValue::zeroed(addr_width, data_width).into(),
+            };
+            inputs.insert(i.name.clone(), v);
+        }
+        for (name, value) in parse_line(line)? {
+            let sort = port
+                .find_input(&name)
+                .map(|i| i.sort)
+                .ok_or_else(|| format!("unknown input {name:?}"))?;
+            let v: gila_expr::Value = match sort {
+                gila_expr::Sort::Bool => gila_expr::Value::Bool(value != 0),
+                gila_expr::Sort::Bv(w) => gila_expr::BitVecValue::from_u64(value, w).into(),
+                gila_expr::Sort::Mem { .. } => {
+                    return Err(format!("cannot drive memory input {name:?} from stimulus").into())
+                }
+            };
+            inputs.insert(name, v);
+        }
+        let fired = sim.step(&inputs).map_err(|e| e.to_string())?;
+        print!("cycle {cycle}: [{fired}]");
+        for (name, v) in sim.state() {
+            print!(" {name}={v:?}");
+        }
+        println!();
+    }
+    Ok(true)
+}
+
+/// `gila props`: print the auto-generated refinement properties.
+pub fn props(flags: &[(String, String)]) -> CmdResult {
+    let ila = load_ila(require(flags, "ila")?)?;
+    let maps = load_maps(flags)?;
+    for port in ila.ports() {
+        let Some(map) = maps
+            .iter()
+            .find(|m| m.name == port.name())
+            .or_else(|| maps.iter().find(|m| m.name == "*"))
+        else {
+            return Err(format!("no refinement map for port {:?}", port.name()).into());
+        };
+        println!("{}", render_all_properties(port, map));
+    }
+    Ok(true)
+}

@@ -1,0 +1,99 @@
+//! `gila` — the command-line front end of the platform.
+//!
+//! ```text
+//! gila verify    --ila SPEC.ila --rtl IMPL.v --map MAP.json [--map MAP2.json ...]
+//! gila describe  --ila SPEC.ila
+//! gila synth     --ila SPEC.ila [-o OUT.v]
+//! gila check-inv --rtl IMPL.v --invariant EXPR [--depth K]
+//! gila props     --ila SPEC.ila --map MAP.json
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn usage() -> ! {
+    eprintln!(
+        "gila — instruction-level modeling and verification of hardware modules
+
+USAGE:
+  gila verify    --ila SPEC.ila --rtl IMPL.v --map MAP.json [--map MAP2.json ...]
+                 [--stop-at-first-cex] [--parallel] [--incremental] [--vcd PREFIX]
+  gila describe  --ila SPEC.ila [--format ila]
+  gila synth     --ila SPEC.ila [-o OUT.v]
+  gila check-inv --rtl IMPL.v --invariant EXPR [--invariant EXPR ...] [--depth K]
+  gila props     --ila SPEC.ila --map MAP.json [--map MAP2.json ...]
+  gila export    --rtl IMPL.v [--prop EXPR] [-o OUT.btor2]
+  gila sim       (--rtl IMPL.v | --ila SPEC.ila) --stimulus FILE
+
+EXIT CODES:
+  0  success (all properties hold / invariants proved)
+  1  a property failed or an invariant was refuted
+  2  usage or input error"
+    );
+    std::process::exit(2)
+}
+
+/// Minimal flag parser: returns (positional, flags) where repeated flags
+/// accumulate.
+fn parse_args(args: &[String]) -> (Vec<String>, Vec<(String, String)>) {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // Boolean flags have no value; value flags consume the next arg.
+            if matches!(name, "stop-at-first-cex" | "parallel" | "incremental") {
+                flags.push((name.to_string(), String::new()));
+            } else {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("flag --{name} needs a value");
+                    std::process::exit(2);
+                };
+                flags.push((name.to_string(), v.clone()));
+            }
+        } else if let Some(name) = a.strip_prefix('-') {
+            i += 1;
+            let Some(v) = args.get(i) else {
+                eprintln!("flag -{name} needs a value");
+                std::process::exit(2);
+            };
+            flags.push((name.to_string(), v.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    (positional, flags)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let (positional, flags) = parse_args(&args[1..]);
+    let _ = positional;
+    let result = match cmd.as_str() {
+        "verify" => commands::verify(&flags),
+        "describe" => commands::describe(&flags),
+        "synth" => commands::synth(&flags),
+        "check-inv" => commands::check_inv(&flags),
+        "props" => commands::props(&flags),
+        "export" => commands::export(&flags),
+        "sim" => commands::sim(&flags),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage()
+        }
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Static well-formedness checks on port-ILAs, discharged with SAT.
+//!
+//! A port-ILA is a *complete* functional specification when, for every
+//! command presented at the port, exactly one atomic instruction
+//! triggers. [`decode_gap`] finds commands no instruction covers;
+//! [`decode_overlaps`] finds commands that trigger several instructions
+//! at once. Both accept an optional reachability assumption (e.g.
+//! `step <= 3`) to exclude unreachable states from the check.
+
+use gila_expr::{ExprRef, Value};
+use gila_smt::SmtSolver;
+
+use crate::model::PortIla;
+
+/// A concrete command (input + state valuation) witnessing a decode
+/// anomaly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    /// `(name, value)` for every input of the port.
+    pub inputs: Vec<(String, Value)>,
+    /// `(name, value)` for every state of the port.
+    pub states: Vec<(String, Value)>,
+}
+
+/// Checks decode *completeness*: searches for a command that triggers no
+/// instruction. Returns a witness if one exists, `None` if the decode
+/// functions cover every command (under `assumption`, if given).
+///
+/// # Panics
+///
+/// Panics if `assumption` is not a boolean expression of the port's
+/// context.
+///
+/// # Examples
+///
+/// ```
+/// use gila_core::{decode_gap, PortIla, StateKind};
+/// use gila_expr::Sort;
+///
+/// let mut p = PortIla::new("partial");
+/// let x = p.input("x", Sort::Bv(1));
+/// let d = p.ctx_mut().eq_u64(x, 0);
+/// p.instr("zero").decode(d).add()?;
+/// // x == 1 is uncovered:
+/// assert!(decode_gap(&p, None).is_some());
+/// let d = p.ctx_mut().eq_u64(x, 1);
+/// p.instr("one").decode(d).add()?;
+/// assert!(decode_gap(&p, None).is_none());
+/// # Ok::<(), gila_core::ModelError>(())
+/// ```
+pub fn decode_gap(port: &PortIla, assumption: Option<ExprRef>) -> Option<Witness> {
+    let mut ctx = port.ctx().clone();
+    let decodes: Vec<ExprRef> = port.instructions().iter().map(|i| i.decode).collect();
+    let any = ctx.or_many(&decodes);
+    let none = ctx.not(any);
+    let mut smt = SmtSolver::new();
+    if let Some(a) = assumption {
+        smt.assert(&ctx, a);
+    }
+    smt.assert(&ctx, none);
+    if smt.check().is_sat() {
+        Some(extract_witness(port, &ctx, &smt))
+    } else {
+        None
+    }
+}
+
+/// Checks decode *determinism*: returns every pair of instructions whose
+/// decode conditions can hold simultaneously (under `assumption`).
+///
+/// An empty result means at most one instruction triggers per command —
+/// together with an empty [`decode_gap`], exactly one always triggers.
+pub fn decode_overlaps(
+    port: &PortIla,
+    assumption: Option<ExprRef>,
+) -> Vec<(String, String, Witness)> {
+    let mut overlaps = Vec::new();
+    let instrs = port.instructions();
+    for i in 0..instrs.len() {
+        for j in (i + 1)..instrs.len() {
+            let mut ctx = port.ctx().clone();
+            let both = ctx.and(instrs[i].decode, instrs[j].decode);
+            let mut smt = SmtSolver::new();
+            if let Some(a) = assumption {
+                smt.assert(&ctx, a);
+            }
+            smt.assert(&ctx, both);
+            if smt.check().is_sat() {
+                overlaps.push((
+                    instrs[i].name.clone(),
+                    instrs[j].name.clone(),
+                    extract_witness(port, &ctx, &smt),
+                ));
+            }
+        }
+    }
+    overlaps
+}
+
+fn extract_witness(port: &PortIla, ctx: &gila_expr::ExprCtx, smt: &SmtSolver) -> Witness {
+    let value_of = |var: ExprRef, sort: gila_expr::Sort| -> Value {
+        // Variables not mentioned in any decode were never blasted; report
+        // a default value for them.
+        smt.try_model_value(ctx, var).unwrap_or(match sort {
+            gila_expr::Sort::Bool => Value::Bool(false),
+            gila_expr::Sort::Bv(w) => Value::Bv(gila_expr::BitVecValue::zero(w)),
+            gila_expr::Sort::Mem {
+                addr_width,
+                data_width,
+            } => Value::Mem(gila_expr::MemValue::zeroed(addr_width, data_width)),
+        })
+    };
+    Witness {
+        inputs: port
+            .inputs()
+            .iter()
+            .map(|i| (i.name.clone(), value_of(i.var, i.sort)))
+            .collect(),
+        states: port
+            .states()
+            .iter()
+            .map(|s| (s.name.clone(), value_of(s.var, s.sort)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StateKind;
+    use gila_expr::Sort;
+
+    fn two_instr_port(complete: bool, disjoint: bool) -> PortIla {
+        let mut p = PortIla::new("p");
+        let x = p.input("x", Sort::Bv(2));
+        p.state("s", Sort::Bv(2), StateKind::Output);
+        let d0 = p.ctx_mut().eq_u64(x, 0);
+        p.instr("a").decode(d0).add().unwrap();
+        let d1 = if complete {
+            let z = p.ctx_mut().bv_u64(0, 2);
+            p.ctx_mut().ne(x, z)
+        } else {
+            p.ctx_mut().eq_u64(x, 1)
+        };
+        let d1 = if disjoint {
+            d1
+        } else {
+            let d0again = p.ctx_mut().eq_u64(x, 0);
+            p.ctx_mut().or(d1, d0again)
+        };
+        p.instr("b").decode(d1).add().unwrap();
+        p
+    }
+
+    #[test]
+    fn complete_and_deterministic() {
+        let p = two_instr_port(true, true);
+        assert!(decode_gap(&p, None).is_none());
+        assert!(decode_overlaps(&p, None).is_empty());
+    }
+
+    #[test]
+    fn gap_witness_found() {
+        let p = two_instr_port(false, true);
+        let w = decode_gap(&p, None).expect("x in {2,3} uncovered");
+        let x = w.inputs.iter().find(|(n, _)| n == "x").unwrap();
+        assert!(x.1.as_bv().to_u64() >= 2);
+    }
+
+    #[test]
+    fn overlap_witness_found() {
+        let p = two_instr_port(true, false);
+        let os = decode_overlaps(&p, None);
+        assert_eq!(os.len(), 1);
+        assert_eq!(os[0].0, "a");
+        assert_eq!(os[0].1, "b");
+        let x = os[0].2.inputs.iter().find(|(n, _)| n == "x").unwrap();
+        assert_eq!(x.1.as_bv().to_u64(), 0);
+    }
+
+    #[test]
+    fn assumption_restricts_check() {
+        let mut p = two_instr_port(false, true);
+        // Under the assumption x < 2, the incomplete decode is fine.
+        let x = p.ctx().find_var("x").unwrap();
+        let two = p.ctx_mut().bv_u64(2, 2);
+        let assumption = p.ctx_mut().ult(x, two);
+        assert!(decode_gap(&p, Some(assumption)).is_none());
+    }
+}

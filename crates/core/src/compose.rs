@@ -1,0 +1,794 @@
+//! Integration of port-ILAs that share architectural state.
+//!
+//! When two or more ports can update the same state in the same cycle
+//! (e.g. `mem_wait` in the 8051 memory interface, or the routing table in
+//! the OpenPiton NoC router), they are *integrated* into a single
+//! port-ILA whose instruction set is the cross product of the ports'
+//! atomic instruction sets. Conflicting updates to shared state are
+//! resolved by a [`ConflictResolver`] encoding what the informal
+//! specification says; if the specification does not resolve a conflict,
+//! integration fails with a *specification gap* — a genuine finding of
+//! the methodology.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use gila_expr::{import, ExprCtx, ExprRef, Sort, Value};
+
+use crate::model::{Instruction, ModelError, PortIla, StateKind};
+
+/// One port's contribution to a conflicting update.
+#[derive(Clone, Copy, Debug)]
+pub struct Side<'a> {
+    /// Name of the contributing port.
+    pub port: &'a str,
+    /// Index of the contributing port in the integration order.
+    pub port_index: usize,
+    /// Name of the contributing atomic instruction.
+    pub instruction: &'a str,
+    /// The (already imported) update expression.
+    pub update: ExprRef,
+}
+
+/// A resolver's answer for one conflicting state in one instruction combo.
+#[derive(Clone, Debug)]
+pub struct Resolution {
+    /// The resolved update expression for the shared state.
+    pub update: ExprRef,
+    /// Additional updates to resolver-owned auxiliary states (e.g. a
+    /// round-robin pointer advancing past the granted port).
+    pub extra_updates: Vec<(String, ExprRef)>,
+}
+
+/// An auxiliary architectural state a resolver needs (e.g. an arbiter
+/// pointer), declared on the integrated port.
+#[derive(Clone, Debug)]
+pub struct AuxStateSpec {
+    /// State name (must not clash with any port's declarations).
+    pub name: String,
+    /// Sort of the state.
+    pub sort: Sort,
+    /// Optional reset value.
+    pub init: Option<Value>,
+}
+
+/// Resolves conflicting updates to shared states during integration,
+/// encoding the priority/arbitration rules of the informal specification.
+pub trait ConflictResolver {
+    /// Auxiliary states this resolver introduces on the integrated port.
+    fn aux_states(&self) -> Vec<AuxStateSpec> {
+        Vec::new()
+    }
+
+    /// Resolves a conflict: at least two sides update `state` with
+    /// non-identical expressions. Returning `None` flags a specification
+    /// gap for this instruction combination.
+    fn resolve(&self, ctx: &mut ExprCtx, state: &str, sides: &[Side<'_>]) -> Option<Resolution>;
+}
+
+/// The default resolver: every conflict is a specification gap.
+///
+/// Use this when the informal specification is silent about simultaneous
+/// updates — integration will then report exactly which instruction
+/// combinations the specification fails to cover.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoResolver;
+
+impl ConflictResolver for NoResolver {
+    fn resolve(&self, _ctx: &mut ExprCtx, _state: &str, _sides: &[Side<'_>]) -> Option<Resolution> {
+        None
+    }
+}
+
+/// Resolves conflicts by fixed port priority: the side from the
+/// earliest-listed port wins. Ports not listed rank after listed ones,
+/// by integration order.
+#[derive(Clone, Debug, Default)]
+pub struct PortPriorityResolver {
+    order: Vec<String>,
+}
+
+impl PortPriorityResolver {
+    /// Creates a resolver preferring ports in the given order.
+    pub fn new<I, S>(order: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PortPriorityResolver {
+            order: order.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    fn rank(&self, side: &Side<'_>) -> (usize, usize) {
+        let listed = self
+            .order
+            .iter()
+            .position(|p| p == side.port)
+            .unwrap_or(self.order.len());
+        (listed, side.port_index)
+    }
+}
+
+impl ConflictResolver for PortPriorityResolver {
+    fn resolve(&self, _ctx: &mut ExprCtx, _state: &str, sides: &[Side<'_>]) -> Option<Resolution> {
+        let winner = sides.iter().min_by_key(|s| self.rank(s))?;
+        Some(Resolution {
+            update: winner.update,
+            extra_updates: Vec::new(),
+        })
+    }
+}
+
+/// Resolves conflicts by value priority: an update to the *preferred
+/// constant value* wins (the 8051 memory interface rule "an update of
+/// `mem_wait` to 1 has priority over an update to 0").
+///
+/// If several sides update to the preferred value, the lowest-indexed
+/// port wins (they agree anyway). If no side updates to the preferred
+/// constant, the conflict is a specification gap.
+#[derive(Clone, Debug)]
+pub struct ValuePriorityResolver {
+    preferred: Value,
+}
+
+impl ValuePriorityResolver {
+    /// Creates a resolver preferring updates equal to `preferred`.
+    pub fn new(preferred: impl Into<Value>) -> Self {
+        ValuePriorityResolver {
+            preferred: preferred.into(),
+        }
+    }
+
+    fn is_preferred(&self, ctx: &ExprCtx, e: ExprRef) -> bool {
+        match &self.preferred {
+            Value::Bool(b) => ctx.as_bool_const(e) == Some(*b),
+            Value::Bv(v) => ctx.as_bv_const(e) == Some(v),
+            Value::Mem(_) => false,
+        }
+    }
+}
+
+impl ConflictResolver for ValuePriorityResolver {
+    fn resolve(&self, ctx: &mut ExprCtx, _state: &str, sides: &[Side<'_>]) -> Option<Resolution> {
+        sides
+            .iter()
+            .find(|s| self.is_preferred(ctx, s.update))
+            .map(|winner| Resolution {
+                update: winner.update,
+                extra_updates: Vec::new(),
+            })
+    }
+}
+
+/// Resolves conflicts with a round-robin arbiter, as the OpenPiton NoC
+/// router's specification prescribes for its shared routing table.
+///
+/// The resolver materializes a pointer state (`<name>`, `ceil(log2(n))`
+/// bits) on the integrated port. On a conflict, the contending side whose
+/// port index is reached first when scanning from the pointer wins, and
+/// the pointer advances past the winner.
+#[derive(Clone, Debug)]
+pub struct RoundRobinResolver {
+    name: String,
+    num_ports: usize,
+    ptr_width: u32,
+}
+
+impl RoundRobinResolver {
+    /// Creates a round-robin resolver over `num_ports` ports with an
+    /// arbiter pointer state named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ports < 2`.
+    pub fn new(name: impl Into<String>, num_ports: usize) -> Self {
+        assert!(num_ports >= 2, "round-robin needs at least two ports");
+        let mut ptr_width = 1;
+        while (1usize << ptr_width) < num_ports {
+            ptr_width += 1;
+        }
+        RoundRobinResolver {
+            name: name.into(),
+            num_ports,
+            ptr_width,
+        }
+    }
+}
+
+impl ConflictResolver for RoundRobinResolver {
+    fn aux_states(&self) -> Vec<AuxStateSpec> {
+        vec![AuxStateSpec {
+            name: self.name.clone(),
+            sort: Sort::Bv(self.ptr_width),
+            init: Some(Value::Bv(gila_expr::BitVecValue::zero(self.ptr_width))),
+        }]
+    }
+
+    fn resolve(&self, ctx: &mut ExprCtx, _state: &str, sides: &[Side<'_>]) -> Option<Resolution> {
+        let ptr = ctx.var(self.name.clone(), Sort::Bv(self.ptr_width));
+        // For each possible pointer value p, the statically-known winner is
+        // the contending side reached first scanning p, p+1, ... (mod n).
+        let winner_for = |p: usize| -> &Side<'_> {
+            sides
+                .iter()
+                .min_by_key(|s| (s.port_index + self.num_ports - p) % self.num_ports)
+                .expect("at least two sides")
+        };
+        // Build nested ITEs over the pointer value, for both the resolved
+        // update and the pointer advance.
+        let last = winner_for(self.num_ports - 1);
+        let mut update = last.update;
+        let mut ptr_next = ctx.bv_u64(
+            ((last.port_index + 1) % self.num_ports) as u64,
+            self.ptr_width,
+        );
+        for p in (0..self.num_ports - 1).rev() {
+            let w = winner_for(p);
+            let cond = ctx.eq_u64(ptr, p as u64);
+            update = ctx.ite(cond, w.update, update);
+            let adv = ctx.bv_u64(((w.port_index + 1) % self.num_ports) as u64, self.ptr_width);
+            ptr_next = ctx.ite(cond, adv, ptr_next);
+        }
+        Some(Resolution {
+            update,
+            extra_updates: vec![(self.name.clone(), ptr_next)],
+        })
+    }
+}
+
+/// One unresolved conflict: the instruction combination and shared state
+/// for which the informal specification gives no answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecificationGap {
+    /// The shared state with conflicting updates.
+    pub state: String,
+    /// The `(port, instruction)` pairs triggering together.
+    pub combo: Vec<(String, String)>,
+}
+
+impl fmt::Display for SpecificationGap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conflicting updates to {:?} when ", self.state)?;
+        for (i, (p, instr)) in self.combo.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{p}.{instr}")?;
+        }
+        write!(f, " trigger simultaneously and the specification does not resolve the conflict")
+    }
+}
+
+/// An error during port integration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IntegrateError {
+    /// Fewer than two ports were given.
+    TooFewPorts,
+    /// A port has no instructions, so the cross product would be empty.
+    EmptyPort {
+        /// The offending port.
+        port: String,
+    },
+    /// Two ports declare a same-named input or state with different sorts.
+    SortMismatch {
+        /// The clashing name.
+        name: String,
+        /// The first sort seen.
+        first: Sort,
+        /// The conflicting sort.
+        second: Sort,
+    },
+    /// Two ports give a shared state different reset values.
+    InitConflict {
+        /// The shared state.
+        state: String,
+    },
+    /// The informal specification leaves conflicts unresolved.
+    SpecificationGaps(
+        /// All unresolved conflicts found during integration.
+        Vec<SpecificationGap>,
+    ),
+    /// A resolver produced clashing extra updates for one auxiliary state.
+    AuxUpdateConflict {
+        /// The auxiliary state.
+        state: String,
+        /// The integrated instruction in which the clash occurred.
+        instruction: String,
+    },
+    /// Building the integrated model failed.
+    Model(
+        /// The underlying model error.
+        ModelError,
+    ),
+}
+
+impl fmt::Display for IntegrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrateError::TooFewPorts => write!(f, "integration needs at least two ports"),
+            IntegrateError::EmptyPort { port } => {
+                write!(f, "port {port:?} has no instructions")
+            }
+            IntegrateError::SortMismatch { name, first, second } => write!(
+                f,
+                "declaration {name:?} has sort {first} in one port and {second} in another"
+            ),
+            IntegrateError::InitConflict { state } => {
+                write!(f, "shared state {state:?} has conflicting reset values")
+            }
+            IntegrateError::SpecificationGaps(gaps) => {
+                writeln!(f, "{} specification gap(s) found:", gaps.len())?;
+                for g in gaps {
+                    writeln!(f, "  - {g}")?;
+                }
+                Ok(())
+            }
+            IntegrateError::AuxUpdateConflict { state, instruction } => write!(
+                f,
+                "resolver produced conflicting updates for auxiliary state {state:?} in {instruction:?}"
+            ),
+            IntegrateError::Model(e) => write!(f, "integrated model invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrateError {}
+
+impl From<ModelError> for IntegrateError {
+    fn from(e: ModelError) -> Self {
+        IntegrateError::Model(e)
+    }
+}
+
+/// Returns the state names *updated* by instructions of more than one of
+/// the given ports. Only these require integration: a state that one
+/// port updates and others merely read poses no conflicting-update
+/// hazard (e.g. the store buffer's load-port reading the buffer array).
+pub fn shared_updated_states(ports: &[&PortIla]) -> Vec<String> {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for p in ports {
+        let mut updated: Vec<&str> = p
+            .instructions()
+            .iter()
+            .flat_map(|i| i.updates.keys().map(String::as_str))
+            .collect();
+        updated.sort_unstable();
+        updated.dedup();
+        for name in updated {
+            *counts.entry(name).or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|&(_, c)| c > 1)
+        .map(|(n, _)| n.to_string())
+        .collect()
+}
+
+/// Returns the state names declared by more than one of the given ports.
+pub fn shared_states(ports: &[&PortIla]) -> Vec<String> {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for p in ports {
+        for s in p.states() {
+            *counts.entry(&s.name).or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|&(_, c)| c > 1)
+        .map(|(n, _)| n.to_string())
+        .collect()
+}
+
+/// Integrates ports that share architectural state into a single
+/// port-ILA (`W_c = ∪ W_p`, `S_c = ∪ S_p`, `I_c = Π I_p` at the atomic
+/// sub-instruction level, `D_{c,(i..)} = ∧ D_{p,i}`).
+///
+/// Non-shared states take the single port's update; shared states with
+/// identical updates merge silently; genuinely conflicting updates are
+/// handed to `resolver`.
+///
+/// # Errors
+///
+/// See [`IntegrateError`]. In particular, unresolved conflicts are
+/// reported as [`IntegrateError::SpecificationGaps`] listing every
+/// offending instruction combination.
+pub fn integrate(
+    name: impl Into<String>,
+    ports: &[&PortIla],
+    resolver: &dyn ConflictResolver,
+) -> Result<PortIla, IntegrateError> {
+    if ports.len() < 2 {
+        return Err(IntegrateError::TooFewPorts);
+    }
+    if let Some(p) = ports.iter().find(|p| p.instructions().is_empty()) {
+        return Err(IntegrateError::EmptyPort {
+            port: p.name().to_string(),
+        });
+    }
+    let mut out = PortIla::new(name);
+
+    // Union of inputs (same name must mean same sort).
+    let mut declared: BTreeMap<String, Sort> = BTreeMap::new();
+    for p in ports {
+        for i in p.inputs() {
+            match declared.get(&i.name) {
+                None => {
+                    declared.insert(i.name.clone(), i.sort);
+                    out.input(i.name.clone(), i.sort);
+                }
+                Some(&s) if s == i.sort => {}
+                Some(&s) => {
+                    return Err(IntegrateError::SortMismatch {
+                        name: i.name.clone(),
+                        first: s,
+                        second: i.sort,
+                    })
+                }
+            }
+        }
+    }
+    // Union of states.
+    let mut state_inits: BTreeMap<String, Option<Value>> = BTreeMap::new();
+    for p in ports {
+        for s in p.states() {
+            match declared.get(&s.name) {
+                None => {
+                    declared.insert(s.name.clone(), s.sort);
+                    out.state(s.name.clone(), s.sort, s.kind);
+                    state_inits.insert(s.name.clone(), s.init.clone());
+                }
+                Some(&d) if d == s.sort => {
+                    // Shared state: kinds may differ (output wins is not
+                    // needed here; first declaration stands). Check inits.
+                    if let Some(prev) = state_inits.get_mut(&s.name) {
+                        match (&prev, &s.init) {
+                            (None, Some(v)) => *prev = Some(v.clone()),
+                            (Some(a), Some(b)) if *a != *b => {
+                                return Err(IntegrateError::InitConflict {
+                                    state: s.name.clone(),
+                                })
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Some(&d) => {
+                    return Err(IntegrateError::SortMismatch {
+                        name: s.name.clone(),
+                        first: d,
+                        second: s.sort,
+                    })
+                }
+            }
+        }
+    }
+    for (state, init) in &state_inits {
+        if let Some(v) = init {
+            out.set_init(state, v.clone())?;
+        }
+    }
+    // Resolver auxiliary states.
+    for aux in resolver.aux_states() {
+        out.state(aux.name.clone(), aux.sort, StateKind::Internal);
+        if let Some(v) = aux.init {
+            out.set_init(&aux.name, v)?;
+        }
+    }
+
+    // Import expressions port by port (variables map by name into `out`).
+    let mut memos: Vec<HashMap<ExprRef, ExprRef>> = vec![HashMap::new(); ports.len()];
+    let import_expr = |out: &mut PortIla,
+                       memos: &mut Vec<HashMap<ExprRef, ExprRef>>,
+                       pi: usize,
+                       src: &PortIla,
+                       e: ExprRef| {
+        // Split borrow: ctx is independent of memos.
+        let memo = &mut memos[pi];
+        import(out.ctx_mut(), src.ctx(), e, memo)
+    };
+
+    // Cross product of atomic instructions.
+    let mut gaps: Vec<SpecificationGap> = Vec::new();
+    let counts: Vec<usize> = ports.iter().map(|p| p.instructions().len()).collect();
+    let mut odometer = vec![0usize; ports.len()];
+    loop {
+        let combo: Vec<&Instruction> = odometer
+            .iter()
+            .enumerate()
+            .map(|(pi, &ii)| &ports[pi].instructions()[ii])
+            .collect();
+        let combo_name = combo
+            .iter()
+            .map(|i| i.name.as_str())
+            .collect::<Vec<_>>()
+            .join(" & ");
+
+        // Decode: conjunction of all parts.
+        let mut decode_parts = Vec::with_capacity(combo.len());
+        for (pi, instr) in combo.iter().enumerate() {
+            decode_parts.push(import_expr(&mut out, &mut memos, pi, ports[pi], instr.decode));
+        }
+        let decode = out.ctx_mut().and_many(&decode_parts);
+
+        // Gather updates per state.
+        let mut per_state: BTreeMap<String, Vec<(usize, &Instruction, ExprRef)>> = BTreeMap::new();
+        for (pi, instr) in combo.iter().enumerate() {
+            for (state, &upd) in &instr.updates {
+                let imported = import_expr(&mut out, &mut memos, pi, ports[pi], upd);
+                per_state
+                    .entry(state.clone())
+                    .or_default()
+                    .push((pi, instr, imported));
+            }
+        }
+
+        let mut updates: Vec<(String, ExprRef)> = Vec::new();
+        let mut extra: BTreeMap<String, ExprRef> = BTreeMap::new();
+        let mut gap_here = false;
+        for (state, sides) in &per_state {
+            let first = sides[0].2;
+            if sides.len() == 1 || sides.iter().all(|&(_, _, e)| e == first) {
+                updates.push((state.clone(), first));
+                continue;
+            }
+            let side_views: Vec<Side<'_>> = sides
+                .iter()
+                .map(|&(pi, instr, e)| Side {
+                    port: ports[pi].name(),
+                    port_index: pi,
+                    instruction: &instr.name,
+                    update: e,
+                })
+                .collect();
+            match resolver.resolve(out.ctx_mut(), state, &side_views) {
+                Some(res) => {
+                    updates.push((state.clone(), res.update));
+                    for (aux, e) in res.extra_updates {
+                        if let Some(&prev) = extra.get(&aux) {
+                            if prev != e {
+                                return Err(IntegrateError::AuxUpdateConflict {
+                                    state: aux,
+                                    instruction: combo_name,
+                                });
+                            }
+                        } else {
+                            extra.insert(aux, e);
+                        }
+                    }
+                }
+                None => {
+                    gaps.push(SpecificationGap {
+                        state: state.clone(),
+                        combo: combo
+                            .iter()
+                            .enumerate()
+                            .map(|(pi, i)| (ports[pi].name().to_string(), i.name.clone()))
+                            .collect(),
+                    });
+                    gap_here = true;
+                }
+            }
+        }
+        if !gap_here {
+            updates.extend(extra);
+            let mut b = out.instr(combo_name).decode(decode);
+            for (s, e) in updates {
+                b = b.update(s, e);
+            }
+            b.add()?;
+        }
+
+        // Advance the odometer.
+        let mut k = ports.len();
+        loop {
+            if k == 0 {
+                break;
+            }
+            k -= 1;
+            odometer[k] += 1;
+            if odometer[k] < counts[k] {
+                break;
+            }
+            odometer[k] = 0;
+            if k == 0 {
+                k = usize::MAX;
+                break;
+            }
+        }
+        if k == usize::MAX {
+            break;
+        }
+    }
+    if !gaps.is_empty() {
+        return Err(IntegrateError::SpecificationGaps(gaps));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gila_expr::BitVecValue;
+
+    /// Builds a miniature ROM-port / RAM-port pair sharing `mem_wait`,
+    /// mirroring Fig. 3 of the paper.
+    fn rom_ram_ports() -> (PortIla, PortIla) {
+        let mut rom = PortIla::new("ROM-PORT");
+        let rom_req = rom.input("rom_req_in", Sort::Bv(1));
+        let _rom_addr_in = rom.input("rom_addr_in", Sort::Bv(8));
+        let rom_addr = rom.state("rom_addr", Sort::Bv(8), StateKind::Output);
+        let _ = rom_addr;
+        let mem_wait = rom.state("mem_wait", Sort::Bv(1), StateKind::Internal);
+        let _ = mem_wait;
+        {
+            let d = rom.ctx_mut().eq_u64(rom_req, 1);
+            let addr = rom.ctx().find_var("rom_addr_in").unwrap();
+            let one = rom.ctx_mut().bv_u64(1, 1);
+            rom.instr("ROM_REQ")
+                .decode(d)
+                .update("rom_addr", addr)
+                .update("mem_wait", one)
+                .add()
+                .unwrap();
+            let d = rom.ctx_mut().eq_u64(rom_req, 0);
+            let zero = rom.ctx_mut().bv_u64(0, 1);
+            rom.instr("ROM_IDLE")
+                .decode(d)
+                .update("mem_wait", zero)
+                .add()
+                .unwrap();
+        }
+        let mut ram = PortIla::new("RAM-PORT");
+        let ram_req = ram.input("ram_req_in", Sort::Bv(1));
+        let _ram_addr_in = ram.input("ram_addr_in", Sort::Bv(8));
+        ram.state("ram_addr", Sort::Bv(8), StateKind::Output);
+        ram.state("mem_wait", Sort::Bv(1), StateKind::Internal);
+        {
+            let d = ram.ctx_mut().eq_u64(ram_req, 1);
+            let addr = ram.ctx().find_var("ram_addr_in").unwrap();
+            let one = ram.ctx_mut().bv_u64(1, 1);
+            ram.instr("RAM_REQ")
+                .decode(d)
+                .update("ram_addr", addr)
+                .update("mem_wait", one)
+                .add()
+                .unwrap();
+            let d = ram.ctx_mut().eq_u64(ram_req, 0);
+            let zero = ram.ctx_mut().bv_u64(0, 1);
+            ram.instr("RAM_IDLE")
+                .decode(d)
+                .update("mem_wait", zero)
+                .add()
+                .unwrap();
+        }
+        (rom, ram)
+    }
+
+    #[test]
+    fn shared_state_detection() {
+        let (rom, ram) = rom_ram_ports();
+        assert_eq!(shared_states(&[&rom, &ram]), vec!["mem_wait".to_string()]);
+    }
+
+    #[test]
+    fn unresolved_conflict_is_specification_gap() {
+        let (rom, ram) = rom_ram_ports();
+        let err = integrate("ROM-RAM", &[&rom, &ram], &NoResolver).unwrap_err();
+        match err {
+            IntegrateError::SpecificationGaps(gaps) => {
+                // Conflicts: REQ&IDLE and IDLE&REQ (1 vs 0); REQ&REQ and
+                // IDLE&IDLE agree (same constant).
+                assert_eq!(gaps.len(), 2);
+                assert!(gaps.iter().all(|g| g.state == "mem_wait"));
+            }
+            other => panic!("expected gaps, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_priority_resolves_mem_wait() {
+        let (rom, ram) = rom_ram_ports();
+        let resolver = ValuePriorityResolver::new(BitVecValue::from_u64(1, 1));
+        let c = integrate("ROM-RAM", &[&rom, &ram], &resolver).unwrap();
+        // 2 x 2 = 4 integrated instructions.
+        assert_eq!(c.num_atomic_instructions(), 4);
+        // ROM_IDLE & RAM_REQ must update mem_wait to 1.
+        let i = c.find_instruction("ROM_IDLE & RAM_REQ").unwrap();
+        let upd = i.updates["mem_wait"];
+        assert_eq!(
+            c.ctx().as_bv_const(upd),
+            Some(&BitVecValue::from_u64(1, 1))
+        );
+        // Non-conflicting state updates survive unchanged.
+        assert!(i.updates.contains_key("ram_addr"));
+        assert!(!i.updates.contains_key("rom_addr"));
+        // Agreement cases merge silently.
+        let i = c.find_instruction("ROM_IDLE & RAM_IDLE").unwrap();
+        assert_eq!(
+            c.ctx().as_bv_const(i.updates["mem_wait"]),
+            Some(&BitVecValue::from_u64(0, 1))
+        );
+    }
+
+    #[test]
+    fn port_priority_resolver() {
+        let (rom, ram) = rom_ram_ports();
+        let resolver = PortPriorityResolver::new(["RAM-PORT", "ROM-PORT"]);
+        let c = integrate("ROM-RAM", &[&rom, &ram], &resolver).unwrap();
+        // In ROM_REQ & RAM_IDLE, RAM wins: mem_wait := 0.
+        let i = c.find_instruction("ROM_REQ & RAM_IDLE").unwrap();
+        assert_eq!(
+            c.ctx().as_bv_const(i.updates["mem_wait"]),
+            Some(&BitVecValue::from_u64(0, 1))
+        );
+    }
+
+    #[test]
+    fn round_robin_adds_pointer_state() {
+        let (rom, ram) = rom_ram_ports();
+        let resolver = RoundRobinResolver::new("mem_wait_rr", 2);
+        let c = integrate("ROM-RAM", &[&rom, &ram], &resolver).unwrap();
+        assert!(c.find_state("mem_wait_rr").is_some());
+        let i = c.find_instruction("ROM_REQ & RAM_IDLE").unwrap();
+        // The conflicting combo updates both the shared state and pointer.
+        assert!(i.updates.contains_key("mem_wait"));
+        assert!(i.updates.contains_key("mem_wait_rr"));
+        // Non-conflicting combos leave the pointer alone.
+        let i = c.find_instruction("ROM_REQ & RAM_REQ").unwrap();
+        assert!(!i.updates.contains_key("mem_wait_rr"));
+    }
+
+    #[test]
+    fn sort_mismatch_detected() {
+        let (rom, _) = rom_ram_ports();
+        let mut bad = PortIla::new("BAD");
+        bad.state("mem_wait", Sort::Bv(2), StateKind::Internal);
+        let d = bad.ctx_mut().tt();
+        bad.instr("nop").decode(d).add().unwrap();
+        let err = integrate("X", &[&rom, &bad], &NoResolver).unwrap_err();
+        assert!(matches!(err, IntegrateError::SortMismatch { .. }));
+    }
+
+    #[test]
+    fn too_few_ports() {
+        let (rom, _) = rom_ram_ports();
+        assert_eq!(
+            integrate("X", &[&rom], &NoResolver).unwrap_err(),
+            IntegrateError::TooFewPorts
+        );
+    }
+
+    #[test]
+    fn init_values_propagate_and_conflict() {
+        let (mut rom, mut ram) = rom_ram_ports();
+        rom.set_init("mem_wait", BitVecValue::from_u64(0, 1)).unwrap();
+        let resolver = ValuePriorityResolver::new(BitVecValue::from_u64(1, 1));
+        let c = integrate("ROM-RAM", &[&rom, &ram], &resolver).unwrap();
+        assert_eq!(
+            c.find_state("mem_wait").unwrap().init,
+            Some(Value::Bv(BitVecValue::from_u64(0, 1)))
+        );
+        ram.set_init("mem_wait", BitVecValue::from_u64(1, 1)).unwrap();
+        let err = integrate("ROM-RAM", &[&rom, &ram], &resolver).unwrap_err();
+        assert!(matches!(err, IntegrateError::InitConflict { .. }));
+    }
+
+    #[test]
+    fn three_port_cross_product() {
+        let (rom, ram) = rom_ram_ports();
+        let mut third = PortIla::new("AUX");
+        let go = third.input("aux_go", Sort::Bv(1));
+        third.state("aux_state", Sort::Bv(4), StateKind::Output);
+        let d = third.ctx_mut().eq_u64(go, 1);
+        let v = third.ctx_mut().bv_u64(3, 4);
+        third.instr("AUX_GO").decode(d).update("aux_state", v).add().unwrap();
+        let d = third.ctx_mut().eq_u64(go, 0);
+        third.instr("AUX_NOP").decode(d).add().unwrap();
+        let resolver = ValuePriorityResolver::new(BitVecValue::from_u64(1, 1));
+        let c = integrate("TRIPLE", &[&rom, &ram, &third], &resolver).unwrap();
+        assert_eq!(c.num_atomic_instructions(), 8);
+        assert!(c.find_instruction("ROM_REQ & RAM_IDLE & AUX_GO").is_some());
+    }
+}

@@ -1,0 +1,124 @@
+//! Textual rendering of ILA models in the style of the paper's
+//! Figs. 1–3: inputs, output states, other states, and an instruction
+//! table listing updated states.
+
+use std::fmt::Write as _;
+
+use crate::model::{PortIla, StateKind};
+use crate::module::ModuleIla;
+
+impl PortIla {
+    /// Renders the port-ILA as a Fig. 1/2/3-style sketch.
+    ///
+    /// The line count of this rendering is also used as the "ILA Size
+    /// (LoC)" statistic in the Table I reproduction.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} ===", self.name());
+        let inputs: Vec<String> = self
+            .inputs()
+            .iter()
+            .map(|i| format!("{}: {}", i.name, i.sort))
+            .collect();
+        let _ = writeln!(out, "W   Input         {}", inputs.join(", "));
+        let outs: Vec<String> = self
+            .states()
+            .iter()
+            .filter(|s| s.kind == StateKind::Output)
+            .map(|s| format!("{}: {}", s.name, s.sort))
+            .collect();
+        let _ = writeln!(out, "S   Output States {}", outs.join(", "));
+        let others: Vec<String> = self
+            .states()
+            .iter()
+            .filter(|s| s.kind == StateKind::Internal)
+            .map(|s| format!("{}: {}", s.name, s.sort))
+            .collect();
+        let _ = writeln!(out, "    Other States  {}", others.join(", "));
+        let _ = writeln!(out, "I   Instruction        Decode | Updated States");
+        for (idx, i) in self.instructions().iter().enumerate() {
+            let tag = match &i.parent {
+                Some(p) => format!("i{idx} (sub of {p})"),
+                None => format!("i{idx}"),
+            };
+            let updated: Vec<&str> = i.updates.keys().map(String::as_str).collect();
+            let _ = writeln!(
+                out,
+                "    {tag:<18} {name:<18} {decode} | {updates}",
+                name = i.name,
+                decode = self.ctx().display(i.decode),
+                updates = updated.join(", "),
+            );
+        }
+        out
+    }
+
+    /// Number of lines in [`PortIla::describe`] — the "ILA Size (LoC)"
+    /// proxy for this port.
+    pub fn size_loc(&self) -> usize {
+        self.describe().lines().count()
+    }
+}
+
+impl ModuleIla {
+    /// Renders all ports of the module, Fig. 3-style.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "module-ILA {}: [{}]", self.name(), {
+            let names: Vec<&str> = self.ports().iter().map(|p| p.name()).collect();
+            names.join(", ")
+        });
+        for p in self.ports() {
+            out.push('\n');
+            out.push_str(&p.describe());
+        }
+        out
+    }
+
+    /// Total "ILA Size (LoC)" across ports.
+    pub fn size_loc(&self) -> usize {
+        self.ports().iter().map(|p| p.size_loc()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gila_expr::Sort;
+
+    #[test]
+    fn describe_contains_sections() {
+        let mut p = PortIla::new("DEC");
+        let w = p.input("wait", Sort::Bv(1));
+        p.state("alu_op", Sort::Bv(4), StateKind::Output);
+        p.state("step", Sort::Bv(2), StateKind::Internal);
+        let d = p.ctx_mut().eq_u64(w, 1);
+        p.instr("stall").decode(d).add().unwrap();
+        let text = p.describe();
+        assert!(text.contains("=== DEC ==="));
+        assert!(text.contains("wait: bv1"));
+        assert!(text.contains("alu_op: bv4"));
+        assert!(text.contains("step: bv2"));
+        assert!(text.contains("stall"));
+        assert!(p.size_loc() >= 5);
+    }
+
+    #[test]
+    fn module_describe_lists_ports() {
+        let mut a = PortIla::new("A");
+        let x = a.input("xa", Sort::Bv(1));
+        a.state("sa", Sort::Bv(1), StateKind::Output);
+        let d = a.ctx_mut().eq_u64(x, 0);
+        a.instr("ia").decode(d).add().unwrap();
+        let mut b = PortIla::new("B");
+        let x = b.input("xb", Sort::Bv(1));
+        b.state("sb", Sort::Bv(1), StateKind::Output);
+        let d = b.ctx_mut().eq_u64(x, 0);
+        b.instr("ib").decode(d).add().unwrap();
+        let m = ModuleIla::compose("m", vec![a, b]).unwrap();
+        let text = m.describe();
+        assert!(text.contains("module-ILA m: [A, B]"));
+        assert!(text.contains("=== A ==="));
+        assert!(text.contains("=== B ==="));
+    }
+}

@@ -1,0 +1,58 @@
+//! # gila-core — Instruction-Level Abstractions for general hardware modules
+//!
+//! The modeling half of the DATE 2021 methodology "Leveraging Processor
+//! Modeling and Verification for General Hardware Modules":
+//!
+//! 1. Group a module's input pins into *ports* — each port presents a
+//!    command ([`PortIla::input`]).
+//! 2. Identify architectural states and instructions per port
+//!    ([`PortIla::state`], [`PortIla::instr`], [`PortIla::sub_instr`]).
+//! 3. *Integrate* ports that share state ([`integrate`]): the integrated
+//!    instruction set is the cross product at sub-instruction
+//!    granularity, and conflicting updates are resolved by a
+//!    [`ConflictResolver`] — or flagged as specification gaps.
+//! 4. The union of the now-independent ports is the module-ILA
+//!    ([`ModuleIla::compose`]).
+//!
+//! Well-formedness (exactly one instruction per command) is checked with
+//! SAT ([`decode_gap`], [`decode_overlaps`]); models execute concretely
+//! via [`PortSimulator`] / [`ModuleSimulator`]. Verification of RTL
+//! implementations against these models lives in `gila-verify`.
+//!
+//! # Examples
+//!
+//! ```
+//! use gila_core::{ModuleIla, PortIla, StateKind};
+//! use gila_expr::Sort;
+//!
+//! // A single-command-interface module (paper §III-A).
+//! let mut p = PortIla::new("decoder");
+//! let wait = p.input("wait", Sort::Bv(1));
+//! p.state("alu_op", Sort::Bv(4), StateKind::Output);
+//! let d = p.ctx_mut().eq_u64(wait, 1);
+//! p.instr("stall").decode(d).add()?;
+//! let d = p.ctx_mut().eq_u64(wait, 0);
+//! p.instr("process").decode(d).add()?;
+//! let module = ModuleIla::single_port(p);
+//! assert_eq!(module.stats().instructions, 2);
+//! # Ok::<(), gila_core::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod check;
+mod compose;
+mod describe;
+mod model;
+mod module;
+mod sim;
+
+pub use check::{decode_gap, decode_overlaps, Witness};
+pub use compose::{
+    integrate, shared_states, shared_updated_states, AuxStateSpec, ConflictResolver, IntegrateError, NoResolver,
+    PortPriorityResolver, Resolution, RoundRobinResolver, Side, SpecificationGap,
+    ValuePriorityResolver,
+};
+pub use model::{InputVar, InstrBuilder, Instruction, ModelError, PortIla, StateKind, StateVar};
+pub use module::{ComposeError, ModuleIla, ModuleIlaStats};
+pub use sim::{InputMap, ModuleSimulator, PortSimulator, SimError, StateMap};

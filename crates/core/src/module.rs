@@ -1,0 +1,235 @@
+//! The module-ILA: a union of independent port-ILAs.
+
+use std::fmt;
+
+use crate::compose::shared_updated_states;
+use crate::model::PortIla;
+
+/// An error while composing ports into a module-ILA.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ComposeError {
+    /// Two or more ports still share state; integrate them first
+    /// (see [`crate::integrate`]).
+    SharedStates(
+        /// Names of the states shared across ports.
+        Vec<String>,
+    ),
+    /// Two ports have the same name.
+    DuplicatePort(
+        /// The duplicated port name.
+        String,
+    ),
+    /// No ports were given.
+    NoPorts,
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::SharedStates(states) => write!(
+                f,
+                "ports share state(s) {states:?}; integrate them before composing"
+            ),
+            ComposeError::DuplicatePort(name) => write!(f, "duplicate port name {name:?}"),
+            ComposeError::NoPorts => write!(f, "a module needs at least one port"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+/// Summary statistics of a module-ILA, matching the "ILA Model
+/// Statistics" columns of Table I.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModuleIlaStats {
+    /// Number of ports.
+    pub ports: usize,
+    /// Atomic instructions across all ports ("# of insts. (all ports)").
+    pub instructions: usize,
+    /// Total architectural state bits ("# of Arch. State Bits"); shared
+    /// states (by name) are counted once.
+    pub arch_state_bits: u64,
+}
+
+/// A complete functional specification of a hardware module: the union
+/// of its (pairwise independent) port-ILAs.
+///
+/// Construction enforces the paper's Step 4 precondition: ports that
+/// share state must be integrated (Step 3, [`crate::integrate`]) before
+/// composition, so the composed ports are independent by construction.
+///
+/// # Examples
+///
+/// ```
+/// use gila_core::{ModuleIla, PortIla, StateKind};
+/// use gila_expr::Sort;
+///
+/// let mut read = PortIla::new("READ");
+/// let v = read.input("rd_valid", Sort::Bv(1));
+/// read.state("rd_data", Sort::Bv(8), StateKind::Output);
+/// let d = read.ctx_mut().eq_u64(v, 1);
+/// read.instr("RD").decode(d).add()?;
+///
+/// let mut write = PortIla::new("WRITE");
+/// let v = write.input("wr_valid", Sort::Bv(1));
+/// write.state("wr_ready", Sort::Bv(1), StateKind::Output);
+/// let d = write.ctx_mut().eq_u64(v, 1);
+/// write.instr("WR").decode(d).add()?;
+///
+/// let m = ModuleIla::compose("axi_slave", vec![read, write])?;
+/// assert_eq!(m.stats().ports, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ModuleIla {
+    name: String,
+    ports: Vec<PortIla>,
+}
+
+impl ModuleIla {
+    /// Composes independent ports into a module-ILA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComposeError::SharedStates`] if any state is *updated*
+    /// by more than one port (integrate those ports first; read-only
+    /// sharing is fine), and
+    /// [`ComposeError::DuplicatePort`] / [`ComposeError::NoPorts`] for
+    /// malformed input.
+    pub fn compose(
+        name: impl Into<String>,
+        ports: Vec<PortIla>,
+    ) -> Result<Self, ComposeError> {
+        if ports.is_empty() {
+            return Err(ComposeError::NoPorts);
+        }
+        for (i, p) in ports.iter().enumerate() {
+            if ports[..i].iter().any(|q| q.name() == p.name()) {
+                return Err(ComposeError::DuplicatePort(p.name().to_string()));
+            }
+        }
+        let refs: Vec<&PortIla> = ports.iter().collect();
+        // Ports may *read* common states (declared in several ports); only
+        // conflicting *updates* require prior integration.
+        let shared = shared_updated_states(&refs);
+        if !shared.is_empty() {
+            return Err(ComposeError::SharedStates(shared));
+        }
+        Ok(ModuleIla {
+            name: name.into(),
+            ports,
+        })
+    }
+
+    /// A module with a single command interface.
+    pub fn single_port(port: PortIla) -> Self {
+        let name = port.name().to_string();
+        ModuleIla {
+            name,
+            ports: vec![port],
+        }
+    }
+
+    /// The module's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The constituent (independent) ports.
+    pub fn ports(&self) -> &[PortIla] {
+        &self.ports
+    }
+
+    /// Looks up a port by name.
+    pub fn find_port(&self, name: &str) -> Option<&PortIla> {
+        self.ports.iter().find(|p| p.name() == name)
+    }
+
+    /// Table I-style statistics for this module-ILA.
+    pub fn stats(&self) -> ModuleIlaStats {
+        // States shared (read-only) across ports count once.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut arch_state_bits = 0;
+        for p in &self.ports {
+            for s in p.states() {
+                if seen.insert(s.name.clone()) {
+                    arch_state_bits += s.sort.bit_count();
+                }
+            }
+        }
+        ModuleIlaStats {
+            ports: self.ports.len(),
+            instructions: self
+                .ports
+                .iter()
+                .map(|p| p.num_atomic_instructions())
+                .sum(),
+            arch_state_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StateKind;
+    use gila_expr::Sort;
+
+    fn port(name: &str, state: &str) -> PortIla {
+        let mut p = PortIla::new(name);
+        let v = p.input(format!("{name}_in"), Sort::Bv(1));
+        p.state(state, Sort::Bv(4), StateKind::Output);
+        let d = p.ctx_mut().eq_u64(v, 1);
+        let nx = p.ctx_mut().bv_u64(3, 4);
+        p.instr(format!("{name}_GO"))
+            .decode(d)
+            .update(state, nx)
+            .add()
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn compose_independent() {
+        let m = ModuleIla::compose("m", vec![port("A", "sa"), port("B", "sb")]).unwrap();
+        assert_eq!(m.stats().ports, 2);
+        assert_eq!(m.stats().instructions, 2);
+        assert_eq!(m.stats().arch_state_bits, 8);
+        assert!(m.find_port("A").is_some());
+        assert!(m.find_port("C").is_none());
+    }
+
+    #[test]
+    fn shared_updated_state_rejected() {
+        let err = ModuleIla::compose("m", vec![port("A", "s"), port("B", "s")]).unwrap_err();
+        assert_eq!(err, ComposeError::SharedStates(vec!["s".to_string()]));
+    }
+
+    #[test]
+    fn read_only_sharing_allowed() {
+        // Port B declares A's state but never updates it.
+        let a = port("A", "s");
+        let mut b = PortIla::new("B");
+        let v = b.input("b_in", Sort::Bv(1));
+        let s = b.state("s", Sort::Bv(4), StateKind::Output);
+        b.state("b_out", Sort::Bv(4), StateKind::Output);
+        let d = b.ctx_mut().eq_u64(v, 1);
+        b.instr("B_READ").decode(d).update("b_out", s).add().unwrap();
+        let m = ModuleIla::compose("m", vec![a, b]).unwrap();
+        assert_eq!(m.stats().ports, 2);
+    }
+
+    #[test]
+    fn duplicate_port_rejected() {
+        let err = ModuleIla::compose("m", vec![port("A", "sa"), port("A", "sb")]).unwrap_err();
+        assert_eq!(err, ComposeError::DuplicatePort("A".to_string()));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            ModuleIla::compose("m", vec![]).unwrap_err(),
+            ComposeError::NoPorts
+        );
+    }
+}

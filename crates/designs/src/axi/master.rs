@@ -1,0 +1,437 @@
+//! The AXI master (paper §V.B.2): receives read/write requests from a
+//! host, translates them into AXI-protocol handshakes toward a slave,
+//! and returns data/completion to the host.
+//!
+//! Two independent ports: READ (5 atomic instructions) and WRITE (6) —
+//! Table I's "11".
+
+use gila_core::{ModuleIla, PortIla, StateKind};
+use gila_expr::Sort;
+use gila_rtl::{parse_verilog, RtlModule};
+use gila_verify::RefinementMap;
+
+use crate::registry::CaseStudy;
+
+/// Builds the master's READ-port-ILA.
+pub fn read_port() -> PortIla {
+    let mut p = PortIla::new("READ-PORT");
+    let host_rd_req = p.input("host_rd_req", Sort::Bv(1));
+    let host_rd_addr = p.input("host_rd_addr", Sort::Bv(8));
+    let host_rd_len = p.input("host_rd_len", Sort::Bv(4));
+    let s_rd_addr_ready = p.input("s_rd_addr_ready", Sort::Bv(1));
+    let s_rd_data = p.input("s_rd_data", Sort::Bv(8));
+    let s_rd_data_valid = p.input("s_rd_data_valid", Sort::Bv(1));
+    // Output states (toward slave and host).
+    p.state("m_rd_addr_valid", Sort::Bv(1), StateKind::Output);
+    p.state("m_rd_addr", Sort::Bv(8), StateKind::Output);
+    p.state("m_rd_len", Sort::Bv(4), StateKind::Output);
+    p.state("host_rd_data", Sort::Bv(8), StateKind::Output);
+    p.state("host_rd_data_valid", Sort::Bv(1), StateKind::Output);
+    // Other states.
+    let busy = p.state("m_rd_busy", Sort::Bv(1), StateKind::Internal);
+    let issued = p.state("m_rd_issued", Sort::Bv(1), StateKind::Internal);
+
+    // RD_IDLE: no transaction, no request.
+    {
+        let ctx = p.ctx_mut();
+        let b0 = ctx.eq_u64(busy, 0);
+        let r0 = ctx.eq_u64(host_rd_req, 0);
+        let d = ctx.and(b0, r0);
+        let zero = ctx.bv_u64(0, 1);
+        p.instr("RD_IDLE")
+            .decode(d)
+            .update("m_rd_addr_valid", zero)
+            .update("host_rd_data_valid", zero)
+            .add()
+            .expect("valid model");
+    }
+    // RD_ISSUE: accept a host request and raise the AXI address channel.
+    {
+        let ctx = p.ctx_mut();
+        let b0 = ctx.eq_u64(busy, 0);
+        let r1 = ctx.eq_u64(host_rd_req, 1);
+        let d = ctx.and(b0, r1);
+        let one = ctx.bv_u64(1, 1);
+        let zero = ctx.bv_u64(0, 1);
+        p.instr("RD_ISSUE")
+            .decode(d)
+            .update("m_rd_busy", one)
+            .update("m_rd_issued", zero)
+            .update("m_rd_addr", host_rd_addr)
+            .update("m_rd_len", host_rd_len)
+            .update("m_rd_addr_valid", one)
+            .update("host_rd_data_valid", zero)
+            .add()
+            .expect("valid model");
+    }
+    // RD_GRANT: the slave accepted the address.
+    {
+        let ctx = p.ctx_mut();
+        let b1 = ctx.eq_u64(busy, 1);
+        let i0 = ctx.eq_u64(issued, 0);
+        let rdy = ctx.eq_u64(s_rd_addr_ready, 1);
+        let d0 = ctx.and(b1, i0);
+        let d = ctx.and(d0, rdy);
+        let one = ctx.bv_u64(1, 1);
+        let zero = ctx.bv_u64(0, 1);
+        p.sub_instr("RD_GRANT", "RD_ISSUE")
+            .decode(d)
+            .update("m_rd_issued", one)
+            .update("m_rd_addr_valid", zero)
+            .add()
+            .expect("valid model");
+    }
+    // RD_WAIT: nothing to do this cycle.
+    {
+        let ctx = p.ctx_mut();
+        let b1 = ctx.eq_u64(busy, 1);
+        let i0 = ctx.eq_u64(issued, 0);
+        let nrdy = ctx.eq_u64(s_rd_addr_ready, 0);
+        let w_addr = ctx.and(i0, nrdy);
+        let i1 = ctx.eq_u64(issued, 1);
+        let nval = ctx.eq_u64(s_rd_data_valid, 0);
+        let w_data = ctx.and(i1, nval);
+        let w = ctx.or(w_addr, w_data);
+        let d = ctx.and(b1, w);
+        p.sub_instr("RD_WAIT", "RD_ISSUE")
+            .decode(d)
+            .add()
+            .expect("valid model");
+    }
+    // RD_CAPTURE: data arrived; forward it to the host.
+    {
+        let ctx = p.ctx_mut();
+        let b1 = ctx.eq_u64(busy, 1);
+        let i1 = ctx.eq_u64(issued, 1);
+        let val = ctx.eq_u64(s_rd_data_valid, 1);
+        let d0 = ctx.and(b1, i1);
+        let d = ctx.and(d0, val);
+        let one = ctx.bv_u64(1, 1);
+        let zero = ctx.bv_u64(0, 1);
+        p.sub_instr("RD_CAPTURE", "RD_ISSUE")
+            .decode(d)
+            .update("host_rd_data", s_rd_data)
+            .update("host_rd_data_valid", one)
+            .update("m_rd_busy", zero)
+            .add()
+            .expect("valid model");
+    }
+    p
+}
+
+/// Builds the master's WRITE-port-ILA: a four-phase (idle, address,
+/// data, response) transaction engine.
+pub fn write_port() -> PortIla {
+    let mut p = PortIla::new("WRITE-PORT");
+    let host_wr_req = p.input("host_wr_req", Sort::Bv(1));
+    let host_wr_addr = p.input("host_wr_addr", Sort::Bv(8));
+    let host_wr_data = p.input("host_wr_data", Sort::Bv(8));
+    let s_wr_addr_ready = p.input("s_wr_addr_ready", Sort::Bv(1));
+    let s_wr_data_ready = p.input("s_wr_data_ready", Sort::Bv(1));
+    let s_wr_resp_valid = p.input("s_wr_resp_valid", Sort::Bv(1));
+    p.state("m_wr_addr_valid", Sort::Bv(1), StateKind::Output);
+    p.state("m_wr_addr", Sort::Bv(8), StateKind::Output);
+    p.state("m_wr_data", Sort::Bv(8), StateKind::Output);
+    p.state("m_wr_data_valid", Sort::Bv(1), StateKind::Output);
+    p.state("host_wr_done", Sort::Bv(1), StateKind::Output);
+    let phase = p.state("wr_phase", Sort::Bv(2), StateKind::Internal);
+
+    // WR_IDLE.
+    {
+        let ctx = p.ctx_mut();
+        let p0 = ctx.eq_u64(phase, 0);
+        let r0 = ctx.eq_u64(host_wr_req, 0);
+        let d = ctx.and(p0, r0);
+        let zero = ctx.bv_u64(0, 1);
+        p.instr("WR_IDLE")
+            .decode(d)
+            .update("host_wr_done", zero)
+            .add()
+            .expect("valid model");
+    }
+    // WR_ISSUE.
+    {
+        let ctx = p.ctx_mut();
+        let p0 = ctx.eq_u64(phase, 0);
+        let r1 = ctx.eq_u64(host_wr_req, 1);
+        let d = ctx.and(p0, r1);
+        let one2 = ctx.bv_u64(1, 2);
+        let one = ctx.bv_u64(1, 1);
+        let zero = ctx.bv_u64(0, 1);
+        p.instr("WR_ISSUE")
+            .decode(d)
+            .update("wr_phase", one2)
+            .update("m_wr_addr", host_wr_addr)
+            .update("m_wr_data", host_wr_data)
+            .update("m_wr_addr_valid", one)
+            .update("host_wr_done", zero)
+            .add()
+            .expect("valid model");
+    }
+    // WR_ADDR_ACK.
+    {
+        let ctx = p.ctx_mut();
+        let p1 = ctx.eq_u64(phase, 1);
+        let rdy = ctx.eq_u64(s_wr_addr_ready, 1);
+        let d = ctx.and(p1, rdy);
+        let two2 = ctx.bv_u64(2, 2);
+        let one = ctx.bv_u64(1, 1);
+        let zero = ctx.bv_u64(0, 1);
+        p.sub_instr("WR_ADDR_ACK", "WR_ISSUE")
+            .decode(d)
+            .update("wr_phase", two2)
+            .update("m_wr_addr_valid", zero)
+            .update("m_wr_data_valid", one)
+            .add()
+            .expect("valid model");
+    }
+    // WR_DATA_ACK.
+    {
+        let ctx = p.ctx_mut();
+        let p2 = ctx.eq_u64(phase, 2);
+        let rdy = ctx.eq_u64(s_wr_data_ready, 1);
+        let d = ctx.and(p2, rdy);
+        let three2 = ctx.bv_u64(3, 2);
+        let zero = ctx.bv_u64(0, 1);
+        p.sub_instr("WR_DATA_ACK", "WR_ISSUE")
+            .decode(d)
+            .update("wr_phase", three2)
+            .update("m_wr_data_valid", zero)
+            .add()
+            .expect("valid model");
+    }
+    // WR_RESP.
+    {
+        let ctx = p.ctx_mut();
+        let p3 = ctx.eq_u64(phase, 3);
+        let val = ctx.eq_u64(s_wr_resp_valid, 1);
+        let d = ctx.and(p3, val);
+        let zero2 = ctx.bv_u64(0, 2);
+        let one = ctx.bv_u64(1, 1);
+        p.sub_instr("WR_RESP", "WR_ISSUE")
+            .decode(d)
+            .update("wr_phase", zero2)
+            .update("host_wr_done", one)
+            .add()
+            .expect("valid model");
+    }
+    // WR_WAIT: handshake pending in any phase.
+    {
+        let ctx = p.ctx_mut();
+        let p1 = ctx.eq_u64(phase, 1);
+        let nrdy = ctx.eq_u64(s_wr_addr_ready, 0);
+        let w1 = ctx.and(p1, nrdy);
+        let p2 = ctx.eq_u64(phase, 2);
+        let nrdy2 = ctx.eq_u64(s_wr_data_ready, 0);
+        let w2 = ctx.and(p2, nrdy2);
+        let p3 = ctx.eq_u64(phase, 3);
+        let nval = ctx.eq_u64(s_wr_resp_valid, 0);
+        let w3 = ctx.and(p3, nval);
+        let w12 = ctx.or(w1, w2);
+        let d = ctx.or(w12, w3);
+        p.sub_instr("WR_WAIT", "WR_ISSUE")
+            .decode(d)
+            .add()
+            .expect("valid model");
+    }
+    p
+}
+
+/// The AXI master module-ILA.
+pub fn ila() -> ModuleIla {
+    ModuleIla::compose("axi_master", vec![read_port(), write_port()])
+        .expect("ports are independent")
+}
+
+/// The AXI master RTL.
+pub const RTL_SOURCE: &str = r#"
+// eLink-style AXI master: host requests -> AXI handshakes.
+module axi_master(clk,
+                  host_rd_req, host_rd_addr, host_rd_len,
+                  s_rd_addr_ready, s_rd_data, s_rd_data_valid,
+                  host_wr_req, host_wr_addr, host_wr_data,
+                  s_wr_addr_ready, s_wr_data_ready, s_wr_resp_valid);
+  input clk;
+  input host_rd_req;
+  input [7:0] host_rd_addr;
+  input [3:0] host_rd_len;
+  input s_rd_addr_ready;
+  input [7:0] s_rd_data;
+  input s_rd_data_valid;
+  input host_wr_req;
+  input [7:0] host_wr_addr;
+  input [7:0] host_wr_data;
+  input s_wr_addr_ready;
+  input s_wr_data_ready;
+  input s_wr_resp_valid;
+
+  // read engine
+  reg m_rd_addr_valid;
+  reg [7:0] m_rd_addr;
+  reg [3:0] m_rd_len;
+  reg [7:0] host_rd_data_r;
+  reg host_rd_data_valid_r;
+  reg m_rd_busy;
+  reg m_rd_issued;
+
+  // write engine
+  reg m_wr_addr_valid;
+  reg [7:0] m_wr_addr;
+  reg [7:0] m_wr_data;
+  reg m_wr_data_valid;
+  reg host_wr_done_r;
+  reg [1:0] wr_phase;
+
+  always @(posedge clk) begin
+    if (!m_rd_busy) begin
+      if (host_rd_req) begin
+        m_rd_busy <= 1'b1;
+        m_rd_issued <= 1'b0;
+        m_rd_addr <= host_rd_addr;
+        m_rd_len <= host_rd_len;
+        m_rd_addr_valid <= 1'b1;
+        host_rd_data_valid_r <= 1'b0;
+      end
+      else begin
+        m_rd_addr_valid <= 1'b0;
+        host_rd_data_valid_r <= 1'b0;
+      end
+    end
+    else begin
+      if (!m_rd_issued) begin
+        if (s_rd_addr_ready) begin
+          m_rd_issued <= 1'b1;
+          m_rd_addr_valid <= 1'b0;
+        end
+      end
+      else begin
+        if (s_rd_data_valid) begin
+          host_rd_data_r <= s_rd_data;
+          host_rd_data_valid_r <= 1'b1;
+          m_rd_busy <= 1'b0;
+        end
+      end
+    end
+  end
+
+  always @(posedge clk) begin
+    case (wr_phase)
+      2'd0: begin
+        if (host_wr_req) begin
+          wr_phase <= 2'd1;
+          m_wr_addr <= host_wr_addr;
+          m_wr_data <= host_wr_data;
+          m_wr_addr_valid <= 1'b1;
+          host_wr_done_r <= 1'b0;
+        end
+        else begin
+          host_wr_done_r <= 1'b0;
+        end
+      end
+      2'd1: begin
+        if (s_wr_addr_ready) begin
+          wr_phase <= 2'd2;
+          m_wr_addr_valid <= 1'b0;
+          m_wr_data_valid <= 1'b1;
+        end
+      end
+      2'd2: begin
+        if (s_wr_data_ready) begin
+          wr_phase <= 2'd3;
+          m_wr_data_valid <= 1'b0;
+        end
+      end
+      default: begin
+        if (s_wr_resp_valid) begin
+          wr_phase <= 2'd0;
+          host_wr_done_r <= 1'b1;
+        end
+      end
+    endcase
+  end
+endmodule
+"#;
+
+/// Parses the master RTL.
+pub fn rtl() -> RtlModule {
+    parse_verilog(RTL_SOURCE).expect("axi master RTL is valid")
+}
+
+/// Refinement maps for both ports.
+pub fn refinement_maps() -> Vec<RefinementMap> {
+    let mut rd = RefinementMap::new("READ-PORT");
+    rd.map_state("m_rd_addr_valid", "m_rd_addr_valid");
+    rd.map_state("m_rd_addr", "m_rd_addr");
+    rd.map_state("m_rd_len", "m_rd_len");
+    rd.map_state("host_rd_data", "host_rd_data_r");
+    rd.map_state("host_rd_data_valid", "host_rd_data_valid_r");
+    rd.map_state("m_rd_busy", "m_rd_busy");
+    rd.map_state("m_rd_issued", "m_rd_issued");
+    rd.map_input("host_rd_req", "host_rd_req");
+    rd.map_input("host_rd_addr", "host_rd_addr");
+    rd.map_input("host_rd_len", "host_rd_len");
+    rd.map_input("s_rd_addr_ready", "s_rd_addr_ready");
+    rd.map_input("s_rd_data", "s_rd_data");
+    rd.map_input("s_rd_data_valid", "s_rd_data_valid");
+
+    let mut wr = RefinementMap::new("WRITE-PORT");
+    wr.map_state("m_wr_addr_valid", "m_wr_addr_valid");
+    wr.map_state("m_wr_addr", "m_wr_addr");
+    wr.map_state("m_wr_data", "m_wr_data");
+    wr.map_state("m_wr_data_valid", "m_wr_data_valid");
+    wr.map_state("host_wr_done", "host_wr_done_r");
+    wr.map_state("wr_phase", "wr_phase");
+    wr.map_input("host_wr_req", "host_wr_req");
+    wr.map_input("host_wr_addr", "host_wr_addr");
+    wr.map_input("host_wr_data", "host_wr_data");
+    wr.map_input("s_wr_addr_ready", "s_wr_addr_ready");
+    wr.map_input("s_wr_data_ready", "s_wr_data_ready");
+    wr.map_input("s_wr_resp_valid", "s_wr_resp_valid");
+    vec![rd, wr]
+}
+
+/// The assembled case study (no documented bug for the master).
+pub fn case_study() -> CaseStudy {
+    CaseStudy {
+        name: "AXI Master",
+        ila: ila(),
+        rtl: rtl(),
+        refmaps: refinement_maps(),
+        buggy_rtl: None,
+        ports_before_integration: 2,
+        ports_after_integration: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gila_core::{decode_gap, decode_overlaps};
+    use gila_verify::{verify_module, VerifyOptions};
+
+    #[test]
+    fn eleven_atomic_instructions() {
+        let m = ila();
+        assert_eq!(m.stats().instructions, 11);
+    }
+
+    #[test]
+    fn decodes_are_well_formed() {
+        for p in [read_port(), write_port()] {
+            assert!(decode_gap(&p, None).is_none(), "{} incomplete", p.name());
+            assert!(
+                decode_overlaps(&p, None).is_empty(),
+                "{} nondeterministic",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn verifies_against_rtl() {
+        let report = verify_module(&ila(), &rtl(), &refinement_maps(), &VerifyOptions::default())
+            .expect("well-formed");
+        assert!(report.all_hold(), "{report:#?}");
+        assert_eq!(report.instructions_checked(), 11);
+    }
+}

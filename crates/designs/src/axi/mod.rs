@@ -1,0 +1,4 @@
+//! The Epiphany eLink AXI master and slave communication modules.
+
+pub mod master;
+pub mod slave;

@@ -1,0 +1,461 @@
+//! The AXI slave (paper §III-B, Fig. 2): a multi-port module *without*
+//! shared state. The READ-port and WRITE-port accept read and write
+//! requests independently and simultaneously.
+//!
+//! Modeled after the Epiphany eLink AXI slave: each port latches a
+//! transaction (address/length/burst) on a handshake, then streams data
+//! beats. READ has 4 atomic instructions, WRITE has 5 — Table I's "9".
+//!
+//! The documented bug (found in 0.01 s in the paper) is in the READ
+//! port: the `rd_data` update must use the *architectural state*
+//! `tx_rd_burst` latched at address commit, but the buggy implementation
+//! uses the live input `rd_burst_in`.
+
+use gila_core::{ModuleIla, PortIla, StateKind};
+use gila_expr::Sort;
+use gila_rtl::{parse_verilog, RtlModule};
+use gila_verify::RefinementMap;
+
+use crate::registry::CaseStudy;
+
+/// Builds the READ-port-ILA (Fig. 2 top).
+pub fn read_port() -> PortIla {
+    let mut p = PortIla::new("READ-PORT");
+    let rd_addr_valid = p.input("rd_addr_valid", Sort::Bv(1));
+    let rd_addr_in = p.input("rd_addr_in", Sort::Bv(8));
+    let rd_length_in = p.input("rd_length_in", Sort::Bv(4));
+    let rd_burst_in = p.input("rd_burst_in", Sort::Bv(2));
+    let rd_data_ready = p.input("rd_data_ready", Sort::Bv(1));
+    // Output states.
+    let rd_addr_ready = p.state("rd_addr_ready", Sort::Bv(1), StateKind::Output);
+    p.state("rd_data", Sort::Bv(8), StateKind::Output);
+    p.state("rd_data_valid", Sort::Bv(1), StateKind::Output);
+    // Other states (the latched transaction).
+    let tx_rd_active = p.state("tx_rd_active", Sort::Bv(1), StateKind::Internal);
+    let tx_rd_addr = p.state("tx_rd_addr", Sort::Bv(8), StateKind::Internal);
+    let tx_rd_length = p.state("tx_rd_length", Sort::Bv(4), StateKind::Internal);
+    let tx_rd_burst = p.state("tx_rd_burst", Sort::Bv(2), StateKind::Internal);
+
+    // i0 RD_ADDR_WAIT: idle, no request.
+    {
+        let ctx = p.ctx_mut();
+        let idle = ctx.eq_u64(tx_rd_active, 0);
+        let noreq = ctx.eq_u64(rd_addr_valid, 0);
+        let d = ctx.and(idle, noreq);
+        let one = ctx.bv_u64(1, 1);
+        let _ = one;
+        let rdy = ctx.bv_u64(1, 1);
+        p.instr("RD_ADDR_WAIT")
+            .decode(d)
+            .update("rd_addr_ready", rdy)
+            .add()
+            .expect("valid model");
+    }
+    // i1 RD_ADDR_COMMIT: latch the transaction.
+    {
+        let ctx = p.ctx_mut();
+        let idle = ctx.eq_u64(tx_rd_active, 0);
+        let req = ctx.eq_u64(rd_addr_valid, 1);
+        let d = ctx.and(idle, req);
+        let zero = ctx.bv_u64(0, 1);
+        let one = ctx.bv_u64(1, 1);
+        p.instr("RD_ADDR_COMMIT")
+            .decode(d)
+            .update("rd_addr_ready", zero)
+            .update("tx_rd_active", one)
+            .update("tx_rd_addr", rd_addr_in)
+            .update("tx_rd_length", rd_length_in)
+            .update("tx_rd_burst", rd_burst_in)
+            .add()
+            .expect("valid model");
+    }
+    // i1-s0 RD_DATA_PREPARE: present the next data beat. The data is a
+    // function of the *latched* address and burst mode.
+    {
+        let ctx = p.ctx_mut();
+        let active = ctx.eq_u64(tx_rd_active, 1);
+        let notready = ctx.eq_u64(rd_data_ready, 0);
+        let d = ctx.and(active, notready);
+        let burst8 = ctx.zext(tx_rd_burst, 8);
+        let data = ctx.bvadd(tx_rd_addr, burst8);
+        let one = ctx.bv_u64(1, 1);
+        p.sub_instr("RD_DATA_PREPARE", "RD_ADDR_COMMIT")
+            .decode(d)
+            .update("rd_data", data)
+            .update("rd_data_valid", one)
+            .add()
+            .expect("valid model");
+    }
+    // i1-s1 RD_DATA_COMMIT: the consumer took a beat; advance or finish.
+    {
+        let ctx = p.ctx_mut();
+        let active = ctx.eq_u64(tx_rd_active, 1);
+        let ready = ctx.eq_u64(rd_data_ready, 1);
+        let d = ctx.and(active, ready);
+        // Burst address increment: 2^burst (1, 2 or 4), saturating at 4.
+        let one8 = ctx.bv_u64(1, 8);
+        let burst8 = ctx.zext(tx_rd_burst, 8);
+        let incr = ctx.bvshl(one8, burst8);
+        let next_addr = ctx.bvadd(tx_rd_addr, incr);
+        let last = ctx.eq_u64(tx_rd_length, 0);
+        let one4 = ctx.bv_u64(1, 4);
+        let dec = ctx.bvsub(tx_rd_length, one4);
+        let zero1 = ctx.bv_u64(0, 1);
+        let one1 = ctx.bv_u64(1, 1);
+        let next_active = ctx.ite(last, zero1, one1);
+        // On the last beat the address channel re-opens; otherwise the
+        // ready signal keeps its (low) mid-transaction value.
+        let next_ready = ctx.ite(last, one1, rd_addr_ready);
+        let next_len = ctx.ite(last, tx_rd_length, dec);
+        p.sub_instr("RD_DATA_COMMIT", "RD_ADDR_COMMIT")
+            .decode(d)
+            .update("tx_rd_addr", next_addr)
+            .update("tx_rd_length", next_len)
+            .update("tx_rd_active", next_active)
+            .update("rd_addr_ready", next_ready)
+            .update("rd_data_valid", zero1)
+            .add()
+            .expect("valid model");
+    }
+    p
+}
+
+/// Builds the WRITE-port-ILA (Fig. 2 bottom).
+pub fn write_port() -> PortIla {
+    let mut p = PortIla::new("WRITE-PORT");
+    let wr_addr_valid = p.input("wr_addr_valid", Sort::Bv(1));
+    let wr_addr_in = p.input("wr_addr_in", Sort::Bv(8));
+    let wr_length_in = p.input("wr_length_in", Sort::Bv(4));
+    let wr_data_in = p.input("wr_data_in", Sort::Bv(8));
+    let wr_data_valid = p.input("wr_data_valid", Sort::Bv(1));
+    // Output states.
+    p.state("wr_addr_ready", Sort::Bv(1), StateKind::Output);
+    p.state("wr_data_ready", Sort::Bv(1), StateKind::Output);
+    // Other states.
+    let tx_wr_active = p.state("tx_wr_active", Sort::Bv(1), StateKind::Internal);
+    let tx_wr_addr = p.state("tx_wr_addr", Sort::Bv(8), StateKind::Internal);
+    let tx_wr_length = p.state("tx_wr_length", Sort::Bv(4), StateKind::Internal);
+    let tx_wr_data = p.state("tx_wr_data", Sort::Bv(8), StateKind::Internal);
+    let _ = tx_wr_data;
+
+    // i0 WR_ADDR_WAIT.
+    {
+        let ctx = p.ctx_mut();
+        let idle = ctx.eq_u64(tx_wr_active, 0);
+        let noreq = ctx.eq_u64(wr_addr_valid, 0);
+        let d = ctx.and(idle, noreq);
+        let one = ctx.bv_u64(1, 1);
+        p.instr("WR_ADDR_WAIT")
+            .decode(d)
+            .update("wr_addr_ready", one)
+            .add()
+            .expect("valid model");
+    }
+    // i1 WR_ADDR_COMMIT.
+    {
+        let ctx = p.ctx_mut();
+        let idle = ctx.eq_u64(tx_wr_active, 0);
+        let req = ctx.eq_u64(wr_addr_valid, 1);
+        let d = ctx.and(idle, req);
+        let zero = ctx.bv_u64(0, 1);
+        let one = ctx.bv_u64(1, 1);
+        p.instr("WR_ADDR_COMMIT")
+            .decode(d)
+            .update("wr_addr_ready", zero)
+            .update("tx_wr_active", one)
+            .update("tx_wr_addr", wr_addr_in)
+            .update("tx_wr_length", wr_length_in)
+            .update("wr_data_ready", one)
+            .add()
+            .expect("valid model");
+    }
+    // i1-s0 WR_DATA_PREPARE: waiting for a data beat.
+    {
+        let ctx = p.ctx_mut();
+        let active = ctx.eq_u64(tx_wr_active, 1);
+        let more = {
+            let z = ctx.bv_u64(0, 4);
+            ctx.ne(tx_wr_length, z)
+        };
+        let nodata = ctx.eq_u64(wr_data_valid, 0);
+        let d0 = ctx.and(active, more);
+        let d = ctx.and(d0, nodata);
+        let one = ctx.bv_u64(1, 1);
+        p.sub_instr("WR_DATA_PREPARE", "WR_ADDR_COMMIT")
+            .decode(d)
+            .update("wr_data_ready", one)
+            .add()
+            .expect("valid model");
+    }
+    // i1-s1 WR_DATA_COMMIT: accept a data beat.
+    {
+        let ctx = p.ctx_mut();
+        let active = ctx.eq_u64(tx_wr_active, 1);
+        let more = {
+            let z = ctx.bv_u64(0, 4);
+            ctx.ne(tx_wr_length, z)
+        };
+        let data = ctx.eq_u64(wr_data_valid, 1);
+        let d0 = ctx.and(active, more);
+        let d = ctx.and(d0, data);
+        let one8 = ctx.bv_u64(1, 8);
+        let next_addr = ctx.bvadd(tx_wr_addr, one8);
+        let one4 = ctx.bv_u64(1, 4);
+        let dec = ctx.bvsub(tx_wr_length, one4);
+        p.sub_instr("WR_DATA_COMMIT", "WR_ADDR_COMMIT")
+            .decode(d)
+            .update("tx_wr_addr", next_addr)
+            .update("tx_wr_length", dec)
+            .update("tx_wr_data", wr_data_in)
+            .add()
+            .expect("valid model");
+    }
+    // i1-s2 WR_LAST_RESPONSE: all beats consumed; issue the response.
+    {
+        let ctx = p.ctx_mut();
+        let active = ctx.eq_u64(tx_wr_active, 1);
+        let donelen = ctx.eq_u64(tx_wr_length, 0);
+        let d = ctx.and(active, donelen);
+        let zero = ctx.bv_u64(0, 1);
+        let one = ctx.bv_u64(1, 1);
+        p.sub_instr("WR_LAST_RESPONSE", "WR_ADDR_COMMIT")
+            .decode(d)
+            .update("wr_addr_ready", one)
+            .update("tx_wr_active", zero)
+            .update("wr_data_ready", zero)
+            .add()
+            .expect("valid model");
+    }
+    p
+}
+
+/// The AXI slave module-ILA: independent READ and WRITE ports.
+pub fn ila() -> ModuleIla {
+    ModuleIla::compose("axi_slave", vec![read_port(), write_port()])
+        .expect("ports are independent")
+}
+
+fn rtl_source(buggy: bool) -> String {
+    // The single difference between fixed and buggy RTL: which burst
+    // value feeds the read-data computation.
+    let burst = if buggy { "rd_burst_in" } else { "tx_rd_burst" };
+    format!(
+        r#"
+// eLink-style AXI slave: independent read and write channels.
+module axi_slave(clk,
+                 rd_addr_valid, rd_addr_in, rd_length_in, rd_burst_in, rd_data_ready,
+                 wr_addr_valid, wr_addr_in, wr_length_in, wr_data_in, wr_data_valid);
+  input clk;
+  input rd_addr_valid;
+  input [7:0] rd_addr_in;
+  input [3:0] rd_length_in;
+  input [1:0] rd_burst_in;
+  input rd_data_ready;
+  input wr_addr_valid;
+  input [7:0] wr_addr_in;
+  input [3:0] wr_length_in;
+  input [7:0] wr_data_in;
+  input wr_data_valid;
+
+  // read channel registers
+  reg rd_addr_ready_r;
+  reg [7:0] rd_data_r;
+  reg rd_data_valid_r;
+  reg tx_rd_active;
+  reg [7:0] tx_rd_addr;
+  reg [3:0] tx_rd_length;
+  reg [1:0] tx_rd_burst;
+
+  // write channel registers
+  reg wr_addr_ready_r;
+  reg wr_data_ready_r;
+  reg tx_wr_active;
+  reg [7:0] tx_wr_addr;
+  reg [3:0] tx_wr_length;
+  reg [7:0] tx_wr_data;
+
+  wire [7:0] rd_incr = 8'd1 << {{6'b0, tx_rd_burst}};
+
+  always @(posedge clk) begin
+    if (!tx_rd_active) begin
+      if (rd_addr_valid) begin
+        rd_addr_ready_r <= 1'b0;
+        tx_rd_active <= 1'b1;
+        tx_rd_addr <= rd_addr_in;
+        tx_rd_length <= rd_length_in;
+        tx_rd_burst <= rd_burst_in;
+      end
+      else begin
+        rd_addr_ready_r <= 1'b1;
+      end
+    end
+    else begin
+      if (!rd_data_ready) begin
+        rd_data_r <= tx_rd_addr + {{6'b0, {burst}}};
+        rd_data_valid_r <= 1'b1;
+      end
+      else begin
+        tx_rd_addr <= tx_rd_addr + rd_incr;
+        rd_data_valid_r <= 1'b0;
+        if (tx_rd_length == 4'd0) begin
+          tx_rd_active <= 1'b0;
+          rd_addr_ready_r <= 1'b1;
+        end
+        else begin
+          tx_rd_length <= tx_rd_length - 4'd1;
+        end
+      end
+    end
+  end
+
+  always @(posedge clk) begin
+    if (!tx_wr_active) begin
+      if (wr_addr_valid) begin
+        wr_addr_ready_r <= 1'b0;
+        tx_wr_active <= 1'b1;
+        tx_wr_addr <= wr_addr_in;
+        tx_wr_length <= wr_length_in;
+        wr_data_ready_r <= 1'b1;
+      end
+      else begin
+        wr_addr_ready_r <= 1'b1;
+      end
+    end
+    else begin
+      if (tx_wr_length == 4'd0) begin
+        wr_addr_ready_r <= 1'b1;
+        tx_wr_active <= 1'b0;
+        wr_data_ready_r <= 1'b0;
+      end
+      else begin
+        if (wr_data_valid) begin
+          tx_wr_addr <= tx_wr_addr + 8'd1;
+          tx_wr_length <= tx_wr_length - 4'd1;
+          tx_wr_data <= wr_data_in;
+        end
+        else begin
+          wr_data_ready_r <= 1'b1;
+        end
+      end
+    end
+  end
+endmodule
+"#
+    )
+}
+
+/// The fixed AXI slave RTL.
+pub fn rtl() -> RtlModule {
+    parse_verilog(&rtl_source(false)).expect("axi slave RTL is valid")
+}
+
+/// The bug-injected AXI slave RTL (READ port uses `rd_burst_in` instead
+/// of `tx_rd_burst` in the data computation).
+pub fn buggy_rtl() -> RtlModule {
+    parse_verilog(&rtl_source(true)).expect("buggy axi slave RTL is valid")
+}
+
+/// Refinement maps for both ports.
+pub fn refinement_maps() -> Vec<RefinementMap> {
+    let mut rd = RefinementMap::new("READ-PORT");
+    rd.map_state("rd_addr_ready", "rd_addr_ready_r");
+    rd.map_state("rd_data", "rd_data_r");
+    rd.map_state("rd_data_valid", "rd_data_valid_r");
+    rd.map_state("tx_rd_active", "tx_rd_active");
+    rd.map_state("tx_rd_addr", "tx_rd_addr");
+    rd.map_state("tx_rd_length", "tx_rd_length");
+    rd.map_state("tx_rd_burst", "tx_rd_burst");
+    rd.map_input("rd_addr_valid", "rd_addr_valid");
+    rd.map_input("rd_addr_in", "rd_addr_in");
+    rd.map_input("rd_length_in", "rd_length_in");
+    rd.map_input("rd_burst_in", "rd_burst_in");
+    rd.map_input("rd_data_ready", "rd_data_ready");
+
+    let mut wr = RefinementMap::new("WRITE-PORT");
+    wr.map_state("wr_addr_ready", "wr_addr_ready_r");
+    wr.map_state("wr_data_ready", "wr_data_ready_r");
+    wr.map_state("tx_wr_active", "tx_wr_active");
+    wr.map_state("tx_wr_addr", "tx_wr_addr");
+    wr.map_state("tx_wr_length", "tx_wr_length");
+    wr.map_state("tx_wr_data", "tx_wr_data");
+    wr.map_input("wr_addr_valid", "wr_addr_valid");
+    wr.map_input("wr_addr_in", "wr_addr_in");
+    wr.map_input("wr_length_in", "wr_length_in");
+    wr.map_input("wr_data_in", "wr_data_in");
+    wr.map_input("wr_data_valid", "wr_data_valid");
+    vec![rd, wr]
+}
+
+/// The assembled case study.
+pub fn case_study() -> CaseStudy {
+    CaseStudy {
+        name: "AXI Slave",
+        ila: ila(),
+        rtl: rtl(),
+        refmaps: refinement_maps(),
+        buggy_rtl: Some(buggy_rtl()),
+        ports_before_integration: 2,
+        ports_after_integration: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gila_core::{decode_gap, decode_overlaps};
+    use gila_verify::{verify_module, CheckResult, VerifyOptions};
+
+    #[test]
+    fn nine_atomic_instructions() {
+        let m = ila();
+        assert_eq!(m.stats().instructions, 9);
+        assert_eq!(m.stats().ports, 2);
+    }
+
+    #[test]
+    fn decodes_are_well_formed() {
+        for p in [read_port(), write_port()] {
+            assert!(decode_gap(&p, None).is_none(), "{} incomplete", p.name());
+            assert!(
+                decode_overlaps(&p, None).is_empty(),
+                "{} nondeterministic",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_rtl_verifies() {
+        let report = verify_module(&ila(), &rtl(), &refinement_maps(), &VerifyOptions::default())
+            .expect("well-formed");
+        assert!(report.all_hold(), "{report:#?}");
+        assert_eq!(report.instructions_checked(), 9);
+    }
+
+    #[test]
+    fn bug_found_in_read_port_data_prepare() {
+        let report = verify_module(
+            &ila(),
+            &buggy_rtl(),
+            &refinement_maps(),
+            &VerifyOptions::default(),
+        )
+        .expect("well-formed");
+        assert!(!report.all_hold());
+        let rd = &report.ports[0];
+        let v = rd.first_counterexample().expect("bug in READ port");
+        assert_eq!(v.instruction, "RD_DATA_PREPARE");
+        let CheckResult::CounterExample(cex) = &v.result else {
+            panic!()
+        };
+        assert_eq!(cex.mismatched_states, vec!["rd_data".to_string()]);
+        // In the counterexample, the live burst input must differ from the
+        // latched one (that is what the bug exposes).
+        assert_ne!(
+            cex.rtl_inputs[0]["rd_burst_in"].as_bv().to_u64(),
+            cex.rtl_start_state["tx_rd_burst"].as_bv().to_u64()
+        );
+        // The WRITE port is unaffected.
+        assert!(report.ports[1].all_hold());
+    }
+}

@@ -1,0 +1,283 @@
+//! The 8051 decoder: the paper's single-command-interface example
+//! (§III-A, Fig. 1).
+//!
+//! The decoder receives one instruction word at a time and drives the
+//! datapath control signals over up to four machine cycles. Its command
+//! interface is the pair (`wait`, `word_in`): `wait == 1` stalls the
+//! module; `wait == 0` processes the current word (loading a new word
+//! when the previous one finished, or executing the next step of a
+//! multi-cycle word).
+//!
+//! Five atomic instructions, as in Table I's "5":
+//! `stall`, `process_load` (step 0), and the three continuation
+//! sub-instructions `process_s1..s3`.
+
+use gila_core::{ModuleIla, PortIla, StateKind};
+use gila_expr::{ExprCtx, ExprRef, Sort};
+use gila_rtl::{parse_verilog, RtlModule};
+use gila_verify::RefinementMap;
+
+use crate::registry::CaseStudy;
+
+/// The decoder's control-signal functions, shared between the load step
+/// (from `word_in`) and the continuation steps (from `current_word`),
+/// mirroring the opcode-group structure of the opencores 8051 decoder.
+///
+/// Returns `(alu_op, pc_wr, wr_sfr, mem_act)` for a given word and step.
+fn control_signals(
+    ctx: &mut ExprCtx,
+    word: ExprRef,
+    step: ExprRef,
+) -> (ExprRef, ExprRef, ExprRef, ExprRef) {
+    // Opcode group = word[7:6]; group selects the ALU operation family.
+    let group = ctx.extract(word, 7, 6);
+    let low = ctx.extract(word, 3, 0);
+    let inv_low = ctx.bvnot(low);
+    let step4 = ctx.zext(step, 4);
+    let low_plus_step = ctx.bvadd(low, step4);
+    // group 0: arithmetic (alu_op = low nibble)
+    // group 1: logic     (alu_op = ~low)
+    // group 2: memory    (alu_op = low + step)
+    // group 3: branch    (alu_op = 0)
+    let g0 = ctx.eq_u64(group, 0);
+    let g1 = ctx.eq_u64(group, 1);
+    let g2 = ctx.eq_u64(group, 2);
+    let zero4 = ctx.bv_u64(0, 4);
+    let alu23 = ctx.ite(g2, low_plus_step, zero4);
+    let alu123 = ctx.ite(g1, inv_low, alu23);
+    let alu_op = ctx.ite(g0, low, alu123);
+    // pc_wr: branch group writes the PC on the last step (step == 0 after
+    // decrement means: current step input is 1) — encode as group 3 and
+    // word bit 4.
+    let g3 = ctx.eq_u64(group, 3);
+    let b4 = ctx.extract(word, 4, 4);
+    let zero1 = ctx.bv_u64(0, 1);
+    let pc_wr = ctx.ite(g3, b4, zero1);
+    // wr_sfr: word bit 5, masked by step parity.
+    let b5 = ctx.extract(word, 5, 5);
+    let step0bit = ctx.extract(step, 0, 0);
+    let nparity = ctx.bvnot(step0bit);
+    let wr_sfr = ctx.bvand(b5, nparity);
+    // mem_act: memory group and word bit 0.
+    let b0 = ctx.extract(word, 0, 0);
+    let mem_act = ctx.ite(g2, b0, zero1);
+    (alu_op, pc_wr, wr_sfr, mem_act)
+}
+
+/// Builds the decoder port-ILA (Fig. 1).
+pub fn port_ila() -> PortIla {
+    let mut p = PortIla::new("DECODER");
+    let wait = p.input("wait", Sort::Bv(1));
+    let word_in = p.input("word_in", Sort::Bv(8));
+    // Output states.
+    p.state("alu_op", Sort::Bv(4), StateKind::Output);
+    p.state("pc_wr", Sort::Bv(1), StateKind::Output);
+    p.state("wr_sfr", Sort::Bv(1), StateKind::Output);
+    p.state("mem_act", Sort::Bv(1), StateKind::Output);
+    // Other (non-output) states.
+    let current_word = p.state("current_word", Sort::Bv(8), StateKind::Internal);
+    let step = p.state("step", Sort::Bv(2), StateKind::Internal);
+
+    // stall: wait == 1, everything unchanged.
+    let d_stall = p.ctx_mut().eq_u64(wait, 1);
+    p.instr("stall").decode(d_stall).add().expect("valid model");
+
+    // process_load (step == 0): latch a new word; its duration (number of
+    // remaining steps) is the word's top two bits; outputs from word_in.
+    {
+        let ctx = p.ctx_mut();
+        let w0 = ctx.eq_u64(wait, 0);
+        let s0 = ctx.eq_u64(step, 0);
+        let d = ctx.and(w0, s0);
+        let steps = ctx.extract(word_in, 7, 6);
+        let zero2 = ctx.bv_u64(0, 2);
+        let (alu_op, pc_wr, wr_sfr, mem_act) = control_signals(ctx, word_in, zero2);
+        let _ = &steps;
+        p.instr("process_load")
+            .decode(d)
+            .update("current_word", word_in)
+            .update("step", steps)
+            .update("alu_op", alu_op)
+            .update("pc_wr", pc_wr)
+            .update("wr_sfr", wr_sfr)
+            .update("mem_act", mem_act)
+            .add()
+            .expect("valid model");
+    }
+
+    // process_s1..s3: continuation steps; step decrements, outputs from
+    // the stored word and the current step.
+    for s in 1..=3u64 {
+        let ctx = p.ctx_mut();
+        let w0 = ctx.eq_u64(wait, 0);
+        let ss = ctx.eq_u64(step, s);
+        let d = ctx.and(w0, ss);
+        let one2 = ctx.bv_u64(1, 2);
+        let dec = ctx.bvsub(step, one2);
+        let (alu_op, pc_wr, wr_sfr, mem_act) = control_signals(ctx, current_word, step);
+        p.sub_instr(format!("process_s{s}"), "process_load")
+            .decode(d)
+            .update("step", dec)
+            .update("alu_op", alu_op)
+            .update("pc_wr", pc_wr)
+            .update("wr_sfr", wr_sfr)
+            .update("mem_act", mem_act)
+            .add()
+            .expect("valid model");
+    }
+    p
+}
+
+/// The decoder module-ILA (single port).
+pub fn ila() -> ModuleIla {
+    ModuleIla::single_port(port_ila())
+}
+
+/// The decoder RTL (Verilog subset), structured like the opencores
+/// design: a registered opcode (`op`), a step counter (`status`), and a
+/// wide combinational case structure selecting the control outputs.
+pub const RTL_SOURCE: &str = r#"
+// i8051 decoder - control decoder with multi-cycle opcode support
+module decoder(clk, wait_data, op_in);
+  input clk;
+  input wait_data;
+  input [7:0] op_in;
+
+  reg [7:0] op;       // current opcode word
+  reg [1:0] status;   // remaining steps of the current word
+  reg [3:0] alu_op;   // ALU operation select
+  reg pc_wr;          // program-counter write strobe
+  reg wr;             // SFR write strobe
+  reg mem_act;        // memory activity strobe
+
+  // Selected word: the new word when loading, the held word otherwise.
+  wire loading = (status == 2'd0);
+  wire [7:0] sel_word = loading ? op_in : op;
+  wire [1:0] sel_step = loading ? 2'd0 : status;
+
+  // Opcode group decode.
+  wire [1:0] group = sel_word[7:6];
+  wire [3:0] low = sel_word[3:0];
+
+  wire [3:0] alu_next =
+      (group == 2'd0) ? low :
+      (group == 2'd1) ? ~low :
+      (group == 2'd2) ? (low + {2'b00, sel_step}) :
+      4'd0;
+  wire pc_wr_next = (group == 2'd3) ? sel_word[4] : 1'b0;
+  wire wr_next = sel_word[5] & ~sel_step[0];
+  wire mem_act_next = (group == 2'd2) ? sel_word[0] : 1'b0;
+
+  always @(posedge clk) begin
+    if (!wait_data) begin
+      if (loading) begin
+        op <= op_in;
+        status <= op_in[7:6];
+      end
+      else begin
+        status <= status - 2'd1;
+      end
+      alu_op <= alu_next;
+      pc_wr <= pc_wr_next;
+      wr <= wr_next;
+      mem_act <= mem_act_next;
+    end
+  end
+endmodule
+"#;
+
+/// Parses the decoder RTL.
+pub fn rtl() -> RtlModule {
+    parse_verilog(RTL_SOURCE).expect("decoder RTL is valid")
+}
+
+/// The decoder refinement map (Fig. 5's left side).
+pub fn refinement_maps() -> Vec<RefinementMap> {
+    let mut m = RefinementMap::new("DECODER");
+    m.map_state("current_word", "op");
+    m.map_state("step", "status");
+    m.map_state("alu_op", "alu_op");
+    m.map_state("pc_wr", "pc_wr");
+    m.map_state("wr_sfr", "wr");
+    m.map_state("mem_act", "mem_act");
+    m.map_input("wait", "wait_data");
+    m.map_input("word_in", "op_in");
+    vec![m]
+}
+
+/// The assembled case study (no documented bug for the decoder).
+pub fn case_study() -> CaseStudy {
+    CaseStudy {
+        name: "Decoder",
+        ila: ila(),
+        rtl: rtl(),
+        refmaps: refinement_maps(),
+        buggy_rtl: None,
+        ports_before_integration: 1,
+        ports_after_integration: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gila_core::{decode_gap, decode_overlaps, PortSimulator};
+    use gila_expr::{BitVecValue, Value};
+    use gila_verify::{verify_port, VerifyOptions};
+
+    #[test]
+    fn five_atomic_instructions() {
+        let p = port_ila();
+        assert_eq!(p.num_atomic_instructions(), 5);
+        assert_eq!(p.num_logical_instructions(), 2); // stall + process
+        assert_eq!(p.arch_state_bits(), 4 + 1 + 1 + 1 + 8 + 2);
+    }
+
+    #[test]
+    fn decode_is_complete_and_deterministic() {
+        let p = port_ila();
+        assert!(decode_gap(&p, None).is_none());
+        assert!(decode_overlaps(&p, None).is_empty());
+    }
+
+    #[test]
+    fn simulates_multi_step_word() {
+        let p = port_ila();
+        let mut sim = PortSimulator::new(&p);
+        let mut ins = std::collections::BTreeMap::new();
+        // Word 0b10_0001_01: group 2, 2 remaining steps.
+        ins.insert("wait".into(), Value::Bv(BitVecValue::from_u64(0, 1)));
+        ins.insert("word_in".into(), Value::Bv(BitVecValue::from_u64(0b1000_0101, 8)));
+        assert_eq!(sim.step(&ins).unwrap(), "process_load");
+        assert_eq!(sim.state()["step"].as_bv().to_u64(), 2);
+        // Next steps ignore word_in.
+        ins.insert("word_in".into(), Value::Bv(BitVecValue::from_u64(0xFF, 8)));
+        assert_eq!(sim.step(&ins).unwrap(), "process_s2");
+        assert_eq!(sim.step(&ins).unwrap(), "process_s1");
+        assert_eq!(sim.state()["step"].as_bv().to_u64(), 0);
+        assert_eq!(
+            sim.state()["current_word"].as_bv().to_u64(),
+            0b1000_0101
+        );
+        // Stall keeps everything.
+        ins.insert("wait".into(), Value::Bv(BitVecValue::from_u64(1, 1)));
+        assert_eq!(sim.step(&ins).unwrap(), "stall");
+    }
+
+    #[test]
+    fn rtl_parses_and_validates() {
+        let m = rtl();
+        assert!(m.source_loc().unwrap() > 30);
+        assert_eq!(m.state_bits(), 8 + 2 + 4 + 1 + 1 + 1);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn verifies_against_rtl() {
+        let p = port_ila();
+        let report = verify_port(&p, &rtl(), &refinement_maps()[0], &VerifyOptions::default())
+            .expect("well-formed setup");
+        assert!(report.all_hold(), "{report:#?}");
+        assert_eq!(report.verdicts.len(), 5);
+    }
+}

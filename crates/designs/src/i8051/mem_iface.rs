@@ -1,0 +1,395 @@
+//! The 8051 memory interface (paper §III-C, Fig. 3): a multi-port
+//! module *with shared state*.
+//!
+//! Three command ports: the ROM-port (instruction fetch) and RAM-port
+//! (data access) share the `mem_wait` state that stalls the core while a
+//! memory access is in flight; the PC-port is independent. Per the
+//! informal specification, when both ports update `mem_wait`
+//! simultaneously, *an update to 1 has priority over an update to 0* —
+//! captured by a [`ValuePriorityResolver`] during integration.
+//!
+//! Integrated ROM-RAM-port: 3 x 3 = 9 atomic instructions; PC-port: 3 —
+//! Table I's "12" and "3/2" ports.
+
+use gila_core::{integrate, ModuleIla, PortIla, StateKind, ValuePriorityResolver};
+use gila_expr::{BitVecValue, Sort};
+use gila_rtl::{parse_verilog, RtlModule};
+use gila_verify::RefinementMap;
+
+use crate::registry::CaseStudy;
+
+/// Builds the ROM-port-ILA (Fig. 3a left).
+pub fn rom_port() -> PortIla {
+    let mut p = PortIla::new("ROM-PORT");
+    let rom_req = p.input("rom_req", Sort::Bv(1));
+    let rom_addr_in = p.input("rom_addr_in", Sort::Bv(16));
+    let rom_data_valid = p.input("rom_data_valid", Sort::Bv(1));
+    let rom_data_in = p.input("rom_data_in", Sort::Bv(8));
+    p.state("rom_addr", Sort::Bv(16), StateKind::Output);
+    p.state("rom_data", Sort::Bv(8), StateKind::Output);
+    p.state("mem_wait", Sort::Bv(1), StateKind::Internal);
+
+    // ROM_REQ: start a fetch.
+    {
+        let ctx = p.ctx_mut();
+        let d = ctx.eq_u64(rom_req, 1);
+        let one = ctx.bv_u64(1, 1);
+        p.instr("ROM_REQ")
+            .decode(d)
+            .update("rom_addr", rom_addr_in)
+            .update("mem_wait", one)
+            .add()
+            .expect("valid model");
+    }
+    // ROM_RESP: fetch data arrived.
+    {
+        let ctx = p.ctx_mut();
+        let nreq = ctx.eq_u64(rom_req, 0);
+        let val = ctx.eq_u64(rom_data_valid, 1);
+        let d = ctx.and(nreq, val);
+        p.instr("ROM_RESP")
+            .decode(d)
+            .update("rom_data", rom_data_in)
+            .add()
+            .expect("valid model");
+    }
+    // ROM_IDLE: nothing in flight.
+    {
+        let ctx = p.ctx_mut();
+        let nreq = ctx.eq_u64(rom_req, 0);
+        let nval = ctx.eq_u64(rom_data_valid, 0);
+        let d = ctx.and(nreq, nval);
+        let zero = ctx.bv_u64(0, 1);
+        p.instr("ROM_IDLE")
+            .decode(d)
+            .update("mem_wait", zero)
+            .add()
+            .expect("valid model");
+    }
+    p
+}
+
+/// Builds the RAM-port-ILA (Fig. 3a right).
+pub fn ram_port() -> PortIla {
+    let mut p = PortIla::new("RAM-PORT");
+    let ram_req = p.input("ram_req", Sort::Bv(1));
+    let ram_addr_in = p.input("ram_addr_in", Sort::Bv(8));
+    let ram_data_valid = p.input("ram_data_valid", Sort::Bv(1));
+    let ram_data_in = p.input("ram_data_in", Sort::Bv(8));
+    p.state("ram_addr", Sort::Bv(8), StateKind::Output);
+    p.state("ram_data", Sort::Bv(8), StateKind::Output);
+    p.state("mem_wait", Sort::Bv(1), StateKind::Internal);
+
+    // RAM_REQ: start an access; the write data rides along.
+    {
+        let ctx = p.ctx_mut();
+        let d = ctx.eq_u64(ram_req, 1);
+        let one = ctx.bv_u64(1, 1);
+        p.instr("RAM_REQ")
+            .decode(d)
+            .update("ram_addr", ram_addr_in)
+            .update("ram_data", ram_data_in)
+            .update("mem_wait", one)
+            .add()
+            .expect("valid model");
+    }
+    // RAM_RESP: read data arrived.
+    {
+        let ctx = p.ctx_mut();
+        let nreq = ctx.eq_u64(ram_req, 0);
+        let val = ctx.eq_u64(ram_data_valid, 1);
+        let d = ctx.and(nreq, val);
+        p.instr("RAM_RESP")
+            .decode(d)
+            .update("ram_data", ram_data_in)
+            .add()
+            .expect("valid model");
+    }
+    // RAM_IDLE.
+    {
+        let ctx = p.ctx_mut();
+        let nreq = ctx.eq_u64(ram_req, 0);
+        let nval = ctx.eq_u64(ram_data_valid, 0);
+        let d = ctx.and(nreq, nval);
+        let zero = ctx.bv_u64(0, 1);
+        p.instr("RAM_IDLE")
+            .decode(d)
+            .update("mem_wait", zero)
+            .add()
+            .expect("valid model");
+    }
+    p
+}
+
+/// Builds the PC-port-ILA (Fig. 3b), independent of the other two.
+pub fn pc_port() -> PortIla {
+    let mut p = PortIla::new("PC-PORT");
+    let instr_valid = p.input("instr_valid", Sort::Bv(1));
+    let instr_in = p.input("instr_in", Sort::Bv(8));
+    let pc_imp = p.input("pc_imp", Sort::Bv(1));
+    let pc_target = p.input("pc_target", Sort::Bv(16));
+    p.state("imm_data0", Sort::Bv(8), StateKind::Output);
+    p.state("imm_data1", Sort::Bv(8), StateKind::Output);
+    p.state("operand0", Sort::Bv(4), StateKind::Output);
+    p.state("operand1", Sort::Bv(4), StateKind::Output);
+    let pc = p.state("pc", Sort::Bv(16), StateKind::Internal);
+    let instr_buff = p.state("instr_buff", Sort::Bv(8), StateKind::Internal);
+
+    // LOAD_INST: buffer a fetched instruction byte.
+    {
+        let ctx = p.ctx_mut();
+        let d = ctx.eq_u64(instr_valid, 1);
+        p.instr("LOAD_INST")
+            .decode(d)
+            .update("instr_buff", instr_in)
+            .add()
+            .expect("valid model");
+    }
+    // PC_UPDATE: jump; the decoded fields refresh from the buffer.
+    {
+        let ctx = p.ctx_mut();
+        let nv = ctx.eq_u64(instr_valid, 0);
+        let imp = ctx.eq_u64(pc_imp, 1);
+        let d = ctx.and(nv, imp);
+        let hi = ctx.extract(instr_buff, 7, 4);
+        let lo = ctx.extract(instr_buff, 3, 0);
+        let imm0 = ctx.zext(lo, 8);
+        let notb = ctx.bvnot(instr_buff);
+        p.instr("PC_UPDATE")
+            .decode(d)
+            .update("pc", pc_target)
+            .update("imm_data0", imm0)
+            .update("imm_data1", notb)
+            .update("operand0", lo)
+            .update("operand1", hi)
+            .add()
+            .expect("valid model");
+    }
+    // PC_KEEP: sequential execution; pc advances by one.
+    {
+        let ctx = p.ctx_mut();
+        let nv = ctx.eq_u64(instr_valid, 0);
+        let nimp = ctx.eq_u64(pc_imp, 0);
+        let d = ctx.and(nv, nimp);
+        let one16 = ctx.bv_u64(1, 16);
+        let inc = ctx.bvadd(pc, one16);
+        let hi = ctx.extract(instr_buff, 7, 4);
+        let lo = ctx.extract(instr_buff, 3, 0);
+        let imm0 = ctx.zext(lo, 8);
+        let notb = ctx.bvnot(instr_buff);
+        p.instr("PC_KEEP")
+            .decode(d)
+            .update("pc", inc)
+            .update("imm_data0", imm0)
+            .update("imm_data1", notb)
+            .update("operand0", lo)
+            .update("operand1", hi)
+            .add()
+            .expect("valid model");
+    }
+    p
+}
+
+/// Integrates the ROM- and RAM-ports (Fig. 3a bottom): cross product of
+/// instructions, `mem_wait` conflicts resolved in favour of the value 1.
+pub fn integrated_rom_ram_port() -> PortIla {
+    let rom = rom_port();
+    let ram = ram_port();
+    let resolver = ValuePriorityResolver::new(BitVecValue::from_u64(1, 1));
+    integrate("ROM-RAM-PORT", &[&rom, &ram], &resolver)
+        .expect("the specification resolves all conflicts")
+}
+
+/// The memory-interface module-ILA: [ROM-RAM-port, PC-port].
+pub fn ila() -> ModuleIla {
+    ModuleIla::compose("mem_iface", vec![integrated_rom_ram_port(), pc_port()])
+        .expect("integrated ports are independent")
+}
+
+/// The memory interface RTL.
+pub const RTL_SOURCE: &str = r#"
+// i8051 memory interface: ROM fetch + RAM access + PC control.
+module mem_iface(clk,
+                 rom_req, rom_addr_in, rom_data_valid, rom_data_in,
+                 ram_req, ram_addr_in, ram_data_valid, ram_data_in,
+                 instr_valid, instr_in, pc_imp, pc_target);
+  input clk;
+  input rom_req;
+  input [15:0] rom_addr_in;
+  input rom_data_valid;
+  input [7:0] rom_data_in;
+  input ram_req;
+  input [7:0] ram_addr_in;
+  input ram_data_valid;
+  input [7:0] ram_data_in;
+  input instr_valid;
+  input [7:0] instr_in;
+  input pc_imp;
+  input [15:0] pc_target;
+
+  reg [15:0] rom_addr_r;
+  reg [7:0] rom_data_r;
+  reg [7:0] ram_addr_r;
+  reg [7:0] ram_data_r;
+  reg mem_wait_r;
+
+  reg [15:0] pc_r;
+  reg [7:0] instr_buff_r;
+  reg [7:0] imm0_r;
+  reg [7:0] imm1_r;
+  reg [3:0] opr0_r;
+  reg [3:0] opr1_r;
+
+  always @(posedge clk) begin
+    // ROM side
+    if (rom_req) begin
+      rom_addr_r <= rom_addr_in;
+    end
+    else begin
+      if (rom_data_valid) rom_data_r <= rom_data_in;
+    end
+    // RAM side
+    if (ram_req) begin
+      ram_addr_r <= ram_addr_in;
+      ram_data_r <= ram_data_in;
+    end
+    else begin
+      if (ram_data_valid) ram_data_r <= ram_data_in;
+    end
+    // Shared wait flag: a request from either port wins over release
+    // (the documented priority of updates to 1 over updates to 0).
+    if (rom_req || ram_req) mem_wait_r <= 1'b1;
+    else if (!rom_data_valid || !ram_data_valid) mem_wait_r <= 1'b0;
+  end
+
+  always @(posedge clk) begin
+    if (instr_valid) begin
+      instr_buff_r <= instr_in;
+    end
+    else begin
+      if (pc_imp) pc_r <= pc_target;
+      else pc_r <= pc_r + 16'd1;
+      imm0_r <= {4'b0, instr_buff_r[3:0]};
+      imm1_r <= ~instr_buff_r;
+      opr0_r <= instr_buff_r[3:0];
+      opr1_r <= instr_buff_r[7:4];
+    end
+  end
+endmodule
+"#;
+
+/// Parses the memory-interface RTL.
+pub fn rtl() -> RtlModule {
+    parse_verilog(RTL_SOURCE).expect("mem_iface RTL is valid")
+}
+
+/// Refinement maps: one for the integrated ROM-RAM port, one for PC.
+pub fn refinement_maps() -> Vec<RefinementMap> {
+    let mut mm = RefinementMap::new("ROM-RAM-PORT");
+    mm.map_state("rom_addr", "rom_addr_r");
+    mm.map_state("rom_data", "rom_data_r");
+    mm.map_state("ram_addr", "ram_addr_r");
+    mm.map_state("ram_data", "ram_data_r");
+    mm.map_state("mem_wait", "mem_wait_r");
+    mm.map_input("rom_req", "rom_req");
+    mm.map_input("rom_addr_in", "rom_addr_in");
+    mm.map_input("rom_data_valid", "rom_data_valid");
+    mm.map_input("rom_data_in", "rom_data_in");
+    mm.map_input("ram_req", "ram_req");
+    mm.map_input("ram_addr_in", "ram_addr_in");
+    mm.map_input("ram_data_valid", "ram_data_valid");
+    mm.map_input("ram_data_in", "ram_data_in");
+
+    let mut pc = RefinementMap::new("PC-PORT");
+    pc.map_state("pc", "pc_r");
+    pc.map_state("instr_buff", "instr_buff_r");
+    pc.map_state("imm_data0", "imm0_r");
+    pc.map_state("imm_data1", "imm1_r");
+    pc.map_state("operand0", "opr0_r");
+    pc.map_state("operand1", "opr1_r");
+    pc.map_input("instr_valid", "instr_valid");
+    pc.map_input("instr_in", "instr_in");
+    pc.map_input("pc_imp", "pc_imp");
+    pc.map_input("pc_target", "pc_target");
+    vec![mm, pc]
+}
+
+/// The assembled case study (no documented bug).
+pub fn case_study() -> CaseStudy {
+    CaseStudy {
+        name: "Mem. Interface",
+        ila: ila(),
+        rtl: rtl(),
+        refmaps: refinement_maps(),
+        buggy_rtl: None,
+        ports_before_integration: 3,
+        ports_after_integration: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gila_core::{decode_gap, decode_overlaps, IntegrateError, NoResolver};
+    use gila_verify::{verify_module, VerifyOptions};
+
+    #[test]
+    fn integration_yields_nine_plus_three() {
+        let m = ila();
+        assert_eq!(m.stats().ports, 2);
+        assert_eq!(m.stats().instructions, 12);
+        let rr = integrated_rom_ram_port();
+        assert_eq!(rr.num_atomic_instructions(), 9);
+        // Fig. 3's instruction names exist.
+        assert!(rr.find_instruction("ROM_REQ & RAM_REQ").is_some());
+        assert!(rr.find_instruction("ROM_IDLE & RAM_RESP").is_some());
+    }
+
+    #[test]
+    fn without_resolver_the_conflicts_are_specification_gaps() {
+        let rom = rom_port();
+        let ram = ram_port();
+        let err = integrate("X", &[&rom, &ram], &NoResolver).unwrap_err();
+        let IntegrateError::SpecificationGaps(gaps) = err else {
+            panic!("expected gaps");
+        };
+        // REQ&IDLE and IDLE&REQ conflict (1 vs 0).
+        assert_eq!(gaps.len(), 2);
+        assert!(gaps.iter().all(|g| g.state == "mem_wait"));
+    }
+
+    #[test]
+    fn priority_resolution_matches_fig3() {
+        let rr = integrated_rom_ram_port();
+        // ROM_IDLE & RAM_REQ: mem_wait updated to 1 (request wins).
+        let i = rr.find_instruction("ROM_IDLE & RAM_REQ").unwrap();
+        assert_eq!(
+            rr.ctx().as_bv_const(i.updates["mem_wait"]),
+            Some(&BitVecValue::from_u64(1, 1))
+        );
+        // ROM_REQ & RAM_RESP updates rom_addr, mem_wait, ram_data.
+        let i = rr.find_instruction("ROM_REQ & RAM_RESP").unwrap();
+        let keys: Vec<&str> = i.updates.keys().map(String::as_str).collect();
+        assert_eq!(keys, vec!["mem_wait", "ram_data", "rom_addr"]);
+    }
+
+    #[test]
+    fn decodes_are_well_formed() {
+        for p in [integrated_rom_ram_port(), pc_port()] {
+            assert!(decode_gap(&p, None).is_none(), "{} incomplete", p.name());
+            assert!(
+                decode_overlaps(&p, None).is_empty(),
+                "{} nondeterministic",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn verifies_against_rtl() {
+        let report = verify_module(&ila(), &rtl(), &refinement_maps(), &VerifyOptions::default())
+            .expect("well-formed");
+        assert!(report.all_hold(), "{report:#?}");
+        assert_eq!(report.instructions_checked(), 12);
+    }
+}

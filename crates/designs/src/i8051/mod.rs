@@ -1,0 +1,6 @@
+//! The three modules of the opencores 8051 micro-controller.
+
+pub mod datapath;
+pub mod decoder;
+pub mod mem_iface;
+pub mod top;

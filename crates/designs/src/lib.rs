@@ -1,0 +1,29 @@
+//! # gila-designs — the eight DATE 2021 case studies
+//!
+//! Re-implementations of every design evaluated in the paper, each
+//! bundled as a [`CaseStudy`]: the module-ILA specification
+//! (`gila-core`), a Verilog-subset RTL implementation (`gila-rtl`),
+//! per-port refinement maps (`gila-verify`), and — for the three designs
+//! where the paper reports a bug — a bug-injected RTL variant
+//! reproducing the documented mechanism.
+//!
+//! | Design | Class | Ports | Bug |
+//! |---|---|---|---|
+//! | 8051 decoder | single port | 1 | — |
+//! | AXI slave | multi-port, no shared state | 2 | `rd_burst_in` vs `tx_rd_burst` |
+//! | AXI master | multi-port, no shared state | 2 | — |
+//! | 8051 datapath | multi-port, no shared state | 2 | — |
+//! | L2 cache | multi-port, no shared state | 2 | `msg_flag_2` vs `msg_flag_3` |
+//! | 8051 memory interface | shared state (`mem_wait`) | 3 -> 2 | — |
+//! | RISC-V store buffer | shared state (`full` flag) | 3 -> 2 | flag update under full+traffic |
+//! | NoC router | shared state (routing table) | 10 -> 2 | — |
+
+#![warn(missing_docs)]
+
+pub mod axi;
+pub mod i8051;
+pub mod openpiton;
+mod registry;
+pub mod riscv;
+
+pub use registry::{all_case_studies, CaseStudy};

@@ -1,0 +1,4 @@
+//! The OpenPiton L2 cache and NoC router.
+
+pub mod l2_cache;
+pub mod noc_router;

@@ -1,0 +1,345 @@
+//! The OpenPiton NoC router (paper §V.C.3): ten command ports
+//! integrated down to two.
+//!
+//! The router connects to four neighbouring routers and the local core
+//! (N, E, S, W, P). Each connection has an IN-port receiving packets
+//! and an OUT-port sending them — ten ports in total. All five IN-ports
+//! update a shared *dynamic routing table* (destination -> port
+//! learning); the specification resolves simultaneous updates with a
+//! round-robin arbiter, captured by a [`RoundRobinResolver`] whose
+//! pointer state the RTL mirrors exactly. The five OUT-ports share a
+//! `last_sent` tracking state, also round-robin arbitrated.
+//!
+//! After integration: one IN-port and one OUT-port with 2^5 = 32 atomic
+//! instructions each — Table I's "64" instructions and "10/2" ports.
+
+use gila_core::{integrate, ModuleIla, PortIla, RoundRobinResolver, StateKind};
+use gila_expr::Sort;
+use gila_rtl::{parse_verilog, RtlModule};
+use gila_verify::RefinementMap;
+
+use crate::registry::CaseStudy;
+
+/// Direction names, in port-index order.
+pub const DIRS: [&str; 5] = ["n", "e", "s", "w", "p"];
+
+/// Builds one IN-port-ILA (direction `idx`).
+pub fn in_port(idx: usize) -> PortIla {
+    let dir = DIRS[idx];
+    let mut p = PortIla::new(format!("IN-{}", dir.to_uppercase()));
+    let valid = p.input(format!("in_{dir}_valid"), Sort::Bv(1));
+    let dest = p.input(format!("in_{dir}_dest"), Sort::Bv(3));
+    let data = p.input(format!("in_{dir}_data"), Sort::Bv(8));
+    p.state(format!("buf_{dir}"), Sort::Bv(11), StateKind::Internal);
+    p.state(format!("buf_{dir}_valid"), Sort::Bv(1), StateKind::Output);
+    let rt = p.state(
+        "rt",
+        Sort::Mem {
+            addr_width: 3,
+            data_width: 3,
+        },
+        StateKind::Internal,
+    );
+
+    // RECV: buffer the packet and learn the (dest -> port) route.
+    {
+        let ctx = p.ctx_mut();
+        let d = ctx.eq_u64(valid, 1);
+        let packet = ctx.concat(dest, data);
+        let me = ctx.bv_u64(idx as u64, 3);
+        let learn = ctx.mem_write(rt, dest, me);
+        let one = ctx.bv_u64(1, 1);
+        p.instr(format!("RECV_{}", dir.to_uppercase()))
+            .decode(d)
+            .update(format!("buf_{dir}"), packet)
+            .update(format!("buf_{dir}_valid"), one)
+            .update("rt", learn)
+            .add()
+            .expect("valid model");
+    }
+    // IDLE.
+    {
+        let ctx = p.ctx_mut();
+        let d = ctx.eq_u64(valid, 0);
+        let zero = ctx.bv_u64(0, 1);
+        p.instr(format!("IDLE_{}", dir.to_uppercase()))
+            .decode(d)
+            .update(format!("buf_{dir}_valid"), zero)
+            .add()
+            .expect("valid model");
+    }
+    p
+}
+
+/// Builds one OUT-port-ILA (direction `idx`).
+pub fn out_port(idx: usize) -> PortIla {
+    let dir = DIRS[idx];
+    let mut p = PortIla::new(format!("OUT-{}", dir.to_uppercase()));
+    let ready = p.input(format!("out_{dir}_ready"), Sort::Bv(1));
+    let next_in = p.input(format!("out_{dir}_next"), Sort::Bv(8));
+    let q = p.state(format!("q_{dir}"), Sort::Bv(8), StateKind::Internal);
+    p.state(format!("out_{dir}_data"), Sort::Bv(8), StateKind::Output);
+    p.state("last_sent", Sort::Bv(3), StateKind::Internal);
+
+    // SEND: emit the queued flit, refill the queue, record the sender.
+    {
+        let ctx = p.ctx_mut();
+        let d = ctx.eq_u64(ready, 1);
+        let me = ctx.bv_u64(idx as u64, 3);
+        p.instr(format!("SEND_{}", dir.to_uppercase()))
+            .decode(d)
+            .update(format!("out_{dir}_data"), q)
+            .update(format!("q_{dir}"), next_in)
+            .update("last_sent", me)
+            .add()
+            .expect("valid model");
+    }
+    // WAIT.
+    {
+        let ctx = p.ctx_mut();
+        let d = ctx.eq_u64(ready, 0);
+        p.instr(format!("WAIT_{}", dir.to_uppercase()))
+            .decode(d)
+            .add()
+            .expect("valid model");
+    }
+    p
+}
+
+/// Integrates the five IN-ports (shared routing table, round-robin).
+pub fn integrated_in_port() -> PortIla {
+    let ports: Vec<PortIla> = (0..5).map(in_port).collect();
+    let refs: Vec<&PortIla> = ports.iter().collect();
+    integrate("IN-PORT", &refs, &RoundRobinResolver::new("rt_rr", 5))
+        .expect("round-robin resolves all conflicts")
+}
+
+/// Integrates the five OUT-ports (shared `last_sent`, round-robin).
+pub fn integrated_out_port() -> PortIla {
+    let ports: Vec<PortIla> = (0..5).map(out_port).collect();
+    let refs: Vec<&PortIla> = ports.iter().collect();
+    integrate("OUT-PORT", &refs, &RoundRobinResolver::new("out_rr", 5))
+        .expect("round-robin resolves all conflicts")
+}
+
+/// The router module-ILA: [IN-port, OUT-port].
+pub fn ila() -> ModuleIla {
+    ModuleIla::compose("noc_router", vec![integrated_in_port(), integrated_out_port()])
+        .expect("integrated ports are independent")
+}
+
+/// The router RTL. The round-robin winner logic mirrors the integration
+/// resolver exactly: scan for the first requester at or after the
+/// pointer; advance the pointer past the winner only when two or more
+/// requesters contend.
+pub const RTL_SOURCE: &str = r#"
+// OpenPiton-style NoC router: 5 in ports, 5 out ports,
+// shared learned routing table with round-robin arbitration.
+module noc_router(clk,
+                  in_n_valid, in_n_dest, in_n_data,
+                  in_e_valid, in_e_dest, in_e_data,
+                  in_s_valid, in_s_dest, in_s_data,
+                  in_w_valid, in_w_dest, in_w_data,
+                  in_p_valid, in_p_dest, in_p_data,
+                  out_n_ready, out_n_next, out_e_ready, out_e_next,
+                  out_s_ready, out_s_next, out_w_ready, out_w_next,
+                  out_p_ready, out_p_next);
+  input clk;
+  input in_n_valid; input [2:0] in_n_dest; input [7:0] in_n_data;
+  input in_e_valid; input [2:0] in_e_dest; input [7:0] in_e_data;
+  input in_s_valid; input [2:0] in_s_dest; input [7:0] in_s_data;
+  input in_w_valid; input [2:0] in_w_dest; input [7:0] in_w_data;
+  input in_p_valid; input [2:0] in_p_dest; input [7:0] in_p_data;
+  input out_n_ready; input [7:0] out_n_next;
+  input out_e_ready; input [7:0] out_e_next;
+  input out_s_ready; input [7:0] out_s_next;
+  input out_w_ready; input [7:0] out_w_next;
+  input out_p_ready; input [7:0] out_p_next;
+
+  reg [10:0] buf_n; reg buf_n_valid;
+  reg [10:0] buf_e; reg buf_e_valid;
+  reg [10:0] buf_s; reg buf_s_valid;
+  reg [10:0] buf_w; reg buf_w_valid;
+  reg [10:0] buf_p; reg buf_p_valid;
+  reg [2:0] rt [0:7];
+  reg [2:0] rt_rr;
+
+  reg [7:0] q_n; reg [7:0] out_n_data_r;
+  reg [7:0] q_e; reg [7:0] out_e_data_r;
+  reg [7:0] q_s; reg [7:0] out_s_data_r;
+  reg [7:0] q_w; reg [7:0] out_w_data_r;
+  reg [7:0] q_p; reg [7:0] out_p_data_r;
+  reg [2:0] last_sent;
+  reg [2:0] out_rr;
+
+  // Both arbiter pointers reset to port 0.
+  initial begin
+    rt_rr = 3'd0;
+    out_rr = 3'd0;
+  end
+
+  // ---- input-side round-robin over the routing-table writers ----
+  wire [2:0] in_cnt = {2'b0, in_n_valid} + {2'b0, in_e_valid}
+                    + {2'b0, in_s_valid} + {2'b0, in_w_valid}
+                    + {2'b0, in_p_valid};
+  wire [2:0] in_w0 = in_n_valid ? 3'd0 : in_e_valid ? 3'd1 : in_s_valid ? 3'd2 : in_w_valid ? 3'd3 : 3'd4;
+  wire [2:0] in_w1 = in_e_valid ? 3'd1 : in_s_valid ? 3'd2 : in_w_valid ? 3'd3 : in_p_valid ? 3'd4 : 3'd0;
+  wire [2:0] in_w2 = in_s_valid ? 3'd2 : in_w_valid ? 3'd3 : in_p_valid ? 3'd4 : in_n_valid ? 3'd0 : 3'd1;
+  wire [2:0] in_w3 = in_w_valid ? 3'd3 : in_p_valid ? 3'd4 : in_n_valid ? 3'd0 : in_e_valid ? 3'd1 : 3'd2;
+  wire [2:0] in_w4 = in_p_valid ? 3'd4 : in_n_valid ? 3'd0 : in_e_valid ? 3'd1 : in_s_valid ? 3'd2 : 3'd3;
+  wire [2:0] in_winner = (rt_rr == 3'd0) ? in_w0 :
+                         (rt_rr == 3'd1) ? in_w1 :
+                         (rt_rr == 3'd2) ? in_w2 :
+                         (rt_rr == 3'd3) ? in_w3 : in_w4;
+  wire [2:0] win_dest = (in_winner == 3'd0) ? in_n_dest :
+                        (in_winner == 3'd1) ? in_e_dest :
+                        (in_winner == 3'd2) ? in_s_dest :
+                        (in_winner == 3'd3) ? in_w_dest : in_p_dest;
+
+  always @(posedge clk) begin
+    if (in_n_valid) begin buf_n <= {in_n_dest, in_n_data}; buf_n_valid <= 1'b1; end
+    else buf_n_valid <= 1'b0;
+    if (in_e_valid) begin buf_e <= {in_e_dest, in_e_data}; buf_e_valid <= 1'b1; end
+    else buf_e_valid <= 1'b0;
+    if (in_s_valid) begin buf_s <= {in_s_dest, in_s_data}; buf_s_valid <= 1'b1; end
+    else buf_s_valid <= 1'b0;
+    if (in_w_valid) begin buf_w <= {in_w_dest, in_w_data}; buf_w_valid <= 1'b1; end
+    else buf_w_valid <= 1'b0;
+    if (in_p_valid) begin buf_p <= {in_p_dest, in_p_data}; buf_p_valid <= 1'b1; end
+    else buf_p_valid <= 1'b0;
+    if (in_cnt != 3'd0) begin
+      rt[win_dest] <= in_winner;
+    end
+    if (in_cnt >= 3'd2) begin
+      rt_rr <= (in_winner == 3'd4) ? 3'd0 : in_winner + 3'd1;
+    end
+  end
+
+  // ---- output-side round-robin over the last_sent writers ----
+  wire [2:0] out_cnt = {2'b0, out_n_ready} + {2'b0, out_e_ready}
+                     + {2'b0, out_s_ready} + {2'b0, out_w_ready}
+                     + {2'b0, out_p_ready};
+  wire [2:0] out_w0 = out_n_ready ? 3'd0 : out_e_ready ? 3'd1 : out_s_ready ? 3'd2 : out_w_ready ? 3'd3 : 3'd4;
+  wire [2:0] out_w1 = out_e_ready ? 3'd1 : out_s_ready ? 3'd2 : out_w_ready ? 3'd3 : out_p_ready ? 3'd4 : 3'd0;
+  wire [2:0] out_w2 = out_s_ready ? 3'd2 : out_w_ready ? 3'd3 : out_p_ready ? 3'd4 : out_n_ready ? 3'd0 : 3'd1;
+  wire [2:0] out_w3 = out_w_ready ? 3'd3 : out_p_ready ? 3'd4 : out_n_ready ? 3'd0 : out_e_ready ? 3'd1 : 3'd2;
+  wire [2:0] out_w4 = out_p_ready ? 3'd4 : out_n_ready ? 3'd0 : out_e_ready ? 3'd1 : out_s_ready ? 3'd2 : 3'd3;
+  wire [2:0] out_winner = (out_rr == 3'd0) ? out_w0 :
+                          (out_rr == 3'd1) ? out_w1 :
+                          (out_rr == 3'd2) ? out_w2 :
+                          (out_rr == 3'd3) ? out_w3 : out_w4;
+
+  always @(posedge clk) begin
+    if (out_n_ready) begin out_n_data_r <= q_n; q_n <= out_n_next; end
+    if (out_e_ready) begin out_e_data_r <= q_e; q_e <= out_e_next; end
+    if (out_s_ready) begin out_s_data_r <= q_s; q_s <= out_s_next; end
+    if (out_w_ready) begin out_w_data_r <= q_w; q_w <= out_w_next; end
+    if (out_p_ready) begin out_p_data_r <= q_p; q_p <= out_p_next; end
+    if (out_cnt != 3'd0) begin
+      last_sent <= out_winner;
+    end
+    if (out_cnt >= 3'd2) begin
+      out_rr <= (out_winner == 3'd4) ? 3'd0 : out_winner + 3'd1;
+    end
+  end
+endmodule
+"#;
+
+/// Parses the router RTL.
+pub fn rtl() -> RtlModule {
+    parse_verilog(RTL_SOURCE).expect("noc router RTL is valid")
+}
+
+/// Refinement maps for the two integrated ports.
+pub fn refinement_maps() -> Vec<RefinementMap> {
+    let mut inp = RefinementMap::new("IN-PORT");
+    for dir in DIRS {
+        inp.map_state(format!("buf_{dir}"), format!("buf_{dir}"));
+        inp.map_state(format!("buf_{dir}_valid"), format!("buf_{dir}_valid"));
+        inp.map_input(format!("in_{dir}_valid"), format!("in_{dir}_valid"));
+        inp.map_input(format!("in_{dir}_dest"), format!("in_{dir}_dest"));
+        inp.map_input(format!("in_{dir}_data"), format!("in_{dir}_data"));
+    }
+    inp.map_state("rt", "rt");
+    inp.map_state("rt_rr", "rt_rr");
+    // The integration resolver only arbitrates real contention; the
+    // pointer must stay within 0..=4 for the scan orders to agree.
+    inp.add_invariant("rt_rr <= 3'd4");
+
+    let mut outp = RefinementMap::new("OUT-PORT");
+    for dir in DIRS {
+        outp.map_state(format!("q_{dir}"), format!("q_{dir}"));
+        outp.map_state(format!("out_{dir}_data"), format!("out_{dir}_data_r"));
+        outp.map_input(format!("out_{dir}_ready"), format!("out_{dir}_ready"));
+        outp.map_input(format!("out_{dir}_next"), format!("out_{dir}_next"));
+    }
+    outp.map_state("last_sent", "last_sent");
+    outp.map_state("out_rr", "out_rr");
+    outp.add_invariant("out_rr <= 3'd4");
+    vec![inp, outp]
+}
+
+/// The assembled case study (no documented bug for the router).
+pub fn case_study() -> CaseStudy {
+    CaseStudy {
+        name: "NoC Router",
+        ila: ila(),
+        rtl: rtl(),
+        refmaps: refinement_maps(),
+        buggy_rtl: None,
+        ports_before_integration: 10,
+        ports_after_integration: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gila_core::{decode_gap, decode_overlaps};
+    use gila_verify::{verify_module, VerifyOptions};
+
+    #[test]
+    fn sixty_four_atomic_instructions() {
+        let m = ila();
+        assert_eq!(m.stats().ports, 2);
+        assert_eq!(m.stats().instructions, 64);
+        assert_eq!(integrated_in_port().num_atomic_instructions(), 32);
+        assert_eq!(integrated_out_port().num_atomic_instructions(), 32);
+    }
+
+    #[test]
+    fn round_robin_pointer_states_exist() {
+        let inp = integrated_in_port();
+        assert!(inp.find_state("rt_rr").is_some());
+        // A fully contended combo updates the routing table and pointer.
+        let name = "RECV_N & RECV_E & RECV_S & RECV_W & RECV_P";
+        let i = inp.find_instruction(name).expect("combo exists");
+        assert!(i.updates.contains_key("rt"));
+        assert!(i.updates.contains_key("rt_rr"));
+        // A single-receiver combo does not touch the pointer.
+        let name = "RECV_N & IDLE_E & IDLE_S & IDLE_W & IDLE_P";
+        let i = inp.find_instruction(name).expect("combo exists");
+        assert!(i.updates.contains_key("rt"));
+        assert!(!i.updates.contains_key("rt_rr"));
+    }
+
+    #[test]
+    fn decodes_are_well_formed() {
+        for p in [integrated_in_port(), integrated_out_port()] {
+            assert!(decode_gap(&p, None).is_none(), "{} incomplete", p.name());
+            assert!(
+                decode_overlaps(&p, None).is_empty(),
+                "{} nondeterministic",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn verifies_against_rtl() {
+        let report = verify_module(&ila(), &rtl(), &refinement_maps(), &VerifyOptions::default())
+            .expect("well-formed");
+        assert!(report.all_hold(), "{report:#?}");
+        assert_eq!(report.instructions_checked(), 64);
+    }
+}

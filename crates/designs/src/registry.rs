@@ -1,0 +1,55 @@
+//! The case-study registry: one entry per design of Table I.
+
+use gila_core::ModuleIla;
+use gila_rtl::RtlModule;
+use gila_verify::RefinementMap;
+
+/// A complete case study: specification, implementation, refinement
+/// maps, and (when the paper reports one) a bug-injected implementation
+/// variant reproducing the documented bug mechanism.
+#[derive(Clone, Debug)]
+pub struct CaseStudy {
+    /// Display name matching Table I's "Design" column.
+    pub name: &'static str,
+    /// The module-ILA specification.
+    pub ila: ModuleIla,
+    /// The (fixed) RTL implementation.
+    pub rtl: RtlModule,
+    /// One refinement map per port (matched by name).
+    pub refmaps: Vec<RefinementMap>,
+    /// The bug-injected RTL variant, if this design has a documented bug.
+    pub buggy_rtl: Option<RtlModule>,
+    /// Number of command ports before integrating shared-state ports.
+    pub ports_before_integration: usize,
+    /// Number of independent ports after integration (= `ila.ports()`).
+    pub ports_after_integration: usize,
+}
+
+impl CaseStudy {
+    /// The Table I "# of ports" cell: `before` or `before/after` when
+    /// integration reduced the count.
+    pub fn ports_cell(&self) -> String {
+        if self.ports_before_integration == self.ports_after_integration {
+            format!("{}", self.ports_before_integration)
+        } else {
+            format!(
+                "{}/{}",
+                self.ports_before_integration, self.ports_after_integration
+            )
+        }
+    }
+}
+
+/// Builds all eight case studies, in Table I order.
+pub fn all_case_studies() -> Vec<CaseStudy> {
+    vec![
+        crate::i8051::decoder::case_study(),
+        crate::axi::slave::case_study(),
+        crate::axi::master::case_study(),
+        crate::i8051::datapath::case_study(),
+        crate::openpiton::l2_cache::case_study(),
+        crate::i8051::mem_iface::case_study(),
+        crate::riscv::store_buffer::case_study(),
+        crate::openpiton::noc_router::case_study(),
+    ]
+}

@@ -1,0 +1,3 @@
+//! The ridecore RISC-V store buffer.
+
+pub mod store_buffer;

@@ -1,0 +1,370 @@
+//! The ridecore RISC-V store buffer (paper §V.C.2): a multi-port module
+//! with shared state.
+//!
+//! Three command interfaces: the **in-port** pushes retired stores into
+//! a circular 64-entry array, the **out-port** drains them toward the
+//! data cache, and the **load-port** reads a buffered store back into
+//! the pipeline (store-to-load forwarding). The in- and out-ports share
+//! the `full` flag; per the specification, when both ports fire with a
+//! full buffer the pop proceeds and the push is rejected, so the
+//! out-port's flag update has priority — a [`PortPriorityResolver`].
+//!
+//! The documented bug (counterexample found in 0.61 s in the paper): the
+//! implementation updates the flag with the *push side's* priority, so
+//! with simultaneous traffic on a full buffer the flag stays set even
+//! though the pop freed an entry.
+
+use gila_core::{integrate, ModuleIla, PortIla, PortPriorityResolver, StateKind};
+use gila_expr::Sort;
+use gila_rtl::{parse_verilog, RtlModule};
+use gila_verify::{abstract_port_memory, abstract_rtl_memory, RefinementMap};
+
+use crate::registry::CaseStudy;
+
+/// Buffer geometry: 64 entries of one byte (the paper's "64 byte memory").
+const ADDR_WIDTH: u32 = 6;
+
+/// Builds the in-port-ILA (2 atomic instructions).
+pub fn in_port() -> PortIla {
+    let mut p = PortIla::new("IN-PORT");
+    let in_valid = p.input("in_valid", Sort::Bv(1));
+    let in_data = p.input("in_data", Sort::Bv(8));
+    let buf = p.state(
+        "buf",
+        Sort::Mem {
+            addr_width: ADDR_WIDTH,
+            data_width: 8,
+        },
+        StateKind::Internal,
+    );
+    let head = p.state("head", Sort::Bv(ADDR_WIDTH), StateKind::Internal);
+    let tail = p.state("tail", Sort::Bv(ADDR_WIDTH), StateKind::Internal);
+    let full = p.state("full", Sort::Bv(1), StateKind::Output);
+
+    // IN_PUSH: append unless full.
+    {
+        let ctx = p.ctx_mut();
+        let d = ctx.eq_u64(in_valid, 1);
+        let is_full = ctx.eq_u64(full, 1);
+        let one = ctx.bv_u64(1, ADDR_WIDTH);
+        let next_tail = ctx.bvadd(tail, one);
+        let written = ctx.mem_write(buf, tail, in_data);
+        let new_buf = ctx.ite(is_full, buf, written);
+        let new_tail = ctx.ite(is_full, tail, next_tail);
+        // Full after a successful push iff the advanced tail catches the head.
+        let wraps = ctx.eq(next_tail, head);
+        let one1 = ctx.bv_u64(1, 1);
+        let zero1 = ctx.bv_u64(0, 1);
+        let wrap_bit = ctx.ite(wraps, one1, zero1);
+        let new_full = ctx.ite(is_full, full, wrap_bit);
+        p.instr("IN_PUSH")
+            .decode(d)
+            .update("buf", new_buf)
+            .update("tail", new_tail)
+            .update("full", new_full)
+            .add()
+            .expect("valid model");
+    }
+    // IN_NOP.
+    {
+        let ctx = p.ctx_mut();
+        let d = ctx.eq_u64(in_valid, 0);
+        p.instr("IN_NOP").decode(d).add().expect("valid model");
+    }
+    p
+}
+
+/// Builds the out-port-ILA (2 atomic instructions).
+pub fn out_port() -> PortIla {
+    let mut p = PortIla::new("OUT-PORT");
+    let out_ready = p.input("out_ready", Sort::Bv(1));
+    let buf = p.state(
+        "buf",
+        Sort::Mem {
+            addr_width: ADDR_WIDTH,
+            data_width: 8,
+        },
+        StateKind::Internal,
+    );
+    let head = p.state("head", Sort::Bv(ADDR_WIDTH), StateKind::Internal);
+    let tail = p.state("tail", Sort::Bv(ADDR_WIDTH), StateKind::Internal);
+    let full = p.state("full", Sort::Bv(1), StateKind::Output);
+    p.state("out_data", Sort::Bv(8), StateKind::Output);
+
+    // OUT_POP: drain the oldest entry unless empty.
+    {
+        let ctx = p.ctx_mut();
+        let d = ctx.eq_u64(out_ready, 1);
+        let heads_eq = ctx.eq(head, tail);
+        let not_full = ctx.eq_u64(full, 0);
+        let empty = ctx.and(heads_eq, not_full);
+        let one = ctx.bv_u64(1, ADDR_WIDTH);
+        let next_head = ctx.bvadd(head, one);
+        let new_head = ctx.ite(empty, head, next_head);
+        let zero1 = ctx.bv_u64(0, 1);
+        let new_full = ctx.ite(empty, full, zero1);
+        let front = ctx.mem_read(buf, head);
+        let cur_out = ctx.find_var("out_data").expect("declared above");
+        let new_out = ctx.ite(empty, cur_out, front);
+        p.instr("OUT_POP")
+            .decode(d)
+            .update("head", new_head)
+            .update("full", new_full)
+            .update("out_data", new_out)
+            .add()
+            .expect("valid model");
+    }
+    // OUT_NOP.
+    {
+        let ctx = p.ctx_mut();
+        let d = ctx.eq_u64(out_ready, 0);
+        p.instr("OUT_NOP").decode(d).add().expect("valid model");
+    }
+    p
+}
+
+/// Builds the load-port-ILA (2 atomic instructions). It *reads* the
+/// buffer array that the in/out port owns (read-only sharing).
+pub fn load_port() -> PortIla {
+    let mut p = PortIla::new("LOAD-PORT");
+    let ld_valid = p.input("ld_valid", Sort::Bv(1));
+    let ld_idx = p.input("ld_idx", Sort::Bv(ADDR_WIDTH), );
+    let buf = p.state(
+        "buf",
+        Sort::Mem {
+            addr_width: ADDR_WIDTH,
+            data_width: 8,
+        },
+        StateKind::Internal,
+    );
+    p.state("ld_data", Sort::Bv(8), StateKind::Output);
+
+    // LOAD_READ: forward a buffered store to the pipeline.
+    {
+        let ctx = p.ctx_mut();
+        let d = ctx.eq_u64(ld_valid, 1);
+        let r = ctx.mem_read(buf, ld_idx);
+        p.instr("LOAD_READ")
+            .decode(d)
+            .update("ld_data", r)
+            .add()
+            .expect("valid model");
+    }
+    // LOAD_NOP.
+    {
+        let ctx = p.ctx_mut();
+        let d = ctx.eq_u64(ld_valid, 0);
+        p.instr("LOAD_NOP").decode(d).add().expect("valid model");
+    }
+    p
+}
+
+/// Integrates the in- and out-ports (they share `full`, `buf`, `head`,
+/// `tail` declarations, with conflicting updates only on `full`): the
+/// out-port's update wins, per the specification.
+pub fn integrated_in_out_port() -> PortIla {
+    let inp = in_port();
+    let outp = out_port();
+    let resolver = PortPriorityResolver::new(["OUT-PORT", "IN-PORT"]);
+    integrate("IN-OUT-PORT", &[&inp, &outp], &resolver)
+        .expect("the specification resolves all conflicts")
+}
+
+/// The store-buffer module-ILA: [IN-OUT-port, LOAD-port].
+pub fn ila() -> ModuleIla {
+    ModuleIla::compose("store_buffer", vec![integrated_in_out_port(), load_port()])
+        .expect("remaining sharing is read-only")
+}
+
+/// The store-buffer module-ILA with the array abstracted to 16 entries.
+pub fn ila_abstracted() -> ModuleIla {
+    let io = abstract_port_memory(&integrated_in_out_port(), "buf", 4).expect("buf is a memory");
+    let ld = abstract_port_memory(&load_port(), "buf", 4).expect("buf is a memory");
+    ModuleIla::compose("store_buffer", vec![io, ld]).expect("remaining sharing is read-only")
+}
+
+fn rtl_source(buggy: bool) -> String {
+    // The single difference: the priority order of the flag update when
+    // push and pop fire together.
+    let flag_update = if buggy {
+        // BUG: the flag update keys on the raw push request instead of
+        // the granted push and ignores the simultaneous pop, so with
+        // traffic on both ports and a full buffer the flag stays set
+        // even though the pop freed an entry.
+        r#"
+    if (in_valid) full <= (tail + 6'd1 == head) || full;
+    else if (do_pop) full <= 1'b0;
+"#
+    } else {
+        r#"
+    if (do_pop) full <= 1'b0;
+    else if (do_push) full <= (tail + 6'd1 == head);
+"#
+    };
+    format!(
+        r#"
+// ridecore-style store buffer: circular array with store-to-load port.
+module store_buffer(clk, in_valid, in_data, out_ready, ld_valid, ld_idx);
+  input clk;
+  input in_valid;
+  input [7:0] in_data;
+  input out_ready;
+  input ld_valid;
+  input [5:0] ld_idx;
+
+  reg [7:0] buffer [0:63];
+  reg [5:0] head;
+  reg [5:0] tail;
+  reg full;
+  reg [7:0] out_data_r;
+  reg [7:0] ld_data_r;
+
+  wire empty = (head == tail) && !full;
+  wire do_push = in_valid && !full;
+  wire do_pop = out_ready && !empty;
+
+  always @(posedge clk) begin
+    if (do_push) begin
+      buffer[tail] <= in_data;
+      tail <= tail + 6'd1;
+    end
+    if (do_pop) begin
+      out_data_r <= buffer[head];
+      head <= head + 6'd1;
+    end
+{flag_update}
+  end
+
+  always @(posedge clk) begin
+    if (ld_valid) ld_data_r <= buffer[ld_idx];
+  end
+endmodule
+"#
+    )
+}
+
+/// The fixed store-buffer RTL.
+pub fn rtl() -> RtlModule {
+    parse_verilog(&rtl_source(false)).expect("store buffer RTL is valid")
+}
+
+/// The bug-injected store-buffer RTL.
+pub fn buggy_rtl() -> RtlModule {
+    parse_verilog(&rtl_source(true)).expect("buggy store buffer RTL is valid")
+}
+
+/// The fixed RTL with the array abstracted to 16 entries.
+pub fn rtl_abstracted() -> RtlModule {
+    abstract_rtl_memory(&rtl(), "buffer", 4).expect("buffer is a memory")
+}
+
+/// Refinement maps for the integrated in/out port and the load port.
+pub fn refinement_maps() -> Vec<RefinementMap> {
+    let mut io = RefinementMap::new("IN-OUT-PORT");
+    io.map_state("buf", "buffer");
+    io.map_state("head", "head");
+    io.map_state("tail", "tail");
+    io.map_state("full", "full");
+    io.map_state("out_data", "out_data_r");
+    io.map_input("in_valid", "in_valid");
+    io.map_input("in_data", "in_data");
+    io.map_input("out_ready", "out_ready");
+
+    let mut ld = RefinementMap::new("LOAD-PORT");
+    ld.map_state("buf", "buffer");
+    ld.map_state("ld_data", "ld_data_r");
+    ld.map_input("ld_valid", "ld_valid");
+    ld.map_input("ld_idx", "ld_idx");
+    // The in/out port may rewrite `buffer` in the same cycle; the load
+    // port only anchors its pre-state on it.
+    ld.mark_unchecked("buf");
+    // A concurrent push must not overwrite the entry being loaded before
+    // the load captures it; the RTL reads the pre-write array because
+    // non-blocking writes land after the read, so no extra constraint is
+    // needed — but the push changes `buffer` for the *post* check, which
+    // `mark_unchecked` excludes.
+    vec![io, ld]
+}
+
+/// The assembled case study (full-size array).
+pub fn case_study() -> CaseStudy {
+    CaseStudy {
+        name: "Store Buffer",
+        ila: ila(),
+        rtl: rtl(),
+        refmaps: refinement_maps(),
+        buggy_rtl: Some(buggy_rtl()),
+        ports_before_integration: 3,
+        ports_after_integration: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gila_core::{decode_gap, decode_overlaps};
+    use gila_verify::{verify_module, CheckResult, VerifyOptions};
+
+    #[test]
+    fn six_atomic_instructions() {
+        let m = ila();
+        assert_eq!(m.stats().ports, 2);
+        assert_eq!(m.stats().instructions, 6);
+        let io = integrated_in_out_port();
+        assert_eq!(io.num_atomic_instructions(), 4);
+        assert!(io.find_instruction("IN_PUSH & OUT_POP").is_some());
+    }
+
+    #[test]
+    fn decodes_are_well_formed() {
+        for p in [integrated_in_out_port(), load_port()] {
+            assert!(decode_gap(&p, None).is_none(), "{} incomplete", p.name());
+            assert!(
+                decode_overlaps(&p, None).is_empty(),
+                "{} nondeterministic",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn verifies_abstracted() {
+        let report = verify_module(
+            &ila_abstracted(),
+            &rtl_abstracted(),
+            &refinement_maps(),
+            &VerifyOptions::default(),
+        )
+        .expect("well-formed");
+        assert!(report.all_hold(), "{report:#?}");
+        assert_eq!(report.instructions_checked(), 6);
+    }
+
+    #[test]
+    fn bug_appears_only_under_simultaneous_traffic_on_full_buffer() {
+        let buggy = abstract_rtl_memory(&buggy_rtl(), "buffer", 4).expect("memory");
+        let report = verify_module(
+            &ila_abstracted(),
+            &buggy,
+            &refinement_maps(),
+            &VerifyOptions::default(),
+        )
+        .expect("well-formed");
+        assert!(!report.all_hold());
+        let v = report.ports[0]
+            .first_counterexample()
+            .expect("bug in the in/out port");
+        assert_eq!(v.instruction, "IN_PUSH & OUT_POP");
+        let CheckResult::CounterExample(cex) = &v.result else {
+            panic!()
+        };
+        assert!(cex.mismatched_states.contains(&"full".to_string()));
+        // All single-port instructions of the in/out port still verify —
+        // the bug needs traffic on both ports, as the paper describes.
+        for v in &report.ports[0].verdicts {
+            if v.instruction != "IN_PUSH & OUT_POP" {
+                assert!(v.result.holds(), "{} unexpectedly fails", v.instruction);
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Human-readable printing of expressions in an S-expression style.
+
+use std::fmt;
+
+use crate::ctx::{ExprCtx, ExprNode, ExprRef, Op};
+
+/// A displayable view of an expression; created via [`ExprCtx::display`].
+pub struct ExprDisplay<'a> {
+    ctx: &'a ExprCtx,
+    root: ExprRef,
+}
+
+impl ExprCtx {
+    /// Returns a value that renders the expression as an S-expression.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gila_expr::{ExprCtx, Sort};
+    ///
+    /// let mut ctx = ExprCtx::new();
+    /// let x = ctx.var("x", Sort::Bv(8));
+    /// let one = ctx.bv_u64(1, 8);
+    /// let e = ctx.bvadd(x, one);
+    /// assert_eq!(ctx.display(e).to_string(), "(bvadd x 8'h01)");
+    /// ```
+    pub fn display(&self, root: ExprRef) -> ExprDisplay<'_> {
+        ExprDisplay { ctx: self, root }
+    }
+}
+
+fn op_name(op: Op) -> String {
+    match op {
+        Op::Not => "not".into(),
+        Op::And => "and".into(),
+        Op::Or => "or".into(),
+        Op::Xor => "xor".into(),
+        Op::Implies => "=>".into(),
+        Op::Iff => "<=>".into(),
+        Op::Ite => "ite".into(),
+        Op::Eq => "=".into(),
+        Op::BvNot => "bvnot".into(),
+        Op::BvNeg => "bvneg".into(),
+        Op::BvAnd => "bvand".into(),
+        Op::BvOr => "bvor".into(),
+        Op::BvXor => "bvxor".into(),
+        Op::BvAdd => "bvadd".into(),
+        Op::BvSub => "bvsub".into(),
+        Op::BvMul => "bvmul".into(),
+        Op::BvUdiv => "bvudiv".into(),
+        Op::BvUrem => "bvurem".into(),
+        Op::BvShl => "bvshl".into(),
+        Op::BvLshr => "bvlshr".into(),
+        Op::BvAshr => "bvashr".into(),
+        Op::BvConcat => "concat".into(),
+        Op::BvExtract { hi, lo } => format!("extract[{hi}:{lo}]"),
+        Op::BvZext { to } => format!("zext[{to}]"),
+        Op::BvSext { to } => format!("sext[{to}]"),
+        Op::BvUlt => "bvult".into(),
+        Op::BvUle => "bvule".into(),
+        Op::BvSlt => "bvslt".into(),
+        Op::BvSle => "bvsle".into(),
+        Op::MemRead => "read".into(),
+        Op::MemWrite => "write".into(),
+        Op::BoolToBv => "bool2bv".into(),
+    }
+}
+
+impl fmt::Display for ExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Iterative rendering with an explicit work stack to stay safe on
+        // deep expressions.
+        enum Work {
+            Open(ExprRef),
+            Text(&'static str),
+        }
+        let mut stack = vec![Work::Open(self.root)];
+        while let Some(w) = stack.pop() {
+            match w {
+                Work::Text(t) => f.write_str(t)?,
+                Work::Open(e) => match self.ctx.node(e) {
+                    ExprNode::BoolConst(b) => write!(f, "{b}")?,
+                    ExprNode::BvConst(v) => write!(f, "{v}")?,
+                    ExprNode::MemConst(m) => write!(
+                        f,
+                        "(mem[{}->{}] default {})",
+                        m.addr_width(),
+                        m.data_width(),
+                        m.default_word()
+                    )?,
+                    ExprNode::Var { name, .. } => f.write_str(name)?,
+                    ExprNode::App { op, args, .. } => {
+                        write!(f, "({}", op_name(*op))?;
+                        stack.push(Work::Text(")"));
+                        for &a in args.iter().rev() {
+                            stack.push(Work::Open(a));
+                            stack.push(Work::Text(" "));
+                        }
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sort;
+
+    #[test]
+    fn renders_nested() {
+        let mut ctx = ExprCtx::new();
+        let x = ctx.var("x", Sort::Bv(4));
+        let y = ctx.var("y", Sort::Bv(4));
+        let p = ctx.var("p", Sort::Bool);
+        let s = ctx.bvadd(x, y);
+        let e = ctx.ite(p, s, x);
+        assert_eq!(ctx.display(e).to_string(), "(ite p (bvadd x y) x)");
+    }
+
+    #[test]
+    fn renders_extract() {
+        let mut ctx = ExprCtx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let e = ctx.extract(x, 7, 4);
+        assert_eq!(ctx.display(e).to_string(), "(extract[7:4] x)");
+    }
+}

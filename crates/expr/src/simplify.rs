@@ -1,0 +1,367 @@
+//! A bottom-up rewriting simplifier.
+//!
+//! Construction-time folding in [`ExprCtx`] already handles fully-constant
+//! applications and a few boolean identities. This pass adds algebraic
+//! rules that need to look at operand structure (additive/multiplicative
+//! identities, xor/sub cancellation, extract-of-concat, nested
+//! extensions) and applies them to a whole DAG at once.
+
+use std::collections::HashMap;
+
+use crate::ctx::{ExprCtx, ExprNode, ExprRef, Op};
+
+/// Simplifies `root` bottom-up, returning an equivalent expression.
+///
+/// The result is semantically equal to the input for every assignment of
+/// the free variables (a property checked by randomized tests in this
+/// crate and by SAT-based equivalence checks in `gila-smt`).
+///
+/// # Examples
+///
+/// ```
+/// use gila_expr::{simplify, ExprCtx, Sort};
+///
+/// let mut ctx = ExprCtx::new();
+/// let x = ctx.var("x", Sort::Bv(8));
+/// let zero = ctx.bv_u64(0, 8);
+/// let e = ctx.bvadd(x, zero);
+/// assert_eq!(simplify(&mut ctx, e), x);
+/// ```
+pub fn simplify(ctx: &mut ExprCtx, root: ExprRef) -> ExprRef {
+    let mut memo = HashMap::new();
+    simplify_cached(ctx, root, &mut memo)
+}
+
+/// Like [`simplify`] but shares a memo table across multiple roots.
+pub fn simplify_cached(
+    ctx: &mut ExprCtx,
+    root: ExprRef,
+    memo: &mut HashMap<ExprRef, ExprRef>,
+) -> ExprRef {
+    let order = ctx.post_order(&[root]);
+    for e in order {
+        if memo.contains_key(&e) {
+            continue;
+        }
+        let out = match ctx.node(e).clone() {
+            ExprNode::App { op, args, .. } => {
+                let new_args: Vec<ExprRef> = args.iter().map(|a| memo[a]).collect();
+                let mut cur = ctx.app(op, new_args);
+                // Rules can cascade (e.g. extract-of-concat producing a
+                // full-range extract); iterate to a local fixpoint.
+                for _ in 0..8 {
+                    match rewrite(ctx, cur) {
+                        Some(next) if next != cur => cur = next,
+                        _ => break,
+                    }
+                }
+                cur
+            }
+            _ => e,
+        };
+        memo.insert(e, out);
+    }
+    memo[&root]
+}
+
+/// One top-level rewrite step; `None` means no rule applied.
+fn rewrite(ctx: &mut ExprCtx, e: ExprRef) -> Option<ExprRef> {
+    let (op, args) = match ctx.node(e) {
+        ExprNode::App { op, args, .. } => (*op, args.clone()),
+        _ => return None,
+    };
+    let is_zero = |ctx: &ExprCtx, a: ExprRef| ctx.as_bv_const(a).is_some_and(|v| v.is_zero());
+    let is_ones = |ctx: &ExprCtx, a: ExprRef| ctx.as_bv_const(a).is_some_and(|v| v.is_ones());
+    match op {
+        Op::BvAdd => {
+            if is_zero(ctx, args[0]) {
+                return Some(args[1]);
+            }
+            if is_zero(ctx, args[1]) {
+                return Some(args[0]);
+            }
+            None
+        }
+        Op::BvSub => {
+            if is_zero(ctx, args[1]) {
+                return Some(args[0]);
+            }
+            if args[0] == args[1] {
+                let w = ctx.sort_of(e).bv_width()?;
+                return Some(ctx.bv_u64(0, w));
+            }
+            None
+        }
+        Op::BvMul => {
+            let w = ctx.sort_of(e).bv_width()?;
+            for (c, other) in [(args[0], args[1]), (args[1], args[0])] {
+                if let Some(v) = ctx.as_bv_const(c) {
+                    if v.is_zero() {
+                        return Some(ctx.bv_u64(0, w));
+                    }
+                    if v.to_u64() == 1 && v.try_to_u64() == Some(1) {
+                        return Some(other);
+                    }
+                }
+            }
+            None
+        }
+        Op::BvAnd => {
+            if is_zero(ctx, args[0]) || is_zero(ctx, args[1]) {
+                let w = ctx.sort_of(e).bv_width()?;
+                return Some(ctx.bv_u64(0, w));
+            }
+            if is_ones(ctx, args[0]) {
+                return Some(args[1]);
+            }
+            if is_ones(ctx, args[1]) {
+                return Some(args[0]);
+            }
+            if args[0] == args[1] {
+                return Some(args[0]);
+            }
+            None
+        }
+        Op::BvOr => {
+            if is_ones(ctx, args[0]) || is_ones(ctx, args[1]) {
+                let w = ctx.sort_of(e).bv_width()?;
+                return Some(ctx.bv(crate::BitVecValue::ones(w)));
+            }
+            if is_zero(ctx, args[0]) {
+                return Some(args[1]);
+            }
+            if is_zero(ctx, args[1]) {
+                return Some(args[0]);
+            }
+            if args[0] == args[1] {
+                return Some(args[0]);
+            }
+            None
+        }
+        Op::BvXor => {
+            if args[0] == args[1] {
+                let w = ctx.sort_of(e).bv_width()?;
+                return Some(ctx.bv_u64(0, w));
+            }
+            if is_zero(ctx, args[0]) {
+                return Some(args[1]);
+            }
+            if is_zero(ctx, args[1]) {
+                return Some(args[0]);
+            }
+            None
+        }
+        Op::BvExtract { hi, lo } => {
+            let arg = args[0];
+            let arg_w = ctx.sort_of(arg).bv_width()?;
+            // Full-range extraction is the identity.
+            if lo == 0 && hi + 1 == arg_w {
+                return Some(arg);
+            }
+            match ctx.node(arg).clone() {
+                // extract over concat: select from the matching half if possible.
+                ExprNode::App {
+                    op: Op::BvConcat,
+                    args: cargs,
+                    ..
+                } => {
+                    let lo_w = ctx.sort_of(cargs[1]).bv_width()?;
+                    if hi < lo_w {
+                        return Some(ctx.extract(cargs[1], hi, lo));
+                    }
+                    if lo >= lo_w {
+                        return Some(ctx.extract(cargs[0], hi - lo_w, lo - lo_w));
+                    }
+                    None
+                }
+                // extract over extract composes.
+                ExprNode::App {
+                    op: Op::BvExtract { lo: lo2, .. },
+                    args: iargs,
+                    ..
+                } => Some(ctx.extract(iargs[0], hi + lo2, lo + lo2)),
+                // extract of a zext that stays within the original width.
+                ExprNode::App {
+                    op: Op::BvZext { .. },
+                    args: iargs,
+                    ..
+                } => {
+                    let inner_w = ctx.sort_of(iargs[0]).bv_width()?;
+                    if hi < inner_w {
+                        return Some(ctx.extract(iargs[0], hi, lo));
+                    }
+                    None
+                }
+                _ => None,
+            }
+        }
+        Op::BvZext { to } => match ctx.node(args[0]).clone() {
+            ExprNode::App {
+                op: Op::BvZext { .. },
+                args: iargs,
+                ..
+            } => Some(ctx.zext(iargs[0], to)),
+            _ => None,
+        },
+        Op::Eq => {
+            // eq of bool constants against expressions -> the expression or its negation
+            let sa = ctx.sort_of(args[0]);
+            if sa.is_bool() {
+                if let Some(b) = ctx.as_bool_const(args[0]) {
+                    return Some(if b { args[1] } else { ctx.not(args[1]) });
+                }
+                if let Some(b) = ctx.as_bool_const(args[1]) {
+                    return Some(if b { args[0] } else { ctx.not(args[0]) });
+                }
+            }
+            None
+        }
+        Op::MemRead => {
+            // read(write(m, a, d), a) = d ; read(write(m, a, d), b) with
+            // distinct constant addresses = read(m, b).
+            if let ExprNode::App {
+                op: Op::MemWrite,
+                args: wargs,
+                ..
+            } = ctx.node(args[0]).clone()
+            {
+                if wargs[1] == args[1] {
+                    return Some(wargs[2]);
+                }
+                if let (Some(wa), Some(ra)) =
+                    (ctx.as_bv_const(wargs[1]), ctx.as_bv_const(args[1]))
+                {
+                    if wa != ra {
+                        return Some(ctx.mem_read(wargs[0], args[1]));
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eval, Env, Sort};
+
+    fn bv_var(ctx: &mut ExprCtx, n: &str, w: u32) -> ExprRef {
+        ctx.var(n, Sort::Bv(w))
+    }
+
+    #[test]
+    fn additive_identities() {
+        let mut ctx = ExprCtx::new();
+        let x = bv_var(&mut ctx, "x", 8);
+        let z = ctx.bv_u64(0, 8);
+        let e = ctx.bvadd(z, x);
+        assert_eq!(simplify(&mut ctx, e), x);
+        let e = ctx.bvsub(x, z);
+        assert_eq!(simplify(&mut ctx, e), x);
+        let e = ctx.bvsub(x, x);
+        assert_eq!(simplify(&mut ctx, e), z);
+    }
+
+    #[test]
+    fn bitwise_identities() {
+        let mut ctx = ExprCtx::new();
+        let x = bv_var(&mut ctx, "x", 8);
+        let z = ctx.bv_u64(0, 8);
+        let ones = ctx.bv(crate::BitVecValue::ones(8));
+        let e = ctx.bvand(x, ones);
+        assert_eq!(simplify(&mut ctx, e), x);
+        let e = ctx.bvand(x, z);
+        assert_eq!(simplify(&mut ctx, e), z);
+        let e = ctx.bvor(x, z);
+        assert_eq!(simplify(&mut ctx, e), x);
+        let e = ctx.bvxor(x, x);
+        assert_eq!(simplify(&mut ctx, e), z);
+    }
+
+    #[test]
+    fn extract_of_concat() {
+        let mut ctx = ExprCtx::new();
+        let hi = bv_var(&mut ctx, "h", 8);
+        let lo = bv_var(&mut ctx, "l", 8);
+        let c = ctx.concat(hi, lo);
+        let e = ctx.extract(c, 7, 0);
+        assert_eq!(simplify(&mut ctx, e), lo);
+        let e = ctx.extract(c, 15, 8);
+        assert_eq!(simplify(&mut ctx, e), hi);
+        let e = ctx.extract(c, 15, 0);
+        assert_eq!(simplify(&mut ctx, e), c);
+    }
+
+    #[test]
+    fn extract_of_extract() {
+        let mut ctx = ExprCtx::new();
+        let x = bv_var(&mut ctx, "x", 16);
+        let inner = ctx.extract(x, 11, 4);
+        let e = ctx.extract(inner, 5, 2);
+        let expected = ctx.extract(x, 9, 6);
+        assert_eq!(simplify(&mut ctx, e), expected);
+    }
+
+    #[test]
+    fn read_over_write() {
+        let mut ctx = ExprCtx::new();
+        let m = ctx.var(
+            "m",
+            Sort::Mem {
+                addr_width: 4,
+                data_width: 8,
+            },
+        );
+        let a = ctx.var("a", Sort::Bv(4));
+        let d = ctx.var("d", Sort::Bv(8));
+        let w = ctx.mem_write(m, a, d);
+        let r = ctx.mem_read(w, a);
+        assert_eq!(simplify(&mut ctx, r), d);
+
+        let a1 = ctx.bv_u64(1, 4);
+        let a2 = ctx.bv_u64(2, 4);
+        let w = ctx.mem_write(m, a1, d);
+        let r = ctx.mem_read(w, a2);
+        let expected = ctx.mem_read(m, a2);
+        assert_eq!(simplify(&mut ctx, r), expected);
+    }
+
+    #[test]
+    fn simplify_preserves_semantics_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let mut ctx = ExprCtx::new();
+            let x = bv_var(&mut ctx, "x", 8);
+            let y = bv_var(&mut ctx, "y", 8);
+            // Build a random expression.
+            let mut pool = vec![x, y, ctx.bv_u64(0, 8), ctx.bv_u64(0xFF, 8)];
+            for _ in 0..10 {
+                let a = pool[rng.gen_range(0..pool.len())];
+                let b = pool[rng.gen_range(0..pool.len())];
+                let e = match rng.gen_range(0..6) {
+                    0 => ctx.bvadd(a, b),
+                    1 => ctx.bvsub(a, b),
+                    2 => ctx.bvand(a, b),
+                    3 => ctx.bvor(a, b),
+                    4 => ctx.bvxor(a, b),
+                    _ => ctx.bvmul(a, b),
+                };
+                pool.push(e);
+            }
+            let root = *pool.last().unwrap();
+            let simplified = simplify(&mut ctx, root);
+            for _ in 0..16 {
+                let mut env = Env::new();
+                env.bind_u64(&ctx, "x", rng.gen_range(0..256));
+                env.bind_u64(&ctx, "y", rng.gen_range(0..256));
+                assert_eq!(
+                    eval(&ctx, root, &env).unwrap(),
+                    eval(&ctx, simplified, &env).unwrap()
+                );
+            }
+        }
+    }
+}

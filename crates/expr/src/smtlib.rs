@@ -1,0 +1,302 @@
+//! SMT-LIB 2 export: render expressions as scripts an external solver
+//! (Z3, CVC5, Bitwuzla, ...) can check, for cross-validation of the
+//! built-in decision procedure.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::ctx::{ExprCtx, ExprNode, ExprRef, Op};
+use crate::Sort;
+
+fn sort_to_smtlib(sort: Sort) -> String {
+    match sort {
+        Sort::Bool => "Bool".to_string(),
+        Sort::Bv(w) => format!("(_ BitVec {w})"),
+        Sort::Mem {
+            addr_width,
+            data_width,
+        } => format!("(Array (_ BitVec {addr_width}) (_ BitVec {data_width}))"),
+    }
+}
+
+/// Quotes identifiers that are not plain SMT-LIB symbols.
+fn symbol(name: &str) -> String {
+    // '@' and '.' are reserved for solver-internal names, so quote them
+    // even though the grammar technically allows them in simple symbols.
+    let plain = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "~!$%^&*_-+=<>?/".contains(c))
+        && !name.chars().next().expect("non-empty").is_ascii_digit();
+    if plain {
+        name.to_string()
+    } else {
+        format!("|{name}|")
+    }
+}
+
+/// Renders one expression as an SMT-LIB term (no declarations).
+///
+/// # Examples
+///
+/// ```
+/// use gila_expr::{to_smtlib_term, ExprCtx, Sort};
+///
+/// let mut ctx = ExprCtx::new();
+/// let x = ctx.var("x", Sort::Bv(8));
+/// let one = ctx.bv_u64(1, 8);
+/// let e = ctx.bvadd(x, one);
+/// assert_eq!(to_smtlib_term(&ctx, e), "(bvadd x #x01)");
+/// ```
+pub fn to_smtlib_term(ctx: &ExprCtx, root: ExprRef) -> String {
+    let mut out = String::new();
+    render(ctx, root, &mut out);
+    out
+}
+
+fn render(ctx: &ExprCtx, e: ExprRef, out: &mut String) {
+    // Iterative rendering with an explicit stack (deep DAGs are common).
+    enum Work {
+        Open(ExprRef),
+        Text(String),
+    }
+    let mut stack = vec![Work::Open(e)];
+    while let Some(w) = stack.pop() {
+        match w {
+            Work::Text(t) => out.push_str(&t),
+            Work::Open(e) => match ctx.node(e) {
+                ExprNode::BoolConst(b) => {
+                    let _ = write!(out, "{b}");
+                }
+                ExprNode::BvConst(v) => {
+                    if v.width() % 4 == 0 {
+                        let _ = write!(out, "#x{v:x}");
+                    } else {
+                        let _ = write!(out, "#b{v:b}");
+                    }
+                }
+                ExprNode::MemConst(m) => {
+                    // ((as const (Array ...)) default) with nested stores.
+                    let sort = ctx.sort_of(e);
+                    let mut term = format!(
+                        "((as const {}) {})",
+                        sort_to_smtlib(sort),
+                        bv_literal(m.default_word())
+                    );
+                    for (addr, word) in m.iter_written() {
+                        let a = crate::BitVecValue::from_u64(addr, m.addr_width());
+                        term = format!("(store {term} {} {})", bv_literal(&a), bv_literal(word));
+                    }
+                    out.push_str(&term);
+                }
+                ExprNode::Var { name, .. } => out.push_str(&symbol(name)),
+                ExprNode::App { op, args, .. } => {
+                    let head = match op {
+                        Op::Not => "not".to_string(),
+                        Op::And => "and".to_string(),
+                        Op::Or => "or".to_string(),
+                        Op::Xor => "xor".to_string(),
+                        Op::Implies => "=>".to_string(),
+                        Op::Iff => "=".to_string(),
+                        Op::Ite => "ite".to_string(),
+                        Op::Eq => "=".to_string(),
+                        Op::BvNot => "bvnot".to_string(),
+                        Op::BvNeg => "bvneg".to_string(),
+                        Op::BvAnd => "bvand".to_string(),
+                        Op::BvOr => "bvor".to_string(),
+                        Op::BvXor => "bvxor".to_string(),
+                        Op::BvAdd => "bvadd".to_string(),
+                        Op::BvSub => "bvsub".to_string(),
+                        Op::BvMul => "bvmul".to_string(),
+                        Op::BvUdiv => "bvudiv".to_string(),
+                        Op::BvUrem => "bvurem".to_string(),
+                        Op::BvShl => "bvshl".to_string(),
+                        Op::BvLshr => "bvlshr".to_string(),
+                        Op::BvAshr => "bvashr".to_string(),
+                        Op::BvConcat => "concat".to_string(),
+                        Op::BvExtract { hi, lo } => format!("(_ extract {hi} {lo})"),
+                        Op::BvZext { to } => {
+                            let w = ctx.sort_of(args[0]).bv_width().expect("bv");
+                            format!("(_ zero_extend {})", to - w)
+                        }
+                        Op::BvSext { to } => {
+                            let w = ctx.sort_of(args[0]).bv_width().expect("bv");
+                            format!("(_ sign_extend {})", to - w)
+                        }
+                        Op::BvUlt => "bvult".to_string(),
+                        Op::BvUle => "bvule".to_string(),
+                        Op::BvSlt => "bvslt".to_string(),
+                        Op::BvSle => "bvsle".to_string(),
+                        Op::MemRead => "select".to_string(),
+                        Op::MemWrite => "store".to_string(),
+                        Op::BoolToBv => {
+                            // (ite b #b1 #b0)
+                            out.push_str("(ite ");
+                            stack.push(Work::Text(" #b1 #b0)".to_string()));
+                            stack.push(Work::Open(args[0]));
+                            continue;
+                        }
+                    };
+                    let _ = write!(out, "({head}");
+                    stack.push(Work::Text(")".to_string()));
+                    for &a in args.iter().rev() {
+                        stack.push(Work::Open(a));
+                        stack.push(Work::Text(" ".to_string()));
+                    }
+                }
+            },
+        }
+    }
+}
+
+fn bv_literal(v: &crate::BitVecValue) -> String {
+    if v.width().is_multiple_of(4) {
+        format!("#x{v:x}")
+    } else {
+        format!("#b{v:b}")
+    }
+}
+
+/// Renders a complete SMT-LIB 2 script asserting the given boolean
+/// expressions: logic declaration, one `declare-const` per free
+/// variable, the assertions, and `(check-sat)`.
+///
+/// # Panics
+///
+/// Panics if any assertion is not boolean-sorted.
+///
+/// # Examples
+///
+/// ```
+/// use gila_expr::{to_smtlib_script, ExprCtx, Sort};
+///
+/// let mut ctx = ExprCtx::new();
+/// let x = ctx.var("x", Sort::Bv(8));
+/// let c = ctx.bv_u64(200, 8);
+/// let a = ctx.ugt(x, c);
+/// let script = to_smtlib_script(&ctx, &[a]);
+/// assert!(script.contains("(declare-const x (_ BitVec 8))"));
+/// assert!(script.contains("(check-sat)"));
+/// ```
+pub fn to_smtlib_script(ctx: &ExprCtx, assertions: &[ExprRef]) -> String {
+    for &a in assertions {
+        assert!(
+            ctx.sort_of(a).is_bool(),
+            "assertions must be boolean, got {}",
+            ctx.sort_of(a)
+        );
+    }
+    let mut out = String::new();
+    let uses_arrays = ctx
+        .post_order(assertions)
+        .iter()
+        .any(|&e| ctx.sort_of(e).is_mem());
+    let logic = if uses_arrays { "QF_ABV" } else { "QF_BV" };
+    let _ = writeln!(out, "(set-logic {logic})");
+    let mut seen: HashSet<String> = HashSet::new();
+    for v in ctx.vars_of(assertions) {
+        let name = ctx.var_name(v).expect("var node").to_string();
+        if seen.insert(name.clone()) {
+            let _ = writeln!(
+                out,
+                "(declare-const {} {})",
+                symbol(&name),
+                sort_to_smtlib(ctx.sort_of(v))
+            );
+        }
+    }
+    for &a in assertions {
+        let _ = writeln!(out, "(assert {})", to_smtlib_term(ctx, a));
+    }
+    out.push_str("(check-sat)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terms_render() {
+        let mut ctx = ExprCtx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let y = ctx.var("y", Sort::Bv(8));
+        let s = ctx.bvadd(x, y);
+        let c = ctx.bv_u64(0xAB, 8);
+        let e = ctx.eq(s, c);
+        assert_eq!(to_smtlib_term(&ctx, e), "(= (bvadd x y) #xab)");
+        let ext = ctx.extract(x, 7, 4);
+        assert_eq!(to_smtlib_term(&ctx, ext), "((_ extract 7 4) x)");
+        let z = ctx.zext(x, 12);
+        assert_eq!(to_smtlib_term(&ctx, z), "((_ zero_extend 4) x)");
+        let odd = ctx.bv_u64(5, 3);
+        assert_eq!(to_smtlib_term(&ctx, odd), "#b101");
+    }
+
+    #[test]
+    fn memory_ops_render_as_arrays() {
+        let mut ctx = ExprCtx::new();
+        let m = ctx.var(
+            "m",
+            Sort::Mem {
+                addr_width: 4,
+                data_width: 8,
+            },
+        );
+        let a = ctx.var("a", Sort::Bv(4));
+        let d = ctx.var("d", Sort::Bv(8));
+        let w = ctx.mem_write(m, a, d);
+        let r = ctx.mem_read(w, a);
+        assert_eq!(to_smtlib_term(&ctx, r), "(select (store m a d) a)");
+    }
+
+    #[test]
+    fn script_declares_and_sets_logic() {
+        let mut ctx = ExprCtx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let p = ctx.var("p", Sort::Bool);
+        let c = ctx.eq_u64(x, 3);
+        let a = ctx.and(p, c);
+        let script = to_smtlib_script(&ctx, &[a]);
+        assert!(script.starts_with("(set-logic QF_BV)"));
+        assert!(script.contains("(declare-const x (_ BitVec 8))"));
+        assert!(script.contains("(declare-const p Bool)"));
+        assert!(script.contains("(assert (and p (= x #x03)))"));
+        assert!(script.ends_with("(check-sat)\n"));
+    }
+
+    #[test]
+    fn arrays_switch_the_logic() {
+        let mut ctx = ExprCtx::new();
+        let m = ctx.var(
+            "m",
+            Sort::Mem {
+                addr_width: 2,
+                data_width: 4,
+            },
+        );
+        let a = ctx.bv_u64(1, 2);
+        let r = ctx.mem_read(m, a);
+        let p = ctx.eq_u64(r, 0);
+        let script = to_smtlib_script(&ctx, &[p]);
+        assert!(script.starts_with("(set-logic QF_ABV)"));
+        assert!(script.contains("(Array (_ BitVec 2) (_ BitVec 4))"));
+    }
+
+    #[test]
+    fn odd_identifiers_are_quoted() {
+        let mut ctx = ExprCtx::new();
+        let v = ctx.var("cnt@0", Sort::Bv(4));
+        let p = ctx.eq_u64(v, 1);
+        let script = to_smtlib_script(&ctx, &[p]);
+        assert!(script.contains("(declare-const |cnt@0| (_ BitVec 4))"));
+    }
+
+    #[test]
+    fn bool_to_bv_renders_as_ite() {
+        let mut ctx = ExprCtx::new();
+        let p = ctx.var("p", Sort::Bool);
+        let b = ctx.bool_to_bv(p);
+        assert_eq!(to_smtlib_term(&ctx, b), "(ite p #b1 #b0)");
+    }
+}

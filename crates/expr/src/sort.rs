@@ -1,0 +1,108 @@
+//! Sorts (types) of expressions: booleans, fixed-width bit-vectors, and
+//! memories (arrays from bit-vector addresses to bit-vector words).
+
+use std::fmt;
+
+/// The sort of an expression.
+///
+/// # Examples
+///
+/// ```
+/// use gila_expr::Sort;
+///
+/// assert!(Sort::Bv(8).is_bv());
+/// assert_eq!(Sort::Bv(8).bv_width(), Some(8));
+/// assert_eq!(Sort::Mem { addr_width: 4, data_width: 8 }.to_string(), "mem[4 -> 8]");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// Boolean.
+    Bool,
+    /// Bit-vector of the given width (>= 1).
+    Bv(u32),
+    /// Memory: `2^addr_width` words of `data_width` bits each.
+    Mem {
+        /// Address width in bits.
+        addr_width: u32,
+        /// Data word width in bits.
+        data_width: u32,
+    },
+}
+
+impl Sort {
+    /// True if this is the boolean sort.
+    pub fn is_bool(self) -> bool {
+        matches!(self, Sort::Bool)
+    }
+
+    /// True if this is a bit-vector sort.
+    pub fn is_bv(self) -> bool {
+        matches!(self, Sort::Bv(_))
+    }
+
+    /// True if this is a memory sort.
+    pub fn is_mem(self) -> bool {
+        matches!(self, Sort::Mem { .. })
+    }
+
+    /// The bit-vector width, if this is a bit-vector sort.
+    pub fn bv_width(self) -> Option<u32> {
+        match self {
+            Sort::Bv(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// The number of state bits needed to store a value of this sort.
+    ///
+    /// Booleans count as 1 bit; a memory counts as `2^addr_width * data_width`
+    /// bits. This matches how the paper counts "state bits" in Table I.
+    pub fn bit_count(self) -> u64 {
+        match self {
+            Sort::Bool => 1,
+            Sort::Bv(w) => w as u64,
+            Sort::Mem {
+                addr_width,
+                data_width,
+            } => (1u64 << addr_width) * data_width as u64,
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "bool"),
+            Sort::Bv(w) => write!(f, "bv{w}"),
+            Sort::Mem {
+                addr_width,
+                data_width,
+            } => write!(f, "mem[{addr_width} -> {data_width}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_counts() {
+        assert_eq!(Sort::Bool.bit_count(), 1);
+        assert_eq!(Sort::Bv(13).bit_count(), 13);
+        assert_eq!(
+            Sort::Mem {
+                addr_width: 8,
+                data_width: 8
+            }
+            .bit_count(),
+            2048
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Sort::Bool.to_string(), "bool");
+        assert_eq!(Sort::Bv(32).to_string(), "bv32");
+    }
+}

@@ -1,0 +1,255 @@
+//! Lexer for the `.ila` specification language.
+
+use std::fmt;
+
+use gila_expr::BitVecValue;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Number: unsized decimal or sized Verilog-style literal.
+    Number {
+        /// Declared width for sized literals.
+        width: Option<u32>,
+        /// The value.
+        value: BitVecValue,
+    },
+    /// Operator or punctuation.
+    Sym(&'static str),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number { width, value } => match width {
+                Some(w) => write!(f, "{w}'h{value:x}"),
+                None => write!(f, "{}", value.to_u64()),
+            },
+            Token::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A lexing or parsing error with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IlaSyntaxError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl IlaSyntaxError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        IlaSyntaxError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for IlaSyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ila syntax error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for IlaSyntaxError {}
+
+const MULTI: &[&str] = &[":=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>"];
+const SINGLE: &[(char, &str)] = &[
+    ('{', "{"),
+    ('}', "}"),
+    ('(', "("),
+    (')', ")"),
+    ('[', "["),
+    (']', "]"),
+    (',', ","),
+    (';', ";"),
+    (':', ":"),
+    ('=', "="),
+    ('<', "<"),
+    ('>', ">"),
+    ('+', "+"),
+    ('-', "-"),
+    ('*', "*"),
+    ('/', "/"),
+    ('%', "%"),
+    ('&', "&"),
+    ('|', "|"),
+    ('^', "^"),
+    ('~', "~"),
+    ('!', "!"),
+    ('?', "?"),
+];
+
+/// Tokenizes `.ila` source text.
+///
+/// # Errors
+///
+/// Returns an [`IlaSyntaxError`] for malformed literals or unexpected
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<SpannedToken>, IlaSyntaxError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(SpannedToken {
+                token: Token::Ident(chars[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                i += 1;
+            }
+            let dec: String = chars[start..i].iter().filter(|c| **c != '_').collect();
+            if chars.get(i) == Some(&'\'') {
+                let width: u32 = dec
+                    .parse()
+                    .map_err(|_| IlaSyntaxError::new(line, format!("bad width {dec:?}")))?;
+                if width == 0 {
+                    return Err(IlaSyntaxError::new(line, "zero-width literal"));
+                }
+                i += 1;
+                let base = chars
+                    .get(i)
+                    .copied()
+                    .ok_or_else(|| IlaSyntaxError::new(line, "missing literal base"))?;
+                i += 1;
+                let dstart = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let digits: String = chars[dstart..i].iter().filter(|c| **c != '_').collect();
+                let raw = match base.to_ascii_lowercase() {
+                    'h' => BitVecValue::parse_hex(&digits),
+                    'b' => BitVecValue::parse_binary(&digits),
+                    'd' => digits
+                        .parse::<u64>()
+                        .ok()
+                        .map(|v| BitVecValue::from_u64(v, 64)),
+                    _ => None,
+                }
+                .ok_or_else(|| {
+                    IlaSyntaxError::new(line, format!("bad {base}-literal {digits:?}"))
+                })?;
+                let value = if raw.width() >= width {
+                    raw.extract(width - 1, 0)
+                } else {
+                    raw.zext(width)
+                };
+                out.push(SpannedToken {
+                    token: Token::Number {
+                        width: Some(width),
+                        value,
+                    },
+                    line,
+                });
+            } else {
+                let v: u64 = dec
+                    .parse()
+                    .map_err(|_| IlaSyntaxError::new(line, format!("bad number {dec:?}")))?;
+                out.push(SpannedToken {
+                    token: Token::Number {
+                        width: None,
+                        value: BitVecValue::from_u64(v, 64),
+                    },
+                    line,
+                });
+            }
+            continue;
+        }
+        let rest: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        if let Some(&m) = MULTI.iter().find(|m| rest.starts_with(**m)) {
+            out.push(SpannedToken {
+                token: Token::Sym(m),
+                line,
+            });
+            i += m.len();
+            continue;
+        }
+        if let Some(&(_, s)) = SINGLE.iter().find(|&&(ch, _)| ch == c) {
+            out.push(SpannedToken {
+                token: Token::Sym(s),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        return Err(IlaSyntaxError::new(line, format!("unexpected character {c:?}")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_declarations_and_assign() {
+        let toks = lex("state cnt : bv8 init 0\ncnt := cnt + 1").unwrap();
+        assert_eq!(toks[0].token, Token::Ident("state".into()));
+        assert_eq!(toks[3].token, Token::Ident("bv8".into()));
+        assert!(toks.iter().any(|t| t.token == Token::Sym(":=")));
+    }
+
+    #[test]
+    fn sized_literals() {
+        let toks = lex("4'b1010 8'hff 10'd33").unwrap();
+        let Token::Number { width, value } = &toks[0].token else {
+            panic!()
+        };
+        assert_eq!((*width, value.to_u64()), (Some(4), 0b1010));
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // comment\nb").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("3'q0").is_err());
+        assert!(lex("0'h0").is_err());
+    }
+}

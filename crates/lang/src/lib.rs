@@ -1,0 +1,36 @@
+//! # gila-lang — a textual specification language for ILAs
+//!
+//! Write port-ILAs and module-ILAs (including shared-state integration
+//! with conflict resolvers) as plain text instead of Rust:
+//!
+//! ```
+//! use gila_lang::parse_ila;
+//!
+//! let module = parse_ila(r#"
+//! port counter {
+//!   input en : bv1
+//!   output state cnt : bv8 init 0
+//!
+//!   instr inc when en == 1 { cnt := cnt + 1 }
+//!   instr hold when en == 0 { }
+//! }
+//! "#)?;
+//! assert_eq!(module.stats().instructions, 2);
+//! # Ok::<(), gila_lang::IlaSyntaxError>(())
+//! ```
+//!
+//! A `module` block may contain several `port` blocks plus `integrate`
+//! directives that cross-product shared-state ports with a named
+//! conflict-resolution policy (`value_priority 1'b1`,
+//! `port_priority [A, B]`, `round_robin ptr`, or `none` to surface
+//! specification gaps).
+
+#![warn(missing_docs)]
+
+mod lexer;
+mod parser;
+mod printer;
+
+pub use lexer::IlaSyntaxError;
+pub use parser::parse_ila;
+pub use printer::{port_to_ila_text, to_ila_text, PrintIlaError};

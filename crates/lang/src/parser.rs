@@ -1,0 +1,965 @@
+//! Parser and elaborator for the `.ila` specification language.
+//!
+//! ```text
+//! module mem_iface {
+//!   port ROM_PORT {
+//!     input rom_req : bv1
+//!     input rom_addr_in : bv16
+//!     output state rom_addr : bv16
+//!     state mem_wait : bv1 init 0
+//!
+//!     instr ROM_REQ when rom_req == 1 {
+//!       rom_addr := rom_addr_in
+//!       mem_wait := 1
+//!     }
+//!     instr ROM_IDLE when rom_req == 0 { mem_wait := 0 }
+//!   }
+//!   port RAM_PORT { ... }
+//!
+//!   integrate ROM_RAM_PORT = ROM_PORT, RAM_PORT resolve value_priority 1'b1
+//! }
+//! ```
+//!
+//! A file may instead contain bare `port` blocks; each becomes a
+//! single-port module. Unsized decimal literals adapt to the width of
+//! the surrounding context (`mem_wait := 1` writes a 1-bit one).
+
+use gila_core::{
+    integrate, ConflictResolver, ModuleIla, NoResolver, PortIla, PortPriorityResolver,
+    RoundRobinResolver, StateKind, ValuePriorityResolver,
+};
+use gila_expr::{BitVecValue, ExprRef, Sort};
+
+use crate::lexer::{lex, IlaSyntaxError, SpannedToken, Token};
+
+/// A value under elaboration: a concrete expression or a still-unsized
+/// decimal literal awaiting a width from context.
+#[derive(Clone, Copy, Debug)]
+enum Val {
+    Expr(ExprRef),
+    Lit(u64),
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> IlaSyntaxError {
+        IlaSyntaxError::new(self.line(), msg)
+    }
+
+    fn next(&mut self) -> Result<Token, IlaSyntaxError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .map(|t| t.token.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> Result<(), IlaSyntaxError> {
+        let line = self.line();
+        match self.next()? {
+            Token::Sym(s) if s == sym => Ok(()),
+            other => Err(IlaSyntaxError::new(
+                line,
+                format!("expected {sym:?}, found {other}"),
+            )),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), IlaSyntaxError> {
+        let line = self.line();
+        match self.next()? {
+            Token::Ident(s) if s == kw => Ok(()),
+            other => Err(IlaSyntaxError::new(
+                line,
+                format!("expected keyword {kw:?}, found {other}"),
+            )),
+        }
+    }
+
+    fn try_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn try_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, IlaSyntaxError> {
+        let line = self.line();
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(IlaSyntaxError::new(
+                line,
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<(Option<u32>, BitVecValue), IlaSyntaxError> {
+        let line = self.line();
+        match self.next()? {
+            Token::Number { width, value } => Ok((width, value)),
+            other => Err(IlaSyntaxError::new(
+                line,
+                format!("expected number, found {other}"),
+            )),
+        }
+    }
+
+    /// Parses a type: `bvN`, `bool`, or `mem[aw, dw]`.
+    fn sort(&mut self) -> Result<Sort, IlaSyntaxError> {
+        let name = self.ident()?;
+        if name == "bool" {
+            return Ok(Sort::Bool);
+        }
+        if name == "mem" {
+            self.eat_sym("[")?;
+            let (_, aw) = self.number()?;
+            self.eat_sym(",")?;
+            let (_, dw) = self.number()?;
+            self.eat_sym("]")?;
+            return Ok(Sort::Mem {
+                addr_width: aw.to_u64() as u32,
+                data_width: dw.to_u64() as u32,
+            });
+        }
+        if let Some(w) = name.strip_prefix("bv") {
+            let w: u32 = w
+                .parse()
+                .map_err(|_| self.err(format!("bad bit-vector type {name:?}")))?;
+            if w == 0 {
+                return Err(self.err("zero-width bit-vector type"));
+            }
+            return Ok(Sort::Bv(w));
+        }
+        Err(self.err(format!("unknown type {name:?}")))
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (elaborated against the current port)
+    // ------------------------------------------------------------------
+
+    fn resolve_val(&self, p: &mut PortIla, v: Val, width: u32) -> ExprRef {
+        match v {
+            Val::Expr(e) => {
+                let w = p.ctx().sort_of(e).bv_width().expect("bv value");
+                if w == width {
+                    e
+                } else if w < width {
+                    p.ctx_mut().zext(e, width)
+                } else {
+                    p.ctx_mut().extract(e, width - 1, 0)
+                }
+            }
+            Val::Lit(x) => p.ctx_mut().bv(BitVecValue::from_u64(x, width)),
+        }
+    }
+
+    fn width_of(&self, p: &PortIla, v: Val) -> Option<u32> {
+        match v {
+            Val::Expr(e) => p.ctx().sort_of(e).bv_width(),
+            Val::Lit(_) => None,
+        }
+    }
+
+    fn join(&mut self, p: &mut PortIla, a: Val, b: Val) -> Result<(ExprRef, ExprRef), IlaSyntaxError> {
+        let w = match (self.width_of(p, a), self.width_of(p, b)) {
+            (Some(wa), Some(wb)) => wa.max(wb),
+            (Some(w), None) | (None, Some(w)) => w,
+            (None, None) => 64,
+        };
+        Ok((self.resolve_val(p, a, w), self.resolve_val(p, b, w)))
+    }
+
+    fn expr(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        self.ternary(p)
+    }
+
+    fn ternary(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        let c = self.logical_or(p)?;
+        if self.try_sym("?") {
+            let t = self.ternary(p)?;
+            self.eat_sym(":")?;
+            let f = self.ternary(p)?;
+            let cw = self.width_of(p, c).unwrap_or(1);
+            let c = self.resolve_val(p, c, cw);
+            let cb = p.ctx_mut().bv_to_bool(c);
+            // Memory-sorted branches select whole memories (used by
+            // integrated models, e.g. "full ? buf : store(buf, ...)").
+            if let (Val::Expr(te), Val::Expr(fe)) = (t, f) {
+                if p.ctx().sort_of(te).is_mem() || p.ctx().sort_of(fe).is_mem() {
+                    if p.ctx().sort_of(te) != p.ctx().sort_of(fe) {
+                        return Err(self.err("ternary branches have different sorts"));
+                    }
+                    return Ok(Val::Expr(p.ctx_mut().ite(cb, te, fe)));
+                }
+            }
+            let (t, f) = self.join(p, t, f)?;
+            return Ok(Val::Expr(p.ctx_mut().ite(cb, t, f)));
+        }
+        Ok(c)
+    }
+
+    fn binary_chain(
+        &mut self,
+        p: &mut PortIla,
+        ops: &[&str],
+        next: fn(&mut Self, &mut PortIla) -> Result<Val, IlaSyntaxError>,
+    ) -> Result<Val, IlaSyntaxError> {
+        let mut lhs = next(self, p)?;
+        'outer: loop {
+            for &sym in ops {
+                if matches!(self.peek(), Some(Token::Sym(s)) if *s == sym) {
+                    self.pos += 1;
+                    let rhs = next(self, p)?;
+                    lhs = self.apply_binary(p, sym, lhs, rhs)?;
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn apply_binary(
+        &mut self,
+        p: &mut PortIla,
+        sym: &str,
+        a: Val,
+        b: Val,
+    ) -> Result<Val, IlaSyntaxError> {
+        // Pure literal arithmetic stays unsized.
+        if let (Val::Lit(x), Val::Lit(y)) = (a, b) {
+            let r = match sym {
+                "+" => x.wrapping_add(y),
+                "-" => x.wrapping_sub(y),
+                "*" => x.wrapping_mul(y),
+                "/" => x.checked_div(y).unwrap_or(u64::MAX),
+                "%" => x.checked_rem(y).unwrap_or(x),
+                "&" => x & y,
+                "|" => x | y,
+                "^" => x ^ y,
+                "<<" => x.checked_shl(y as u32).unwrap_or(0),
+                ">>" => x.checked_shr(y as u32).unwrap_or(0),
+                "==" => (x == y) as u64,
+                "!=" => (x != y) as u64,
+                "<" => (x < y) as u64,
+                "<=" => (x <= y) as u64,
+                ">" => (x > y) as u64,
+                ">=" => (x >= y) as u64,
+                "&&" => ((x != 0) && (y != 0)) as u64,
+                "||" => ((x != 0) || (y != 0)) as u64,
+                other => return Err(self.err(format!("unknown operator {other:?}"))),
+            };
+            return Ok(Val::Lit(r));
+        }
+        let (ea, eb) = self.join(p, a, b)?;
+        let ctx = p.ctx_mut();
+        let out = match sym {
+            "+" => ctx.bvadd(ea, eb),
+            "-" => ctx.bvsub(ea, eb),
+            "*" => ctx.bvmul(ea, eb),
+            "/" => ctx.bvudiv(ea, eb),
+            "%" => ctx.bvurem(ea, eb),
+            "&" => ctx.bvand(ea, eb),
+            "|" => ctx.bvor(ea, eb),
+            "^" => ctx.bvxor(ea, eb),
+            "<<" => ctx.bvshl(ea, eb),
+            ">>" => ctx.bvlshr(ea, eb),
+            "==" => {
+                let c = ctx.eq(ea, eb);
+                ctx.bool_to_bv(c)
+            }
+            "!=" => {
+                let c = ctx.ne(ea, eb);
+                ctx.bool_to_bv(c)
+            }
+            "<" => {
+                let c = ctx.ult(ea, eb);
+                ctx.bool_to_bv(c)
+            }
+            "<=" => {
+                let c = ctx.ule(ea, eb);
+                ctx.bool_to_bv(c)
+            }
+            ">" => {
+                let c = ctx.ugt(ea, eb);
+                ctx.bool_to_bv(c)
+            }
+            ">=" => {
+                let c = ctx.uge(ea, eb);
+                ctx.bool_to_bv(c)
+            }
+            "&&" => {
+                let ba = ctx.bv_to_bool(ea);
+                let bb = ctx.bv_to_bool(eb);
+                let c = ctx.and(ba, bb);
+                ctx.bool_to_bv(c)
+            }
+            "||" => {
+                let ba = ctx.bv_to_bool(ea);
+                let bb = ctx.bv_to_bool(eb);
+                let c = ctx.or(ba, bb);
+                ctx.bool_to_bv(c)
+            }
+            other => return Err(self.err(format!("unknown operator {other:?}"))),
+        };
+        Ok(Val::Expr(out))
+    }
+
+    fn logical_or(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        self.binary_chain(p, &["||"], Self::logical_and)
+    }
+
+    fn logical_and(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        self.binary_chain(p, &["&&"], Self::bit_or)
+    }
+
+    fn bit_or(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        self.binary_chain(p, &["|"], Self::bit_xor)
+    }
+
+    fn bit_xor(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        self.binary_chain(p, &["^"], Self::bit_and)
+    }
+
+    fn bit_and(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        self.binary_chain(p, &["&"], Self::equality)
+    }
+
+    fn equality(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        self.binary_chain(p, &["==", "!="], Self::relational)
+    }
+
+    fn relational(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        self.binary_chain(p, &["<=", ">=", "<", ">"], Self::shift)
+    }
+
+    fn shift(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        self.binary_chain(p, &["<<", ">>"], Self::additive)
+    }
+
+    fn additive(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        self.binary_chain(p, &["+", "-"], Self::multiplicative)
+    }
+
+    fn multiplicative(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        self.binary_chain(p, &["*", "/", "%"], Self::unary)
+    }
+
+    fn unary(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        if self.try_sym("~") {
+            let v = self.unary(p)?;
+            let e = self.resolve_val(p, v, self.width_of(p, v).unwrap_or(64));
+            return Ok(Val::Expr(p.ctx_mut().bvnot(e)));
+        }
+        if self.try_sym("!") {
+            let v = self.unary(p)?;
+            let e = self.resolve_val(p, v, self.width_of(p, v).unwrap_or(1));
+            let b = p.ctx_mut().bv_to_bool(e);
+            let nb = p.ctx_mut().not(b);
+            return Ok(Val::Expr(p.ctx_mut().bool_to_bv(nb)));
+        }
+        if self.try_sym("-") {
+            let v = self.unary(p)?;
+            if let Val::Lit(x) = v {
+                return Ok(Val::Lit(x.wrapping_neg()));
+            }
+            let e = self.resolve_val(p, v, self.width_of(p, v).unwrap_or(64));
+            return Ok(Val::Expr(p.ctx_mut().bvneg(e)));
+        }
+        self.primary(p)
+    }
+
+    fn primary(&mut self, p: &mut PortIla) -> Result<Val, IlaSyntaxError> {
+        match self.next()? {
+            Token::Number { width, value } => Ok(match width {
+                Some(_) => Val::Expr(p.ctx_mut().bv(value)),
+                None => Val::Lit(value.to_u64()),
+            }),
+            Token::Sym("(") => {
+                let v = self.expr(p)?;
+                self.eat_sym(")")?;
+                // Postfix constant part-select on a parenthesized value.
+                if self.try_sym("[") {
+                    let Val::Lit(hi) = self.expr(p)? else {
+                        return Err(self.err("part-select bounds must be literals"));
+                    };
+                    self.eat_sym(":")?;
+                    let Val::Lit(lo) = self.expr(p)? else {
+                        return Err(self.err("part-select bounds must be literals"));
+                    };
+                    self.eat_sym("]")?;
+                    let e = self.resolve_val(p, v, self.width_of(p, v).unwrap_or(64));
+                    return Ok(Val::Expr(p.ctx_mut().extract(e, hi as u32, lo as u32)));
+                }
+                Ok(v)
+            }
+            Token::Sym("{") => {
+                // Concatenation, first element most significant.
+                let mut acc: Option<ExprRef> = None;
+                loop {
+                    let v = self.expr(p)?;
+                    let Val::Expr(e) = v else {
+                        return Err(self.err("concatenation elements must be sized"));
+                    };
+                    acc = Some(match acc {
+                        None => e,
+                        Some(a) => p.ctx_mut().concat(a, e),
+                    });
+                    if !self.try_sym(",") {
+                        break;
+                    }
+                }
+                self.eat_sym("}")?;
+                Ok(Val::Expr(acc.ok_or_else(|| self.err("empty concatenation"))?))
+            }
+            Token::Ident(name) if name == "store" => {
+                // store(mem, addr, data): a functional memory write.
+                self.eat_sym("(")?;
+                let m = self.expr(p)?;
+                let Val::Expr(me) = m else {
+                    return Err(self.err("store() expects a memory first argument"));
+                };
+                let Sort::Mem {
+                    addr_width,
+                    data_width,
+                } = p.ctx().sort_of(me)
+                else {
+                    return Err(self.err("store() expects a memory first argument"));
+                };
+                self.eat_sym(",")?;
+                let a = self.expr(p)?;
+                self.eat_sym(",")?;
+                let d = self.expr(p)?;
+                self.eat_sym(")")?;
+                let a = self.resolve_val(p, a, addr_width);
+                let d = self.resolve_val(p, d, data_width);
+                Ok(Val::Expr(p.ctx_mut().mem_write(me, a, d)))
+            }
+            Token::Ident(name) => {
+                let var = self.lookup(p, &name)?;
+                if self.try_sym("[") {
+                    // Memory read, part select, or bit select.
+                    let first = self.expr(p)?;
+                    if self.try_sym(":") {
+                        let Val::Lit(hi) = first else {
+                            return Err(self.err("part-select bounds must be literals"));
+                        };
+                        let lo = match self.expr(p)? {
+                            Val::Lit(lo) => lo,
+                            _ => return Err(self.err("part-select bounds must be literals")),
+                        };
+                        self.eat_sym("]")?;
+                        return Ok(Val::Expr(p.ctx_mut().extract(var, hi as u32, lo as u32)));
+                    }
+                    self.eat_sym("]")?;
+                    match p.ctx().sort_of(var) {
+                        Sort::Mem { addr_width, .. } => {
+                            let a = self.resolve_val(p, first, addr_width);
+                            return Ok(Val::Expr(p.ctx_mut().mem_read(var, a)));
+                        }
+                        Sort::Bv(w) => {
+                            // Bit select: constant or dynamic.
+                            if let Val::Lit(i) = first {
+                                return Ok(Val::Expr(p.ctx_mut().extract(
+                                    var,
+                                    i as u32,
+                                    i as u32,
+                                )));
+                            }
+                            let idx = self.resolve_val(p, first, w);
+                            let sh = p.ctx_mut().bvlshr(var, idx);
+                            return Ok(Val::Expr(p.ctx_mut().extract(sh, 0, 0)));
+                        }
+                        Sort::Bool => return Err(self.err("cannot index a boolean")),
+                    }
+                }
+                Ok(Val::Expr(var))
+            }
+            other => Err(self.err(format!("unexpected token {other} in expression"))),
+        }
+    }
+
+    fn lookup(&self, p: &PortIla, name: &str) -> Result<ExprRef, IlaSyntaxError> {
+        if let Some(i) = p.find_input(name) {
+            return Ok(i.var);
+        }
+        if let Some(s) = p.find_state(name) {
+            return Ok(s.var);
+        }
+        Err(self.err(format!("undeclared name {name:?}")))
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations and instructions
+    // ------------------------------------------------------------------
+
+    fn port_block(&mut self, name: String) -> Result<PortIla, IlaSyntaxError> {
+        let mut p = PortIla::new(name);
+        self.eat_sym("{")?;
+        loop {
+            if self.try_sym("}") {
+                return Ok(p);
+            }
+            if self.try_kw("input") {
+                let name = self.ident()?;
+                self.eat_sym(":")?;
+                let sort = self.sort()?;
+                p.input(name, sort);
+                continue;
+            }
+            let output = self.try_kw("output");
+            if self.try_kw("state") {
+                let name = self.ident()?;
+                self.eat_sym(":")?;
+                let sort = self.sort()?;
+                let kind = if output {
+                    StateKind::Output
+                } else {
+                    StateKind::Internal
+                };
+                p.state(name.clone(), sort, kind);
+                if self.try_kw("init") {
+                    let (_, v) = self.number()?;
+                    let value: gila_expr::Value = match sort {
+                        Sort::Bv(w) => {
+                            let adj = if v.width() >= w {
+                                v.extract(w - 1, 0)
+                            } else {
+                                v.zext(w)
+                            };
+                            adj.into()
+                        }
+                        Sort::Bool => gila_expr::Value::Bool(!v.is_zero()),
+                        Sort::Mem {
+                            addr_width,
+                            data_width,
+                        } => {
+                            let word = if v.width() >= data_width {
+                                v.extract(data_width - 1, 0)
+                            } else {
+                                v.zext(data_width)
+                            };
+                            gila_expr::MemValue::filled(addr_width, data_width, word).into()
+                        }
+                    };
+                    p.set_init(&name, value)
+                        .map_err(|e| self.err(e.to_string()))?;
+                }
+                continue;
+            }
+            if output {
+                return Err(self.err("expected 'state' after 'output'"));
+            }
+            let is_sub = if self.try_kw("instr") {
+                false
+            } else if self.try_kw("sub") {
+                true
+            } else {
+                return Err(self.err(format!(
+                    "expected declaration or instruction, found {}",
+                    self.peek().map(|t| t.to_string()).unwrap_or_default()
+                )));
+            };
+            let iname = self.ident()?;
+            let parent = if is_sub {
+                self.eat_kw("of")?;
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            self.eat_kw("when")?;
+            let decode_v = self.expr(&mut p)?;
+            let decode_w = self.width_of(&p, decode_v).unwrap_or(1);
+            let decode_e = self.resolve_val(&mut p, decode_v, decode_w);
+            let decode = p.ctx_mut().bv_to_bool(decode_e);
+            self.eat_sym("{")?;
+            // Updates accumulate; repeated writes to one memory chain.
+            let mut updates: Vec<(String, ExprRef)> = Vec::new();
+            while !self.try_sym("}") {
+                let target = self.ident()?;
+                let sv = p
+                    .find_state(&target)
+                    .ok_or_else(|| self.err(format!("unknown state {target:?}")))?;
+                let (tsort, tvar) = (sv.sort, sv.var);
+                if self.try_sym("[") {
+                    let Sort::Mem {
+                        addr_width,
+                        data_width,
+                    } = tsort
+                    else {
+                        return Err(self.err(format!("{target:?} is not a memory")));
+                    };
+                    let addr_v = self.expr(&mut p)?;
+                    self.eat_sym("]")?;
+                    self.eat_sym(":=")?;
+                    let data_v = self.expr(&mut p)?;
+                    let addr = self.resolve_val(&mut p, addr_v, addr_width);
+                    let data = self.resolve_val(&mut p, data_v, data_width);
+                    let base = updates
+                        .iter()
+                        .rev()
+                        .find(|(n, _)| n == &target)
+                        .map(|(_, e)| *e)
+                        .unwrap_or(tvar);
+                    let w = p.ctx_mut().mem_write(base, addr, data);
+                    updates.retain(|(n, _)| n != &target);
+                    updates.push((target, w));
+                } else {
+                    self.eat_sym(":=")?;
+                    let v = self.expr(&mut p)?;
+                    let e = match tsort {
+                        Sort::Bv(w) => self.resolve_val(&mut p, v, w),
+                        Sort::Bool => {
+                            let e = self.resolve_val(&mut p, v, 1);
+                            p.ctx_mut().bv_to_bool(e)
+                        }
+                        Sort::Mem { .. } => match v {
+                            Val::Expr(e) if p.ctx().sort_of(e) == tsort => e,
+                            _ => {
+                                return Err(self.err(format!(
+                                    "whole-memory assignment to {target:?} needs a memory value"
+                                )))
+                            }
+                        },
+                    };
+                    updates.retain(|(n, _)| n != &target);
+                    updates.push((target, e));
+                }
+            }
+            let mut b = match parent {
+                Some(par) => p.sub_instr(iname, par),
+                None => p.instr(iname),
+            };
+            b = b.decode(decode);
+            for (n, e) in updates {
+                b = b.update(n, e);
+            }
+            b.add().map_err(|e| self.err(e.to_string()))?;
+        }
+    }
+
+    fn resolver(&mut self) -> Result<Box<dyn ConflictResolver>, IlaSyntaxError> {
+        let kind = self.ident()?;
+        Ok(match kind.as_str() {
+            "none" => Box::new(NoResolver),
+            "value_priority" => {
+                let (width, v) = self.number()?;
+                if width.is_none() {
+                    return Err(self.err("value_priority needs a sized literal (e.g. 1'b1)"));
+                }
+                Box::new(ValuePriorityResolver::new(v))
+            }
+            "port_priority" => {
+                self.eat_sym("[")?;
+                let mut order = vec![self.ident()?];
+                while self.try_sym(",") {
+                    order.push(self.ident()?);
+                }
+                self.eat_sym("]")?;
+                Box::new(PortPriorityResolver::new(order))
+            }
+            other => Err(self.err(format!(
+                "unknown resolver {other:?} (expected none, value_priority, port_priority, round_robin)"
+            )))?,
+        })
+    }
+
+    fn file(&mut self) -> Result<ModuleIla, IlaSyntaxError> {
+        if self.try_kw("module") {
+            let mname = self.ident()?;
+            self.eat_sym("{")?;
+            let mut ports: Vec<PortIla> = Vec::new();
+            while !self.try_sym("}") {
+                if self.try_kw("port") {
+                    let pname = self.ident()?;
+                    ports.push(self.port_block(pname)?);
+                    continue;
+                }
+                if self.try_kw("integrate") {
+                    let iname = self.ident()?;
+                    self.eat_sym("=")?;
+                    let mut members = vec![self.ident()?];
+                    while self.try_sym(",") {
+                        members.push(self.ident()?);
+                    }
+                    self.eat_kw("resolve")?;
+                    // Round-robin needs the member count; re-dispatch.
+                    let save = self.pos;
+                    let kind = self.ident()?;
+                    let resolver: Box<dyn ConflictResolver> = if kind == "round_robin" {
+                        let rr_name = self.ident()?;
+                        Box::new(RoundRobinResolver::new(rr_name, members.len()))
+                    } else {
+                        self.pos = save;
+                        self.resolver()?
+                    };
+                    let selected: Vec<&PortIla> = members
+                        .iter()
+                        .map(|m| {
+                            ports
+                                .iter()
+                                .find(|p| p.name() == m)
+                                .ok_or_else(|| self.err(format!("unknown port {m:?}")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let integrated = integrate(iname, &selected, resolver.as_ref())
+                        .map_err(|e| self.err(e.to_string()))?;
+                    ports.retain(|p| !members.iter().any(|m| m == p.name()));
+                    ports.push(integrated);
+                    continue;
+                }
+                return Err(self.err(format!(
+                    "expected 'port' or 'integrate', found {}",
+                    self.peek().map(|t| t.to_string()).unwrap_or_default()
+                )));
+            }
+            if self.pos != self.tokens.len() {
+                return Err(self.err("trailing tokens after module"));
+            }
+            return ModuleIla::compose(mname, ports).map_err(|e| self.err(e.to_string()));
+        }
+        // Bare port file.
+        self.eat_kw("port")?;
+        let pname = self.ident()?;
+        let port = self.port_block(pname)?;
+        if self.pos != self.tokens.len() {
+            return Err(self.err("trailing tokens after port"));
+        }
+        Ok(ModuleIla::single_port(port))
+    }
+}
+
+/// Parses a `.ila` source file into a [`ModuleIla`].
+///
+/// # Errors
+///
+/// Returns an [`IlaSyntaxError`] with the source line for lexical,
+/// syntactic, and semantic (sort/`integrate`) problems.
+pub fn parse_ila(src: &str) -> Result<ModuleIla, IlaSyntaxError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.file()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gila_core::{decode_gap, decode_overlaps, PortSimulator};
+    use gila_expr::Value;
+
+    #[test]
+    fn parses_single_port_counter() {
+        let m = parse_ila(
+            r#"
+port counter {
+  input en : bv1
+  output state cnt : bv8 init 0
+
+  instr inc when en == 1 { cnt := cnt + 1 }
+  instr hold when en == 0 { }
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(m.stats().instructions, 2);
+        let port = &m.ports()[0];
+        assert!(decode_gap(port, None).is_none());
+        assert!(decode_overlaps(port, None).is_empty());
+        let mut sim = PortSimulator::new(port);
+        let mut ins = std::collections::BTreeMap::new();
+        ins.insert("en".to_string(), Value::Bv(BitVecValue::from_u64(1, 1)));
+        assert_eq!(sim.step(&ins).unwrap(), "inc");
+        assert_eq!(sim.state()["cnt"].as_bv().to_u64(), 1);
+    }
+
+    #[test]
+    fn sub_instructions_and_slices() {
+        let m = parse_ila(
+            r#"
+port dec {
+  input wait : bv1
+  input word_in : bv8
+  state current_word : bv8
+  state step : bv2
+
+  instr stall when wait == 1 { }
+  instr load when wait == 0 && step == 0 {
+    current_word := word_in
+    step := word_in[7:6]
+  }
+  sub s1 of load when wait == 0 && step != 0 {
+    step := step - 1
+  }
+}
+"#,
+        )
+        .unwrap();
+        let port = &m.ports()[0];
+        assert_eq!(port.num_atomic_instructions(), 3);
+        assert_eq!(port.num_logical_instructions(), 2);
+        assert!(decode_gap(port, None).is_none());
+    }
+
+    #[test]
+    fn memories_and_indexed_updates() {
+        let m = parse_ila(
+            r#"
+port scratch {
+  input we : bv1
+  input addr : bv4
+  input din : bv8
+  state ram : mem[4, 8]
+  output state dout : bv8
+
+  instr write when we == 1 { ram[addr] := din }
+  instr read when we == 0 { dout := ram[addr] }
+}
+"#,
+        )
+        .unwrap();
+        let port = &m.ports()[0];
+        let mut sim = PortSimulator::new(port);
+        let mut ins = std::collections::BTreeMap::new();
+        ins.insert("we".to_string(), Value::Bv(BitVecValue::from_u64(1, 1)));
+        ins.insert("addr".to_string(), Value::Bv(BitVecValue::from_u64(5, 4)));
+        ins.insert("din".to_string(), Value::Bv(BitVecValue::from_u64(0xAB, 8)));
+        sim.step(&ins).unwrap();
+        ins.insert("we".to_string(), Value::Bv(BitVecValue::from_u64(0, 1)));
+        sim.step(&ins).unwrap();
+        assert_eq!(sim.state()["dout"].as_bv().to_u64(), 0xAB);
+    }
+
+    #[test]
+    fn module_with_integration() {
+        let m = parse_ila(
+            r#"
+module mem_iface {
+  port ROM_PORT {
+    input rom_req : bv1
+    input rom_addr_in : bv16
+    output state rom_addr : bv16
+    state mem_wait : bv1
+
+    instr ROM_REQ when rom_req == 1 {
+      rom_addr := rom_addr_in
+      mem_wait := 1'b1
+    }
+    instr ROM_IDLE when rom_req == 0 { mem_wait := 1'b0 }
+  }
+  port RAM_PORT {
+    input ram_req : bv1
+    input ram_addr_in : bv8
+    output state ram_addr : bv8
+    state mem_wait : bv1
+
+    instr RAM_REQ when ram_req == 1 {
+      ram_addr := ram_addr_in
+      mem_wait := 1'b1
+    }
+    instr RAM_IDLE when ram_req == 0 { mem_wait := 1'b0 }
+  }
+  integrate ROM_RAM = ROM_PORT, RAM_PORT resolve value_priority 1'b1
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(m.stats().ports, 1);
+        assert_eq!(m.stats().instructions, 4);
+        let port = m.find_port("ROM_RAM").unwrap();
+        let i = port.find_instruction("ROM_IDLE & RAM_REQ").unwrap();
+        assert_eq!(
+            port.ctx().as_bv_const(i.updates["mem_wait"]),
+            Some(&BitVecValue::from_u64(1, 1))
+        );
+    }
+
+    #[test]
+    fn round_robin_integration() {
+        let m = parse_ila(
+            r#"
+module rr {
+  port A {
+    input a_v : bv1
+    state shared : bv4
+    instr A_GO when a_v == 1 { shared := 1 }
+    instr A_NO when a_v == 0 { }
+  }
+  port B {
+    input b_v : bv1
+    state shared : bv4
+    instr B_GO when b_v == 1 { shared := 2 }
+    instr B_NO when b_v == 0 { }
+  }
+  integrate AB = A, B resolve round_robin ptr
+}
+"#,
+        )
+        .unwrap();
+        let port = m.find_port("AB").unwrap();
+        assert!(port.find_state("ptr").is_some());
+        let i = port.find_instruction("A_GO & B_GO").unwrap();
+        assert!(i.updates.contains_key("ptr"));
+    }
+
+    #[test]
+    fn unresolved_conflicts_surface_gaps() {
+        let err = parse_ila(
+            r#"
+module gap {
+  port A {
+    input a_v : bv1
+    state s : bv1
+    instr A1 when a_v == 1 { s := 1 }
+    instr A0 when a_v == 0 { }
+  }
+  port B {
+    input b_v : bv1
+    state s : bv1
+    instr B1 when b_v == 1 { s := 0 }
+    instr B0 when b_v == 0 { }
+  }
+  integrate AB = A, B resolve none
+}
+"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("specification gap"), "{err}");
+    }
+
+    #[test]
+    fn syntax_errors_carry_lines() {
+        let err = parse_ila("port p {\n  input x bv1\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse_ila("port p { input x : bv0 }").is_err());
+        assert!(parse_ila("port p { instr i when ghost == 1 { } }").is_err());
+        assert!(parse_ila("module m { port p { } } trailing").is_err());
+    }
+}

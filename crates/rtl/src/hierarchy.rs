@@ -1,0 +1,486 @@
+//! Hierarchical elaboration: flattening module instantiations.
+//!
+//! A file may define several modules; instances are inlined bottom-up
+//! into the chosen top module. An instance `Sub u0 (.a(x + 1), .q(y));`
+//! of
+//!
+//! ```text
+//! module Sub(a, q);
+//!   input [3:0] a;
+//!   output [3:0] q;
+//!   ...
+//! endmodule
+//! ```
+//!
+//! becomes, inside the parent: a wire `u0__a` assigned `x + 1`, all of
+//! `Sub`'s internals renamed with the `u0__` prefix, and an assignment
+//! `y = u0__q` (so `y` must be a declared wire/output of the parent).
+//! Parameter overrides (`#(...)`) and positional connections are outside
+//! the subset.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::elab::elaborate;
+use crate::ir::RtlModule;
+use crate::lexer::VerilogError;
+use crate::parser::{parse_modules, Decl, Expr, Instance, ModuleAst, Stmt, Target};
+
+fn err(msg: impl Into<String>) -> VerilogError {
+    VerilogError::new(0, msg)
+}
+
+fn rename_expr(e: &Expr, map: &dyn Fn(&str) -> String) -> Expr {
+    match e {
+        Expr::Ident(n) => Expr::Ident(map(n)),
+        Expr::Literal { .. } => e.clone(),
+        Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(rename_expr(inner, map))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(rename_expr(a, map)),
+            Box::new(rename_expr(b, map)),
+        ),
+        Expr::Ternary(c, t, f) => Expr::Ternary(
+            Box::new(rename_expr(c, map)),
+            Box::new(rename_expr(t, map)),
+            Box::new(rename_expr(f, map)),
+        ),
+        Expr::Index(n, idx) => Expr::Index(map(n), Box::new(rename_expr(idx, map))),
+        Expr::Range(n, hi, lo) => Expr::Range(map(n), *hi, *lo),
+        Expr::Concat(items) => {
+            Expr::Concat(items.iter().map(|i| rename_expr(i, map)).collect())
+        }
+        Expr::Repeat(n, inner) => Expr::Repeat(*n, Box::new(rename_expr(inner, map))),
+    }
+}
+
+fn rename_stmt(s: &Stmt, map: &dyn Fn(&str) -> String) -> Stmt {
+    match s {
+        Stmt::NonBlocking { target, rhs } => Stmt::NonBlocking {
+            target: match target {
+                Target::Reg(n) => Target::Reg(map(n)),
+                Target::MemWord(n, a) => Target::MemWord(map(n), rename_expr(a, map)),
+            },
+            rhs: rename_expr(rhs, map),
+        },
+        Stmt::If {
+            cond,
+            then_stmts,
+            else_stmts,
+        } => Stmt::If {
+            cond: rename_expr(cond, map),
+            then_stmts: then_stmts.iter().map(|s| rename_stmt(s, map)).collect(),
+            else_stmts: else_stmts.iter().map(|s| rename_stmt(s, map)).collect(),
+        },
+        Stmt::Case {
+            scrutinee,
+            arms,
+            default,
+        } => Stmt::Case {
+            scrutinee: rename_expr(scrutinee, map),
+            arms: arms
+                .iter()
+                .map(|(labels, body)| {
+                    (
+                        labels.iter().map(|l| rename_expr(l, map)).collect(),
+                        body.iter().map(|s| rename_stmt(s, map)).collect(),
+                    )
+                })
+                .collect(),
+            default: default.iter().map(|s| rename_stmt(s, map)).collect(),
+        },
+    }
+}
+
+/// Inlines `sub` (already fully flattened) into `parent` under `inst`.
+fn inline(parent: &mut ModuleAst, sub: &ModuleAst, inst: &Instance) -> Result<(), VerilogError> {
+    let prefix = format!("{}__", inst.name);
+    // Port direction tables.
+    let mut input_widths: BTreeMap<&str, u32> = BTreeMap::new();
+    let mut output_names: HashSet<&str> = HashSet::new();
+    for d in &sub.decls {
+        match d {
+            Decl::Input { name, width } => {
+                input_widths.insert(name, *width);
+            }
+            Decl::Output { name, .. } | Decl::OutputReg { name, .. } => {
+                output_names.insert(name);
+            }
+            _ => {}
+        }
+    }
+    // Connection sanity.
+    for (port, _) in &inst.connections {
+        if !input_widths.contains_key(port.as_str()) && !output_names.contains(port.as_str()) {
+            return Err(err(format!(
+                "instance {:?}: {:?} has no port {port:?}",
+                inst.name, inst.module
+            )));
+        }
+    }
+    let rename = |n: &str| format!("{prefix}{n}");
+
+    // Inputs become wires in the parent, assigned the connection (the
+    // implicit clock needs no connection: all always blocks share the
+    // single clock domain).
+    for (name, width) in &input_widths {
+        let connected = inst.connections.iter().find(|(p, _)| p == name);
+        let is_clock = connected.is_none() && *width == 1;
+        if connected.is_none() && !is_clock {
+            return Err(err(format!(
+                "instance {:?}: input port {name:?} is unconnected",
+                inst.name
+            )));
+        }
+        parent.decls.push(Decl::Wire {
+            name: rename(name),
+            width: *width,
+        });
+        if let Some((_, expr)) = connected {
+            parent.assigns.push((rename(name), expr.clone()));
+        } else {
+            // Tie the unconnected clock pin high (posedge always fires in
+            // the shared clock domain model).
+            parent.assigns.push((
+                rename(name),
+                Expr::Literal {
+                    width: Some(1),
+                    value: gila_expr::BitVecValue::from_u64(1, 1),
+                },
+            ));
+        }
+    }
+    // Internals: renamed declarations.
+    for d in &sub.decls {
+        match d {
+            Decl::Input { .. } => {}
+            Decl::Output { name, width } | Decl::Wire { name, width } => {
+                parent.decls.push(Decl::Wire {
+                    name: rename(name),
+                    width: *width,
+                });
+            }
+            Decl::OutputReg { name, width } | Decl::Reg { name, width } => {
+                parent.decls.push(Decl::Reg {
+                    name: rename(name),
+                    width: *width,
+                });
+            }
+            Decl::Mem {
+                name,
+                data_width,
+                depth,
+            } => {
+                parent.decls.push(Decl::Mem {
+                    name: rename(name),
+                    data_width: *data_width,
+                    depth: *depth,
+                });
+            }
+        }
+    }
+    // Renamed logic.
+    for (lhs, rhs) in &sub.assigns {
+        parent
+            .assigns
+            .push((rename(lhs), rename_expr(rhs, &rename)));
+    }
+    for block in &sub.always_blocks {
+        parent
+            .always_blocks
+            .push(block.iter().map(|s| rename_stmt(s, &rename)).collect());
+    }
+    for (name, value) in &sub.initials {
+        parent.initials.push((rename(name), value.clone()));
+    }
+    // Output connections: parent wire := renamed output.
+    for (port, expr) in &inst.connections {
+        if output_names.contains(port.as_str()) {
+            let Expr::Ident(target) = expr else {
+                return Err(err(format!(
+                    "instance {:?}: output port {port:?} must connect to a plain identifier",
+                    inst.name
+                )));
+            };
+            parent
+                .assigns
+                .push((target.clone(), Expr::Ident(rename(port))));
+        }
+    }
+    Ok(())
+}
+
+/// Returns a copy of the module named `name` with every instance inlined
+/// (recursively).
+fn flatten(
+    modules: &BTreeMap<String, ModuleAst>,
+    name: &str,
+    stack: &mut Vec<String>,
+) -> Result<ModuleAst, VerilogError> {
+    let Some(ast) = modules.get(name) else {
+        return Err(err(format!("unknown module {name:?}")));
+    };
+    if stack.iter().any(|s| s == name) {
+        return Err(err(format!("recursive instantiation of {name:?}")));
+    }
+    stack.push(name.to_string());
+    let mut flat = ast.clone();
+    let instances = std::mem::take(&mut flat.instances);
+    for inst in &instances {
+        let sub = flatten(modules, &inst.module, stack)?;
+        inline(&mut flat, &sub, inst)?;
+    }
+    stack.pop();
+    Ok(flat)
+}
+
+/// Parses a multi-module source file and elaborates the module named
+/// `top` with all instances flattened.
+///
+/// # Errors
+///
+/// Returns a [`VerilogError`] for syntax errors, unknown modules or
+/// ports, unconnected non-clock inputs, and recursive instantiation.
+///
+/// # Examples
+///
+/// ```
+/// use gila_rtl::parse_verilog_hierarchy;
+///
+/// let m = parse_verilog_hierarchy(r#"
+/// module inc(clk, x, y);
+///   input clk;
+///   input [3:0] x;
+///   output [3:0] y;
+///   assign y = x + 4'd1;
+/// endmodule
+///
+/// module top(clk, a);
+///   input clk;
+///   input [3:0] a;
+///   wire [3:0] plus_one;
+///   reg [3:0] r;
+///   inc u0 (.x(a), .y(plus_one));
+///   always @(posedge clk) r <= plus_one;
+/// endmodule
+/// "#, "top")?;
+/// assert!(m.find_signal("u0__y").is_some());
+/// # Ok::<(), gila_rtl::VerilogError>(())
+/// ```
+pub fn parse_verilog_hierarchy(src: &str, top: &str) -> Result<RtlModule, VerilogError> {
+    let asts = parse_modules(src)?;
+    let mut map = BTreeMap::new();
+    for ast in asts {
+        if map.insert(ast.name.clone(), ast).is_some() {
+            return Err(err("duplicate module definition"));
+        }
+    }
+    let mut stack = Vec::new();
+    let flat = flatten(&map, top, &mut stack)?;
+    elaborate(&flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::RtlSimulator;
+    use gila_expr::BitVecValue;
+
+    #[test]
+    fn two_level_hierarchy_flattens_and_simulates() {
+        let m = parse_verilog_hierarchy(
+            r#"
+module adder(clk, a, b, s);
+  input clk;
+  input [7:0] a;
+  input [7:0] b;
+  output [7:0] s;
+  assign s = a + b;
+endmodule
+
+module acc(clk, x);
+  input clk;
+  input [7:0] x;
+  wire [7:0] next;
+  reg [7:0] total;
+  adder u_add (.a(total), .b(x), .s(next));
+  always @(posedge clk) total <= next;
+endmodule
+"#,
+            "acc",
+        )
+        .unwrap();
+        let mut sim = RtlSimulator::new(&m);
+        let mut ins = std::collections::BTreeMap::new();
+        ins.insert("clk".to_string(), BitVecValue::from_u64(1, 1));
+        ins.insert("x".to_string(), BitVecValue::from_u64(5, 8));
+        for _ in 0..4 {
+            sim.step(&ins).unwrap();
+        }
+        assert_eq!(sim.state()["total"].as_bv().to_u64(), 20);
+    }
+
+    #[test]
+    fn stateful_submodules_keep_their_registers() {
+        let m = parse_verilog_hierarchy(
+            r#"
+module counter(clk, en, q);
+  input clk;
+  input en;
+  output [3:0] q;
+  reg [3:0] c;
+  assign q = c;
+  always @(posedge clk) if (en) c <= c + 4'd1;
+endmodule
+
+module pair(clk, en_a, en_b);
+  input clk;
+  input en_a;
+  input en_b;
+  wire [3:0] qa;
+  wire [3:0] qb;
+  counter ca (.en(en_a), .q(qa));
+  counter cb (.en(en_b), .q(qb));
+  reg [4:0] sum;
+  always @(posedge clk) sum <= {1'b0, qa} + {1'b0, qb};
+endmodule
+"#,
+            "pair",
+        )
+        .unwrap();
+        assert!(m.find_reg("ca__c").is_some());
+        assert!(m.find_reg("cb__c").is_some());
+        let mut sim = RtlSimulator::new(&m);
+        let mut ins = std::collections::BTreeMap::new();
+        ins.insert("clk".to_string(), BitVecValue::from_u64(1, 1));
+        ins.insert("en_a".to_string(), BitVecValue::from_u64(1, 1));
+        ins.insert("en_b".to_string(), BitVecValue::from_u64(0, 1));
+        for _ in 0..3 {
+            sim.step(&ins).unwrap();
+        }
+        assert_eq!(sim.state()["ca__c"].as_bv().to_u64(), 3);
+        assert_eq!(sim.state()["cb__c"].as_bv().to_u64(), 0);
+        // sum lags one cycle: counts qa after 2 increments.
+        assert_eq!(sim.state()["sum"].as_bv().to_u64(), 2);
+    }
+
+    #[test]
+    fn nested_hierarchy() {
+        let m = parse_verilog_hierarchy(
+            r#"
+module leaf(clk, i, o);
+  input clk;
+  input [3:0] i;
+  output [3:0] o;
+  assign o = ~i;
+endmodule
+
+module mid(clk, i, o);
+  input clk;
+  input [3:0] i;
+  output [3:0] o;
+  wire [3:0] t;
+  leaf l (.i(i), .o(t));
+  assign o = t ^ 4'hA;
+endmodule
+
+module top(clk, x);
+  input clk;
+  input [3:0] x;
+  wire [3:0] y;
+  reg [3:0] r;
+  mid m (.i(x), .o(y));
+  always @(posedge clk) r <= y;
+endmodule
+"#,
+            "top",
+        )
+        .unwrap();
+        let mut sim = RtlSimulator::new(&m);
+        let mut ins = std::collections::BTreeMap::new();
+        ins.insert("clk".to_string(), BitVecValue::from_u64(1, 1));
+        ins.insert("x".to_string(), BitVecValue::from_u64(0b0011, 4));
+        sim.step(&ins).unwrap();
+        // r = (~x) ^ 0xA = 1100 ^ 1010 = 0110
+        assert_eq!(sim.state()["r"].as_bv().to_u64(), 0b0110);
+    }
+
+    #[test]
+    fn hierarchy_errors() {
+        // Unknown module.
+        assert!(parse_verilog_hierarchy(
+            "module t(clk); input clk; ghost g (.a(clk)); endmodule",
+            "t"
+        )
+        .is_err());
+        // Unknown port.
+        assert!(parse_verilog_hierarchy(
+            r#"
+module s(clk, a); input clk; input a; endmodule
+module t(clk); input clk; s u (.nope(clk)); endmodule
+"#,
+            "t"
+        )
+        .is_err());
+        // Unconnected non-clock input.
+        assert!(parse_verilog_hierarchy(
+            r#"
+module s(clk, a); input clk; input [3:0] a; endmodule
+module t(clk); input clk; s u (); endmodule
+"#,
+            "t"
+        )
+        .is_err());
+        // Recursion.
+        assert!(parse_verilog_hierarchy(
+            r#"
+module a(clk); input clk; b u (); endmodule
+module b(clk); input clk; a u (); endmodule
+"#,
+            "a"
+        )
+        .is_err());
+        // Output to a non-identifier.
+        assert!(parse_verilog_hierarchy(
+            r#"
+module s(clk, q); input clk; output q; assign q = 1'b0; endmodule
+module t(clk); input clk; wire w; s u (.q(w ^ w)); endmodule
+"#,
+            "t"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn flattened_hierarchy_verifies_like_flat_rtl() {
+        // The hierarchical accumulator refines a one-instruction ILA.
+        use gila_expr::Sort;
+        let m = parse_verilog_hierarchy(
+            r#"
+module adder(clk, a, b, s);
+  input clk;
+  input [7:0] a;
+  input [7:0] b;
+  output [7:0] s;
+  assign s = a + b;
+endmodule
+
+module acc(clk, x);
+  input clk;
+  input [7:0] x;
+  wire [7:0] next;
+  reg [7:0] total;
+  adder u_add (.a(total), .b(x), .s(next));
+  always @(posedge clk) total <= next;
+endmodule
+"#,
+            "acc",
+        )
+        .unwrap();
+        let _ = (&m, Sort::Bv(8));
+        // The refinement check itself lives in gila-verify; here we just
+        // confirm the flattened module is a valid single RtlModule.
+        m.validate().unwrap();
+        assert_eq!(m.regs().len(), 1);
+        assert!(m.find_signal("u_add__s").is_some());
+    }
+}

@@ -1,0 +1,529 @@
+//! The synchronous RTL intermediate representation.
+//!
+//! A module is a set of input pins, registers (including memories), and
+//! combinational logic, all in one clock domain. After elaboration every
+//! register carries a single *next-state expression* over input and
+//! register variables — wires are fully inlined — which is exactly the
+//! form the refinement-check engine unrolls.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gila_expr::{BitVecValue, ExprCtx, ExprRef, MemValue, Sort};
+
+/// An input pin (group) of an RTL module.
+#[derive(Clone, Debug)]
+pub struct RtlInput {
+    /// Pin name.
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// The expression variable standing for the pin's value this cycle.
+    pub var: ExprRef,
+}
+
+/// A register (bit-vector state element).
+#[derive(Clone, Debug)]
+pub struct RtlReg {
+    /// Register name.
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// The expression variable standing for the register's current value.
+    pub var: ExprRef,
+    /// Reset value, if declared.
+    pub init: Option<BitVecValue>,
+    /// Next-state expression (defaults to "hold" = the register itself).
+    pub next: ExprRef,
+}
+
+/// A memory array state element.
+#[derive(Clone, Debug)]
+pub struct RtlMem {
+    /// Memory name.
+    pub name: String,
+    /// Address width in bits.
+    pub addr_width: u32,
+    /// Data width in bits.
+    pub data_width: u32,
+    /// The expression variable standing for the memory's current value.
+    pub var: ExprRef,
+    /// Reset contents, if declared.
+    pub init: Option<MemValue>,
+    /// Next-state expression.
+    pub next: ExprRef,
+}
+
+/// A named combinational signal: an output pin or a named internal wire.
+#[derive(Clone, Debug)]
+pub struct RtlSignal {
+    /// Signal name.
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// Defining expression over inputs and registers.
+    pub expr: ExprRef,
+    /// True if this signal is an output pin of the module.
+    pub output: bool,
+}
+
+/// An error while constructing an RTL module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IrError {
+    /// A name was declared twice.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// An expression has the wrong sort for its role.
+    SortMismatch {
+        /// Where the mismatch occurred.
+        context: String,
+        /// Expected sort.
+        expected: Sort,
+        /// Found sort.
+        found: Sort,
+    },
+    /// An expression references a variable that is not an input or state.
+    UnknownVar {
+        /// Where the reference occurred.
+        context: String,
+        /// The unknown variable.
+        var: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::DuplicateName { name } => write!(f, "name {name:?} declared twice"),
+            IrError::SortMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "{context}: expected sort {expected}, found {found}"),
+            IrError::UnknownVar { context, var } => {
+                write!(f, "{context}: reference to undeclared variable {var:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// A synchronous, single-clock RTL module.
+///
+/// # Examples
+///
+/// Building a 4-bit up-counter directly in the IR:
+///
+/// ```
+/// use gila_rtl::RtlModule;
+/// use gila_expr::Sort;
+///
+/// let mut m = RtlModule::new("counter");
+/// let en = m.input("en", 1);
+/// let cnt = m.reg("cnt", 4, Some(0));
+/// let one = m.ctx_mut().bv_u64(1, 4);
+/// let inc = m.ctx_mut().bvadd(cnt, one);
+/// let en_set = m.ctx_mut().eq_u64(en, 1);
+/// let next = m.ctx_mut().ite(en_set, inc, cnt);
+/// m.set_next("cnt", next)?;
+/// m.signal("count_out", cnt, true)?;
+/// assert_eq!(m.state_bits(), 4);
+/// # Ok::<(), gila_rtl::IrError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RtlModule {
+    name: String,
+    ctx: ExprCtx,
+    inputs: Vec<RtlInput>,
+    regs: Vec<RtlReg>,
+    mems: Vec<RtlMem>,
+    signals: Vec<RtlSignal>,
+    /// Source line count, when elaborated from Verilog text.
+    source_loc: Option<usize>,
+}
+
+impl RtlModule {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        RtlModule {
+            name: name.into(),
+            ctx: ExprCtx::new(),
+            inputs: Vec::new(),
+            regs: Vec::new(),
+            mems: Vec::new(),
+            signals: Vec::new(),
+            source_loc: None,
+        }
+    }
+
+    /// The module's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The expression context holding all of this module's expressions.
+    pub fn ctx(&self) -> &ExprCtx {
+        &self.ctx
+    }
+
+    /// Mutable access to the expression context.
+    pub fn ctx_mut(&mut self) -> &mut ExprCtx {
+        &mut self.ctx
+    }
+
+    fn has_name(&self, name: &str) -> bool {
+        self.inputs.iter().any(|x| x.name == name)
+            || self.regs.iter().any(|x| x.name == name)
+            || self.mems.iter().any(|x| x.name == name)
+            || self.signals.iter().any(|x| x.name == name)
+    }
+
+    /// Declares an input pin and returns its expression variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names (module construction is programmer- or
+    /// parser-facing; the parser reports duplicates before reaching here).
+    pub fn input(&mut self, name: impl Into<String>, width: u32) -> ExprRef {
+        let name = name.into();
+        assert!(!self.has_name(&name), "duplicate declaration {name:?}");
+        let var = self.ctx.var(name.clone(), Sort::Bv(width));
+        self.inputs.push(RtlInput { name, width, var });
+        var
+    }
+
+    /// Declares a register with an optional reset value (low 64 bits).
+    /// Its next-state defaults to holding its value; see
+    /// [`RtlModule::set_next`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn reg(&mut self, name: impl Into<String>, width: u32, init: Option<u64>) -> ExprRef {
+        let name = name.into();
+        assert!(!self.has_name(&name), "duplicate declaration {name:?}");
+        let var = self.ctx.var(name.clone(), Sort::Bv(width));
+        self.regs.push(RtlReg {
+            name,
+            width,
+            var,
+            init: init.map(|x| BitVecValue::from_u64(x, width)),
+            next: var,
+        });
+        var
+    }
+
+    /// Declares a memory array; next-state defaults to holding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn mem(&mut self, name: impl Into<String>, addr_width: u32, data_width: u32) -> ExprRef {
+        let name = name.into();
+        assert!(!self.has_name(&name), "duplicate declaration {name:?}");
+        let var = self.ctx.var(
+            name.clone(),
+            Sort::Mem {
+                addr_width,
+                data_width,
+            },
+        );
+        self.mems.push(RtlMem {
+            name,
+            addr_width,
+            data_width,
+            var,
+            init: None,
+            next: var,
+        });
+        var
+    }
+
+    /// Sets the next-state expression of a register or memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownVar`] if no such state exists and
+    /// [`IrError::SortMismatch`] if the expression's sort differs from
+    /// the state's.
+    pub fn set_next(&mut self, name: &str, next: ExprRef) -> Result<(), IrError> {
+        let found = self.ctx.sort_of(next);
+        if let Some(r) = self.regs.iter_mut().find(|r| r.name == name) {
+            if found != Sort::Bv(r.width) {
+                return Err(IrError::SortMismatch {
+                    context: format!("next-state of register {name:?}"),
+                    expected: Sort::Bv(r.width),
+                    found,
+                });
+            }
+            r.next = next;
+            return Ok(());
+        }
+        if let Some(m) = self.mems.iter_mut().find(|m| m.name == name) {
+            let expected = Sort::Mem {
+                addr_width: m.addr_width,
+                data_width: m.data_width,
+            };
+            if found != expected {
+                return Err(IrError::SortMismatch {
+                    context: format!("next-state of memory {name:?}"),
+                    expected,
+                    found,
+                });
+            }
+            m.next = next;
+            return Ok(());
+        }
+        Err(IrError::UnknownVar {
+            context: "set_next".into(),
+            var: name.to_string(),
+        })
+    }
+
+    /// Sets a register's reset value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownVar`] for unknown registers.
+    pub fn set_init(&mut self, name: &str, value: BitVecValue) -> Result<(), IrError> {
+        if let Some(r) = self.regs.iter_mut().find(|r| r.name == name) {
+            if value.width() != r.width {
+                return Err(IrError::SortMismatch {
+                    context: format!("reset value of {name:?}"),
+                    expected: Sort::Bv(r.width),
+                    found: Sort::Bv(value.width()),
+                });
+            }
+            r.init = Some(value);
+            Ok(())
+        } else {
+            Err(IrError::UnknownVar {
+                context: "set_init".into(),
+                var: name.to_string(),
+            })
+        }
+    }
+
+    /// Declares a named combinational signal (`output: true` marks an
+    /// output pin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DuplicateName`] on clashes and
+    /// [`IrError::SortMismatch`] if `expr` is not bit-vector sorted.
+    pub fn signal(&mut self, name: impl Into<String>, expr: ExprRef, output: bool) -> Result<(), IrError> {
+        let name = name.into();
+        if self.has_name(&name) {
+            return Err(IrError::DuplicateName { name });
+        }
+        let width = match self.ctx.sort_of(expr) {
+            Sort::Bv(w) => w,
+            other => {
+                return Err(IrError::SortMismatch {
+                    context: format!("signal {name:?}"),
+                    expected: Sort::Bv(1),
+                    found: other,
+                })
+            }
+        };
+        self.signals.push(RtlSignal {
+            name,
+            width,
+            expr,
+            output,
+        });
+        Ok(())
+    }
+
+    /// Records the Verilog source line count (set by the frontend).
+    pub fn set_source_loc(&mut self, loc: usize) {
+        self.source_loc = Some(loc);
+    }
+
+    /// The Verilog source line count ("RTL Size (LoC)"), if elaborated
+    /// from text.
+    pub fn source_loc(&self) -> Option<usize> {
+        self.source_loc
+    }
+
+    /// Declared inputs, in order.
+    pub fn inputs(&self) -> &[RtlInput] {
+        &self.inputs
+    }
+
+    /// Declared registers, in order.
+    pub fn regs(&self) -> &[RtlReg] {
+        &self.regs
+    }
+
+    /// Declared memories, in order.
+    pub fn mems(&self) -> &[RtlMem] {
+        &self.mems
+    }
+
+    /// Declared named signals (outputs and named wires), in order.
+    pub fn signals(&self) -> &[RtlSignal] {
+        &self.signals
+    }
+
+    /// Looks up an input by name.
+    pub fn find_input(&self, name: &str) -> Option<&RtlInput> {
+        self.inputs.iter().find(|x| x.name == name)
+    }
+
+    /// Looks up a register by name.
+    pub fn find_reg(&self, name: &str) -> Option<&RtlReg> {
+        self.regs.iter().find(|x| x.name == name)
+    }
+
+    /// Looks up a memory by name.
+    pub fn find_mem(&self, name: &str) -> Option<&RtlMem> {
+        self.mems.iter().find(|x| x.name == name)
+    }
+
+    /// Looks up a named signal by name.
+    pub fn find_signal(&self, name: &str) -> Option<&RtlSignal> {
+        self.signals.iter().find(|x| x.name == name)
+    }
+
+    /// Resolves any named entity — input, register, memory, or signal —
+    /// to the expression standing for its *current-cycle* value. This is
+    /// what refinement maps reference on the RTL side.
+    pub fn signal_expr(&self, name: &str) -> Option<ExprRef> {
+        if let Some(i) = self.find_input(name) {
+            return Some(i.var);
+        }
+        if let Some(r) = self.find_reg(name) {
+            return Some(r.var);
+        }
+        if let Some(m) = self.find_mem(name) {
+            return Some(m.var);
+        }
+        self.find_signal(name).map(|s| s.expr)
+    }
+
+    /// Total state bits (registers plus memories in full) — the "# of
+    /// RTL State Bits" statistic of Table I.
+    pub fn state_bits(&self) -> u64 {
+        let reg_bits: u64 = self.regs.iter().map(|r| r.width as u64).sum();
+        let mem_bits: u64 = self
+            .mems
+            .iter()
+            .map(|m| (1u64 << m.addr_width) * m.data_width as u64)
+            .sum();
+        reg_bits + mem_bits
+    }
+
+    /// The next-state expressions of all state elements, by name.
+    pub fn transition(&self) -> BTreeMap<&str, ExprRef> {
+        let mut t: BTreeMap<&str, ExprRef> = BTreeMap::new();
+        for r in &self.regs {
+            t.insert(&r.name, r.next);
+        }
+        for m in &self.mems {
+            t.insert(&m.name, m.next);
+        }
+        t
+    }
+
+    /// Validates that every next-state and signal expression only
+    /// references declared inputs and state variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownVar`] naming the first stray variable.
+    pub fn validate(&self) -> Result<(), IrError> {
+        let mut roots: Vec<ExprRef> = Vec::new();
+        roots.extend(self.regs.iter().map(|r| r.next));
+        roots.extend(self.mems.iter().map(|m| m.next));
+        roots.extend(self.signals.iter().map(|s| s.expr));
+        for v in self.ctx.vars_of(&roots) {
+            let name = self.ctx.var_name(v).expect("var node");
+            let declared = self.inputs.iter().any(|x| x.name == name)
+                || self.regs.iter().any(|x| x.name == name)
+                || self.mems.iter().any(|x| x.name == name);
+            if !declared {
+                return Err(IrError::UnknownVar {
+                    context: "validate".into(),
+                    var: name.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> RtlModule {
+        let mut m = RtlModule::new("counter");
+        let en = m.input("en", 1);
+        let cnt = m.reg("cnt", 4, Some(0));
+        let one = m.ctx_mut().bv_u64(1, 4);
+        let inc = m.ctx_mut().bvadd(cnt, one);
+        let en1 = m.ctx_mut().eq_u64(en, 1);
+        let next = m.ctx_mut().ite(en1, inc, cnt);
+        m.set_next("cnt", next).unwrap();
+        m.signal("count_out", cnt, true).unwrap();
+        m
+    }
+
+    #[test]
+    fn build_and_query() {
+        let m = counter();
+        assert_eq!(m.state_bits(), 4);
+        assert!(m.find_reg("cnt").is_some());
+        assert!(m.find_signal("count_out").unwrap().output);
+        assert!(m.signal_expr("cnt").is_some());
+        assert!(m.signal_expr("en").is_some());
+        assert!(m.signal_expr("ghost").is_none());
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn mem_state_bits() {
+        let mut m = RtlModule::new("memmod");
+        m.mem("ram", 8, 8);
+        assert_eq!(m.state_bits(), 2048);
+    }
+
+    #[test]
+    fn set_next_sort_checked() {
+        let mut m = counter();
+        let bad = m.ctx_mut().bv_u64(0, 8);
+        assert!(matches!(
+            m.set_next("cnt", bad).unwrap_err(),
+            IrError::SortMismatch { .. }
+        ));
+        assert!(matches!(
+            m.set_next("ghost", bad).unwrap_err(),
+            IrError::UnknownVar { .. }
+        ));
+    }
+
+    #[test]
+    fn validate_catches_stray_vars() {
+        let mut m = counter();
+        let stray = m.ctx_mut().var("stray", Sort::Bv(4));
+        m.set_next("cnt", stray).unwrap();
+        assert!(matches!(
+            m.validate().unwrap_err(),
+            IrError::UnknownVar { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_signal_rejected() {
+        let mut m = counter();
+        let e = m.ctx().find_var("cnt").unwrap();
+        assert!(matches!(
+            m.signal("cnt", e, false).unwrap_err(),
+            IrError::DuplicateName { .. }
+        ));
+    }
+}

@@ -1,0 +1,370 @@
+//! Cycle-accurate simulation of RTL modules.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gila_expr::{eval, BitVecValue, Env, EvalError, MemValue, Value};
+
+use crate::ir::RtlModule;
+
+/// An error during RTL simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtlSimError {
+    /// An input was not provided.
+    MissingInput {
+        /// The missing pin's name.
+        input: String,
+    },
+    /// A provided value has the wrong width.
+    WidthMismatch {
+        /// The pin name.
+        name: String,
+        /// Expected width.
+        expected: u32,
+        /// Provided width.
+        found: u32,
+    },
+    /// Evaluation failed (should not happen on validated modules).
+    Eval(
+        /// The underlying evaluation error.
+        EvalError,
+    ),
+    /// The named signal does not exist.
+    UnknownSignal {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for RtlSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlSimError::MissingInput { input } => write!(f, "missing input {input:?}"),
+            RtlSimError::WidthMismatch {
+                name,
+                expected,
+                found,
+            } => write!(f, "input {name:?} has width {found}, expected {expected}"),
+            RtlSimError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            RtlSimError::UnknownSignal { name } => write!(f, "unknown signal {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RtlSimError {}
+
+impl From<EvalError> for RtlSimError {
+    fn from(e: EvalError) -> Self {
+        RtlSimError::Eval(e)
+    }
+}
+
+/// Input values for one clock cycle, by pin name.
+pub type RtlInputMap = BTreeMap<String, BitVecValue>;
+
+/// A cycle-accurate simulator for an [`RtlModule`].
+///
+/// Each [`RtlSimulator::step`] models one rising clock edge: all register
+/// next-state expressions are evaluated against the pre-edge state and
+/// committed simultaneously (non-blocking semantics).
+///
+/// # Examples
+///
+/// ```
+/// use gila_rtl::{parse_verilog, RtlSimulator};
+/// use gila_expr::BitVecValue;
+///
+/// let m = parse_verilog(r#"
+/// module counter(clk, en, q);
+///   input clk; input en;
+///   output [3:0] q;
+///   reg [3:0] cnt;
+///   assign q = cnt;
+///   always @(posedge clk) if (en) cnt <= cnt + 4'd1;
+/// endmodule
+/// "#)?;
+/// let mut sim = RtlSimulator::new(&m);
+/// let mut ins = std::collections::BTreeMap::new();
+/// ins.insert("clk".to_string(), BitVecValue::from_u64(1, 1));
+/// ins.insert("en".to_string(), BitVecValue::from_u64(1, 1));
+/// sim.step(&ins)?;
+/// sim.step(&ins)?;
+/// assert_eq!(sim.signal("q", &ins)?.as_bv().to_u64(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RtlSimulator<'a> {
+    module: &'a RtlModule,
+    state: BTreeMap<String, Value>,
+}
+
+impl<'a> RtlSimulator<'a> {
+    /// Creates a simulator from the module's reset state (declared
+    /// initial values, zero otherwise).
+    pub fn new(module: &'a RtlModule) -> Self {
+        let mut state = BTreeMap::new();
+        for r in module.regs() {
+            let v = r.init.clone().unwrap_or_else(|| BitVecValue::zero(r.width));
+            state.insert(r.name.clone(), Value::Bv(v));
+        }
+        for mm in module.mems() {
+            let v = mm
+                .init
+                .clone()
+                .unwrap_or_else(|| MemValue::zeroed(mm.addr_width, mm.data_width));
+            state.insert(mm.name.clone(), Value::Mem(v));
+        }
+        RtlSimulator { module, state }
+    }
+
+    /// The current register/memory state.
+    pub fn state(&self) -> &BTreeMap<String, Value> {
+        &self.state
+    }
+
+    /// Overwrites one state element (for directed tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlSimError::UnknownSignal`] for unknown state names.
+    pub fn set_state(&mut self, name: &str, value: Value) -> Result<(), RtlSimError> {
+        if self.state.contains_key(name) {
+            self.state.insert(name.to_string(), value);
+            Ok(())
+        } else {
+            Err(RtlSimError::UnknownSignal {
+                name: name.to_string(),
+            })
+        }
+    }
+
+    fn env(&self, inputs: &RtlInputMap) -> Result<Env, RtlSimError> {
+        let mut env = Env::new();
+        for i in self.module.inputs() {
+            let v = inputs.get(&i.name).ok_or_else(|| RtlSimError::MissingInput {
+                input: i.name.clone(),
+            })?;
+            if v.width() != i.width {
+                return Err(RtlSimError::WidthMismatch {
+                    name: i.name.clone(),
+                    expected: i.width,
+                    found: v.width(),
+                });
+            }
+            env.bind(i.var, v.clone());
+        }
+        for r in self.module.regs() {
+            env.bind(r.var, self.state[&r.name].clone());
+        }
+        for m in self.module.mems() {
+            env.bind(m.var, self.state[&m.name].clone());
+        }
+        Ok(env)
+    }
+
+    /// Advances one clock edge with the given input pin values.
+    ///
+    /// # Errors
+    ///
+    /// Returns input-related errors; evaluation errors indicate an
+    /// invalid module (see [`RtlModule::validate`]).
+    pub fn step(&mut self, inputs: &RtlInputMap) -> Result<(), RtlSimError> {
+        let env = self.env(inputs)?;
+        let ctx = self.module.ctx();
+        let mut next = Vec::new();
+        for r in self.module.regs() {
+            next.push((r.name.clone(), eval(ctx, r.next, &env)?));
+        }
+        for m in self.module.mems() {
+            next.push((m.name.clone(), eval(ctx, m.next, &env)?));
+        }
+        for (name, v) in next {
+            self.state.insert(name, v);
+        }
+        Ok(())
+    }
+
+    /// Reads any named signal's *current-cycle* value (combinational
+    /// signals need the current inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlSimError::UnknownSignal`] if no such signal exists.
+    pub fn signal(&self, name: &str, inputs: &RtlInputMap) -> Result<Value, RtlSimError> {
+        let expr = self
+            .module
+            .signal_expr(name)
+            .ok_or_else(|| RtlSimError::UnknownSignal {
+                name: name.to_string(),
+            })?;
+        let env = self.env(inputs)?;
+        Ok(eval(self.module.ctx(), expr, &env)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::parse_verilog;
+
+    fn ins(pairs: &[(&str, u64, u32)]) -> RtlInputMap {
+        pairs
+            .iter()
+            .map(|&(n, v, w)| (n.to_string(), BitVecValue::from_u64(v, w)))
+            .collect()
+    }
+
+    #[test]
+    fn counter_counts() {
+        let m = parse_verilog(
+            r#"
+module counter(clk, en, q);
+  input clk; input en;
+  output [3:0] q;
+  reg [3:0] cnt;
+  assign q = cnt;
+  always @(posedge clk) if (en) cnt <= cnt + 4'd1;
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut sim = RtlSimulator::new(&m);
+        let go = ins(&[("clk", 1, 1), ("en", 1, 1)]);
+        let stop = ins(&[("clk", 1, 1), ("en", 0, 1)]);
+        for _ in 0..5 {
+            sim.step(&go).unwrap();
+        }
+        sim.step(&stop).unwrap();
+        assert_eq!(sim.signal("q", &stop).unwrap().as_bv().to_u64(), 5);
+        // wraps at 16
+        for _ in 0..11 {
+            sim.step(&go).unwrap();
+        }
+        assert_eq!(sim.signal("q", &stop).unwrap().as_bv().to_u64(), 0);
+    }
+
+    #[test]
+    fn memory_write_read() {
+        let m = parse_verilog(
+            r#"
+module mem(clk, we, addr, din, dout);
+  input clk; input we;
+  input [3:0] addr;
+  input [7:0] din;
+  output [7:0] dout;
+  reg [7:0] store [0:15];
+  assign dout = store[addr];
+  always @(posedge clk) if (we) store[addr] <= din;
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut sim = RtlSimulator::new(&m);
+        let wr = ins(&[("clk", 1, 1), ("we", 1, 1), ("addr", 7, 4), ("din", 0xAB, 8)]);
+        sim.step(&wr).unwrap();
+        let rd = ins(&[("clk", 1, 1), ("we", 0, 1), ("addr", 7, 4), ("din", 0, 8)]);
+        assert_eq!(sim.signal("dout", &rd).unwrap().as_bv().to_u64(), 0xAB);
+        let rd2 = ins(&[("clk", 1, 1), ("we", 0, 1), ("addr", 8, 4), ("din", 0, 8)]);
+        assert_eq!(sim.signal("dout", &rd2).unwrap().as_bv().to_u64(), 0);
+    }
+
+    #[test]
+    fn nonblocking_swap() {
+        let m = parse_verilog(
+            r#"
+module swap(clk, go);
+  input clk; input go;
+  reg [3:0] a;
+  reg [3:0] b;
+  initial begin a = 4'd3; b = 4'd9; end
+  always @(posedge clk) begin
+    if (go) begin
+      a <= b;
+      b <= a;
+    end
+  end
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut sim = RtlSimulator::new(&m);
+        sim.step(&ins(&[("clk", 1, 1), ("go", 1, 1)])).unwrap();
+        assert_eq!(sim.state()["a"].as_bv().to_u64(), 9);
+        assert_eq!(sim.state()["b"].as_bv().to_u64(), 3);
+    }
+
+    #[test]
+    fn last_nonblocking_write_wins() {
+        let m = parse_verilog(
+            r#"
+module w(clk);
+  input clk;
+  reg [3:0] r;
+  always @(posedge clk) begin
+    r <= 4'd1;
+    r <= 4'd2;
+  end
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut sim = RtlSimulator::new(&m);
+        sim.step(&ins(&[("clk", 1, 1)])).unwrap();
+        assert_eq!(sim.state()["r"].as_bv().to_u64(), 2);
+    }
+
+    #[test]
+    fn case_priority_and_default() {
+        let m = parse_verilog(
+            r#"
+module c(clk, s);
+  input clk;
+  input [1:0] s;
+  reg [3:0] r;
+  always @(posedge clk) begin
+    case (s)
+      2'd0: r <= 4'd10;
+      2'd1, 2'd2: r <= 4'd11;
+      default: r <= 4'd15;
+    endcase
+  end
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut sim = RtlSimulator::new(&m);
+        for (s, expect) in [(0u64, 10u64), (1, 11), (2, 11), (3, 15)] {
+            sim.step(&ins(&[("clk", 1, 1), ("s", s, 2)])).unwrap();
+            assert_eq!(sim.state()["r"].as_bv().to_u64(), expect, "s={s}");
+        }
+    }
+
+    #[test]
+    fn missing_and_wrong_inputs() {
+        let m = parse_verilog(
+            r#"
+module x(clk, a);
+  input clk;
+  input [3:0] a;
+  reg [3:0] r;
+  always @(posedge clk) r <= a;
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut sim = RtlSimulator::new(&m);
+        assert!(matches!(
+            sim.step(&ins(&[("clk", 1, 1)])).unwrap_err(),
+            RtlSimError::MissingInput { .. }
+        ));
+        assert!(matches!(
+            sim.step(&ins(&[("clk", 1, 1), ("a", 1, 8)])).unwrap_err(),
+            RtlSimError::WidthMismatch { .. }
+        ));
+        assert!(matches!(
+            sim.signal("ghost", &ins(&[("clk", 1, 1), ("a", 1, 4)]))
+                .unwrap_err(),
+            RtlSimError::UnknownSignal { .. }
+        ));
+    }
+}

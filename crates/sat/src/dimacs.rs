@@ -1,0 +1,151 @@
+//! DIMACS CNF import/export, mainly for debugging and fuzzing the solver
+//! against external tools.
+
+use std::fmt;
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// An error while parsing DIMACS CNF text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text into a list of clauses (1-based variable
+/// numbers become 0-based [`Var`] indices) and the declared variable count.
+///
+/// # Errors
+///
+/// Returns an error on malformed literals or a missing/invalid `p cnf`
+/// header (a missing header is tolerated if clauses are well-formed; the
+/// variable count is then inferred).
+pub fn parse_dimacs(text: &str) -> Result<(usize, Vec<Vec<Lit>>), ParseDimacsError> {
+    let mut declared_vars: Option<usize> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut max_var = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(ParseDimacsError {
+                    line: lineno + 1,
+                    message: "expected 'p cnf <vars> <clauses>'".into(),
+                });
+            }
+            let nv: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError {
+                    line: lineno + 1,
+                    message: "invalid variable count".into(),
+                })?;
+            declared_vars = Some(nv);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let n: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line: lineno + 1,
+                message: format!("invalid literal {tok:?}"),
+            })?;
+            if n == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let v = (n.unsigned_abs() - 1) as usize;
+                max_var = max_var.max(v + 1);
+                current.push(Lit::new(Var(v as u32), n > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok((declared_vars.unwrap_or(max_var).max(max_var), clauses))
+}
+
+/// Loads DIMACS text into a fresh [`Solver`].
+///
+/// # Errors
+///
+/// Propagates [`ParseDimacsError`] from [`parse_dimacs`].
+pub fn solver_from_dimacs(text: &str) -> Result<Solver, ParseDimacsError> {
+    let (n_vars, clauses) = parse_dimacs(text)?;
+    let mut s = Solver::new();
+    for _ in 0..n_vars {
+        s.new_var();
+    }
+    for c in clauses {
+        s.add_clause(c);
+    }
+    Ok(s)
+}
+
+/// Renders clauses as DIMACS CNF text.
+pub fn to_dimacs(n_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut out = format!("p cnf {} {}\n", n_vars, clauses.len());
+    for c in clauses {
+        for &l in c {
+            let n = l.var().index() as i64 + 1;
+            let n = if l.is_positive() { n } else { -n };
+            out.push_str(&n.to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let (n, clauses) = parse_dimacs(text).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(clauses.len(), 2);
+        assert_eq!(clauses[0].len(), 2);
+        assert!(clauses[0][0].is_positive());
+        assert!(!clauses[0][1].is_positive());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "p cnf 2 2\n1 2 0\n-1 -2 0\n";
+        let (n, clauses) = parse_dimacs(text).unwrap();
+        let re = to_dimacs(n, &clauses);
+        let (n2, clauses2) = parse_dimacs(&re).unwrap();
+        assert_eq!(n, n2);
+        assert_eq!(clauses, clauses2);
+    }
+
+    #[test]
+    fn solve_parsed_instance() {
+        let mut s = solver_from_dimacs("p cnf 2 3\n1 2 0\n-1 0\n-2 -1 0\n").unwrap();
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(Var(0)), Some(false));
+        assert_eq!(s.value(Var(1)), Some(true));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(parse_dimacs("p dnf 1 1\n1 0\n").is_err());
+        assert!(parse_dimacs("p cnf x 1\n").is_err());
+        assert!(parse_dimacs("1 one 0\n").is_err());
+    }
+}

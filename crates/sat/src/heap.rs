@@ -1,0 +1,160 @@
+//! An indexed max-heap ordering variables by VSIDS activity.
+
+use crate::lit::Var;
+
+/// A binary max-heap of variables keyed by an external activity array,
+/// supporting O(log n) increase-key (after an activity bump) and removal.
+#[derive(Clone, Debug, Default)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    positions: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures capacity for variables up to `n - 1`.
+    pub fn grow(&mut self, n: usize) {
+        if self.positions.len() < n {
+            self.positions.resize(n, ABSENT);
+        }
+    }
+
+    /// True if the heap contains no variables.
+    #[allow(dead_code)] // used by tests and kept for API symmetry
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of queued variables.
+    #[allow(dead_code)] // used by tests and kept for API symmetry
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if `v` is queued.
+    pub fn contains(&self, v: Var) -> bool {
+        self.positions
+            .get(v.index())
+            .is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Inserts `v` if absent.
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.grow(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        self.positions[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.positions[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.positions[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order for `v` after its activity increased.
+    pub fn update(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.positions.get(v.index()) {
+            if p != ABSENT {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index()] > activity[self.heap[best].index()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index()] > activity[self.heap[best].index()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.positions[self.heap[a].index()] = a;
+        self.positions[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut h = VarHeap::new();
+        for i in 0..5 {
+            h.insert(Var(i), &activity);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop(&activity)).map(|v| v.0).collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn update_after_bump() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for i in 0..3 {
+            h.insert(Var(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.update(Var(0), &activity);
+        assert_eq!(h.pop(&activity), Some(Var(0)));
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0];
+        let mut h = VarHeap::new();
+        h.insert(Var(0), &activity);
+        h.insert(Var(0), &activity);
+        assert_eq!(h.len(), 1);
+    }
+}

@@ -1,0 +1,940 @@
+//! A CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! The architecture follows MiniSat: two-watched-literal propagation,
+//! first-UIP conflict analysis, VSIDS branching with phase saving, Luby
+//! restarts, and activity/LBD-guided learnt-clause database reduction.
+
+use crate::heap::VarHeap;
+use crate::lit::{LBool, Lit, Var};
+
+/// Reference to a clause in the solver's arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ClauseRef(u32);
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+    lbd: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// Outcome of a satisfiability query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// The formula (plus assumptions) is satisfiable; a model is available.
+    Sat,
+    /// The formula (plus assumptions) is unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// True for [`SolveResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        matches!(self, SolveResult::Sat)
+    }
+}
+
+/// Counters describing solver effort; useful for benchmark reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Peak number of clauses (original + learnt) ever held.
+    pub peak_clauses: u64,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use gila_sat::{Lit, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause([a.positive(), b.positive()]);
+/// s.add_clause([a.negative()]);
+/// assert!(s.solve().is_sat());
+/// assert_eq!(s.value(a), Some(false));
+/// assert_eq!(s.value(b), Some(true));
+/// s.add_clause([b.negative()]);
+/// assert!(!s.solve().is_sat());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    polarity: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    activity: Vec<f64>,
+    order: VarHeap,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    ok: bool,
+    var_inc: f64,
+    cla_inc: f64,
+    model: Vec<LBool>,
+    stats: SolverStats,
+    seen: Vec<bool>,
+    learnt_count: usize,
+    max_learnts: f64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            polarity: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            activity: Vec::new(),
+            order: VarHeap::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            ok: true,
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            model: Vec::new(),
+            stats: SolverStats::default(),
+            seen: Vec::new(),
+            learnt_count: 0,
+            max_learnts: 4000.0,
+        }
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables created.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (original + learnt, excluding deleted).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Effort counters.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause; returns `false` if the solver is already in an
+    /// unsatisfiable state (the clause made the formula trivially false
+    /// at level 0 or a previous contradiction was found).
+    ///
+    /// Clauses may be added between `solve` calls (incremental use).
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology / level-0 simplification.
+        let mut simplified = Vec::with_capacity(lits.len());
+        let mut prev: Option<Lit> = None;
+        for &l in &lits {
+            if prev == Some(!l) {
+                return true; // tautology: contains l and !l (sorted adjacently)
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => simplified.push(l),
+            }
+            prev = Some(l);
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_new_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = ClauseRef(self.clauses.len() as u32);
+        let w0 = Watcher {
+            cref,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            cref,
+            blocker: lits[0],
+        };
+        self.watches[(!lits[0]).index()].push(w0);
+        self.watches[(!lits[1]).index()].push(w1);
+        if learnt {
+            self.learnt_count += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+            lbd: 0,
+        });
+        self.stats.peak_clauses = self.stats.peak_clauses.max(self.clauses.len() as u64);
+        cref
+    }
+
+    fn lit_value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var();
+        self.assigns[v.index()] = LBool::from_bool(l.is_positive());
+        self.polarity[v.index()] = l.is_positive();
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = from;
+        self.trail.push(l);
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let keep = self.trail_lim[level as usize];
+        for i in (keep..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(keep);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = keep;
+    }
+
+    /// Unit propagation; returns a conflicting clause if one is found.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            let mut j = 0;
+            // take the watch list to satisfy the borrow checker
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut conflict: Option<ClauseRef> = None;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                // Blocker check: if the blocker is true the clause is satisfied.
+                if self.lit_value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    i += 1;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                // Make sure the false literal is lits[1].
+                let false_lit = !p;
+                {
+                    let c = &mut self.clauses[cref.0 as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[cref.0 as usize].lits[0];
+                let new_w = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[j] = new_w;
+                    i += 1;
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref.0 as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref.0 as usize].lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.clauses[cref.0 as usize].lits.swap(1, k);
+                        self.watches[(!lk).index()].push(new_w);
+                        i += 1;
+                        continue 'watches;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[j] = new_w;
+                i += 1;
+                j += 1;
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: copy the rest of the watchers back.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        i += 1;
+                        j += 1;
+                    }
+                    conflict = Some(cref);
+                } else {
+                    self.unchecked_enqueue(first, Some(cref));
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.index()] = ws;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.0 as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis.
+    ///
+    /// Returns the learnt clause (asserting literal first) and the level
+    /// to backtrack to.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the asserting literal
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        loop {
+            if self.clauses[confl.0 as usize].learnt {
+                self.bump_clause(confl);
+            }
+            let start = if p.is_some() { 1 } else { 0 };
+            let lits = self.clauses[confl.0 as usize].lits.clone();
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal on the trail to resolve on.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            p = Some(pl);
+            confl = self.reason[pl.var().index()].expect("non-decision literal has a reason");
+        }
+        // Conflict-clause minimization: drop literals implied by the rest.
+        let mut minimized = vec![learnt[0]];
+        for &l in &learnt[1..] {
+            if !self.is_redundant(l) {
+                minimized.push(l);
+            }
+        }
+        let mut learnt = minimized;
+        // Clear seen flags.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        // (Some seen flags may remain set from dropped literals; clear via trail scan.)
+        for i in 0..self.trail.len() {
+            self.seen[self.trail[i].var().index()] = false;
+        }
+        // Find backtrack level: highest level among learnt[1..].
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt_level)
+    }
+
+    /// Local minimization: `l` is redundant if every literal of its reason
+    /// clause is already in the learnt clause (seen) or at level 0.
+    fn is_redundant(&self, l: Lit) -> bool {
+        match self.reason[l.var().index()] {
+            None => false,
+            Some(cref) => self.clauses[cref.0 as usize].lits[1..].iter().all(|&q| {
+                self.seen[q.var().index()] || self.level[q.var().index()] == 0
+            }),
+        }
+    }
+
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(Lit::new(v, self.polarity[v.index()]));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Collect learnt, non-reason clauses, sort worst-first, delete half.
+        let mut candidates: Vec<ClauseRef> = Vec::new();
+        for (i, c) in self.clauses.iter().enumerate() {
+            if !c.learnt || c.deleted || c.lits.len() <= 2 {
+                continue;
+            }
+            let cref = ClauseRef(i as u32);
+            let locked = self.reason[c.lits[0].var().index()] == Some(cref)
+                && self.lit_value(c.lits[0]) == LBool::True;
+            if !locked {
+                candidates.push(cref);
+            }
+        }
+        candidates.sort_by(|&a, &b| {
+            let ca = &self.clauses[a.0 as usize];
+            let cb = &self.clauses[b.0 as usize];
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let n_delete = candidates.len() / 2;
+        for &cref in candidates.iter().take(n_delete) {
+            self.delete_clause(cref);
+        }
+    }
+
+    fn delete_clause(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = &self.clauses[cref.0 as usize];
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).index()].retain(|w| w.cref != cref);
+        self.watches[(!l1).index()].retain(|w| w.cref != cref);
+        let c = &mut self.clauses[cref.0 as usize];
+        c.deleted = true;
+        c.lits.clear();
+        c.lits.shrink_to_fit();
+        self.learnt_count -= 1;
+    }
+
+    /// Solves the current formula.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals. The assumptions hold
+    /// only for this call; learned clauses are kept for later calls.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        let mut luby_index = 0u64;
+        let mut conflicts_until_restart = 64 * luby(luby_index);
+        let mut conflicts_this_restart = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt_level) = self.analyze(confl);
+                // If the conflict is rooted entirely in assumption levels we
+                // may still backtrack into them; re-deciding the assumptions
+                // below detects genuine assumption failure.
+                self.cancel_until(bt_level);
+                if learnt.len() == 1 {
+                    if self.lit_value(learnt[0]) != LBool::Undef {
+                        // Asserting literal already decided (can only happen
+                        // under conflicting assumptions).
+                        return SolveResult::Unsat;
+                    }
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let lbd = self.compute_lbd(&learnt);
+                    let asserting = learnt[0];
+                    let cref = self.attach_new_clause(learnt, true);
+                    self.clauses[cref.0 as usize].lbd = lbd;
+                    if self.lit_value(asserting) != LBool::Undef {
+                        return SolveResult::Unsat;
+                    }
+                    self.unchecked_enqueue(asserting, Some(cref));
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+                if self.learnt_count as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+            } else {
+                if conflicts_this_restart >= conflicts_until_restart
+                    && self.decision_level() > assumptions.len() as u32
+                {
+                    self.stats.restarts += 1;
+                    luby_index += 1;
+                    conflicts_until_restart = 64 * luby(luby_index);
+                    conflicts_this_restart = 0;
+                    self.cancel_until(assumptions.len() as u32);
+                    continue;
+                }
+                // Decide the next assumption, if any remain.
+                let mut next: Option<Lit> = None;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.lit_value(p) {
+                        LBool::True => self.new_decision_level(),
+                        LBool::False => return SolveResult::Unsat,
+                        LBool::Undef => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                let next = match next {
+                    Some(p) => p,
+                    None => match self.pick_branch() {
+                        Some(p) => {
+                            self.stats.decisions += 1;
+                            p
+                        }
+                        None => {
+                            self.model = self.assigns.clone();
+                            self.stats.learnt_clauses = self.learnt_count as u64;
+                            self.cancel_until(0);
+                            return SolveResult::Sat;
+                        }
+                    },
+                };
+                self.new_decision_level();
+                self.unchecked_enqueue(next, None);
+            }
+        }
+    }
+
+    /// The value of `v` in the most recent satisfying model.
+    ///
+    /// Returns `None` if no model is available or the variable was left
+    /// unconstrained (callers may treat that as either polarity).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.model.get(v.index()).and_then(|b| b.to_bool())
+    }
+
+    /// The value of a literal in the most recent model.
+    pub fn lit_model_value(&self, l: Lit) -> Option<bool> {
+        self.value(l.var())
+            .map(|b| if l.is_positive() { b } else { !b })
+    }
+}
+
+/// The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+fn luby(x: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = x;
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_var().positive()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause([v[0]]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.lit_model_value(v[0]), Some(true));
+        assert!(!s.add_clause([!v[0]]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 5);
+        for i in 0..4 {
+            s.add_clause([!v[i], v[i + 1]]);
+        }
+        s.add_clause([v[0]]);
+        assert!(s.solve().is_sat());
+        for l in &v {
+            assert_eq!(s.lit_model_value(*l), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: var p_{i,j} = pigeon i in hole j.
+        let mut s = Solver::new();
+        let mut p = [[Lit(0); 2]; 3];
+        for i in 0..3 {
+            for j in 0..2 {
+                p[i][j] = s.new_var().positive();
+            }
+        }
+        for i in 0..3 {
+            s.add_clause([p[i][0], p[i][1]]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    s.add_clause([!p[a][j], !p[b][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_transient() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        assert_eq!(s.solve_with_assumptions(&[!v[0], !v[1]]), SolveResult::Unsat);
+        // The formula itself is still satisfiable.
+        assert!(s.solve().is_sat());
+        assert!(s.solve_with_assumptions(&[!v[0]]).is_sat());
+        assert_eq!(s.lit_model_value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn contradictory_assumptions() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        assert_eq!(s.solve_with_assumptions(&[v[0], !v[0]]), SolveResult::Unsat);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn xor_chain_forces_unique_model() {
+        // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 = 1 -> x2 = 0, x3 = 1
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let xor = |s: &mut Solver, a: Lit, b: Lit| {
+            s.add_clause([a, b]);
+            s.add_clause([!a, !b]);
+        };
+        xor(&mut s, v[0], v[1]);
+        xor(&mut s, v[1], v[2]);
+        s.add_clause([v[0]]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.lit_model_value(v[1]), Some(false));
+        assert_eq!(s.lit_model_value(v[2]), Some(true));
+    }
+
+    #[test]
+    fn tautology_and_duplicates_ignored() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause([v[0], !v[0]]));
+        assert!(s.add_clause([v[1], v[1], v[1]]));
+        assert!(s.solve().is_sat());
+        assert_eq!(s.lit_model_value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn php_4_into_3_unsat_exercises_learning() {
+        let n = 4;
+        let m = 3;
+        let mut s = Solver::new();
+        let mut p = vec![vec![Lit(0); m]; n];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var().positive();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for j in 0..m {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    s.add_clause([!p[a][j], !p[b][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn incremental_add_solve_add_solve() {
+        // Clauses added after a solve must be respected, and learned
+        // clauses from earlier solves must not corrupt later ones.
+        let mut s = Solver::new();
+        let v: Vec<Lit> = (0..6).map(|_| s.new_var().positive()).collect();
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[0], v[2]]);
+        assert!(s.solve().is_sat());
+        s.add_clause([!v[2]]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.lit_model_value(v[2]), Some(false));
+        assert_eq!(s.lit_model_value(v[0]), Some(false));
+        assert_eq!(s.lit_model_value(v[1]), Some(true));
+        s.add_clause([!v[1]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Once UNSAT, the solver stays UNSAT.
+        assert!(!s.add_clause([v[3]]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_after_learning() {
+        // Force learning with a pigeonhole core, then reuse the solver
+        // under assumptions on fresh variables.
+        let mut s = Solver::new();
+        let mut grid = Vec::new();
+        for _ in 0..4 {
+            let row: Vec<Lit> = (0..3).map(|_| s.new_var().positive()).collect();
+            grid.push(row);
+        }
+        let sel = s.new_var().positive();
+        // The PHP clauses are guarded by `sel` so the formula is SAT
+        // overall but UNSAT under the assumption `sel`.
+        for row in &grid {
+            let mut c = row.clone();
+            c.push(!sel);
+            s.add_clause(c);
+        }
+        for j in 0..3 {
+            for a in 0..4 {
+                for b in (a + 1)..4 {
+                    s.add_clause([!grid[a][j], !grid[b][j], !sel]);
+                }
+            }
+        }
+        assert!(s.solve().is_sat());
+        assert_eq!(s.solve_with_assumptions(&[sel]), SolveResult::Unsat);
+        // Still SAT without the assumption afterwards.
+        assert!(s.solve_with_assumptions(&[!sel]).is_sat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn random_instances_with_assumptions_agree_with_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xA55);
+        for _ in 0..60 {
+            let n_vars = rng.gen_range(4..=7usize);
+            let n_clauses = rng.gen_range(4..=24usize);
+            let clauses: Vec<Vec<(usize, bool)>> = (0..n_clauses)
+                .map(|_| {
+                    (0..rng.gen_range(1..=3usize))
+                        .map(|_| (rng.gen_range(0..n_vars), rng.gen_bool(0.5)))
+                        .collect()
+                })
+                .collect();
+            let n_assume = rng.gen_range(0..=2usize);
+            let assumptions: Vec<(usize, bool)> = (0..n_assume)
+                .map(|_| (rng.gen_range(0..n_vars), rng.gen_bool(0.5)))
+                .collect();
+            // Brute force under the assumptions.
+            let mut brute = false;
+            'outer: for m in 0u32..(1 << n_vars) {
+                for &(v, pos) in &assumptions {
+                    if ((m >> v) & 1 == 1) != pos {
+                        continue 'outer;
+                    }
+                }
+                for c in &clauses {
+                    if !c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos) {
+                        continue 'outer;
+                    }
+                }
+                brute = true;
+                break;
+            }
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..n_vars).map(|_| s.new_var()).collect();
+            let mut ok = true;
+            for c in &clauses {
+                ok &= s.add_clause(c.iter().map(|&(v, pos)| Lit::new(vars[v], pos)));
+            }
+            let lits: Vec<Lit> = assumptions
+                .iter()
+                .map(|&(v, pos)| Lit::new(vars[v], pos))
+                .collect();
+            let got = ok && s.solve_with_assumptions(&lits).is_sat();
+            assert_eq!(got, brute, "clauses {clauses:?} assumptions {assumptions:?}");
+        }
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..120 {
+            let n_vars = rng.gen_range(3..=8usize);
+            let n_clauses = rng.gen_range(3..=30usize);
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..n_clauses {
+                let len = rng.gen_range(1..=3usize);
+                let c: Vec<(usize, bool)> = (0..len)
+                    .map(|_| (rng.gen_range(0..n_vars), rng.gen_bool(0.5)))
+                    .collect();
+                clauses.push(c);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for m in 0..(1u32 << n_vars) {
+                for c in &clauses {
+                    if !c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos) {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // Solver.
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..n_vars).map(|_| s.new_var()).collect();
+            let mut ok = true;
+            for c in &clauses {
+                ok &= s.add_clause(c.iter().map(|&(v, pos)| Lit::new(vars[v], pos)));
+            }
+            let sat = ok && s.solve().is_sat();
+            assert_eq!(sat, brute_sat, "clauses: {clauses:?}");
+            if sat {
+                // Every variable is decided in a model; verify each clause.
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&(v, pos)| s.value(vars[v]).unwrap() == pos),
+                        "model does not satisfy {c:?}"
+                    );
+                }
+            }
+        }
+    }
+}

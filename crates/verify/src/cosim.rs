@@ -1,0 +1,328 @@
+//! Simulation-based refinement testing: drive a port-ILA and an RTL
+//! implementation with the same random command streams and compare the
+//! refinement-mapped states after every cycle.
+//!
+//! This is the lightweight dynamic counterpart of [`crate::verify_port`]:
+//! no proof, but millions of cycles per second, useful as a smoke check
+//! while models are being written and as an independent oracle for the
+//! SAT-based engine.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gila_core::{PortIla, PortSimulator, SimError};
+use gila_expr::{BitVecValue, MemValue, Sort, Value};
+use gila_rtl::{RtlModule, RtlSimulator};
+use rand::{Rng, SeedableRng};
+
+use crate::refmap::RefinementMap;
+
+/// A state divergence found by co-simulation.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// The cycle at which the divergence appeared.
+    pub cycle: usize,
+    /// The instruction the ILA executed that cycle.
+    pub instruction: String,
+    /// The ILA state that disagrees.
+    pub state: String,
+    /// The ILA's value.
+    pub ila_value: Value,
+    /// The RTL's value.
+    pub rtl_value: Value,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "state {:?} diverged at cycle {} after {:?}: ila = {:?}, rtl = {:?}",
+            self.state, self.cycle, self.instruction, self.ila_value, self.rtl_value
+        )
+    }
+}
+
+/// An error during co-simulation setup or stepping.
+#[derive(Clone, Debug)]
+pub enum CosimError {
+    /// An ILA input has no interface-map entry.
+    UnmappedInput(
+        /// The input's name.
+        String,
+    ),
+    /// A refinement-mapped RTL signal does not exist.
+    UnknownRtlSignal(
+        /// The signal name.
+        String,
+    ),
+    /// No instruction decoded for any of the attempted random commands
+    /// (the port's command space is heavily constrained; seed the
+    /// stimulus differently).
+    NoDecodableCommand {
+        /// The cycle where stimulus generation gave up.
+        cycle: usize,
+    },
+    /// The model is nondeterministic or otherwise failed to step.
+    Sim(
+        /// The underlying simulator error.
+        SimError,
+    ),
+}
+
+impl fmt::Display for CosimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CosimError::UnmappedInput(name) => {
+                write!(f, "ILA input {name:?} has no interface-map entry")
+            }
+            CosimError::UnknownRtlSignal(name) => {
+                write!(f, "RTL has no signal {name:?}")
+            }
+            CosimError::NoDecodableCommand { cycle } => {
+                write!(f, "no decodable command found at cycle {cycle}")
+            }
+            CosimError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CosimError {}
+
+fn random_value(rng: &mut impl Rng, sort: Sort) -> Value {
+    match sort {
+        Sort::Bool => Value::Bool(rng.gen()),
+        Sort::Bv(w) => {
+            let bits: Vec<bool> = (0..w).map(|_| rng.gen()).collect();
+            Value::Bv(BitVecValue::from_bits(&bits))
+        }
+        Sort::Mem {
+            addr_width,
+            data_width,
+        } => {
+            let mut m = MemValue::zeroed(addr_width, data_width);
+            for _ in 0..8 {
+                let a = BitVecValue::from_u64(rng.gen(), addr_width);
+                let bits: Vec<bool> = (0..data_width).map(|_| rng.gen()).collect();
+                m = m.write(&a, &BitVecValue::from_bits(&bits));
+            }
+            Value::Mem(m)
+        }
+    }
+}
+
+fn default_value(sort: Sort) -> Value {
+    match sort {
+        Sort::Bool => Value::Bool(false),
+        Sort::Bv(w) => Value::Bv(BitVecValue::zero(w)),
+        Sort::Mem {
+            addr_width,
+            data_width,
+        } => Value::Mem(MemValue::zeroed(addr_width, data_width)),
+    }
+}
+
+/// Co-simulates `port` against `rtl` for `cycles` random commands from
+/// `seed`, starting from a random (consistent) state.
+///
+/// Returns `Ok(None)` if the mapped states agreed on every cycle,
+/// `Ok(Some(divergence))` at the first disagreement.
+///
+/// States listed in the map's `unchecked_states` are re-anchored from
+/// the RTL before every instruction and excluded from the comparison
+/// (they belong to other ports).
+///
+/// # Errors
+///
+/// See [`CosimError`].
+pub fn cosimulate(
+    port: &PortIla,
+    rtl: &RtlModule,
+    map: &RefinementMap,
+    seed: u64,
+    cycles: usize,
+) -> Result<Option<Divergence>, CosimError> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rtl_sim = RtlSimulator::new(rtl);
+    // Random start state on the RTL side.
+    let state_names: Vec<String> = rtl_sim.state().keys().cloned().collect();
+    for name in &state_names {
+        let sort = rtl_sim.state()[name].sort();
+        let v = random_value(&mut rng, sort);
+        rtl_sim.set_state(name, v).expect("known state");
+    }
+    let all_rtl_inputs: Vec<(String, u32)> = rtl
+        .inputs()
+        .iter()
+        .map(|i| (i.name.clone(), i.width))
+        .collect();
+    let zero_inputs: BTreeMap<String, BitVecValue> = all_rtl_inputs
+        .iter()
+        .map(|(n, w)| (n.clone(), BitVecValue::zero(*w)))
+        .collect();
+
+    let read_state = |rtl_sim: &RtlSimulator,
+                      inputs: &BTreeMap<String, BitVecValue>|
+     -> Result<BTreeMap<String, Value>, CosimError> {
+        map.state_map
+            .iter()
+            .map(|(ila_state, rtl_signal)| {
+                rtl_sim
+                    .signal(rtl_signal, inputs)
+                    .map(|v| (ila_state.clone(), v))
+                    .map_err(|_| CosimError::UnknownRtlSignal(rtl_signal.clone()))
+            })
+            .collect()
+    };
+
+    // Bootstrap the ILA state from the mapped RTL view.
+    let start = read_state(&rtl_sim, &zero_inputs)?;
+    let mut ila_state: BTreeMap<String, Value> = port
+        .states()
+        .iter()
+        .map(|s| {
+            let v = start
+                .get(&s.name)
+                .cloned()
+                .unwrap_or_else(|| default_value(s.sort));
+            (s.name.clone(), v)
+        })
+        .collect();
+
+    for cycle in 0..cycles {
+        for name in &map.unchecked_states {
+            if let Some(rtl_signal) = map.state_map.get(name) {
+                let v = rtl_sim
+                    .signal(rtl_signal, &zero_inputs)
+                    .map_err(|_| CosimError::UnknownRtlSignal(rtl_signal.clone()))?;
+                ila_state.insert(name.clone(), v);
+            }
+        }
+        let mut ila_sim =
+            PortSimulator::with_state(port, ila_state.clone()).map_err(CosimError::Sim)?;
+        let mut fired = None;
+        let mut rtl_inputs = BTreeMap::new();
+        for _attempt in 0..64 {
+            let mut ila_inputs = BTreeMap::new();
+            rtl_inputs = all_rtl_inputs
+                .iter()
+                .map(|(n, w)| {
+                    let bits: Vec<bool> = (0..*w).map(|_| rng.gen()).collect();
+                    (n.clone(), BitVecValue::from_bits(&bits))
+                })
+                .collect();
+            for i in port.inputs() {
+                let rtl_name = map
+                    .interface_map
+                    .get(&i.name)
+                    .ok_or_else(|| CosimError::UnmappedInput(i.name.clone()))?;
+                let v = rtl_inputs
+                    .get(rtl_name)
+                    .ok_or_else(|| CosimError::UnknownRtlSignal(rtl_name.clone()))?
+                    .clone();
+                ila_inputs.insert(i.name.clone(), Value::Bv(v));
+            }
+            match ila_sim.step(&ila_inputs) {
+                Ok(name) => {
+                    fired = Some(name);
+                    break;
+                }
+                Err(SimError::NoInstruction { .. }) => continue,
+                Err(e) => return Err(CosimError::Sim(e)),
+            }
+        }
+        let Some(fired) = fired else {
+            return Err(CosimError::NoDecodableCommand { cycle });
+        };
+        ila_state = ila_sim.state().clone();
+        rtl_sim
+            .step(&rtl_inputs)
+            .expect("inputs cover all pins by construction");
+        let rtl_view = read_state(&rtl_sim, &rtl_inputs)?;
+        for (state, rtl_value) in &rtl_view {
+            if map.unchecked_states.contains(state) {
+                continue;
+            }
+            let ila_value = &ila_state[state];
+            if ila_value != rtl_value {
+                return Ok(Some(Divergence {
+                    cycle,
+                    instruction: fired,
+                    state: state.clone(),
+                    ila_value: ila_value.clone(),
+                    rtl_value: rtl_value.clone(),
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gila_core::StateKind;
+    use gila_rtl::parse_verilog;
+
+    fn counter_setup(step: u64) -> (PortIla, RtlModule, RefinementMap) {
+        let mut p = PortIla::new("counter");
+        let en = p.input("en", Sort::Bv(1));
+        let cnt = p.state("cnt", Sort::Bv(8), StateKind::Output);
+        let d = p.ctx_mut().eq_u64(en, 1);
+        let one = p.ctx_mut().bv_u64(1, 8);
+        let nx = p.ctx_mut().bvadd(cnt, one);
+        p.instr("inc").decode(d).update("cnt", nx).add().unwrap();
+        let d = p.ctx_mut().eq_u64(en, 0);
+        p.instr("hold").decode(d).add().unwrap();
+        let rtl = parse_verilog(&format!(
+            r#"
+module counter(clk, en_in);
+  input clk; input en_in;
+  reg [7:0] count;
+  always @(posedge clk) if (en_in) count <= count + 8'd{step};
+endmodule
+"#
+        ))
+        .unwrap();
+        let mut map = RefinementMap::new("counter");
+        map.map_state("cnt", "count");
+        map.map_input("en", "en_in");
+        (p, rtl, map)
+    }
+
+    #[test]
+    fn agreeing_pair_runs_clean() {
+        let (p, rtl, map) = counter_setup(1);
+        let d = cosimulate(&p, &rtl, &map, 1, 500).unwrap();
+        assert!(d.is_none(), "{d:?}");
+    }
+
+    #[test]
+    fn divergence_is_located() {
+        let (p, rtl, map) = counter_setup(2);
+        let d = cosimulate(&p, &rtl, &map, 1, 500)
+            .unwrap()
+            .expect("must diverge");
+        assert_eq!(d.state, "cnt");
+        assert_eq!(d.instruction, "inc");
+        assert_eq!(
+            (d.rtl_value.as_bv().to_u64() + 255) % 256,
+            d.ila_value.as_bv().to_u64()
+        );
+    }
+
+    #[test]
+    fn config_errors_are_reported() {
+        let (p, rtl, mut map) = counter_setup(1);
+        map.interface_map.clear();
+        assert!(matches!(
+            cosimulate(&p, &rtl, &map, 1, 10),
+            Err(CosimError::UnmappedInput(_))
+        ));
+        let (p, rtl, mut map) = counter_setup(1);
+        map.map_state("cnt", "ghost");
+        assert!(matches!(
+            cosimulate(&p, &rtl, &map, 1, 10),
+            Err(CosimError::UnknownRtlSignal(_))
+        ));
+    }
+}

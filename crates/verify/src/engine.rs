@@ -1,0 +1,1075 @@
+//! The refinement-check engine: instruction-by-instruction verification
+//! of an RTL implementation against its (module-)ILA specification.
+//!
+//! For each atomic instruction the engine builds the property of Fig. 5:
+//! starting from any RTL state whose mapped signals agree with the ILA
+//! architectural state (plus user invariants), if the instruction's
+//! start condition holds, then after the instruction finishes in the RTL
+//! the mapped signals again agree with the ILA state produced by the
+//! instruction's next-state functions. Each property is discharged by
+//! bit-blasting to SAT; a satisfying assignment is a counterexample
+//! trace, UNSAT is a proof for that instruction.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use gila_core::{ModuleIla, PortIla};
+use gila_expr::{import, import_mapped, ExprRef, Sort, Value};
+use gila_mc::{TransitionSystem, Unrolling};
+use gila_rtl::{parse_rtl_expr, RtlModule, VerilogError};
+use gila_smt::{BlastStats, SmtSolver};
+
+use crate::refmap::{FinishCondition, InputPolicy, RefinementMap};
+
+/// An error in the verification setup (not a property failure).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A refinement-map entry names an RTL signal that does not exist.
+    UnknownRtlSignal {
+        /// The missing signal.
+        signal: String,
+        /// Which map entry referenced it.
+        context: String,
+    },
+    /// An ILA state or input has no refinement-map entry but appears in
+    /// the instruction being checked.
+    UnmappedIlaVar {
+        /// The unmapped variable.
+        var: String,
+        /// The instruction being checked.
+        instruction: String,
+    },
+    /// Mapped ILA/RTL pair have incompatible sorts.
+    SortMismatch {
+        /// The ILA state or input.
+        ila: String,
+        /// Its sort.
+        ila_sort: Sort,
+        /// The RTL signal.
+        rtl: String,
+        /// Its sort.
+        rtl_sort: Sort,
+    },
+    /// A Verilog condition string failed to parse or elaborate.
+    Verilog(
+        /// The underlying error.
+        VerilogError,
+    ),
+    /// A finish bound of zero cycles was requested.
+    BadBound,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UnknownRtlSignal { signal, context } => {
+                write!(f, "{context}: RTL has no signal {signal:?}")
+            }
+            VerifyError::UnmappedIlaVar { var, instruction } => write!(
+                f,
+                "instruction {instruction:?} references ILA variable {var:?} with no refinement-map entry"
+            ),
+            VerifyError::SortMismatch {
+                ila,
+                ila_sort,
+                rtl,
+                rtl_sort,
+            } => write!(
+                f,
+                "ILA {ila:?} ({ila_sort}) cannot map to RTL {rtl:?} ({rtl_sort})"
+            ),
+            VerifyError::Verilog(e) => write!(f, "{e}"),
+            VerifyError::BadBound => write!(f, "finish condition must allow at least one cycle"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<VerilogError> for VerifyError {
+    fn from(e: VerilogError) -> Self {
+        VerifyError::Verilog(e)
+    }
+}
+
+/// A counterexample to one instruction's refinement property.
+#[derive(Clone, Debug)]
+pub struct RefinementCex {
+    /// The cycle at which the equivalence check failed.
+    pub finish_cycle: usize,
+    /// RTL state at cycle 0 (the symbolic start the solver chose).
+    pub rtl_start_state: BTreeMap<String, Value>,
+    /// RTL inputs per cycle, `0..finish_cycle`.
+    pub rtl_inputs: Vec<BTreeMap<String, Value>>,
+    /// RTL state at every cycle `0..=finish_cycle` (index 0 equals
+    /// `rtl_start_state`, the last entry equals `rtl_finish_state`).
+    pub rtl_trace: Vec<BTreeMap<String, Value>>,
+    /// RTL state at the finish cycle.
+    pub rtl_finish_state: BTreeMap<String, Value>,
+    /// ILA architectural state after the instruction (per mapped state).
+    pub ila_post_state: BTreeMap<String, Value>,
+    /// The mapped states that disagree at the finish cycle.
+    pub mismatched_states: Vec<String>,
+}
+
+/// Result of checking one instruction.
+#[derive(Clone, Debug)]
+pub enum CheckResult {
+    /// The refinement property holds (the SAT query was UNSAT).
+    Holds,
+    /// A counterexample was found.
+    CounterExample(
+        /// The witnessing trace.
+        Box<RefinementCex>,
+    ),
+    /// A `Condition` finish never occurred within its bound (the check
+    /// is vacuous; reported so the user can raise the bound).
+    FinishNotReached {
+        /// The bound that was exhausted.
+        max_cycles: usize,
+    },
+}
+
+impl CheckResult {
+    /// True for [`CheckResult::Holds`].
+    pub fn holds(&self) -> bool {
+        matches!(self, CheckResult::Holds)
+    }
+}
+
+/// Per-instruction verdict with effort statistics.
+#[derive(Clone, Debug)]
+pub struct InstrVerdict {
+    /// The atomic instruction's name.
+    pub instruction: String,
+    /// The outcome.
+    pub result: CheckResult,
+    /// Wall-clock time spent on this instruction.
+    pub time: Duration,
+    /// CNF size of the (largest) query for this instruction.
+    pub stats: BlastStats,
+}
+
+/// The verification report for one port.
+#[derive(Clone, Debug)]
+pub struct PortReport {
+    /// The port's name.
+    pub port: String,
+    /// One verdict per atomic instruction, in declaration order.
+    pub verdicts: Vec<InstrVerdict>,
+    /// Total wall-clock time.
+    pub total_time: Duration,
+    /// Peak CNF size over all queries (the "memory usage" proxy).
+    pub peak_stats: BlastStats,
+}
+
+impl PortReport {
+    /// True if every instruction's property holds.
+    pub fn all_hold(&self) -> bool {
+        self.verdicts.iter().all(|v| v.result.holds())
+    }
+
+    /// The first counterexample, if any.
+    pub fn first_counterexample(&self) -> Option<&InstrVerdict> {
+        self.verdicts
+            .iter()
+            .find(|v| matches!(v.result, CheckResult::CounterExample(_)))
+    }
+
+    /// Time until the first counterexample was found (the paper's
+    /// "Time (bug)" column), if any.
+    pub fn time_to_first_counterexample(&self) -> Option<Duration> {
+        let mut acc = Duration::ZERO;
+        for v in &self.verdicts {
+            acc += v.time;
+            if matches!(v.result, CheckResult::CounterExample(_)) {
+                return Some(acc);
+            }
+        }
+        None
+    }
+}
+
+/// The verification report for a whole module-ILA.
+#[derive(Clone, Debug)]
+pub struct ModuleReport {
+    /// The module's name.
+    pub module: String,
+    /// One report per port.
+    pub ports: Vec<PortReport>,
+}
+
+impl ModuleReport {
+    /// True if every port verifies.
+    pub fn all_hold(&self) -> bool {
+        self.ports.iter().all(|p| p.all_hold())
+    }
+
+    /// Total wall-clock time across ports.
+    pub fn total_time(&self) -> Duration {
+        self.ports.iter().map(|p| p.total_time).sum()
+    }
+
+    /// Peak CNF size across ports.
+    pub fn peak_stats(&self) -> BlastStats {
+        let mut peak = BlastStats::default();
+        for p in &self.ports {
+            if p.peak_stats.variables + p.peak_stats.clauses > peak.variables + peak.clauses {
+                peak = p.peak_stats;
+            }
+        }
+        peak
+    }
+
+    /// Time until the first counterexample across ports ("Time (bug)").
+    pub fn time_to_first_counterexample(&self) -> Option<Duration> {
+        let mut acc = Duration::ZERO;
+        for p in &self.ports {
+            for v in &p.verdicts {
+                acc += v.time;
+                if matches!(v.result, CheckResult::CounterExample(_)) {
+                    return Some(acc);
+                }
+            }
+        }
+        None
+    }
+
+    /// Total number of instructions checked.
+    pub fn instructions_checked(&self) -> usize {
+        self.ports.iter().map(|p| p.verdicts.len()).sum()
+    }
+}
+
+/// Options controlling a verification run.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyOptions {
+    /// Stop a port's run at the first counterexample (used for the
+    /// "Time (bug)" measurement).
+    pub stop_at_first_cex: bool,
+    /// Check the port's instructions on parallel threads (one SAT
+    /// problem each, like the paper's multi-core model-checking server).
+    /// Ignored when `stop_at_first_cex` is set, which needs sequential
+    /// order for its timing semantics.
+    pub parallel: bool,
+    /// Share one incremental SAT solver (and one unrolling) across all
+    /// of a port's instructions, discharging each property under
+    /// assumptions so learned clauses and the blasted transition
+    /// relation are reused. Ignored in parallel mode.
+    pub incremental: bool,
+}
+
+/// The shared state of incremental mode: one unrolling of the RTL and
+/// one solver accumulating its CNF and learned clauses.
+struct SharedEngine {
+    u: Unrolling,
+    smt: SmtSolver,
+}
+
+/// Converts an RTL module into a transition system (same state/input
+/// names) plus a map from every named signal (inputs, registers,
+/// memories, wires) to its expression in the system's context.
+///
+/// Useful beyond refinement checking: BMC, k-induction, and liveness
+/// checking of RTL modules all go through this conversion.
+pub fn rtl_to_ts(rtl: &RtlModule) -> (TransitionSystem, BTreeMap<String, ExprRef>) {
+    let mut ts = TransitionSystem::new(rtl.name());
+    for i in rtl.inputs() {
+        ts.input(i.name.clone(), Sort::Bv(i.width));
+    }
+    for r in rtl.regs() {
+        ts.state(r.name.clone(), Sort::Bv(r.width));
+        if let Some(init) = &r.init {
+            ts.set_init(&r.name, init.clone()).expect("sort matches");
+        }
+    }
+    for m in rtl.mems() {
+        ts.state(
+            m.name.clone(),
+            Sort::Mem {
+                addr_width: m.addr_width,
+                data_width: m.data_width,
+            },
+        );
+        if let Some(init) = &m.init {
+            ts.set_init(&m.name, init.clone()).expect("sort matches");
+        }
+    }
+    let mut memo = HashMap::new();
+    for r in rtl.regs() {
+        let next = import(ts.ctx_mut(), rtl.ctx(), r.next, &mut memo);
+        ts.set_next(&r.name, next).expect("declared above");
+    }
+    for m in rtl.mems() {
+        let next = import(ts.ctx_mut(), rtl.ctx(), m.next, &mut memo);
+        ts.set_next(&m.name, next).expect("declared above");
+    }
+    let mut signals = BTreeMap::new();
+    for i in rtl.inputs() {
+        signals.insert(
+            i.name.clone(),
+            ts.ctx().find_var(&i.name).expect("declared"),
+        );
+    }
+    for r in rtl.regs() {
+        signals.insert(
+            r.name.clone(),
+            ts.ctx().find_var(&r.name).expect("declared"),
+        );
+    }
+    for m in rtl.mems() {
+        signals.insert(
+            m.name.clone(),
+            ts.ctx().find_var(&m.name).expect("declared"),
+        );
+    }
+    for s in rtl.signals() {
+        let e = import(ts.ctx_mut(), rtl.ctx(), s.expr, &mut memo);
+        signals.insert(s.name.clone(), e);
+    }
+    (ts, signals)
+}
+
+/// Verifies one port-ILA against an RTL implementation.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] for malformed refinement maps; property
+/// *failures* are reported in the [`PortReport`], not as errors.
+pub fn verify_port(
+    port: &PortIla,
+    rtl: &RtlModule,
+    map: &RefinementMap,
+    opts: &VerifyOptions,
+) -> Result<PortReport, VerifyError> {
+    let start_all = Instant::now();
+    let (ts, ts_signals) = rtl_to_ts(rtl);
+
+    let lookup_signal = |signals: &BTreeMap<String, ExprRef>,
+                         name: &str,
+                         context: &str|
+     -> Result<ExprRef, VerifyError> {
+        signals
+            .get(name)
+            .copied()
+            .ok_or_else(|| VerifyError::UnknownRtlSignal {
+                signal: name.to_string(),
+                context: context.to_string(),
+            })
+    };
+
+    // Pre-resolve the state and interface maps to TS expressions.
+    let mut mapped_states: Vec<(String, ExprRef, Sort)> = Vec::new(); // (ila state, ts expr, ila sort)
+    for (ila_state, rtl_name) in &map.state_map {
+        let sv = port.find_state(ila_state).ok_or_else(|| {
+            VerifyError::UnknownRtlSignal {
+                signal: ila_state.clone(),
+                context: format!("state map of {}: no such ILA state", map.name),
+            }
+        })?;
+        let e = lookup_signal(&ts_signals, rtl_name, "state map")?;
+        mapped_states.push((ila_state.clone(), e, sv.sort));
+    }
+    let mut mapped_inputs: Vec<(String, ExprRef, Sort)> = Vec::new();
+    for (ila_input, rtl_name) in &map.interface_map {
+        let iv = port.find_input(ila_input).ok_or_else(|| {
+            VerifyError::UnknownRtlSignal {
+                signal: ila_input.clone(),
+                context: format!("interface map of {}: no such ILA input", map.name),
+            }
+        })?;
+        let e = lookup_signal(&ts_signals, rtl_name, "interface map")?;
+        mapped_inputs.push((ila_input.clone(), e, iv.sort));
+    }
+    // One self-contained check per atomic instruction; safe to run on
+    // parallel threads (everything captured is shared immutably).
+    let check_instruction = |instr: &gila_core::Instruction,
+                             shared: Option<&mut SharedEngine>|
+     -> Result<InstrVerdict, VerifyError> {
+        let t0 = Instant::now();
+        // Parse Verilog condition strings against a scratch copy of the
+        // RTL (parsing needs &mut for expression interning).
+        let mut rtl_scratch = rtl.clone();
+        let imap = map.instruction_map_for(&instr.name);
+        let (bound, finish) = match &imap.finish {
+            FinishCondition::Cycles(n) => {
+                if *n == 0 {
+                    return Err(VerifyError::BadBound);
+                }
+                (*n, None)
+            }
+            FinishCondition::Condition { expr, max_cycles } => {
+                if *max_cycles == 0 {
+                    return Err(VerifyError::BadBound);
+                }
+                (*max_cycles, Some(expr.clone()))
+            }
+        };
+
+        let mut fresh: Option<Unrolling> = None;
+        let (u, mut shared_smt): (&mut Unrolling, Option<&mut SmtSolver>) = match shared {
+            Some(se) => {
+                se.u.extend_to(bound);
+                (&mut se.u, Some(&mut se.smt))
+            }
+            None => {
+                let mut x = Unrolling::new(&ts, false);
+                x.extend_to(bound);
+                (fresh.insert(x), None)
+            }
+        };
+        let u: &mut Unrolling = u;
+
+        // ILA variable -> frame-0 product expression.
+        let mut var_map: HashMap<ExprRef, ExprRef> = HashMap::new();
+        let adapt = |u: &mut Unrolling,
+                         ila_name: &str,
+                         ila_sort: Sort,
+                         ts_expr: ExprRef,
+                         rtl_name: &str|
+         -> Result<ExprRef, VerifyError> {
+            let mapped = u.map_expr(0, ts_expr);
+            let found = u.ctx().sort_of(mapped);
+            match (ila_sort, found) {
+                (a, b) if a == b => Ok(mapped),
+                (Sort::Bool, Sort::Bv(1)) => Ok(u.ctx_mut().bv_to_bool(mapped)),
+                (a, b) => Err(VerifyError::SortMismatch {
+                    ila: ila_name.to_string(),
+                    ila_sort: a,
+                    rtl: rtl_name.to_string(),
+                    rtl_sort: b,
+                }),
+            }
+        };
+        for (ila_state, ts_expr, ila_sort) in &mapped_states {
+            let rtl_name = &map.state_map[ila_state];
+            let e = adapt(u, ila_state, *ila_sort, *ts_expr, rtl_name)?;
+            let v = port
+                .find_state(ila_state)
+                .expect("resolved above")
+                .var;
+            var_map.insert(v, e);
+        }
+        for (ila_input, ts_expr, ila_sort) in &mapped_inputs {
+            let rtl_name = &map.interface_map[ila_input];
+            let e = adapt(u, ila_input, *ila_sort, *ts_expr, rtl_name)?;
+            let v = port
+                .find_input(ila_input)
+                .expect("resolved above")
+                .var;
+            var_map.insert(v, e);
+        }
+
+        // Start condition: decode (grafted onto frame 0) + invariants +
+        // optional strengthening.
+        let mut import_memo = HashMap::new();
+        let decode0 = import_mapped(u.ctx_mut(), port.ctx(), instr.decode, &var_map, &mut import_memo)
+            .map_err(|var| VerifyError::UnmappedIlaVar {
+                var,
+                instruction: instr.name.clone(),
+            })?;
+        let mut start_conjuncts = vec![decode0];
+        {
+            let mut rtl_memo = HashMap::new();
+            for inv in &map.invariants {
+                let e = parse_rtl_expr(&mut rtl_scratch, inv)?;
+                let e = import(u.ctx_mut(), rtl_scratch.ctx(), e, &mut rtl_memo);
+                let e0 = u.map_expr(0, e);
+                let eb = u.ctx_mut().bv_to_bool(e0);
+                start_conjuncts.push(eb);
+            }
+            if let Some(s) = &imap.start_strengthening {
+                let e = parse_rtl_expr(&mut rtl_scratch, s)?;
+                let e = import(u.ctx_mut(), rtl_scratch.ctx(), e, &mut rtl_memo);
+                let e0 = u.map_expr(0, e);
+                let eb = u.ctx_mut().bv_to_bool(e0);
+                start_conjuncts.push(eb);
+            }
+        }
+
+        // Input policy.
+        let mut policy_conjuncts = Vec::new();
+        if imap.input_policy == InputPolicy::Hold {
+            for k in 1..bound {
+                let names: Vec<String> = u.frames()[k].inputs.keys().cloned().collect();
+                for n in names {
+                    let ik = u.frames()[k].inputs[&n];
+                    let i0 = u.frames()[0].inputs[&n];
+                    policy_conjuncts.push(u.ctx_mut().eq(ik, i0));
+                }
+            }
+        }
+
+        // ILA post-state per mapped state.
+        let mut ila_post: BTreeMap<String, ExprRef> = BTreeMap::new();
+        for (ila_state, _, _) in &mapped_states {
+            let e = match instr.updates.get(ila_state) {
+                Some(&upd) => {
+                    import_mapped(u.ctx_mut(), port.ctx(), upd, &var_map, &mut import_memo)
+                        .map_err(|var| VerifyError::UnmappedIlaVar {
+                            var,
+                            instruction: instr.name.clone(),
+                        })?
+                }
+                None => {
+                    let v = port.find_state(ila_state).expect("resolved").var;
+                    var_map[&v]
+                }
+            };
+            ila_post.insert(ila_state.clone(), e);
+        }
+
+        // The post-equivalence at a given frame (pre-state-only entries
+        // are excluded; they anchor the start correspondence only).
+        let post_eq_at = |u: &mut Unrolling, frame: usize| -> Vec<(String, ExprRef)> {
+            mapped_states
+                .iter()
+                .filter(|(ila_state, _, _)| !map.unchecked_states.contains(ila_state))
+                .map(|(ila_state, ts_expr, ila_sort)| {
+                    let rtl_f = u.map_expr(frame, *ts_expr);
+                    let rtl_f = match (ila_sort, u.ctx().sort_of(rtl_f)) {
+                        (Sort::Bool, Sort::Bv(1)) => u.ctx_mut().bv_to_bool(rtl_f),
+                        _ => rtl_f,
+                    };
+                    let eq = u.ctx_mut().eq(ila_post[ila_state], rtl_f);
+                    (ila_state.clone(), eq)
+                })
+                .collect()
+        };
+
+        // Parse the finish condition once per instruction if present.
+        let finish_ts: Option<ExprRef> = match &finish {
+            Some(expr) => {
+                let mut memo = HashMap::new();
+                let e = parse_rtl_expr(&mut rtl_scratch, expr)?;
+                Some(import(u.ctx_mut(), rtl_scratch.ctx(), e, &mut memo))
+            }
+            None => None,
+        };
+
+        // Run the check(s).
+        let mut result = CheckResult::Holds;
+        let mut best_stats = BlastStats::default();
+        let frames_to_check: Vec<(usize, Vec<ExprRef>)> = match &finish_ts {
+            None => vec![(bound, Vec::new())],
+            Some(cond) => {
+                // Check at the first frame where cond holds; one query per
+                // candidate frame with "not finished before" assumptions.
+                let mut cases = Vec::new();
+                for j in 1..=bound {
+                    let mut assumptions = Vec::new();
+                    for k in 1..j {
+                        let ck = u.map_expr(k, *cond);
+                        let cb = u.ctx_mut().bv_to_bool(ck);
+                        assumptions.push(u.ctx_mut().not(cb));
+                    }
+                    let cj = u.map_expr(j, *cond);
+                    let cb = u.ctx_mut().bv_to_bool(cj);
+                    assumptions.push(cb);
+                    cases.push((j, assumptions));
+                }
+                cases
+            }
+        };
+
+        let mut finish_reachable = finish_ts.is_none();
+        for (frame, extra_assumptions) in frames_to_check {
+            // In incremental mode every condition becomes an assumption
+            // on the shared solver; otherwise a fresh solver per case.
+            let mut fresh_smt = None;
+            let mut base_assumptions: Vec<ExprRef> = Vec::new();
+            let incremental = shared_smt.is_some();
+            let smt: &mut SmtSolver = match shared_smt.as_deref_mut() {
+                Some(s) => {
+                    base_assumptions.extend(start_conjuncts.iter().copied());
+                    base_assumptions.extend(policy_conjuncts.iter().copied());
+                    base_assumptions.extend(extra_assumptions.iter().copied());
+                    s
+                }
+                None => {
+                    let s = fresh_smt.insert(SmtSolver::new());
+                    for &c in &start_conjuncts {
+                        s.assert(u.ctx(), c);
+                    }
+                    for &c in &policy_conjuncts {
+                        s.assert(u.ctx(), c);
+                    }
+                    for &c in &extra_assumptions {
+                        s.assert(u.ctx(), c);
+                    }
+                    s
+                }
+            };
+            // Check that this case is reachable at all (for Condition
+            // finishes); unreachable cases are skipped.
+            if finish_ts.is_some() {
+                let reachable = if incremental {
+                    smt.check_assuming(u.ctx(), &base_assumptions).is_sat()
+                } else {
+                    smt.check().is_sat()
+                };
+                if !reachable {
+                    best_stats = max_stats(best_stats, smt.stats());
+                    continue;
+                }
+                finish_reachable = true;
+            }
+            let eqs = post_eq_at(u, frame);
+            let eq_exprs: Vec<ExprRef> = eqs.iter().map(|(_, e)| *e).collect();
+            let all_eq = u.ctx_mut().and_many(&eq_exprs);
+            let viol = u.ctx_mut().not(all_eq);
+            let sat = if incremental {
+                let mut assumptions = base_assumptions.clone();
+                assumptions.push(viol);
+                smt.check_assuming(u.ctx(), &assumptions).is_sat()
+            } else {
+                smt.assert(u.ctx(), viol);
+                smt.check().is_sat()
+            };
+            best_stats = max_stats(best_stats, smt.stats());
+            if sat {
+                // Diagnose which states mismatch.
+                let mismatched: Vec<String> = {
+                    let vals = u.concretize(
+                        smt,
+                        eqs.iter().cloned().collect::<BTreeMap<String, ExprRef>>(),
+                    );
+                    vals.into_iter()
+                        .filter(|(_, v)| !v.as_bool())
+                        .map(|(n, _)| n)
+                        .collect()
+                };
+                let rtl_inputs = (0..frame)
+                    .map(|k| u.concretize_inputs(smt, k))
+                    .collect();
+                let rtl_trace: Vec<_> = (0..=frame)
+                    .map(|k| u.concretize_states(smt, k))
+                    .collect();
+                result = CheckResult::CounterExample(Box::new(RefinementCex {
+                    finish_cycle: frame,
+                    rtl_start_state: rtl_trace[0].clone(),
+                    rtl_inputs,
+                    rtl_finish_state: rtl_trace[frame].clone(),
+                    rtl_trace,
+                    ila_post_state: u.concretize(smt, ila_post.clone()),
+                    mismatched_states: mismatched,
+                }));
+                break;
+            }
+        }
+        if !finish_reachable && result.holds() {
+            result = CheckResult::FinishNotReached { max_cycles: bound };
+        }
+
+        Ok(InstrVerdict {
+            instruction: instr.name.clone(),
+            result,
+            time: t0.elapsed(),
+            stats: best_stats,
+        })
+    };
+
+    let mut verdicts: Vec<InstrVerdict> = Vec::new();
+    if opts.parallel && !opts.stop_at_first_cex && port.instructions().len() > 1 {
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = port
+                .instructions()
+                .iter()
+                .map(|instr| scope.spawn(move |_| check_instruction(instr, None)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("checker threads do not panic"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope threads joined");
+        for r in results {
+            verdicts.push(r?);
+        }
+    } else {
+        let mut shared = if opts.incremental {
+            let u = Unrolling::new(&ts, false);
+            Some(SharedEngine {
+                u,
+                smt: SmtSolver::new(),
+            })
+        } else {
+            None
+        };
+        for instr in port.instructions() {
+            let v = check_instruction(instr, shared.as_mut())?;
+            let is_cex = matches!(v.result, CheckResult::CounterExample(_));
+            verdicts.push(v);
+            if is_cex && opts.stop_at_first_cex {
+                break;
+            }
+        }
+    }
+    let mut peak_stats = BlastStats::default();
+    for v in &verdicts {
+        peak_stats = max_stats(peak_stats, v.stats);
+    }
+
+    Ok(PortReport {
+        port: port.name().to_string(),
+        verdicts,
+        total_time: start_all.elapsed(),
+        peak_stats,
+    })
+}
+
+fn max_stats(a: BlastStats, b: BlastStats) -> BlastStats {
+    if b.variables + b.clauses > a.variables + a.clauses {
+        b
+    } else {
+        a
+    }
+}
+
+/// Verifies a whole module-ILA: each port against the same RTL, using
+/// the refinement map with the matching name (falling back to a map
+/// named `"*"`).
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if a port has no refinement map or a map is
+/// malformed.
+pub fn verify_module(
+    module: &ModuleIla,
+    rtl: &RtlModule,
+    maps: &[RefinementMap],
+    opts: &VerifyOptions,
+) -> Result<ModuleReport, VerifyError> {
+    let mut ports = Vec::new();
+    for port in module.ports() {
+        let map = maps
+            .iter()
+            .find(|m| m.name == port.name())
+            .or_else(|| maps.iter().find(|m| m.name == "*"))
+            .ok_or_else(|| VerifyError::UnknownRtlSignal {
+                signal: port.name().to_string(),
+                context: "no refinement map for port".to_string(),
+            })?;
+        let report = verify_port(port, rtl, map, opts)?;
+        let has_cex = report.first_counterexample().is_some();
+        ports.push(report);
+        if has_cex && opts.stop_at_first_cex {
+            break;
+        }
+    }
+    Ok(ModuleReport {
+        module: module.name().to_string(),
+        ports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gila_core::StateKind;
+    use gila_rtl::parse_verilog;
+
+    /// A counter ILA and matching/buggy RTL for engine smoke tests.
+    fn counter_ila() -> PortIla {
+        let mut p = PortIla::new("counter");
+        let en = p.input("en", Sort::Bv(1));
+        let cnt = p.state("cnt", Sort::Bv(4), StateKind::Output);
+        let d = p.ctx_mut().eq_u64(en, 1);
+        let one = p.ctx_mut().bv_u64(1, 4);
+        let nx = p.ctx_mut().bvadd(cnt, one);
+        p.instr("inc").decode(d).update("cnt", nx).add().unwrap();
+        let d = p.ctx_mut().eq_u64(en, 0);
+        p.instr("hold").decode(d).add().unwrap();
+        p
+    }
+
+    fn counter_rtl(buggy: bool) -> RtlModule {
+        let step = if buggy { "4'd2" } else { "4'd1" };
+        parse_verilog(&format!(
+            r#"
+module counter(clk, en_in);
+  input clk;
+  input en_in;
+  reg [3:0] count;
+  always @(posedge clk) if (en_in) count <= count + {step};
+endmodule
+"#
+        ))
+        .unwrap()
+    }
+
+    fn counter_map() -> RefinementMap {
+        let mut m = RefinementMap::new("counter");
+        m.map_state("cnt", "count");
+        m.map_input("en", "en_in");
+        m
+    }
+
+    #[test]
+    fn correct_rtl_verifies() {
+        let port = counter_ila();
+        let rtl = counter_rtl(false);
+        let report =
+            verify_port(&port, &rtl, &counter_map(), &VerifyOptions::default()).unwrap();
+        assert!(report.all_hold(), "{report:#?}");
+        assert_eq!(report.verdicts.len(), 2);
+        assert!(report.peak_stats.clauses > 0);
+    }
+
+    #[test]
+    fn buggy_rtl_produces_counterexample() {
+        let port = counter_ila();
+        let rtl = counter_rtl(true);
+        let report =
+            verify_port(&port, &rtl, &counter_map(), &VerifyOptions::default()).unwrap();
+        assert!(!report.all_hold());
+        let v = report.first_counterexample().unwrap();
+        assert_eq!(v.instruction, "inc");
+        let CheckResult::CounterExample(cex) = &v.result else {
+            panic!()
+        };
+        assert_eq!(cex.mismatched_states, vec!["cnt".to_string()]);
+        // The RTL stepped by 2, the ILA by 1.
+        let start = cex.rtl_start_state["count"].as_bv().to_u64();
+        let finish = cex.rtl_finish_state["count"].as_bv().to_u64();
+        assert_eq!((start + 2) % 16, finish);
+        assert_eq!(
+            cex.ila_post_state["cnt"].as_bv().to_u64(),
+            (start + 1) % 16
+        );
+        // `hold` still verifies.
+        assert!(report.verdicts.iter().any(|v| v.instruction == "hold" && v.result.holds()));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let port = counter_ila();
+        let rtl = counter_rtl(false);
+        let seq = verify_port(&port, &rtl, &counter_map(), &VerifyOptions::default()).unwrap();
+        let par = verify_port(
+            &port,
+            &rtl,
+            &counter_map(),
+            &VerifyOptions {
+                parallel: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(seq.all_hold() && par.all_hold());
+        let names = |r: &PortReport| -> Vec<String> {
+            r.verdicts.iter().map(|v| v.instruction.clone()).collect()
+        };
+        assert_eq!(names(&seq), names(&par));
+        // And on a buggy design both find the same failing instruction.
+        let buggy = counter_rtl(true);
+        let par = verify_port(
+            &port,
+            &buggy,
+            &counter_map(),
+            &VerifyOptions {
+                parallel: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            par.first_counterexample().unwrap().instruction,
+            "inc"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_isolated() {
+        let port = counter_ila();
+        for buggy in [false, true] {
+            let rtl = counter_rtl(buggy);
+            let base =
+                verify_port(&port, &rtl, &counter_map(), &VerifyOptions::default()).unwrap();
+            let inc = verify_port(
+                &port,
+                &rtl,
+                &counter_map(),
+                &VerifyOptions {
+                    incremental: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(base.all_hold(), inc.all_hold(), "buggy={buggy}");
+            for (a, b) in base.verdicts.iter().zip(&inc.verdicts) {
+                assert_eq!(a.instruction, b.instruction);
+                assert_eq!(a.result.holds(), b.result.holds(), "{}", a.instruction);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_signal_is_config_error() {
+        let port = counter_ila();
+        let rtl = counter_rtl(false);
+        let mut map = counter_map();
+        map.map_state("cnt", "ghost");
+        let err = verify_port(&port, &rtl, &map, &VerifyOptions::default()).unwrap_err();
+        assert!(matches!(err, VerifyError::UnknownRtlSignal { .. }));
+    }
+
+    #[test]
+    fn unmapped_ila_var_is_config_error() {
+        let port = counter_ila();
+        let rtl = counter_rtl(false);
+        let mut map = counter_map();
+        map.interface_map.clear(); // decode references `en`, now unmapped
+        let err = verify_port(&port, &rtl, &map, &VerifyOptions::default()).unwrap_err();
+        assert!(matches!(err, VerifyError::UnmappedIlaVar { .. }));
+    }
+
+    #[test]
+    fn sort_mismatch_is_config_error() {
+        let port = counter_ila();
+        let rtl = counter_rtl(false);
+        let mut map = counter_map();
+        map.map_state("cnt", "en_in"); // 4-bit state vs 1-bit input
+        let err = verify_port(&port, &rtl, &map, &VerifyOptions::default()).unwrap_err();
+        assert!(matches!(err, VerifyError::SortMismatch { .. }));
+    }
+
+    #[test]
+    fn invariant_restricts_start_states() {
+        // RTL that misbehaves only when count == 15 (unreachable if we
+        // assume count < 8); the invariant makes verification pass.
+        let port = counter_ila();
+        let rtl = parse_verilog(
+            r#"
+module counter(clk, en_in);
+  input clk;
+  input en_in;
+  reg [3:0] count;
+  always @(posedge clk)
+    if (en_in) begin
+      if (count == 4'd15) count <= 4'd7;
+      else count <= count + 4'd1;
+    end
+endmodule
+"#,
+        )
+        .unwrap();
+        let map = counter_map();
+        let report = verify_port(&port, &rtl, &map, &VerifyOptions::default()).unwrap();
+        assert!(!report.all_hold(), "without invariant the wrap case fails");
+        let mut map = counter_map();
+        map.add_invariant("count < 4'd8");
+        let report = verify_port(&port, &rtl, &map, &VerifyOptions::default()).unwrap();
+        assert!(report.all_hold());
+    }
+
+    #[test]
+    fn multi_cycle_finish_with_hold_policy() {
+        // RTL takes 2 cycles: first latches, then commits. The ILA does
+        // it in one instruction. finish = 2 cycles with held inputs.
+        let mut p = PortIla::new("two_phase");
+        let go = p.input("go", Sort::Bv(1));
+        let data = p.input("data", Sort::Bv(4));
+        p.state("out", Sort::Bv(4), StateKind::Output);
+        let d = p.ctx_mut().eq_u64(go, 1);
+        p.instr("write").decode(d).update("out", data).add().unwrap();
+        let d = p.ctx_mut().eq_u64(go, 0);
+        p.instr("nop").decode(d).add().unwrap();
+
+        let rtl = parse_verilog(
+            r#"
+module two_phase(clk, go, data);
+  input clk;
+  input go;
+  input [3:0] data;
+  reg [3:0] buffer;
+  reg [3:0] out_r;
+  reg pending;
+  always @(posedge clk) begin
+    if (go) begin
+      buffer <= data;
+      pending <= 1'b1;
+    end
+    else pending <= 1'b0;
+    if (pending) out_r <= buffer;
+  end
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut map = RefinementMap::new("two_phase");
+        map.map_state("out", "out_r");
+        map.map_input("go", "go");
+        map.map_input("data", "data");
+        map.add_invariant("pending == 1'b0");
+        map.add_instruction_map(crate::refmap::InstructionMap {
+            instruction: "write".into(),
+            start_strengthening: None,
+            finish: FinishCondition::Cycles(2),
+            input_policy: InputPolicy::Hold,
+        });
+        // nop: out unchanged after 1 cycle given pending==0.
+        let report = verify_port(&p, &rtl, &map, &VerifyOptions::default()).unwrap();
+        assert!(report.all_hold(), "{report:#?}");
+    }
+
+    #[test]
+    fn condition_finish() {
+        // RTL raises `done` one cycle after go; equivalence checked at
+        // the first done cycle.
+        let mut p = PortIla::new("cond");
+        let go = p.input("go", Sort::Bv(1));
+        let data = p.input("data", Sort::Bv(4));
+        p.state("out", Sort::Bv(4), StateKind::Output);
+        let d = p.ctx_mut().eq_u64(go, 1);
+        p.instr("write").decode(d).update("out", data).add().unwrap();
+        let d = p.ctx_mut().eq_u64(go, 0);
+        p.instr("nop").decode(d).add().unwrap();
+        let rtl = parse_verilog(
+            r#"
+module cond(clk, go, data);
+  input clk;
+  input go;
+  input [3:0] data;
+  reg [3:0] out_r;
+  reg done;
+  always @(posedge clk) begin
+    if (go) begin
+      out_r <= data;
+      done <= 1'b1;
+    end
+    else done <= 1'b0;
+  end
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut map = RefinementMap::new("cond");
+        map.map_state("out", "out_r");
+        map.map_input("go", "go");
+        map.map_input("data", "data");
+        map.add_instruction_map(crate::refmap::InstructionMap {
+            instruction: "write".into(),
+            start_strengthening: None,
+            finish: FinishCondition::Condition {
+                expr: "done == 1'b1".into(),
+                max_cycles: 3,
+            },
+            input_policy: InputPolicy::Hold,
+        });
+        let report = verify_port(&p, &rtl, &map, &VerifyOptions::default()).unwrap();
+        assert!(report.all_hold(), "{report:#?}");
+        // An impossible finish condition is reported, not silently passed.
+        let mut map2 = map.clone();
+        map2.instruction_maps[0].finish = FinishCondition::Condition {
+            expr: "done == 1'b1 && go == 1'b0 && done == 1'b0".into(),
+            max_cycles: 2,
+        };
+        let report = verify_port(&p, &rtl, &map2, &VerifyOptions::default()).unwrap();
+        assert!(report
+            .verdicts
+            .iter()
+            .any(|v| matches!(v.result, CheckResult::FinishNotReached { .. })));
+    }
+}

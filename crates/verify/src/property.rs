@@ -1,0 +1,124 @@
+//! Human-readable rendering of the auto-generated refinement properties
+//! (the right-hand side of the paper's Fig. 5).
+
+use std::fmt::Write as _;
+
+use gila_core::PortIla;
+
+use crate::refmap::{FinishCondition, RefinementMap};
+
+/// Renders the auto-generated correctness property for one instruction
+/// in the notation of Fig. 5: equivalent starting states and mapped
+/// inputs, the start condition (decode), and the post-state equivalence
+/// at the finish cycle under the temporal next operator `X`.
+///
+/// # Examples
+///
+/// ```
+/// use gila_core::{PortIla, StateKind};
+/// use gila_expr::Sort;
+/// use gila_verify::{render_property, RefinementMap};
+///
+/// let mut p = PortIla::new("decoder");
+/// let w = p.input("wait", Sort::Bv(1));
+/// p.state("step", Sort::Bv(2), StateKind::Internal);
+/// let d = p.ctx_mut().eq_u64(w, 1);
+/// p.instr("stall").decode(d).add()?;
+/// let mut m = RefinementMap::new("decoder");
+/// m.map_state("step", "status");
+/// m.map_input("wait", "wait_data");
+/// let text = render_property(&p, &m, "stall").unwrap();
+/// assert!(text.contains("ila.step == rtl.status"));
+/// assert!(text.contains("X^1"));
+/// # Ok::<(), gila_core::ModelError>(())
+/// ```
+pub fn render_property(port: &PortIla, map: &RefinementMap, instruction: &str) -> Option<String> {
+    let instr = port.find_instruction(instruction)?;
+    let imap = map.instruction_map_for(instruction);
+    let mut out = String::new();
+    let _ = writeln!(out, "// auto-generated property for instruction {instruction:?}");
+    let _ = writeln!(out, "[");
+    // Yellow in Fig. 5: equivalent starting states.
+    for (ila_state, rtl_signal) in &map.state_map {
+        let _ = writeln!(out, "  (ila.{ila_state} == rtl.{rtl_signal}) &&");
+    }
+    // Green: corresponding inputs.
+    for (ila_input, rtl_signal) in &map.interface_map {
+        let _ = writeln!(out, "  (ila.{ila_input} == rtl.{rtl_signal}) &&");
+    }
+    // Blue: start condition (the decode function).
+    let _ = writeln!(
+        out,
+        "  ({})  // start condition: decode",
+        port.ctx().display(instr.decode)
+    );
+    for inv in &map.invariants {
+        let _ = writeln!(out, "  && ({inv})  // reachability invariant");
+    }
+    if let Some(s) = &imap.start_strengthening {
+        let _ = writeln!(out, "  && ({s})  // start strengthening");
+    }
+    // Orange: finish condition, then the post equivalence.
+    let finish = match &imap.finish {
+        FinishCondition::Cycles(n) => format!("X^{n}"),
+        FinishCondition::Condition { expr, max_cycles } => {
+            format!("X[first ({expr}) within {max_cycles}]")
+        }
+    };
+    let _ = writeln!(out, "] -> {finish} [");
+    for (ila_state, rtl_signal) in &map.state_map {
+        let update = match instr.updates.get(ila_state) {
+            Some(&u) => format!("{}", port.ctx().display(u)),
+            None => format!("ila.{ila_state} (unchanged)"),
+        };
+        let _ = writeln!(out, "  (ila'.{ila_state} == rtl.{rtl_signal})  // ila' = {update}");
+    }
+    let _ = writeln!(out, "]");
+    Some(out)
+}
+
+/// Renders the properties for every atomic instruction of a port.
+pub fn render_all_properties(port: &PortIla, map: &RefinementMap) -> String {
+    port.instructions()
+        .iter()
+        .filter_map(|i| render_property(port, map, &i.name))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gila_core::StateKind;
+    use gila_expr::Sort;
+
+    #[test]
+    fn renders_all_parts() {
+        let mut p = PortIla::new("dec");
+        let w = p.input("wait", Sort::Bv(1));
+        let step = p.state("step", Sort::Bv(2), StateKind::Internal);
+        let d = p.ctx_mut().eq_u64(w, 1);
+        p.instr("stall").decode(d).add().unwrap();
+        let d = p.ctx_mut().eq_u64(w, 0);
+        let one = p.ctx_mut().bv_u64(1, 2);
+        let nx = p.ctx_mut().bvsub(step, one);
+        p.instr("process").decode(d).update("step", nx).add().unwrap();
+        let mut m = RefinementMap::new("dec");
+        m.map_state("step", "status");
+        m.map_input("wait", "wait_data");
+        m.add_invariant("status <= 2'd3");
+
+        let text = render_property(&p, &m, "stall").unwrap();
+        assert!(text.contains("ila.step == rtl.status"));
+        assert!(text.contains("ila.wait == rtl.wait_data"));
+        assert!(text.contains("unchanged"));
+        assert!(text.contains("reachability invariant"));
+
+        let text = render_property(&p, &m, "process").unwrap();
+        assert!(text.contains("bvsub"));
+
+        assert!(render_property(&p, &m, "ghost").is_none());
+        let all = render_all_properties(&p, &m);
+        assert!(all.contains("stall") && all.contains("process"));
+    }
+}

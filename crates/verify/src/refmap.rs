@@ -1,0 +1,269 @@
+//! Refinement maps: the small, user-supplied glue between a port-ILA
+//! specification and an RTL implementation (paper Fig. 5).
+//!
+//! A refinement map has three parts:
+//!
+//! * **state map** — which RTL signal corresponds to each ILA
+//!   architectural state (checked for equivalence before and after each
+//!   instruction);
+//! * **interface map** — which RTL signal presents each ILA input;
+//! * **instruction map** — per instruction, when it starts (its decode
+//!   function, optionally strengthened) and when to check equivalence
+//!   (a fixed cycle count, or a monitored RTL condition with a bound).
+//!
+//! Maps serialize to/from JSON (the paper reports refinement-map sizes
+//! in JSON LoC), with RTL-side conditions written as Verilog expressions.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// When an instruction's execution finishes in the RTL (i.e. when the
+/// state-map equivalence is checked).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FinishCondition {
+    /// Check after exactly this many clock cycles.
+    Cycles(
+        /// Number of cycles (>= 1).
+        usize,
+    ),
+    /// Check at the first cycle (within `max_cycles`) where the Verilog
+    /// condition holds.
+    Condition {
+        /// A boolean Verilog expression over RTL signals.
+        expr: String,
+        /// Upper bound on the finish cycle.
+        max_cycles: usize,
+    },
+}
+
+impl Default for FinishCondition {
+    fn default() -> Self {
+        FinishCondition::Cycles(1)
+    }
+}
+
+/// What the RTL inputs do on the cycles *after* the command is presented
+/// (relevant only for multi-cycle finish conditions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum InputPolicy {
+    /// Inputs are unconstrained after cycle 0.
+    #[default]
+    Free,
+    /// Inputs hold their cycle-0 values for the whole execution.
+    Hold,
+}
+
+/// Per-instruction verification directives.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstructionMap {
+    /// The atomic instruction's name, or `"*"` for a default entry.
+    pub instruction: String,
+    /// Extra start condition (a Verilog expression over RTL signals),
+    /// conjoined with the instruction's decode function. `None` means the
+    /// start condition is exactly the decode function.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub start_strengthening: Option<String>,
+    /// When to check the post-state equivalence.
+    #[serde(default)]
+    pub finish: FinishCondition,
+    /// Input behaviour during multi-cycle execution.
+    #[serde(default)]
+    pub input_policy: InputPolicy,
+}
+
+impl InstructionMap {
+    /// A default entry (`finish: 1 cycle`, decode-only start) for the
+    /// named instruction.
+    pub fn single_cycle(instruction: impl Into<String>) -> Self {
+        InstructionMap {
+            instruction: instruction.into(),
+            start_strengthening: None,
+            finish: FinishCondition::Cycles(1),
+            input_policy: InputPolicy::Free,
+        }
+    }
+}
+
+/// A refinement map connecting one port-ILA to an RTL implementation.
+///
+/// # Examples
+///
+/// ```
+/// use gila_verify::RefinementMap;
+///
+/// let mut map = RefinementMap::new("decoder");
+/// map.map_state("current_word", "op");
+/// map.map_state("step", "status");
+/// map.map_input("wait", "wait_data");
+/// map.add_invariant("status <= 2'd3");
+/// let json = map.to_json();
+/// let back = RefinementMap::from_json(&json).unwrap();
+/// assert_eq!(map, back);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RefinementMap {
+    /// Name (usually the port name).
+    pub name: String,
+    /// ILA architectural state -> RTL signal.
+    pub state_map: BTreeMap<String, String>,
+    /// ILA input -> RTL signal.
+    pub interface_map: BTreeMap<String, String>,
+    /// Per-instruction directives. Instructions without an entry use the
+    /// `"*"` entry, or the all-default single-cycle entry if none exists.
+    #[serde(default)]
+    pub instruction_maps: Vec<InstructionMap>,
+    /// ILA states that participate in the *pre-state* correspondence but
+    /// are not checked for equivalence after the instruction — used when
+    /// a port reads a state another port owns (e.g. the store buffer's
+    /// load-port reads the buffer array that the in/out port updates;
+    /// simultaneous traffic on the other port may legitimately change it).
+    #[serde(default)]
+    pub unchecked_states: Vec<String>,
+    /// Reachability invariants assumed at the start state, as Verilog
+    /// expressions over RTL signals (e.g. `"status <= 2'd3"`). These
+    /// restrict the symbolic start to states the RTL can actually reach,
+    /// mirroring standard ILA refinement practice.
+    #[serde(default)]
+    pub invariants: Vec<String>,
+}
+
+impl RefinementMap {
+    /// Creates an empty map with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        RefinementMap {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Maps an ILA state to an RTL signal.
+    pub fn map_state(&mut self, ila_state: impl Into<String>, rtl_signal: impl Into<String>) {
+        self.state_map.insert(ila_state.into(), rtl_signal.into());
+    }
+
+    /// Maps an ILA input to an RTL signal.
+    pub fn map_input(&mut self, ila_input: impl Into<String>, rtl_signal: impl Into<String>) {
+        self.interface_map
+            .insert(ila_input.into(), rtl_signal.into());
+    }
+
+    /// Adds a start-state invariant (Verilog expression over RTL signals).
+    pub fn add_invariant(&mut self, expr: impl Into<String>) {
+        self.invariants.push(expr.into());
+    }
+
+    /// Marks an ILA state as pre-state-only (see `unchecked_states`).
+    pub fn mark_unchecked(&mut self, ila_state: impl Into<String>) {
+        self.unchecked_states.push(ila_state.into());
+    }
+
+    /// Adds a per-instruction directive.
+    pub fn add_instruction_map(&mut self, m: InstructionMap) {
+        self.instruction_maps.push(m);
+    }
+
+    /// The directive for an instruction: its own entry, else the `"*"`
+    /// entry, else the single-cycle default.
+    pub fn instruction_map_for(&self, instruction: &str) -> InstructionMap {
+        self.instruction_maps
+            .iter()
+            .find(|m| m.instruction == instruction)
+            .or_else(|| {
+                self.instruction_maps
+                    .iter()
+                    .find(|m| m.instruction == "*")
+            })
+            .cloned()
+            .unwrap_or_else(|| InstructionMap::single_cycle(instruction))
+    }
+
+    /// Serializes to pretty JSON (the artifact whose line count Table I
+    /// reports as "Ref-map Size (LoC)").
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("refinement maps always serialize")
+    }
+
+    /// Parses a map from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Line count of the JSON rendering ("Ref-map Size (LoC)").
+    pub fn size_loc(&self) -> usize {
+        self.to_json().lines().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RefinementMap {
+        let mut m = RefinementMap::new("DECODER");
+        m.map_state("current_word", "op");
+        m.map_state("step", "status");
+        m.map_input("wait", "wait_data");
+        m.map_input("word_in", "op_in");
+        m.add_invariant("status <= 2'd3");
+        m.add_instruction_map(InstructionMap {
+            instruction: "process_s1".into(),
+            start_strengthening: Some("status == 2'd1".into()),
+            finish: FinishCondition::Cycles(1),
+            input_policy: InputPolicy::Free,
+        });
+        m
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = sample();
+        let json = m.to_json();
+        let back = RefinementMap::from_json(&json).unwrap();
+        assert_eq!(m, back);
+        assert!(m.size_loc() > 10);
+    }
+
+    #[test]
+    fn instruction_map_lookup_precedence() {
+        let mut m = sample();
+        // exact entry
+        assert_eq!(
+            m.instruction_map_for("process_s1").start_strengthening,
+            Some("status == 2'd1".to_string())
+        );
+        // default single-cycle fallback
+        let d = m.instruction_map_for("stall");
+        assert_eq!(d.finish, FinishCondition::Cycles(1));
+        // wildcard overrides fallback
+        m.add_instruction_map(InstructionMap {
+            instruction: "*".into(),
+            start_strengthening: None,
+            finish: FinishCondition::Cycles(2),
+            input_policy: InputPolicy::Hold,
+        });
+        assert_eq!(m.instruction_map_for("stall").finish, FinishCondition::Cycles(2));
+    }
+
+    #[test]
+    fn condition_finish_serializes() {
+        let mut m = RefinementMap::new("x");
+        m.add_instruction_map(InstructionMap {
+            instruction: "req".into(),
+            start_strengthening: None,
+            finish: FinishCondition::Condition {
+                expr: "done == 1'b1".into(),
+                max_cycles: 8,
+            },
+            input_policy: InputPolicy::Hold,
+        });
+        let back = RefinementMap::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,242 @@
+//! VCD (value change dump) export of counterexample traces, so
+//! refinement failures can be inspected in a standard waveform viewer
+//! (GTKWave, Surfer, ...).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use gila_expr::Value;
+
+use crate::engine::RefinementCex;
+
+/// One VCD signal: its short identifier code and width.
+struct VcdVar {
+    code: String,
+    width: u32,
+}
+
+fn id_code(index: usize) -> String {
+    // Printable-ASCII identifier codes, base 94 starting at '!'.
+    let mut n = index;
+    let mut code = String::new();
+    loop {
+        code.push((b'!' + (n % 94) as u8) as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    code
+}
+
+fn value_bits(v: &Value) -> Option<(String, u32)> {
+    match v {
+        Value::Bool(b) => Some((if *b { "1" } else { "0" }.to_string(), 1)),
+        Value::Bv(x) => Some((format!("{x:b}"), x.width())),
+        // Memories have no straightforward VCD representation; they are
+        // skipped (a comment in the header records this).
+        Value::Mem(_) => None,
+    }
+}
+
+/// Renders a counterexample as VCD text. Inputs appear under the scope
+/// `inputs`, state elements under `state`; one timescale unit per clock
+/// cycle. Memory-sorted states are omitted (noted in a `$comment`).
+///
+/// # Examples
+///
+/// ```no_run
+/// use gila_verify::{cex_to_vcd, CheckResult};
+/// # fn get_result() -> CheckResult { unimplemented!() }
+/// let result = get_result();
+/// if let CheckResult::CounterExample(cex) = result {
+///     std::fs::write("failure.vcd", cex_to_vcd(&cex, "axi_slave"))?;
+/// }
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn cex_to_vcd(cex: &RefinementCex, module_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$date gila refinement counterexample $end");
+    let _ = writeln!(out, "$version gila-verify $end");
+    let _ = writeln!(out, "$timescale 1ns $end");
+    let _ = writeln!(out, "$scope module {module_name} $end");
+
+    let mut vars: BTreeMap<(&str, String), VcdVar> = BTreeMap::new();
+    let mut next_index = 0usize;
+    let mut skipped_mems: Vec<String> = Vec::new();
+
+    // Declare inputs.
+    let _ = writeln!(out, "$scope module inputs $end");
+    if let Some(first) = cex.rtl_inputs.first() {
+        for (name, v) in first {
+            if let Some((_, width)) = value_bits(v) {
+                let code = id_code(next_index);
+                next_index += 1;
+                let _ = writeln!(out, "$var wire {width} {code} {name} $end");
+                vars.insert(
+                    ("in", name.clone()),
+                    VcdVar {
+                        code,
+                        width,
+                    },
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "$upscope $end");
+
+    // Declare state elements.
+    let _ = writeln!(out, "$scope module state $end");
+    if let Some(first) = cex.rtl_trace.first() {
+        for (name, v) in first {
+            match value_bits(v) {
+                Some((_, width)) => {
+                    let code = id_code(next_index);
+                    next_index += 1;
+                    let _ = writeln!(out, "$var reg {width} {code} {name} $end");
+                    vars.insert(
+                        ("st", name.clone()),
+                        VcdVar {
+                            code,
+                            width,
+                        },
+                    );
+                }
+                None => skipped_mems.push(name.clone()),
+            }
+        }
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$upscope $end");
+    if !skipped_mems.is_empty() {
+        let _ = writeln!(
+            out,
+            "$comment memory-sorted states omitted: {} $end",
+            skipped_mems.join(", ")
+        );
+    }
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    let emit = |out: &mut String, var: &VcdVar, v: &Value| {
+        if let Some((bits, _)) = value_bits(v) {
+            if var.width == 1 {
+                let _ = writeln!(out, "{bits}{}", var.code);
+            } else {
+                let _ = writeln!(out, "b{bits} {}", var.code);
+            }
+        }
+    };
+
+    for cycle in 0..=cex.finish_cycle {
+        let _ = writeln!(out, "#{cycle}");
+        if cycle == 0 {
+            let _ = writeln!(out, "$dumpvars");
+        }
+        if let Some(states) = cex.rtl_trace.get(cycle) {
+            for (name, v) in states {
+                if let Some(var) = vars.get(&("st", name.clone())) {
+                    emit(&mut out, var, v);
+                }
+            }
+        }
+        if let Some(inputs) = cex.rtl_inputs.get(cycle) {
+            for (name, v) in inputs {
+                if let Some(var) = vars.get(&("in", name.clone())) {
+                    emit(&mut out, var, v);
+                }
+            }
+        }
+        if cycle == 0 {
+            let _ = writeln!(out, "$end");
+        }
+    }
+    let _ = writeln!(out, "#{}", cex.finish_cycle + 1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{verify_port, CheckResult, VerifyOptions};
+    use crate::refmap::RefinementMap;
+    use gila_core::{PortIla, StateKind};
+    use gila_expr::Sort;
+    use gila_rtl::parse_verilog;
+
+    fn buggy_cex() -> Box<RefinementCex> {
+        let mut p = PortIla::new("c");
+        let en = p.input("en", Sort::Bv(1));
+        let cnt = p.state("cnt", Sort::Bv(4), StateKind::Output);
+        let d = p.ctx_mut().eq_u64(en, 1);
+        let one = p.ctx_mut().bv_u64(1, 4);
+        let nx = p.ctx_mut().bvadd(cnt, one);
+        p.instr("inc").decode(d).update("cnt", nx).add().unwrap();
+        let d = p.ctx_mut().eq_u64(en, 0);
+        p.instr("hold").decode(d).add().unwrap();
+        let rtl = parse_verilog(
+            r#"
+module c(clk, en_in);
+  input clk; input en_in;
+  reg [3:0] count;
+  always @(posedge clk) if (en_in) count <= count + 4'd2;
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut map = RefinementMap::new("c");
+        map.map_state("cnt", "count");
+        map.map_input("en", "en_in");
+        let report = verify_port(&p, &rtl, &map, &VerifyOptions::default()).unwrap();
+        let v = report.first_counterexample().unwrap();
+        let CheckResult::CounterExample(cex) = &v.result else {
+            panic!()
+        };
+        cex.clone()
+    }
+
+    #[test]
+    fn vcd_has_standard_structure() {
+        let cex = buggy_cex();
+        let vcd = cex_to_vcd(&cex, "counter");
+        assert!(vcd.contains("$timescale 1ns $end"));
+        assert!(vcd.contains("$scope module counter $end"));
+        assert!(vcd.contains("$var reg 4"));
+        assert!(vcd.contains("count $end"));
+        assert!(vcd.contains("$var wire 1"));
+        assert!(vcd.contains("en_in $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("$dumpvars"));
+        assert!(vcd.contains("#0"));
+        assert!(vcd.contains("#1"));
+        // Multi-bit values use the b<bits> <code> form.
+        assert!(vcd.lines().any(|l| l.starts_with('b')));
+    }
+
+    #[test]
+    fn trace_values_match_the_counterexample() {
+        let cex = buggy_cex();
+        let vcd = cex_to_vcd(&cex, "counter");
+        let start = cex.rtl_start_state["count"].as_bv();
+        let needle = format!("b{start:b} ");
+        assert!(
+            vcd.contains(&needle),
+            "start value {start} missing from VCD:\n{vcd}"
+        );
+        assert_eq!(cex.rtl_trace.len(), cex.finish_cycle + 1);
+        assert_eq!(&cex.rtl_trace[0], &cex.rtl_start_state);
+        assert_eq!(
+            &cex.rtl_trace[cex.finish_cycle],
+            &cex.rtl_finish_state
+        );
+    }
+
+    #[test]
+    fn id_codes_are_printable_and_unique() {
+        let codes: Vec<String> = (0..200).map(id_code).collect();
+        for c in &codes {
+            assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)));
+        }
+        let unique: std::collections::HashSet<_> = codes.iter().collect();
+        assert_eq!(unique.len(), codes.len());
+    }
+}

@@ -1,0 +1,75 @@
+//! Bug hunt: reproduces the paper's AXI slave finding (§V.B.1).
+//!
+//! The slave's READ port must compute outgoing data from the burst mode
+//! *latched at address commit* (`tx_rd_burst`); the buggy implementation
+//! reads the live `rd_burst_in` input instead. The refinement check
+//! produces a counterexample trace in milliseconds (the paper: 0.01 s
+//! with JasperGold).
+//!
+//! ```text
+//! cargo run --release --example bug_hunt
+//! ```
+
+use gila::designs::axi::slave;
+use gila::verify::{cex_to_vcd, verify_module, CheckResult, VerifyOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ila = slave::ila();
+    let maps = slave::refinement_maps();
+
+    println!("== verifying the buggy AXI slave ==");
+    let opts = VerifyOptions {
+        stop_at_first_cex: true,
+        ..Default::default()
+    };
+    let report = verify_module(&ila, &slave::buggy_rtl(), &maps, &opts)?;
+    let port = &report.ports[0];
+    let v = port
+        .first_counterexample()
+        .expect("the injected bug must be found");
+    println!(
+        "counterexample found in {:.2?} at instruction {:?}\n",
+        report.time_to_first_counterexample().expect("bug found"),
+        v.instruction
+    );
+    let CheckResult::CounterExample(cex) = &v.result else {
+        unreachable!()
+    };
+    println!("mismatched architectural states: {:?}", cex.mismatched_states);
+    println!("\nRTL start state (cycle 0):");
+    for (name, value) in &cex.rtl_start_state {
+        println!("  {name:<18} = {value:?}");
+    }
+    println!("\ninputs applied at cycle 0:");
+    for (name, value) in &cex.rtl_inputs[0] {
+        println!("  {name:<18} = {value:?}");
+    }
+    println!("\nRTL state at the finish cycle:");
+    for (name, value) in &cex.rtl_finish_state {
+        println!("  {name:<18} = {value:?}");
+    }
+    println!("\nILA post-state (what the specification requires):");
+    for (name, value) in &cex.ila_post_state {
+        println!("  {name:<18} = {value:?}");
+    }
+    println!(
+        "\nNote how rd_burst_in != tx_rd_burst in the witness: the \
+         implementation used the wrong one."
+    );
+
+    // Dump the trace for a waveform viewer.
+    let vcd = cex_to_vcd(cex, "axi_slave");
+    let path = std::env::temp_dir().join("gila_axi_slave_bug.vcd");
+    std::fs::write(&path, vcd)?;
+    println!("\nwaveform written to {}", path.display());
+
+    println!("\n== verifying the fixed AXI slave ==");
+    let report = verify_module(&ila, &slave::rtl(), &maps, &VerifyOptions::default())?;
+    assert!(report.all_hold());
+    println!(
+        "all {} instructions verified in {:.2?}",
+        report.instructions_checked(),
+        report.total_time()
+    );
+    Ok(())
+}

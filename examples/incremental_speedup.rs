@@ -1,0 +1,24 @@
+//! Compares isolated per-instruction solving with the incremental
+//! shared-solver mode across the case studies.
+//!
+//! ```text
+//! cargo run --release --example incremental_speedup
+//! ```
+
+use gila::designs::all_case_studies;
+use gila::verify::{verify_module, VerifyOptions};
+use std::time::Instant;
+
+fn main() {
+    for cs in all_case_studies() {
+        if cs.name == "Datapath" { continue; }
+        let t0 = Instant::now();
+        let base = verify_module(&cs.ila, &cs.rtl, &cs.refmaps, &VerifyOptions::default()).unwrap();
+        let t_base = t0.elapsed();
+        let t0 = Instant::now();
+        let inc = verify_module(&cs.ila, &cs.rtl, &cs.refmaps, &VerifyOptions { incremental: true, ..Default::default() }).unwrap();
+        let t_inc = t0.elapsed();
+        assert!(base.all_hold() && inc.all_hold(), "{}", cs.name);
+        println!("{:<15} isolated {:>9.2?}  incremental {:>9.2?}  ({:.1}x)", cs.name, t_base, t_inc, t_base.as_secs_f64()/t_inc.as_secs_f64());
+    }
+}

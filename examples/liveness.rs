@@ -1,0 +1,61 @@
+//! Liveness checking (the paper's §VI extension): justice properties
+//! `GF p` on RTL, via the liveness-to-safety transformation.
+//!
+//! The AXI master's write engine should always eventually complete a
+//! transaction (`GF host_wr_done_r`) — but only under fairness: if the
+//! slave never acknowledges, the engine legitimately stalls forever.
+//! The checker finds the stalling lasso without fairness and proves the
+//! bounded absence of lassos with it.
+//!
+//! ```text
+//! cargo run --release --example liveness
+//! ```
+
+use gila::designs::axi::master;
+use gila::mc::{check_justice, LivenessOutcome};
+use gila::verify::rtl_to_ts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rtl = master::rtl();
+    let (mut ts, signals) = rtl_to_ts(&rtl);
+
+    // Justice: the write-done pulse recurs forever.
+    let done = signals["host_wr_done_r"];
+    let justice = ts.ctx_mut().eq_u64(done, 1);
+
+    println!("== GF host_wr_done with an unconstrained environment ==");
+    match check_justice(&ts, justice, 8) {
+        LivenessOutcome::LassoFound(cex) => {
+            println!(
+                "lasso found (loop closes at step {}): the environment can stall the engine.",
+                cex.violation_step
+            );
+            let last = &cex.steps[cex.violation_step];
+            println!(
+                "  looping with wr_phase = {} and host_wr_done = {}",
+                last.states["wr_phase"].as_bv().to_u64(),
+                last.states["host_wr_done_r"].as_bv().to_u64()
+            );
+        }
+        other => panic!("expected a stalling lasso, got {other:?}"),
+    }
+
+    println!("\n== same property under fairness (requests keep coming, the slave always acks) ==");
+    for fair_signal in [
+        "host_wr_req",
+        "s_wr_addr_ready",
+        "s_wr_data_ready",
+        "s_wr_resp_valid",
+    ] {
+        let v = signals[fair_signal];
+        let c = ts.ctx_mut().eq_u64(v, 1);
+        ts.add_constraint(c);
+    }
+    match check_justice(&ts, justice, 8) {
+        LivenessOutcome::NoLassoUpTo(k) => {
+            println!("no violating lasso with stem+loop up to {k} steps: the engine makes progress.")
+        }
+        other => panic!("expected progress, got {other:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Round-robin integration at scale: the OpenPiton NoC router
+//! (paper §V.C.3).
+//!
+//! Ten ports integrate down to two; the five IN-ports' conflicting
+//! writes to the shared routing table are arbitrated round-robin, with
+//! the arbiter pointer materialized as a new architectural state. The
+//! example simulates contended cycles on the ILA and shows the pointer
+//! rotating, then verifies all 64 integrated instructions against RTL.
+//!
+//! ```text
+//! cargo run --release --example noc_arbitration
+//! ```
+
+use std::collections::BTreeMap;
+
+use gila::core::PortSimulator;
+use gila::designs::openpiton::noc_router;
+use gila::expr::{BitVecValue, Value};
+use gila::verify::{verify_module, VerifyOptions};
+
+fn bv(x: u64, w: u32) -> Value {
+    Value::Bv(BitVecValue::from_u64(x, w))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let in_port = noc_router::integrated_in_port();
+    println!(
+        "integrated IN-port: {} atomic instructions (2^5 combinations of 5 ports)",
+        in_port.num_atomic_instructions()
+    );
+
+    // Simulate three fully-contended cycles: every direction receives a
+    // packet for destination 0 simultaneously. The round-robin pointer
+    // decides whose route is learned, then advances past the winner.
+    let mut sim = PortSimulator::new(&in_port);
+    let mut inputs = BTreeMap::new();
+    for dir in noc_router::DIRS {
+        inputs.insert(format!("in_{dir}_valid"), bv(1, 1));
+        inputs.insert(format!("in_{dir}_dest"), bv(0, 3));
+        inputs.insert(format!("in_{dir}_data"), bv(0xAB, 8));
+    }
+    println!("\nfully contended cycles (all five ports receive dest=0):");
+    for cycle in 0..3 {
+        let fired = sim.step(&inputs)?;
+        let rt = sim.state()["rt"].as_mem().read(&BitVecValue::from_u64(0, 3));
+        let ptr = sim.state()["rt_rr"].as_bv().to_u64();
+        println!(
+            "  cycle {cycle}: fired {fired}; rt[0] learned port {}; pointer now {ptr}",
+            rt.to_u64()
+        );
+    }
+
+    // A single receiver does not move the pointer.
+    for dir in noc_router::DIRS {
+        inputs.insert(format!("in_{dir}_valid"), bv(0, 1));
+    }
+    inputs.insert("in_w_valid".to_string(), bv(1, 1));
+    let fired = sim.step(&inputs)?;
+    println!(
+        "  single receiver: fired {fired}; rt[0] now {}; pointer unchanged at {}",
+        sim.state()["rt"]
+            .as_mem()
+            .read(&BitVecValue::from_u64(0, 3))
+            .to_u64(),
+        sim.state()["rt_rr"].as_bv().to_u64()
+    );
+
+    println!("\n== verifying all 64 integrated instructions against the RTL ==");
+    let report = verify_module(
+        &noc_router::ila(),
+        &noc_router::rtl(),
+        &noc_router::refinement_maps(),
+        &VerifyOptions::default(),
+    )?;
+    assert!(report.all_hold());
+    println!(
+        "verified {} instructions in {:.2?} — the RTL's round-robin arbiter \
+         matches the integration resolver exactly",
+        report.instructions_checked(),
+        report.total_time()
+    );
+    Ok(())
+}

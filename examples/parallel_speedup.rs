@@ -1,0 +1,23 @@
+//! Measures the multi-core speedup of parallel per-instruction
+//! verification on the heaviest design (the full 256-byte-RAM datapath).
+//!
+//! ```text
+//! cargo run --release --example parallel_speedup
+//! ```
+
+use gila::designs::i8051::datapath;
+use gila::verify::{verify_module, VerifyOptions};
+use std::time::Instant;
+
+fn main() {
+    let (ila, rtl, maps) = (datapath::ila(), datapath::rtl(), datapath::refinement_maps());
+    let t0 = Instant::now();
+    let r = verify_module(&ila, &rtl, &maps, &VerifyOptions::default()).unwrap();
+    assert!(r.all_hold());
+    let seq = t0.elapsed();
+    let t0 = Instant::now();
+    let r = verify_module(&ila, &rtl, &maps, &VerifyOptions { parallel: true, ..Default::default() }).unwrap();
+    assert!(r.all_hold());
+    let par = t0.elapsed();
+    println!("sequential: {seq:.2?}  parallel: {par:.2?}  speedup: {:.1}x", seq.as_secs_f64()/par.as_secs_f64());
+}

@@ -1,0 +1,25 @@
+//! # gila — Generalized Instruction-Level Abstractions
+//!
+//! Façade crate re-exporting the full gila platform: modeling of general
+//! hardware modules with Instruction-Level Abstractions (ILAs), composition
+//! of port-ILAs (including shared-state integration), and complete
+//! instruction-by-instruction formal verification of RTL implementations
+//! against module-ILA specifications.
+//!
+//! See the individual crates for details:
+//! - [`expr`]: expression DSL (bool / bitvector / memory sorts)
+//! - [`core`]: ILA model, ports, composition, simulation
+//! - [`rtl`]: RTL IR, Verilog-subset frontend, simulator
+//! - [`sat`] / [`smt`]: CDCL SAT solver and bit-blaster
+//! - [`mc`]: transition systems and bounded model checking
+//! - [`verify`]: refinement maps, property generation, verification engine
+//! - [`designs`]: the eight DATE 2021 case studies
+pub use gila_core as core;
+pub use gila_designs as designs;
+pub use gila_expr as expr;
+pub use gila_lang as lang;
+pub use gila_mc as mc;
+pub use gila_rtl as rtl;
+pub use gila_sat as sat;
+pub use gila_smt as smt;
+pub use gila_verify as verify;

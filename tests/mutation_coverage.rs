@@ -1,0 +1,50 @@
+//! Mutation coverage: for every case study, corrupt each register's
+//! next-state function (three mutation kinds) and confirm the
+//! auto-generated per-instruction property set kills the mutant — the
+//! standard empirical probe of the paper's completeness claim.
+
+use gila::designs::{all_case_studies, i8051::datapath, riscv::store_buffer};
+use gila::verify::{
+    mutate_register, verify_module, Mutation, MutationReport, VerifyOptions,
+};
+
+#[test]
+fn the_property_set_kills_every_register_mutant() {
+    let opts = VerifyOptions {
+        stop_at_first_cex: true,
+        ..Default::default()
+    };
+    let mut grand_total = 0usize;
+    for cs in all_case_studies() {
+        // Use the abstracted variants of the memory-heavy designs so the
+        // campaign stays fast; register structure is identical.
+        let (ila, rtl) = match cs.name {
+            "Datapath" => (datapath::ila_abstracted(), datapath::rtl_abstracted()),
+            "Store Buffer" => (store_buffer::ila_abstracted(), store_buffer::rtl_abstracted()),
+            _ => (cs.ila.clone(), cs.rtl.clone()),
+        };
+        let mut report = MutationReport::default();
+        for reg in rtl.regs() {
+            for mutation in Mutation::all() {
+                let mutant = mutate_register(&rtl, &reg.name, mutation).expect("known reg");
+                let result = verify_module(&ila, &mutant, &cs.refmaps, &opts)
+                    .unwrap_or_else(|e| panic!("{}: setup error {e}", cs.name));
+                if result.all_hold() {
+                    report.survived.push((reg.name.clone(), mutation));
+                } else {
+                    report.killed.push((reg.name.clone(), mutation));
+                }
+            }
+        }
+        grand_total += report.killed.len() + report.survived.len();
+        assert!(
+            report.survived.is_empty(),
+            "{}: surviving mutants (property-set hole or equivalent mutant): {:?}",
+            cs.name,
+            report.survived
+        );
+        assert_eq!(report.kill_ratio(), 1.0, "{}", cs.name);
+    }
+    // 3 mutants per register across all eight designs.
+    assert!(grand_total >= 150, "campaign too small: {grand_total}");
+}

@@ -1,0 +1,350 @@
+//! Property-based tests (proptest) on the platform's core invariants:
+//! bit-vector arithmetic against a `u128` reference model, the
+//! simplifier and bit-blaster against the concrete evaluator, the SAT
+//! solver against brute force, and composition/integration invariants.
+
+use std::collections::BTreeMap;
+
+use gila::core::{integrate, PortIla, PortPriorityResolver, StateKind};
+use gila::expr::{
+    eval, simplify, BitVecValue, Env, ExprCtx, ExprRef, Sort, Value,
+};
+use gila::sat::{Lit, Solver, Var};
+use gila::smt::SmtSolver;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// BitVecValue vs u128 reference semantics
+// ---------------------------------------------------------------------
+
+fn mask(w: u32) -> u128 {
+    if w >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << w) - 1
+    }
+}
+
+proptest! {
+    #[test]
+    fn bv_arith_matches_reference(a in any::<u64>(), b in any::<u64>(), w in 1u32..65) {
+        let m = mask(w);
+        let av = BitVecValue::from_u64(a, w);
+        let bv = BitVecValue::from_u64(b, w);
+        let (ar, br) = ((a as u128) & m, (b as u128) & m);
+        prop_assert_eq!(av.add(&bv).to_u64() as u128, (ar + br) & m);
+        prop_assert_eq!(av.sub(&bv).to_u64() as u128, ar.wrapping_sub(br) & m);
+        prop_assert_eq!(av.mul(&bv).to_u64() as u128, (ar.wrapping_mul(br)) & m);
+        prop_assert_eq!(av.and(&bv).to_u64() as u128, ar & br);
+        prop_assert_eq!(av.or(&bv).to_u64() as u128, ar | br);
+        prop_assert_eq!(av.xor(&bv).to_u64() as u128, ar ^ br);
+        prop_assert_eq!(av.not().to_u64() as u128, !ar & m);
+        prop_assert_eq!(av.ult(&bv), ar < br);
+        prop_assert_eq!(av.ule(&bv), ar <= br);
+        if br != 0 {
+            prop_assert_eq!(av.udiv(&bv).to_u64() as u128, ar / br);
+            prop_assert_eq!(av.urem(&bv).to_u64() as u128, ar % br);
+        } else {
+            prop_assert!(av.udiv(&bv).is_ones());
+            prop_assert_eq!(av.urem(&bv), av.clone());
+        }
+    }
+
+    #[test]
+    fn bv_shifts_match_reference(a in any::<u64>(), s in 0u64..80, w in 1u32..65) {
+        let m = mask(w);
+        let av = BitVecValue::from_u64(a, w);
+        let sv = BitVecValue::from_u64(s, w);
+        let ar = (a as u128) & m;
+        let s_eff = (s as u128) & m;
+        let expected_shl = if s_eff >= w as u128 { 0 } else { (ar << s_eff) & m };
+        let expected_shr = if s_eff >= w as u128 { 0 } else { ar >> s_eff };
+        prop_assert_eq!(av.shl(&sv).to_u64() as u128, expected_shl);
+        prop_assert_eq!(av.lshr(&sv).to_u64() as u128, expected_shr);
+    }
+
+    #[test]
+    fn bv_concat_extract_roundtrip(a in any::<u64>(), w1 in 1u32..33, w2 in 1u32..33) {
+        let hi = BitVecValue::from_u64(a, w1);
+        let lo = BitVecValue::from_u64(a.rotate_left(13), w2);
+        let c = hi.concat(&lo);
+        prop_assert_eq!(c.width(), w1 + w2);
+        prop_assert_eq!(c.extract(w2 - 1, 0), lo);
+        prop_assert_eq!(c.extract(w1 + w2 - 1, w2), hi);
+    }
+
+    #[test]
+    fn bv_signed_comparison_matches_reference(a in any::<u64>(), b in any::<u64>(), w in 2u32..64) {
+        let av = BitVecValue::from_u64(a, w);
+        let bv = BitVecValue::from_u64(b, w);
+        let sign_extend = |x: u64| -> i128 {
+            let x = (x as u128) & mask(w);
+            if x >> (w - 1) & 1 == 1 {
+                x as i128 - (1i128 << w)
+            } else {
+                x as i128
+            }
+        };
+        prop_assert_eq!(av.slt(&bv), sign_extend(a) < sign_extend(b));
+        prop_assert_eq!(av.sle(&bv), sign_extend(a) <= sign_extend(b));
+    }
+
+    #[test]
+    fn bv_hex_parse_format_roundtrip(a in any::<u64>(), w in 1u32..17) {
+        // Formatting then parsing recovers the value (width rounded to
+        // nibbles by parse, so compare after zext).
+        let v = BitVecValue::from_u64(a, w * 4);
+        let s = format!("{v:x}");
+        let back = BitVecValue::parse_hex(&s).expect("valid hex");
+        prop_assert_eq!(back, v);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random expressions: simplifier and bit-blaster agree with eval
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum RandomOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Lshr,
+    Ashr,
+    Ite,
+}
+
+fn random_op() -> impl Strategy<Value = RandomOp> {
+    prop_oneof![
+        Just(RandomOp::Add),
+        Just(RandomOp::Sub),
+        Just(RandomOp::Mul),
+        Just(RandomOp::And),
+        Just(RandomOp::Or),
+        Just(RandomOp::Xor),
+        Just(RandomOp::Shl),
+        Just(RandomOp::Lshr),
+        Just(RandomOp::Ashr),
+        Just(RandomOp::Ite),
+    ]
+}
+
+fn build_expr(ctx: &mut ExprCtx, ops: &[(RandomOp, u8, u8)], consts: &[u64]) -> ExprRef {
+    const W: u32 = 7;
+    let x = ctx.var("x", Sort::Bv(W));
+    let y = ctx.var("y", Sort::Bv(W));
+    let mut pool = vec![x, y];
+    for &c in consts {
+        pool.push(ctx.bv_u64(c & 0x7F, W));
+    }
+    for (op, ia, ib) in ops {
+        let a = pool[*ia as usize % pool.len()];
+        let b = pool[*ib as usize % pool.len()];
+        let e = match op {
+            RandomOp::Add => ctx.bvadd(a, b),
+            RandomOp::Sub => ctx.bvsub(a, b),
+            RandomOp::Mul => ctx.bvmul(a, b),
+            RandomOp::And => ctx.bvand(a, b),
+            RandomOp::Or => ctx.bvor(a, b),
+            RandomOp::Xor => ctx.bvxor(a, b),
+            RandomOp::Shl => ctx.bvshl(a, b),
+            RandomOp::Lshr => ctx.bvlshr(a, b),
+            RandomOp::Ashr => ctx.bvashr(a, b),
+            RandomOp::Ite => {
+                let c = ctx.ult(a, b);
+                ctx.ite(c, a, b)
+            }
+        };
+        pool.push(e);
+    }
+    *pool.last().expect("non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simplify_preserves_semantics(
+        ops in proptest::collection::vec((random_op(), any::<u8>(), any::<u8>()), 1..12),
+        consts in proptest::collection::vec(any::<u64>(), 1..4),
+        vx in 0u64..128,
+        vy in 0u64..128,
+    ) {
+        let mut ctx = ExprCtx::new();
+        let root = build_expr(&mut ctx, &ops, &consts);
+        let simplified = simplify(&mut ctx, root);
+        let mut env = Env::new();
+        env.bind_u64(&ctx, "x", vx);
+        env.bind_u64(&ctx, "y", vy);
+        prop_assert_eq!(
+            eval(&ctx, root, &env).expect("bound"),
+            eval(&ctx, simplified, &env).expect("bound")
+        );
+    }
+
+    #[test]
+    fn blaster_agrees_with_evaluator(
+        ops in proptest::collection::vec((random_op(), any::<u8>(), any::<u8>()), 1..8),
+        consts in proptest::collection::vec(any::<u64>(), 1..3),
+        vx in 0u64..128,
+        vy in 0u64..128,
+    ) {
+        let mut ctx = ExprCtx::new();
+        let root = build_expr(&mut ctx, &ops, &consts);
+        let x = ctx.find_var("x").expect("declared");
+        let y = ctx.find_var("y").expect("declared");
+        let mut env = Env::new();
+        env.bind_u64(&ctx, "x", vx);
+        env.bind_u64(&ctx, "y", vy);
+        let expected = eval(&ctx, root, &env).expect("bound").as_bv().clone();
+        // Pin the inputs; the root must equal the evaluator's answer —
+        // asserting the opposite must be UNSAT.
+        let cx = ctx.eq_u64(x, vx);
+        let cy = ctx.eq_u64(y, vy);
+        let cr = ctx.bv(expected);
+        let ne = ctx.ne(root, cr);
+        let mut smt = SmtSolver::new();
+        smt.assert(&ctx, cx);
+        smt.assert(&ctx, cy);
+        smt.assert(&ctx, ne);
+        prop_assert!(!smt.check().is_sat());
+    }
+}
+
+// ---------------------------------------------------------------------
+// SAT solver vs brute force
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sat_agrees_with_brute_force(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((0usize..8, any::<bool>()), 1..4),
+            1..24,
+        ),
+    ) {
+        let n_vars = 8usize;
+        let mut brute_sat = false;
+        'outer: for m in 0u32..(1 << n_vars) {
+            for c in &clauses {
+                if !c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos) {
+                    continue 'outer;
+                }
+            }
+            brute_sat = true;
+            break;
+        }
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n_vars).map(|_| s.new_var()).collect();
+        let mut ok = true;
+        for c in &clauses {
+            ok &= s.add_clause(c.iter().map(|&(v, pos)| Lit::new(vars[v], pos)));
+        }
+        let got = ok && s.solve().is_sat();
+        prop_assert_eq!(got, brute_sat);
+        if got {
+            for c in &clauses {
+                prop_assert!(c.iter().any(|&(v, pos)| s.value(vars[v]).expect("assigned") == pos));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Integration invariants
+// ---------------------------------------------------------------------
+
+/// Builds a port with `n` instructions selected by an input selector,
+/// each writing a distinct constant to a shared state.
+fn selector_port(name: &str, n: u64, shared: &str) -> PortIla {
+    let mut p = PortIla::new(name);
+    let sel = p.input(format!("{name}_sel"), Sort::Bv(4));
+    p.state(shared, Sort::Bv(8), StateKind::Output);
+    for i in 0..n {
+        let ctx = p.ctx_mut();
+        let d = if i + 1 == n {
+            // Final instruction absorbs the remaining selector space so
+            // the decode stays complete.
+            let c = ctx.bv_u64(i, 4);
+            ctx.uge(sel, c)
+        } else {
+            ctx.eq_u64(sel, i)
+        };
+        let v = ctx.bv_u64(0x10 + i, 8);
+        p.instr(format!("{name}_I{i}"))
+            .decode(d)
+            .update(shared, v)
+            .add()
+            .expect("valid model");
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// |I_c| = |I_p1| * |I_p2| at the atomic level, for any sizes.
+    #[test]
+    fn integration_cross_product_size(n1 in 1u64..5, n2 in 1u64..5) {
+        let a = selector_port("A", n1, "shared");
+        let b = selector_port("B", n2, "shared");
+        let resolver = PortPriorityResolver::new(["A", "B"]);
+        let c = integrate("AB", &[&a, &b], &resolver).expect("resolved");
+        prop_assert_eq!(
+            c.num_atomic_instructions() as u64,
+            n1 * n2
+        );
+        // Every integrated decode is the conjunction of its parts: the
+        // integrated port is deterministic and complete if the parts are.
+        prop_assert!(gila::core::decode_gap(&c, None).is_none());
+        prop_assert!(gila::core::decode_overlaps(&c, None).is_empty());
+    }
+
+    /// Priority resolution always picks the first port's update.
+    #[test]
+    fn priority_resolution_picks_winner(n1 in 1u64..4, n2 in 1u64..4, i in 0u64..4, j in 0u64..4) {
+        prop_assume!(i < n1 && j < n2);
+        let a = selector_port("A", n1, "shared");
+        let b = selector_port("B", n2, "shared");
+        let resolver = PortPriorityResolver::new(["B", "A"]);
+        let c = integrate("AB", &[&a, &b], &resolver).expect("resolved");
+        let name = format!("A_I{i} & B_I{j}");
+        let instr = c.find_instruction(&name).expect("combo exists");
+        let upd = instr.updates["shared"];
+        // B wins: the constant is B's.
+        prop_assert_eq!(
+            c.ctx().as_bv_const(upd),
+            Some(&BitVecValue::from_u64(0x10 + j, 8))
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulation determinism: module simulators never double-fire
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn decoder_simulation_total_and_deterministic(words in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..40)) {
+        use gila::designs::i8051::decoder;
+        let port = decoder::port_ila();
+        let mut sim = gila::core::PortSimulator::new(&port);
+        for (wait, word) in words {
+            let mut inputs = BTreeMap::new();
+            inputs.insert("wait".to_string(), Value::Bv(BitVecValue::from_u64(wait as u64, 1)));
+            inputs.insert("word_in".to_string(), Value::Bv(BitVecValue::from_u64(word as u64, 8)));
+            // Exactly one instruction fires for every command.
+            sim.step(&inputs).expect("complete and deterministic");
+            // The step counter stays in range.
+            prop_assert!(sim.state()["step"].as_bv().to_u64() <= 3);
+        }
+    }
+}
