@@ -1,0 +1,66 @@
+//! Measures sequential vs pooled verification wall-clock per case study
+//! and writes the `BENCH_verify.json` artifact.
+//!
+//! Sequential is `jobs = 1` (fresh engine per instruction); pooled is a
+//! four-worker work-stealing pool with persistent incremental engines.
+//! Each configuration is run three times and the best time is kept, so
+//! the artifact reflects steady-state cost, not first-run noise.
+
+use std::time::Instant;
+
+use gila_designs::{all_case_studies, CaseStudy};
+use gila_json::Value;
+use gila_verify::{verify_module, VerifyOptions};
+
+const POOL_JOBS: usize = 4;
+const RUNS: usize = 3;
+
+fn best_time_s(cs: &CaseStudy, jobs: usize) -> f64 {
+    let opts = VerifyOptions {
+        jobs: Some(jobs),
+        ..Default::default()
+    };
+    (0..RUNS)
+        .map(|_| {
+            let t0 = Instant::now();
+            let report =
+                verify_module(&cs.ila, &cs.rtl, &cs.refmaps, &opts).expect("well-formed");
+            assert!(report.all_hold(), "{}: {report:#?}", cs.name);
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rows = Vec::new();
+    for cs in all_case_studies() {
+        // The i8051 datapath's memory blast dominates everything else;
+        // its scheduling behaviour is identical, so keep the artifact
+        // cheap to regenerate.
+        if cs.name == "Datapath" {
+            continue;
+        }
+        eprintln!("benchmarking {} ...", cs.name);
+        let sequential_s = best_time_s(&cs, 1);
+        let pooled_s = best_time_s(&cs, POOL_JOBS);
+        rows.push(Value::Object(vec![
+            ("design".into(), cs.name.into()),
+            (
+                "instructions".into(),
+                cs.ila.stats().instructions.into(),
+            ),
+            ("sequential_s".into(), sequential_s.into()),
+            ("pooled_s".into(), pooled_s.into()),
+            ("speedup".into(), (sequential_s / pooled_s).into()),
+        ]));
+    }
+    let doc = Value::Object(vec![
+        ("benchmark".into(), "verify: sequential vs pooled".into()),
+        ("pool_jobs".into(), POOL_JOBS.into()),
+        ("runs_per_config".into(), RUNS.into()),
+        ("rows".into(), Value::Array(rows)),
+    ]);
+    std::fs::write("BENCH_verify.json", doc.pretty() + "\n")?;
+    eprintln!("wrote BENCH_verify.json");
+    Ok(())
+}

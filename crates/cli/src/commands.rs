@@ -62,10 +62,17 @@ pub fn verify(flags: &[(String, String)]) -> CmdResult {
     let ila = load_ila(require(flags, "ila")?)?;
     let rtl = load_rtl(require(flags, "rtl")?)?;
     let maps = load_maps(flags)?;
+    let jobs = flag(flags, "jobs")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("--jobs expects a worker count, got {v:?}"))
+        })
+        .transpose()?;
     let opts = VerifyOptions {
         stop_at_first_cex: flag(flags, "stop-at-first-cex").is_some(),
         parallel: flag(flags, "parallel").is_some(),
         incremental: flag(flags, "incremental").is_some(),
+        jobs,
     };
     let report = verify_module(&ila, &rtl, &maps, &opts)?;
     let mut vcd_count = 0usize;

@@ -18,7 +18,8 @@ fn usage() -> ! {
 
 USAGE:
   gila verify    --ila SPEC.ila --rtl IMPL.v --map MAP.json [--map MAP2.json ...]
-                 [--stop-at-first-cex] [--parallel] [--incremental] [--vcd PREFIX]
+                 [--stop-at-first-cex] [--parallel] [--incremental] [--jobs N]
+                 [--vcd PREFIX]
   gila describe  --ila SPEC.ila [--format ila]
   gila synth     --ila SPEC.ila [-o OUT.v]
   gila check-inv --rtl IMPL.v --invariant EXPR [--invariant EXPR ...] [--depth K]
@@ -29,7 +30,12 @@ USAGE:
 EXIT CODES:
   0  success (all properties hold / invariants proved)
   1  a property failed or an invariant was refuted
-  2  usage or input error"
+  2  usage or input error
+
+VERIFY OPTIONS:
+  --jobs N   check instructions on a work-stealing pool of N workers,
+             each with a persistent incremental solver (0 = one per CPU,
+             1 = sequential); conflicts with --parallel"
     );
     std::process::exit(2)
 }

@@ -93,6 +93,59 @@ fn verify_succeeds_on_correct_rtl() {
 }
 
 #[test]
+fn verify_with_jobs_pool_succeeds_on_correct_rtl() {
+    let ws = Workspace::new("jobs");
+    let out = gila()
+        .args([
+            "verify",
+            "--ila",
+            &ws.file("c.ila", SPEC),
+            "--rtl",
+            &ws.file("c.v", RTL_GOOD),
+            "--map",
+            &ws.file("m.json", MAP),
+            "--jobs",
+            "4",
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("HOLDS"));
+    assert!(stdout.contains("the RTL refines the ILA"));
+}
+
+#[test]
+fn verify_rejects_conflicting_options_with_exit_code_2() {
+    let ws = Workspace::new("conflict");
+    let spec = ws.file("c.ila", SPEC);
+    let rtl = ws.file("c.v", RTL_GOOD);
+    let map = ws.file("m.json", MAP);
+    for extra in [
+        ["--parallel", "--stop-at-first-cex"].as_slice(),
+        ["--parallel", "--incremental"].as_slice(),
+        ["--parallel", "--jobs", "4"].as_slice(),
+    ] {
+        let out = gila()
+            .args(["verify", "--ila", &spec, "--rtl", &rtl, "--map", &map])
+            .args(extra)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{extra:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("conflicting options"), "{stderr}");
+    }
+    // A malformed worker count is a usage error, not a crash.
+    let out = gila()
+        .args([
+            "verify", "--ila", &spec, "--rtl", &rtl, "--map", &map, "--jobs", "many",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn verify_fails_with_exit_code_1_and_writes_vcd() {
     let ws = Workspace::new("bad");
     let prefix = ws.path("bug");

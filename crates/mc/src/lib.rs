@@ -39,4 +39,4 @@ pub use bmc::{bmc_safety, k_induction, BmcOutcome, Counterexample, InductionOutc
 pub use btor2::{to_btor2, Btor2Error};
 pub use liveness::{check_justice, liveness_to_safety, LivenessOutcome};
 pub use ts::{TransitionSystem, TsError, TsVar};
-pub use unroll::{Frame, Unrolling};
+pub use unroll::{Frame, Unrolling, UnrollingSnapshot};

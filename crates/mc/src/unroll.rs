@@ -19,6 +19,12 @@ pub struct Frame {
     pub constraints: Vec<ExprRef>,
 }
 
+/// A saved unrolling depth; see [`Unrolling::snapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnrollingSnapshot {
+    frames: usize,
+}
+
 /// An unrolled transition system.
 ///
 /// Frame 0 starts from fresh symbolic state variables (named `name@0`),
@@ -176,6 +182,43 @@ impl Unrolling {
         while self.frames.len() <= k {
             self.step();
         }
+    }
+
+    /// The deepest unrolled frame index (`frames().len() - 1`).
+    pub fn depth(&self) -> usize {
+        self.frames.len() - 1
+    }
+
+    /// Captures the current unrolling depth so a longer-lived unrolling
+    /// can be [rolled back](Unrolling::rollback_to) after serving a
+    /// deeper-bounded query.
+    pub fn snapshot(&self) -> UnrollingSnapshot {
+        UnrollingSnapshot {
+            frames: self.frames.len(),
+        }
+    }
+
+    /// Truncates the unrolling back to a snapshot.
+    ///
+    /// Because frame variables are interned by name (`name@k`) and frame
+    /// expressions are hash-consed, re-extending after a rollback
+    /// reproduces bit-identical `ExprRef`s — so a solver that already
+    /// blasted the dropped frames keeps its CNF valid and cached. This is
+    /// what lets one persistent engine serve instructions of differing
+    /// bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is deeper than the current unrolling (i.e.
+    /// it was taken from a different `Unrolling`).
+    pub fn rollback_to(&mut self, snap: UnrollingSnapshot) {
+        assert!(
+            snap.frames <= self.frames.len(),
+            "rollback_to: snapshot at {} frames is deeper than current {}",
+            snap.frames,
+            self.frames.len()
+        );
+        self.frames.truncate(snap.frames);
     }
 
     /// The frames unrolled so far.
@@ -336,6 +379,39 @@ mod tests {
         let p0 = u.map_expr(0, prop);
         let p1 = u.map_expr(1, prop);
         assert_ne!(p0, p1);
+    }
+
+    #[test]
+    fn rollback_and_reextend_is_deterministic() {
+        let ts = counter_ts();
+        let mut u = Unrolling::new(&ts, false);
+        u.extend_to(5);
+        assert_eq!(u.depth(), 5);
+        let deep: Vec<_> = (0..=5).map(|k| u.frames()[k].states["cnt"]).collect();
+        let snap_shallow = u.snapshot();
+        u.rollback_to(snap_shallow);
+        assert_eq!(u.depth(), 5);
+        // Roll back to depth 2, then re-extend: handles must be
+        // bit-identical to the first unrolling (interned names +
+        // hash-consing), so a solver's blast cache stays valid.
+        u.rollback_to(UnrollingSnapshot { frames: 3 });
+        assert_eq!(u.depth(), 2);
+        u.extend_to(5);
+        let again: Vec<_> = (0..=5).map(|k| u.frames()[k].states["cnt"]).collect();
+        assert_eq!(deep, again);
+        let i3 = u.frames()[3].inputs["en"];
+        assert_eq!(u.ctx().find_var("en@3"), Some(i3));
+    }
+
+    #[test]
+    #[should_panic(expected = "deeper than current")]
+    fn rollback_to_foreign_snapshot_panics() {
+        let ts = counter_ts();
+        let mut deep = Unrolling::new(&ts, false);
+        deep.extend_to(4);
+        let snap = deep.snapshot();
+        let mut shallow = Unrolling::new(&ts, false);
+        shallow.rollback_to(snap);
     }
 
     #[test]

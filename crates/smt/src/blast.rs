@@ -50,6 +50,27 @@ impl BlastStats {
         let var_bytes = self.variables as f64 * 32.0;
         (clause_bytes + var_bytes) / (1024.0 * 1024.0)
     }
+
+    /// Component-wise maximum: the peak variable count *and* the peak
+    /// clause count over two measurements. The peak memory over a set of
+    /// queries is bounded by the component-wise max, not by whichever
+    /// single query had the larger sum.
+    pub fn max(self, other: BlastStats) -> BlastStats {
+        BlastStats {
+            variables: self.variables.max(other.variables),
+            clauses: self.clauses.max(other.clauses),
+        }
+    }
+
+    /// CNF added since an `earlier` snapshot of the same solver's stats
+    /// (component-wise saturating difference). Used to attribute CNF
+    /// growth to individual queries on a long-lived incremental solver.
+    pub fn since(self, earlier: BlastStats) -> BlastStats {
+        BlastStats {
+            variables: self.variables.saturating_sub(earlier.variables),
+            clauses: self.clauses.saturating_sub(earlier.clauses),
+        }
+    }
 }
 
 /// A bit-vector/memory satisfiability solver: blasts expressions from one
@@ -80,6 +101,11 @@ pub struct SmtSolver {
     cache: HashMap<ExprRef, Repr>,
     true_lit: Option<Lit>,
     stats: BlastStats,
+    /// Activation literals of the open assertion scopes, innermost last.
+    /// Asserts made inside a scope are guarded by its literal and are
+    /// retracted (by a permanent unit clause on the negation) when the
+    /// scope pops; the blasted definitions stay shared across scopes.
+    scopes: Vec<Lit>,
 }
 
 impl SmtSolver {
@@ -705,16 +731,59 @@ impl SmtSolver {
             ctx.sort_of(e)
         );
         match self.blast(ctx, e) {
-            Repr::Bool(l) => self.add_clause(vec![l]),
+            Repr::Bool(l) => match self.scopes.last() {
+                Some(&active) => self.add_clause(vec![!active, l]),
+                None => self.add_clause(vec![l]),
+            },
             _ => unreachable!("bool expression blasted to non-bool"),
         }
     }
 
+    /// Opens an assertion scope: asserts made until the matching
+    /// [`SmtSolver::pop_scope`] are retractable as a group, while the CNF
+    /// they blasted — and any clauses the solver learned from it — stay
+    /// behind for reuse. Scopes nest (LIFO); returns the new depth.
+    ///
+    /// This is the MiniSat activation-literal pattern: each scoped assert
+    /// of literal `l` becomes the clause `¬a ∨ l` for the scope's fresh
+    /// literal `a`, and every `check`/`check_assuming` assumes the `a`s of
+    /// all open scopes.
+    pub fn push_scope(&mut self) -> usize {
+        let activation = self.fresh();
+        self.scopes.push(activation);
+        self.scopes.len()
+    }
+
+    /// Closes the innermost scope, permanently retracting its asserts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop_scope(&mut self) {
+        let activation = self.scopes.pop().expect("pop_scope without open scope");
+        // The unit clause frees the solver to simplify away everything
+        // that only mattered under this scope.
+        self.add_clause(vec![!activation]);
+    }
+
+    /// Number of currently open assertion scopes.
+    pub fn scope_depth(&self) -> usize {
+        self.scopes.len()
+    }
+
     /// Checks satisfiability of all assertions so far.
     pub fn check(&mut self) -> SmtResult {
-        match self.solver.solve() {
-            SolveResult::Sat => SmtResult::Sat,
-            SolveResult::Unsat => SmtResult::Unsat,
+        if self.scopes.is_empty() {
+            match self.solver.solve() {
+                SolveResult::Sat => SmtResult::Sat,
+                SolveResult::Unsat => SmtResult::Unsat,
+            }
+        } else {
+            let scopes = self.scopes.clone();
+            match self.solver.solve_with_assumptions(&scopes) {
+                SolveResult::Sat => SmtResult::Sat,
+                SolveResult::Unsat => SmtResult::Unsat,
+            }
         }
     }
 
@@ -727,7 +796,7 @@ impl SmtSolver {
     ///
     /// Panics if an assumption is not boolean-sorted.
     pub fn check_assuming(&mut self, ctx: &ExprCtx, assumptions: &[ExprRef]) -> SmtResult {
-        let lits: Vec<Lit> = assumptions
+        let mut lits: Vec<Lit> = assumptions
             .iter()
             .map(|&e| {
                 assert!(
@@ -741,6 +810,7 @@ impl SmtSolver {
                 }
             })
             .collect();
+        lits.extend_from_slice(&self.scopes);
         match self.solver.solve_with_assumptions(&lits) {
             SolveResult::Sat => SmtResult::Sat,
             SolveResult::Unsat => SmtResult::Unsat,
@@ -1141,5 +1211,129 @@ mod tests {
         assert!(smt.stats().variables > 32);
         assert!(smt.stats().clauses > 100);
         assert!(smt.stats().estimated_mb() > 0.0);
+    }
+
+    #[test]
+    fn stats_max_is_componentwise() {
+        let a = BlastStats {
+            variables: 10,
+            clauses: 1,
+        };
+        let b = BlastStats {
+            variables: 2,
+            clauses: 8,
+        };
+        let m = a.max(b);
+        assert_eq!(m.variables, 10);
+        assert_eq!(m.clauses, 8);
+        let d = m.since(a);
+        assert_eq!(d.variables, 0);
+        assert_eq!(d.clauses, 7);
+    }
+
+    #[test]
+    fn popped_scope_asserts_are_retracted() {
+        let mut ctx = ExprCtx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let c200 = ctx.bv_u64(200, 8);
+        let c10 = ctx.bv_u64(10, 8);
+        let hi = ctx.ugt(x, c200);
+        let lo = ctx.ult(x, c10);
+        let mut smt = SmtSolver::new();
+        smt.assert(&ctx, hi);
+        assert_eq!(smt.scope_depth(), 0);
+        assert_eq!(smt.push_scope(), 1);
+        smt.assert(&ctx, lo);
+        // x > 200 && x < 10 is contradictory...
+        assert!(!smt.check().is_sat());
+        smt.pop_scope();
+        assert_eq!(smt.scope_depth(), 0);
+        // ...but only the scoped half is retracted by the pop.
+        assert!(smt.check().is_sat());
+        assert!(smt.model_value(&ctx, x).as_bv().to_u64() > 200);
+    }
+
+    #[test]
+    fn scopes_nest_lifo() {
+        let mut ctx = ExprCtx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let is5 = ctx.eq_u64(x, 5);
+        let is7 = ctx.eq_u64(x, 7);
+        let mut smt = SmtSolver::new();
+        smt.push_scope();
+        smt.assert(&ctx, is5);
+        smt.push_scope();
+        smt.assert(&ctx, is7);
+        assert!(!smt.check().is_sat());
+        smt.pop_scope();
+        assert!(smt.check().is_sat());
+        assert_eq!(smt.model_value(&ctx, x).as_bv().to_u64(), 5);
+        smt.pop_scope();
+        assert!(smt.check().is_sat());
+    }
+
+    #[test]
+    fn successive_scopes_do_not_leak_assumptions() {
+        // The shared-worker pattern: one solver, one instruction per
+        // scope; verdicts must match what isolated solvers would say.
+        let mut ctx = ExprCtx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let mut smt = SmtSolver::new();
+        for target in [5u64, 7, 9] {
+            smt.push_scope();
+            let eq = ctx.eq_u64(x, target);
+            smt.assert(&ctx, eq);
+            assert!(smt.check().is_sat(), "x == {target} alone must be SAT");
+            assert_eq!(smt.model_value(&ctx, x).as_bv().to_u64(), target);
+            smt.pop_scope();
+        }
+    }
+
+    #[test]
+    fn scoped_reuse_does_not_reblast() {
+        let mut ctx = ExprCtx::new();
+        let x = ctx.var("x", Sort::Bv(16));
+        let y = ctx.var("y", Sort::Bv(16));
+        let p = ctx.bvmul(x, y);
+        let c = ctx.bv_u64(12345, 16);
+        let e = ctx.eq(p, c);
+        let mut smt = SmtSolver::new();
+        smt.push_scope();
+        smt.assert(&ctx, e);
+        assert!(smt.check().is_sat());
+        let after_first = smt.stats();
+        smt.pop_scope();
+        smt.push_scope();
+        smt.assert(&ctx, e);
+        assert!(smt.check().is_sat());
+        let growth = smt.stats().since(after_first);
+        // Second scope re-asserts a cached expression: one activation
+        // variable and a couple of clauses, no re-blasting of the
+        // multiplier.
+        assert!(
+            growth.variables <= 2 && growth.clauses <= 4,
+            "expected cached reuse, grew by {growth:?}"
+        );
+    }
+
+    #[test]
+    fn check_assuming_respects_open_scopes() {
+        let mut ctx = ExprCtx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let is5 = ctx.eq_u64(x, 5);
+        let is7 = ctx.eq_u64(x, 7);
+        let mut smt = SmtSolver::new();
+        smt.push_scope();
+        smt.assert(&ctx, is5);
+        assert!(!smt.check_assuming(&ctx, &[is7]).is_sat());
+        assert!(smt.check_assuming(&ctx, &[is5]).is_sat());
+        smt.pop_scope();
+        assert!(smt.check_assuming(&ctx, &[is7]).is_sat());
+    }
+
+    #[test]
+    #[should_panic(expected = "pop_scope without open scope")]
+    fn pop_without_push_panics() {
+        SmtSolver::new().pop_scope();
     }
 }

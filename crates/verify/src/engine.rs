@@ -9,12 +9,18 @@
 //! instruction's next-state functions. Each property is discharged by
 //! bit-blasting to SAT; a satisfying assignment is a counterexample
 //! trace, UNSAT is a proof for that instruction.
+//!
+//! Checks are planned per port ([`PortPlan`]: signal resolution and
+//! condition parsing happen once), then executed either sequentially or
+//! on the work-stealing pool in [`crate::scheduler`], where each worker
+//! owns a persistent unrolling and incremental solver so the blasted
+//! transition relation and learned clauses are paid once per worker.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use gila_core::{ModuleIla, PortIla};
+use gila_core::{Instruction, ModuleIla, PortIla};
 use gila_expr::{import, import_mapped, ExprRef, Sort, Value};
 use gila_mc::{TransitionSystem, Unrolling};
 use gila_rtl::{parse_rtl_expr, RtlModule, VerilogError};
@@ -58,6 +64,12 @@ pub enum VerifyError {
     ),
     /// A finish bound of zero cycles was requested.
     BadBound,
+    /// The [`VerifyOptions`] combine settings that contradict each other
+    /// (e.g. the legacy `parallel` flag with `stop_at_first_cex`).
+    BadOptions {
+        /// Which combination is rejected and what to use instead.
+        reason: String,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -81,6 +93,7 @@ impl fmt::Display for VerifyError {
             ),
             VerifyError::Verilog(e) => write!(f, "{e}"),
             VerifyError::BadBound => write!(f, "finish condition must allow at least one cycle"),
+            VerifyError::BadOptions { reason } => write!(f, "conflicting options: {reason}"),
         }
     }
 }
@@ -147,8 +160,15 @@ pub struct InstrVerdict {
     pub result: CheckResult,
     /// Wall-clock time spent on this instruction.
     pub time: Duration,
-    /// CNF size of the (largest) query for this instruction.
+    /// CNF size of the solver that served this instruction, measured
+    /// when its check finished (cumulative for shared/pooled engines).
     pub stats: BlastStats,
+    /// How much CNF this instruction *added* to its solver. On a
+    /// persistent engine (incremental mode or a pool worker) this drops
+    /// sharply after the first instruction: the blasted transition
+    /// relation is reused, so later instructions pay only for their
+    /// start conditions and post-state equalities.
+    pub cnf_growth: BlastStats,
 }
 
 /// The verification report for one port.
@@ -211,13 +231,11 @@ impl ModuleReport {
         self.ports.iter().map(|p| p.total_time).sum()
     }
 
-    /// Peak CNF size across ports.
+    /// Component-wise peak CNF size across ports.
     pub fn peak_stats(&self) -> BlastStats {
         let mut peak = BlastStats::default();
         for p in &self.ports {
-            if p.peak_stats.variables + p.peak_stats.clauses > peak.variables + peak.clauses {
-                peak = p.peak_stats;
-            }
+            peak = peak.max(p.peak_stats);
         }
         peak
     }
@@ -246,25 +264,48 @@ impl ModuleReport {
 #[derive(Clone, Debug, Default)]
 pub struct VerifyOptions {
     /// Stop a port's run at the first counterexample (used for the
-    /// "Time (bug)" measurement).
+    /// "Time (bug)" measurement). Under a worker pool (`jobs`) this
+    /// cancels outstanding work as soon as any worker finds one.
     pub stop_at_first_cex: bool,
-    /// Check the port's instructions on parallel threads (one SAT
-    /// problem each, like the paper's multi-core model-checking server).
-    /// Ignored when `stop_at_first_cex` is set, which needs sequential
-    /// order for its timing semantics.
+    /// Legacy flag: check a port's instructions on parallel threads.
+    /// Now served by a bounded worker pool; conflicts with
+    /// `stop_at_first_cex`, `incremental`, and `jobs` (a
+    /// [`VerifyError::BadOptions`] error). Prefer `jobs`.
     pub parallel: bool,
     /// Share one incremental SAT solver (and one unrolling) across all
     /// of a port's instructions, discharging each property under
     /// assumptions so learned clauses and the blasted transition
-    /// relation are reused. Ignored in parallel mode.
+    /// relation are reused. Pool workers (`jobs` ≥ 2) are always
+    /// incremental in this sense; with `jobs = Some(1)` this picks the
+    /// shared-engine sequential path.
     pub incremental: bool,
+    /// Size of the work-stealing verification pool:
+    /// `None` — legacy behavior (sequential, or `parallel`/`incremental`
+    /// if set); `Some(0)` — one worker per available CPU;
+    /// `Some(1)` — sequential; `Some(n)` — a pool of exactly `n`
+    /// workers, each owning a persistent unrolling + incremental solver.
+    pub jobs: Option<usize>,
 }
 
-/// The shared state of incremental mode: one unrolling of the RTL and
-/// one solver accumulating its CNF and learned clauses.
-struct SharedEngine {
-    u: Unrolling,
-    smt: SmtSolver,
+/// One worker's persistent verification state: a single unrolling of
+/// the RTL transition system and a single incremental solver that
+/// accumulates the blasted transition relation and learned clauses
+/// across every instruction the worker serves. Per-instruction
+/// conditions live in solver scopes ([`SmtSolver::push_scope`]) so they
+/// retract without discarding the CNF.
+pub(crate) struct WorkerEngine {
+    pub(crate) u: Unrolling,
+    pub(crate) smt: SmtSolver,
+}
+
+impl WorkerEngine {
+    /// A fresh engine over `ts` with nothing blasted yet.
+    pub(crate) fn new(ts: &TransitionSystem) -> Self {
+        WorkerEngine {
+            u: Unrolling::new(ts, false),
+            smt: SmtSolver::new(),
+        }
+    }
 }
 
 /// Converts an RTL module into a transition system (same state/input
@@ -331,447 +372,594 @@ pub fn rtl_to_ts(rtl: &RtlModule) -> (TransitionSystem, BTreeMap<String, ExprRef
     (ts, signals)
 }
 
+/// Everything about one instruction that can be computed before any
+/// solver exists.
+pub(crate) struct InstrPlan {
+    /// Unrolling depth (the finish cycle, or the `Condition` bound).
+    pub(crate) bound: usize,
+    /// Parsed finish condition, in the plan's scratch-RTL context.
+    finish_expr: Option<ExprRef>,
+    /// Parsed start strengthening, in the plan's scratch-RTL context.
+    strengthening: Option<ExprRef>,
+    input_policy: InputPolicy,
+}
+
+/// A port's verification work, planned once and then executed by any
+/// number of engines: mapped signals resolved against the transition
+/// system, and every Verilog condition string (invariants,
+/// strengthenings, finish conditions) parsed exactly once into a single
+/// scratch copy of the RTL — instead of re-cloning and re-parsing the
+/// whole module per instruction.
+pub(crate) struct PortPlan<'a> {
+    pub(crate) port: &'a PortIla,
+    map: &'a RefinementMap,
+    /// `(ila state, ts expr, ila sort)` per state-map entry.
+    mapped_states: Vec<(String, ExprRef, Sort)>,
+    /// `(ila input, ts expr, ila sort)` per interface-map entry.
+    mapped_inputs: Vec<(String, ExprRef, Sort)>,
+    /// Scratch RTL whose context owns all parsed condition expressions.
+    cond_rtl: RtlModule,
+    /// Parsed invariants, in `cond_rtl`'s context.
+    invariants: Vec<ExprRef>,
+    pub(crate) instrs: Vec<InstrPlan>,
+}
+
+impl<'a> PortPlan<'a> {
+    /// Resolves the refinement map against `ts_signals` (from
+    /// [`rtl_to_ts`]) and parses all condition strings.
+    pub(crate) fn build(
+        port: &'a PortIla,
+        rtl: &RtlModule,
+        map: &'a RefinementMap,
+        ts_signals: &BTreeMap<String, ExprRef>,
+    ) -> Result<Self, VerifyError> {
+        let lookup_signal = |name: &str, context: &str| -> Result<ExprRef, VerifyError> {
+            ts_signals
+                .get(name)
+                .copied()
+                .ok_or_else(|| VerifyError::UnknownRtlSignal {
+                    signal: name.to_string(),
+                    context: context.to_string(),
+                })
+        };
+
+        let mut mapped_states: Vec<(String, ExprRef, Sort)> = Vec::new();
+        for (ila_state, rtl_name) in &map.state_map {
+            let sv = port.find_state(ila_state).ok_or_else(|| {
+                VerifyError::UnknownRtlSignal {
+                    signal: ila_state.clone(),
+                    context: format!("state map of {}: no such ILA state", map.name),
+                }
+            })?;
+            let e = lookup_signal(rtl_name, "state map")?;
+            mapped_states.push((ila_state.clone(), e, sv.sort));
+        }
+        let mut mapped_inputs: Vec<(String, ExprRef, Sort)> = Vec::new();
+        for (ila_input, rtl_name) in &map.interface_map {
+            let iv = port.find_input(ila_input).ok_or_else(|| {
+                VerifyError::UnknownRtlSignal {
+                    signal: ila_input.clone(),
+                    context: format!("interface map of {}: no such ILA input", map.name),
+                }
+            })?;
+            let e = lookup_signal(rtl_name, "interface map")?;
+            mapped_inputs.push((ila_input.clone(), e, iv.sort));
+        }
+
+        // Parse every condition string once, all into one scratch RTL
+        // (parsing needs &mut for expression interning).
+        let mut cond_rtl = rtl.clone();
+        let mut invariants = Vec::new();
+        for inv in &map.invariants {
+            invariants.push(parse_rtl_expr(&mut cond_rtl, inv)?);
+        }
+        let mut instrs = Vec::new();
+        for instr in port.instructions() {
+            let imap = map.instruction_map_for(&instr.name);
+            let (bound, finish_src) = match &imap.finish {
+                FinishCondition::Cycles(n) => {
+                    if *n == 0 {
+                        return Err(VerifyError::BadBound);
+                    }
+                    (*n, None)
+                }
+                FinishCondition::Condition { expr, max_cycles } => {
+                    if *max_cycles == 0 {
+                        return Err(VerifyError::BadBound);
+                    }
+                    (*max_cycles, Some(expr.clone()))
+                }
+            };
+            let finish_expr = match &finish_src {
+                Some(s) => Some(parse_rtl_expr(&mut cond_rtl, s)?),
+                None => None,
+            };
+            let strengthening = match &imap.start_strengthening {
+                Some(s) => Some(parse_rtl_expr(&mut cond_rtl, s)?),
+                None => None,
+            };
+            instrs.push(InstrPlan {
+                bound,
+                finish_expr,
+                strengthening,
+                input_policy: imap.input_policy,
+            });
+        }
+        Ok(PortPlan {
+            port,
+            map,
+            mapped_states,
+            mapped_inputs,
+            cond_rtl,
+            invariants,
+            instrs,
+        })
+    }
+}
+
+/// Checks one planned instruction on the given engine.
+///
+/// The engine's unrolling is extended to the instruction's bound (a
+/// no-op if a previous instruction already went deeper — re-extension
+/// after rollback is bit-identical, see [`Unrolling::rollback_to`]),
+/// and all per-instruction conditions are confined to one solver scope
+/// so they retract afterwards while the blasted CNF stays cached. On
+/// error the engine is restored, so a worker can keep serving jobs.
+pub(crate) fn check_instruction_planned(
+    plan: &PortPlan<'_>,
+    idx: usize,
+    engine: &mut WorkerEngine,
+) -> Result<InstrVerdict, VerifyError> {
+    let t0 = Instant::now();
+    let instr = &plan.port.instructions()[idx];
+    let before = engine.smt.stats();
+    let snap = engine.u.snapshot();
+    engine.u.extend_to(plan.instrs[idx].bound);
+    engine.smt.push_scope();
+    let result = check_instruction_inner(plan, idx, instr, engine);
+    engine.smt.pop_scope();
+    match result {
+        Ok(result) => {
+            let stats = engine.smt.stats();
+            Ok(InstrVerdict {
+                instruction: instr.name.clone(),
+                result,
+                time: t0.elapsed(),
+                stats,
+                cnf_growth: stats.since(before),
+            })
+        }
+        Err(e) => {
+            engine.u.rollback_to(snap);
+            Err(e)
+        }
+    }
+}
+
+/// The body of [`check_instruction_planned`], run inside an open solver
+/// scope so every early return still retracts its asserts.
+fn check_instruction_inner(
+    plan: &PortPlan<'_>,
+    idx: usize,
+    instr: &Instruction,
+    engine: &mut WorkerEngine,
+) -> Result<CheckResult, VerifyError> {
+    let WorkerEngine { u, smt } = engine;
+    let port = plan.port;
+    let map = plan.map;
+    let ip = &plan.instrs[idx];
+    let bound = ip.bound;
+
+    // ILA variable -> frame-0 product expression.
+    let mut var_map: HashMap<ExprRef, ExprRef> = HashMap::new();
+    let adapt = |u: &mut Unrolling,
+                 ila_name: &str,
+                 ila_sort: Sort,
+                 ts_expr: ExprRef,
+                 rtl_name: &str|
+     -> Result<ExprRef, VerifyError> {
+        let mapped = u.map_expr(0, ts_expr);
+        let found = u.ctx().sort_of(mapped);
+        match (ila_sort, found) {
+            (a, b) if a == b => Ok(mapped),
+            (Sort::Bool, Sort::Bv(1)) => Ok(u.ctx_mut().bv_to_bool(mapped)),
+            (a, b) => Err(VerifyError::SortMismatch {
+                ila: ila_name.to_string(),
+                ila_sort: a,
+                rtl: rtl_name.to_string(),
+                rtl_sort: b,
+            }),
+        }
+    };
+    for (ila_state, ts_expr, ila_sort) in &plan.mapped_states {
+        let rtl_name = &map.state_map[ila_state];
+        let e = adapt(u, ila_state, *ila_sort, *ts_expr, rtl_name)?;
+        let v = port.find_state(ila_state).expect("resolved in plan").var;
+        var_map.insert(v, e);
+    }
+    for (ila_input, ts_expr, ila_sort) in &plan.mapped_inputs {
+        let rtl_name = &map.interface_map[ila_input];
+        let e = adapt(u, ila_input, *ila_sort, *ts_expr, rtl_name)?;
+        let v = port.find_input(ila_input).expect("resolved in plan").var;
+        var_map.insert(v, e);
+    }
+
+    // Start condition: decode (grafted onto frame 0) + invariants +
+    // optional strengthening, all pre-parsed in the plan.
+    let mut import_memo = HashMap::new();
+    let decode0 = import_mapped(u.ctx_mut(), port.ctx(), instr.decode, &var_map, &mut import_memo)
+        .map_err(|var| VerifyError::UnmappedIlaVar {
+            var,
+            instruction: instr.name.clone(),
+        })?;
+    let mut start_conjuncts = vec![decode0];
+    let mut cond_memo = HashMap::new();
+    let graft0 = |u: &mut Unrolling, cond: ExprRef, memo: &mut HashMap<ExprRef, ExprRef>| {
+        let e = import(u.ctx_mut(), plan.cond_rtl.ctx(), cond, memo);
+        let e0 = u.map_expr(0, e);
+        u.ctx_mut().bv_to_bool(e0)
+    };
+    for &inv in &plan.invariants {
+        let eb = graft0(u, inv, &mut cond_memo);
+        start_conjuncts.push(eb);
+    }
+    if let Some(s) = ip.strengthening {
+        let eb = graft0(u, s, &mut cond_memo);
+        start_conjuncts.push(eb);
+    }
+
+    // Input policy.
+    let mut policy_conjuncts = Vec::new();
+    if ip.input_policy == InputPolicy::Hold {
+        for k in 1..bound {
+            let names: Vec<String> = u.frames()[k].inputs.keys().cloned().collect();
+            for n in names {
+                let ik = u.frames()[k].inputs[&n];
+                let i0 = u.frames()[0].inputs[&n];
+                policy_conjuncts.push(u.ctx_mut().eq(ik, i0));
+            }
+        }
+    }
+
+    // ILA post-state per mapped state.
+    let mut ila_post: BTreeMap<String, ExprRef> = BTreeMap::new();
+    for (ila_state, _, _) in &plan.mapped_states {
+        let e = match instr.updates.get(ila_state) {
+            Some(&upd) => {
+                import_mapped(u.ctx_mut(), port.ctx(), upd, &var_map, &mut import_memo)
+                    .map_err(|var| VerifyError::UnmappedIlaVar {
+                        var,
+                        instruction: instr.name.clone(),
+                    })?
+            }
+            None => {
+                let v = port.find_state(ila_state).expect("resolved").var;
+                var_map[&v]
+            }
+        };
+        ila_post.insert(ila_state.clone(), e);
+    }
+
+    // The post-equivalence at a given frame (pre-state-only entries
+    // are excluded; they anchor the start correspondence only).
+    let post_eq_at = |u: &mut Unrolling, frame: usize| -> Vec<(String, ExprRef)> {
+        plan.mapped_states
+            .iter()
+            .filter(|(ila_state, _, _)| !map.unchecked_states.contains(ila_state))
+            .map(|(ila_state, ts_expr, ila_sort)| {
+                let rtl_f = u.map_expr(frame, *ts_expr);
+                let rtl_f = match (ila_sort, u.ctx().sort_of(rtl_f)) {
+                    (Sort::Bool, Sort::Bv(1)) => u.ctx_mut().bv_to_bool(rtl_f),
+                    _ => rtl_f,
+                };
+                let eq = u.ctx_mut().eq(ila_post[ila_state], rtl_f);
+                (ila_state.clone(), eq)
+            })
+            .collect()
+    };
+
+    let finish_ts: Option<ExprRef> = ip
+        .finish_expr
+        .map(|e| import(u.ctx_mut(), plan.cond_rtl.ctx(), e, &mut cond_memo));
+
+    // The caller opened a scope for us: assert the per-instruction
+    // conditions there (retracted on pop, CNF kept). Per-frame cases
+    // then differ only in their assumption lists.
+    for &c in &start_conjuncts {
+        smt.assert(u.ctx(), c);
+    }
+    for &c in &policy_conjuncts {
+        smt.assert(u.ctx(), c);
+    }
+
+    let frames_to_check: Vec<(usize, Vec<ExprRef>)> = match &finish_ts {
+        None => vec![(bound, Vec::new())],
+        Some(cond) => {
+            // Check at the first frame where cond holds; one query per
+            // candidate frame with "not finished before" assumptions.
+            let mut cases = Vec::new();
+            for j in 1..=bound {
+                let mut assumptions = Vec::new();
+                for k in 1..j {
+                    let ck = u.map_expr(k, *cond);
+                    let cb = u.ctx_mut().bv_to_bool(ck);
+                    assumptions.push(u.ctx_mut().not(cb));
+                }
+                let cj = u.map_expr(j, *cond);
+                let cb = u.ctx_mut().bv_to_bool(cj);
+                assumptions.push(cb);
+                cases.push((j, assumptions));
+            }
+            cases
+        }
+    };
+
+    let mut result = CheckResult::Holds;
+    let mut finish_reachable = finish_ts.is_none();
+    for (frame, extra_assumptions) in frames_to_check {
+        // Check that this case is reachable at all (for Condition
+        // finishes); unreachable cases are skipped.
+        if finish_ts.is_some() {
+            if !smt.check_assuming(u.ctx(), &extra_assumptions).is_sat() {
+                continue;
+            }
+            finish_reachable = true;
+        }
+        let eqs = post_eq_at(u, frame);
+        let eq_exprs: Vec<ExprRef> = eqs.iter().map(|(_, e)| *e).collect();
+        let all_eq = u.ctx_mut().and_many(&eq_exprs);
+        let viol = u.ctx_mut().not(all_eq);
+        let mut assumptions = extra_assumptions;
+        assumptions.push(viol);
+        if smt.check_assuming(u.ctx(), &assumptions).is_sat() {
+            // Diagnose which states mismatch.
+            let mismatched: Vec<String> = {
+                let vals = u.concretize(
+                    smt,
+                    eqs.iter().cloned().collect::<BTreeMap<String, ExprRef>>(),
+                );
+                vals.into_iter()
+                    .filter(|(_, v)| !v.as_bool())
+                    .map(|(n, _)| n)
+                    .collect()
+            };
+            let rtl_inputs = (0..frame)
+                .map(|k| u.concretize_inputs(smt, k))
+                .collect();
+            let rtl_trace: Vec<_> = (0..=frame)
+                .map(|k| u.concretize_states(smt, k))
+                .collect();
+            result = CheckResult::CounterExample(Box::new(RefinementCex {
+                finish_cycle: frame,
+                rtl_start_state: rtl_trace[0].clone(),
+                rtl_inputs,
+                rtl_finish_state: rtl_trace[frame].clone(),
+                rtl_trace,
+                ila_post_state: u.concretize(smt, ila_post.clone()),
+                mismatched_states: mismatched,
+            }));
+            break;
+        }
+    }
+    if !finish_reachable && result.holds() {
+        result = CheckResult::FinishNotReached { max_cycles: bound };
+    }
+    Ok(result)
+}
+
+/// How a run executes after option validation.
+enum ExecMode {
+    Sequential { incremental: bool },
+    Pool { workers: usize },
+}
+
+fn validate_options(opts: &VerifyOptions) -> Result<(), VerifyError> {
+    let bad = |reason: &str| {
+        Err(VerifyError::BadOptions {
+            reason: reason.to_string(),
+        })
+    };
+    if opts.parallel && opts.stop_at_first_cex {
+        return bad(
+            "`parallel` with `stop_at_first_cex` — first-cex timing needs declaration \
+             order; use `jobs` for a pool that cancels on the first counterexample",
+        );
+    }
+    if opts.parallel && opts.incremental {
+        return bad(
+            "`parallel` with `incremental` — the legacy mode cannot share a solver \
+             across threads; use `jobs`, whose workers are incremental by construction",
+        );
+    }
+    if opts.parallel && opts.jobs.is_some() {
+        return bad("`parallel` with `jobs` — `jobs` supersedes `parallel`; set only `jobs`");
+    }
+    Ok(())
+}
+
+fn resolve_mode(opts: &VerifyOptions, total_jobs: usize) -> ExecMode {
+    match opts.jobs {
+        Some(1) => ExecMode::Sequential {
+            incremental: opts.incremental,
+        },
+        Some(0) => ExecMode::Pool {
+            workers: default_workers(),
+        },
+        Some(n) => ExecMode::Pool { workers: n },
+        None if opts.parallel && total_jobs > 1 => ExecMode::Pool {
+            workers: default_workers(),
+        },
+        None => ExecMode::Sequential {
+            incremental: opts.incremental,
+        },
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs a port's instructions in declaration order: one throwaway
+/// engine per instruction, or (incremental) one engine for all of them.
+fn run_port_sequential(
+    plan: &PortPlan<'_>,
+    ts: &TransitionSystem,
+    incremental: bool,
+    stop_at_first_cex: bool,
+) -> Result<Vec<InstrVerdict>, VerifyError> {
+    let mut shared = incremental.then(|| WorkerEngine::new(ts));
+    let mut verdicts = Vec::new();
+    for idx in 0..plan.instrs.len() {
+        let mut own;
+        let engine = match shared.as_mut() {
+            Some(e) => e,
+            None => {
+                own = WorkerEngine::new(ts);
+                &mut own
+            }
+        };
+        let v = check_instruction_planned(plan, idx, engine)?;
+        let is_cex = matches!(v.result, CheckResult::CounterExample(_));
+        verdicts.push(v);
+        if is_cex && stop_at_first_cex {
+            break;
+        }
+    }
+    Ok(verdicts)
+}
+
+fn peak_of(verdicts: &[InstrVerdict]) -> BlastStats {
+    let mut peak = BlastStats::default();
+    for v in verdicts {
+        peak = peak.max(v.stats);
+    }
+    peak
+}
+
 /// Verifies one port-ILA against an RTL implementation.
 ///
 /// # Errors
 ///
-/// Returns a [`VerifyError`] for malformed refinement maps; property
-/// *failures* are reported in the [`PortReport`], not as errors.
+/// Returns a [`VerifyError`] for malformed refinement maps or
+/// conflicting options; property *failures* are reported in the
+/// [`PortReport`], not as errors.
 pub fn verify_port(
     port: &PortIla,
     rtl: &RtlModule,
     map: &RefinementMap,
     opts: &VerifyOptions,
 ) -> Result<PortReport, VerifyError> {
+    validate_options(opts)?;
     let start_all = Instant::now();
     let (ts, ts_signals) = rtl_to_ts(rtl);
-
-    let lookup_signal = |signals: &BTreeMap<String, ExprRef>,
-                         name: &str,
-                         context: &str|
-     -> Result<ExprRef, VerifyError> {
-        signals
-            .get(name)
-            .copied()
-            .ok_or_else(|| VerifyError::UnknownRtlSignal {
-                signal: name.to_string(),
-                context: context.to_string(),
-            })
+    let plan = PortPlan::build(port, rtl, map, &ts_signals)?;
+    let verdicts = match resolve_mode(opts, plan.instrs.len()) {
+        ExecMode::Sequential { incremental } => {
+            run_port_sequential(&plan, &ts, incremental, opts.stop_at_first_cex)?
+        }
+        ExecMode::Pool { workers } => {
+            let outcome = crate::scheduler::run_pool(
+                std::slice::from_ref(&plan),
+                &ts,
+                workers,
+                opts.stop_at_first_cex,
+            )?;
+            let port_result = outcome.ports.into_iter().next().expect("one plan in");
+            port_result.verdicts.into_iter().map(|(_, v)| v).collect()
+        }
     };
-
-    // Pre-resolve the state and interface maps to TS expressions.
-    let mut mapped_states: Vec<(String, ExprRef, Sort)> = Vec::new(); // (ila state, ts expr, ila sort)
-    for (ila_state, rtl_name) in &map.state_map {
-        let sv = port.find_state(ila_state).ok_or_else(|| {
-            VerifyError::UnknownRtlSignal {
-                signal: ila_state.clone(),
-                context: format!("state map of {}: no such ILA state", map.name),
-            }
-        })?;
-        let e = lookup_signal(&ts_signals, rtl_name, "state map")?;
-        mapped_states.push((ila_state.clone(), e, sv.sort));
-    }
-    let mut mapped_inputs: Vec<(String, ExprRef, Sort)> = Vec::new();
-    for (ila_input, rtl_name) in &map.interface_map {
-        let iv = port.find_input(ila_input).ok_or_else(|| {
-            VerifyError::UnknownRtlSignal {
-                signal: ila_input.clone(),
-                context: format!("interface map of {}: no such ILA input", map.name),
-            }
-        })?;
-        let e = lookup_signal(&ts_signals, rtl_name, "interface map")?;
-        mapped_inputs.push((ila_input.clone(), e, iv.sort));
-    }
-    // One self-contained check per atomic instruction; safe to run on
-    // parallel threads (everything captured is shared immutably).
-    let check_instruction = |instr: &gila_core::Instruction,
-                             shared: Option<&mut SharedEngine>|
-     -> Result<InstrVerdict, VerifyError> {
-        let t0 = Instant::now();
-        // Parse Verilog condition strings against a scratch copy of the
-        // RTL (parsing needs &mut for expression interning).
-        let mut rtl_scratch = rtl.clone();
-        let imap = map.instruction_map_for(&instr.name);
-        let (bound, finish) = match &imap.finish {
-            FinishCondition::Cycles(n) => {
-                if *n == 0 {
-                    return Err(VerifyError::BadBound);
-                }
-                (*n, None)
-            }
-            FinishCondition::Condition { expr, max_cycles } => {
-                if *max_cycles == 0 {
-                    return Err(VerifyError::BadBound);
-                }
-                (*max_cycles, Some(expr.clone()))
-            }
-        };
-
-        let mut fresh: Option<Unrolling> = None;
-        let (u, mut shared_smt): (&mut Unrolling, Option<&mut SmtSolver>) = match shared {
-            Some(se) => {
-                se.u.extend_to(bound);
-                (&mut se.u, Some(&mut se.smt))
-            }
-            None => {
-                let mut x = Unrolling::new(&ts, false);
-                x.extend_to(bound);
-                (fresh.insert(x), None)
-            }
-        };
-        let u: &mut Unrolling = u;
-
-        // ILA variable -> frame-0 product expression.
-        let mut var_map: HashMap<ExprRef, ExprRef> = HashMap::new();
-        let adapt = |u: &mut Unrolling,
-                         ila_name: &str,
-                         ila_sort: Sort,
-                         ts_expr: ExprRef,
-                         rtl_name: &str|
-         -> Result<ExprRef, VerifyError> {
-            let mapped = u.map_expr(0, ts_expr);
-            let found = u.ctx().sort_of(mapped);
-            match (ila_sort, found) {
-                (a, b) if a == b => Ok(mapped),
-                (Sort::Bool, Sort::Bv(1)) => Ok(u.ctx_mut().bv_to_bool(mapped)),
-                (a, b) => Err(VerifyError::SortMismatch {
-                    ila: ila_name.to_string(),
-                    ila_sort: a,
-                    rtl: rtl_name.to_string(),
-                    rtl_sort: b,
-                }),
-            }
-        };
-        for (ila_state, ts_expr, ila_sort) in &mapped_states {
-            let rtl_name = &map.state_map[ila_state];
-            let e = adapt(u, ila_state, *ila_sort, *ts_expr, rtl_name)?;
-            let v = port
-                .find_state(ila_state)
-                .expect("resolved above")
-                .var;
-            var_map.insert(v, e);
-        }
-        for (ila_input, ts_expr, ila_sort) in &mapped_inputs {
-            let rtl_name = &map.interface_map[ila_input];
-            let e = adapt(u, ila_input, *ila_sort, *ts_expr, rtl_name)?;
-            let v = port
-                .find_input(ila_input)
-                .expect("resolved above")
-                .var;
-            var_map.insert(v, e);
-        }
-
-        // Start condition: decode (grafted onto frame 0) + invariants +
-        // optional strengthening.
-        let mut import_memo = HashMap::new();
-        let decode0 = import_mapped(u.ctx_mut(), port.ctx(), instr.decode, &var_map, &mut import_memo)
-            .map_err(|var| VerifyError::UnmappedIlaVar {
-                var,
-                instruction: instr.name.clone(),
-            })?;
-        let mut start_conjuncts = vec![decode0];
-        {
-            let mut rtl_memo = HashMap::new();
-            for inv in &map.invariants {
-                let e = parse_rtl_expr(&mut rtl_scratch, inv)?;
-                let e = import(u.ctx_mut(), rtl_scratch.ctx(), e, &mut rtl_memo);
-                let e0 = u.map_expr(0, e);
-                let eb = u.ctx_mut().bv_to_bool(e0);
-                start_conjuncts.push(eb);
-            }
-            if let Some(s) = &imap.start_strengthening {
-                let e = parse_rtl_expr(&mut rtl_scratch, s)?;
-                let e = import(u.ctx_mut(), rtl_scratch.ctx(), e, &mut rtl_memo);
-                let e0 = u.map_expr(0, e);
-                let eb = u.ctx_mut().bv_to_bool(e0);
-                start_conjuncts.push(eb);
-            }
-        }
-
-        // Input policy.
-        let mut policy_conjuncts = Vec::new();
-        if imap.input_policy == InputPolicy::Hold {
-            for k in 1..bound {
-                let names: Vec<String> = u.frames()[k].inputs.keys().cloned().collect();
-                for n in names {
-                    let ik = u.frames()[k].inputs[&n];
-                    let i0 = u.frames()[0].inputs[&n];
-                    policy_conjuncts.push(u.ctx_mut().eq(ik, i0));
-                }
-            }
-        }
-
-        // ILA post-state per mapped state.
-        let mut ila_post: BTreeMap<String, ExprRef> = BTreeMap::new();
-        for (ila_state, _, _) in &mapped_states {
-            let e = match instr.updates.get(ila_state) {
-                Some(&upd) => {
-                    import_mapped(u.ctx_mut(), port.ctx(), upd, &var_map, &mut import_memo)
-                        .map_err(|var| VerifyError::UnmappedIlaVar {
-                            var,
-                            instruction: instr.name.clone(),
-                        })?
-                }
-                None => {
-                    let v = port.find_state(ila_state).expect("resolved").var;
-                    var_map[&v]
-                }
-            };
-            ila_post.insert(ila_state.clone(), e);
-        }
-
-        // The post-equivalence at a given frame (pre-state-only entries
-        // are excluded; they anchor the start correspondence only).
-        let post_eq_at = |u: &mut Unrolling, frame: usize| -> Vec<(String, ExprRef)> {
-            mapped_states
-                .iter()
-                .filter(|(ila_state, _, _)| !map.unchecked_states.contains(ila_state))
-                .map(|(ila_state, ts_expr, ila_sort)| {
-                    let rtl_f = u.map_expr(frame, *ts_expr);
-                    let rtl_f = match (ila_sort, u.ctx().sort_of(rtl_f)) {
-                        (Sort::Bool, Sort::Bv(1)) => u.ctx_mut().bv_to_bool(rtl_f),
-                        _ => rtl_f,
-                    };
-                    let eq = u.ctx_mut().eq(ila_post[ila_state], rtl_f);
-                    (ila_state.clone(), eq)
-                })
-                .collect()
-        };
-
-        // Parse the finish condition once per instruction if present.
-        let finish_ts: Option<ExprRef> = match &finish {
-            Some(expr) => {
-                let mut memo = HashMap::new();
-                let e = parse_rtl_expr(&mut rtl_scratch, expr)?;
-                Some(import(u.ctx_mut(), rtl_scratch.ctx(), e, &mut memo))
-            }
-            None => None,
-        };
-
-        // Run the check(s).
-        let mut result = CheckResult::Holds;
-        let mut best_stats = BlastStats::default();
-        let frames_to_check: Vec<(usize, Vec<ExprRef>)> = match &finish_ts {
-            None => vec![(bound, Vec::new())],
-            Some(cond) => {
-                // Check at the first frame where cond holds; one query per
-                // candidate frame with "not finished before" assumptions.
-                let mut cases = Vec::new();
-                for j in 1..=bound {
-                    let mut assumptions = Vec::new();
-                    for k in 1..j {
-                        let ck = u.map_expr(k, *cond);
-                        let cb = u.ctx_mut().bv_to_bool(ck);
-                        assumptions.push(u.ctx_mut().not(cb));
-                    }
-                    let cj = u.map_expr(j, *cond);
-                    let cb = u.ctx_mut().bv_to_bool(cj);
-                    assumptions.push(cb);
-                    cases.push((j, assumptions));
-                }
-                cases
-            }
-        };
-
-        let mut finish_reachable = finish_ts.is_none();
-        for (frame, extra_assumptions) in frames_to_check {
-            // In incremental mode every condition becomes an assumption
-            // on the shared solver; otherwise a fresh solver per case.
-            let mut fresh_smt = None;
-            let mut base_assumptions: Vec<ExprRef> = Vec::new();
-            let incremental = shared_smt.is_some();
-            let smt: &mut SmtSolver = match shared_smt.as_deref_mut() {
-                Some(s) => {
-                    base_assumptions.extend(start_conjuncts.iter().copied());
-                    base_assumptions.extend(policy_conjuncts.iter().copied());
-                    base_assumptions.extend(extra_assumptions.iter().copied());
-                    s
-                }
-                None => {
-                    let s = fresh_smt.insert(SmtSolver::new());
-                    for &c in &start_conjuncts {
-                        s.assert(u.ctx(), c);
-                    }
-                    for &c in &policy_conjuncts {
-                        s.assert(u.ctx(), c);
-                    }
-                    for &c in &extra_assumptions {
-                        s.assert(u.ctx(), c);
-                    }
-                    s
-                }
-            };
-            // Check that this case is reachable at all (for Condition
-            // finishes); unreachable cases are skipped.
-            if finish_ts.is_some() {
-                let reachable = if incremental {
-                    smt.check_assuming(u.ctx(), &base_assumptions).is_sat()
-                } else {
-                    smt.check().is_sat()
-                };
-                if !reachable {
-                    best_stats = max_stats(best_stats, smt.stats());
-                    continue;
-                }
-                finish_reachable = true;
-            }
-            let eqs = post_eq_at(u, frame);
-            let eq_exprs: Vec<ExprRef> = eqs.iter().map(|(_, e)| *e).collect();
-            let all_eq = u.ctx_mut().and_many(&eq_exprs);
-            let viol = u.ctx_mut().not(all_eq);
-            let sat = if incremental {
-                let mut assumptions = base_assumptions.clone();
-                assumptions.push(viol);
-                smt.check_assuming(u.ctx(), &assumptions).is_sat()
-            } else {
-                smt.assert(u.ctx(), viol);
-                smt.check().is_sat()
-            };
-            best_stats = max_stats(best_stats, smt.stats());
-            if sat {
-                // Diagnose which states mismatch.
-                let mismatched: Vec<String> = {
-                    let vals = u.concretize(
-                        smt,
-                        eqs.iter().cloned().collect::<BTreeMap<String, ExprRef>>(),
-                    );
-                    vals.into_iter()
-                        .filter(|(_, v)| !v.as_bool())
-                        .map(|(n, _)| n)
-                        .collect()
-                };
-                let rtl_inputs = (0..frame)
-                    .map(|k| u.concretize_inputs(smt, k))
-                    .collect();
-                let rtl_trace: Vec<_> = (0..=frame)
-                    .map(|k| u.concretize_states(smt, k))
-                    .collect();
-                result = CheckResult::CounterExample(Box::new(RefinementCex {
-                    finish_cycle: frame,
-                    rtl_start_state: rtl_trace[0].clone(),
-                    rtl_inputs,
-                    rtl_finish_state: rtl_trace[frame].clone(),
-                    rtl_trace,
-                    ila_post_state: u.concretize(smt, ila_post.clone()),
-                    mismatched_states: mismatched,
-                }));
-                break;
-            }
-        }
-        if !finish_reachable && result.holds() {
-            result = CheckResult::FinishNotReached { max_cycles: bound };
-        }
-
-        Ok(InstrVerdict {
-            instruction: instr.name.clone(),
-            result,
-            time: t0.elapsed(),
-            stats: best_stats,
-        })
-    };
-
-    let mut verdicts: Vec<InstrVerdict> = Vec::new();
-    if opts.parallel && !opts.stop_at_first_cex && port.instructions().len() > 1 {
-        let results = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = port
-                .instructions()
-                .iter()
-                .map(|instr| scope.spawn(move |_| check_instruction(instr, None)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("checker threads do not panic"))
-                .collect::<Vec<_>>()
-        })
-        .expect("scope threads joined");
-        for r in results {
-            verdicts.push(r?);
-        }
-    } else {
-        let mut shared = if opts.incremental {
-            let u = Unrolling::new(&ts, false);
-            Some(SharedEngine {
-                u,
-                smt: SmtSolver::new(),
-            })
-        } else {
-            None
-        };
-        for instr in port.instructions() {
-            let v = check_instruction(instr, shared.as_mut())?;
-            let is_cex = matches!(v.result, CheckResult::CounterExample(_));
-            verdicts.push(v);
-            if is_cex && opts.stop_at_first_cex {
-                break;
-            }
-        }
-    }
-    let mut peak_stats = BlastStats::default();
-    for v in &verdicts {
-        peak_stats = max_stats(peak_stats, v.stats);
-    }
-
     Ok(PortReport {
         port: port.name().to_string(),
+        peak_stats: peak_of(&verdicts),
         verdicts,
         total_time: start_all.elapsed(),
-        peak_stats,
     })
-}
-
-fn max_stats(a: BlastStats, b: BlastStats) -> BlastStats {
-    if b.variables + b.clauses > a.variables + a.clauses {
-        b
-    } else {
-        a
-    }
 }
 
 /// Verifies a whole module-ILA: each port against the same RTL, using
 /// the refinement map with the matching name (falling back to a map
 /// named `"*"`).
 ///
+/// Under a worker pool (`jobs`), all ports' instructions are flattened
+/// into one global job queue so workers stay busy across port
+/// boundaries and their cached CNF serves every port.
+///
 /// # Errors
 ///
-/// Returns a [`VerifyError`] if a port has no refinement map or a map is
-/// malformed.
+/// Returns a [`VerifyError`] if a port has no refinement map, a map is
+/// malformed, or the options conflict.
 pub fn verify_module(
     module: &ModuleIla,
     rtl: &RtlModule,
     maps: &[RefinementMap],
     opts: &VerifyOptions,
 ) -> Result<ModuleReport, VerifyError> {
-    let mut ports = Vec::new();
-    for port in module.ports() {
-        let map = maps
-            .iter()
+    validate_options(opts)?;
+    let map_for = |port: &PortIla| -> Result<&RefinementMap, VerifyError> {
+        maps.iter()
             .find(|m| m.name == port.name())
             .or_else(|| maps.iter().find(|m| m.name == "*"))
             .ok_or_else(|| VerifyError::UnknownRtlSignal {
                 signal: port.name().to_string(),
                 context: "no refinement map for port".to_string(),
-            })?;
-        let report = verify_port(port, rtl, map, opts)?;
-        let has_cex = report.first_counterexample().is_some();
-        ports.push(report);
-        if has_cex && opts.stop_at_first_cex {
-            break;
+            })
+    };
+    let total_jobs: usize = module.ports().iter().map(|p| p.instructions().len()).sum();
+    let ports = match resolve_mode(opts, total_jobs) {
+        ExecMode::Sequential { .. } => {
+            let mut ports = Vec::new();
+            for port in module.ports() {
+                let report = verify_port(port, rtl, map_for(port)?, opts)?;
+                let has_cex = report.first_counterexample().is_some();
+                ports.push(report);
+                if has_cex && opts.stop_at_first_cex {
+                    break;
+                }
+            }
+            ports
         }
-    }
+        ExecMode::Pool { workers } => {
+            let (ts, ts_signals) = rtl_to_ts(rtl);
+            let mut plans = Vec::new();
+            for port in module.ports() {
+                plans.push(PortPlan::build(port, rtl, map_for(port)?, &ts_signals)?);
+            }
+            let outcome =
+                crate::scheduler::run_pool(&plans, &ts, workers, opts.stop_at_first_cex)?;
+            module
+                .ports()
+                .iter()
+                .zip(outcome.ports)
+                .map(|(port, pr)| {
+                    let verdicts: Vec<InstrVerdict> =
+                        pr.verdicts.into_iter().map(|(_, v)| v).collect();
+                    PortReport {
+                        port: port.name().to_string(),
+                        peak_stats: peak_of(&verdicts),
+                        verdicts,
+                        total_time: pr.last_done,
+                    }
+                })
+                .collect()
+        }
+    };
     Ok(ModuleReport {
         module: module.name().to_string(),
         ports,
     })
 }
 
+/// Counter fixtures shared by the engine and scheduler test modules.
 #[cfg(test)]
-mod tests {
+pub(crate) mod testutil {
     use super::*;
     use gila_core::StateKind;
     use gila_rtl::parse_verilog;
 
     /// A counter ILA and matching/buggy RTL for engine smoke tests.
-    fn counter_ila() -> PortIla {
+    pub(crate) fn counter_ila() -> PortIla {
         let mut p = PortIla::new("counter");
         let en = p.input("en", Sort::Bv(1));
         let cnt = p.state("cnt", Sort::Bv(4), StateKind::Output);
@@ -784,7 +972,7 @@ mod tests {
         p
     }
 
-    fn counter_rtl(buggy: bool) -> RtlModule {
+    pub(crate) fn counter_rtl(buggy: bool) -> RtlModule {
         let step = if buggy { "4'd2" } else { "4'd1" };
         parse_verilog(&format!(
             r#"
@@ -799,12 +987,20 @@ endmodule
         .unwrap()
     }
 
-    fn counter_map() -> RefinementMap {
+    pub(crate) fn counter_map() -> RefinementMap {
         let mut m = RefinementMap::new("counter");
         m.map_state("cnt", "count");
         m.map_input("en", "en_in");
         m
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{counter_ila, counter_map, counter_rtl};
+    use super::*;
+    use gila_core::StateKind;
+    use gila_rtl::parse_verilog;
 
     #[test]
     fn correct_rtl_verifies() {
@@ -903,6 +1099,58 @@ endmodule
                 assert_eq!(a.result.holds(), b.result.holds(), "{}", a.instruction);
             }
         }
+    }
+
+    #[test]
+    fn conflicting_options_are_rejected() {
+        let port = counter_ila();
+        let rtl = counter_rtl(false);
+        let map = counter_map();
+        let combos = [
+            VerifyOptions {
+                parallel: true,
+                stop_at_first_cex: true,
+                ..Default::default()
+            },
+            VerifyOptions {
+                parallel: true,
+                incremental: true,
+                ..Default::default()
+            },
+            VerifyOptions {
+                parallel: true,
+                jobs: Some(4),
+                ..Default::default()
+            },
+        ];
+        for opts in combos {
+            let err = verify_port(&port, &rtl, &map, &opts).unwrap_err();
+            assert!(matches!(err, VerifyError::BadOptions { .. }), "{opts:?}");
+        }
+        // `jobs` composes with the non-legacy flags.
+        let ok = VerifyOptions {
+            jobs: Some(2),
+            stop_at_first_cex: true,
+            ..Default::default()
+        };
+        verify_port(&port, &rtl, &map, &ok).unwrap();
+    }
+
+    #[test]
+    fn module_peak_stats_is_componentwise() {
+        let mk = |variables: u64, clauses: u64| PortReport {
+            port: "p".into(),
+            verdicts: Vec::new(),
+            total_time: Duration::ZERO,
+            peak_stats: BlastStats { variables, clauses },
+        };
+        let report = ModuleReport {
+            module: "m".into(),
+            ports: vec![mk(100, 1), mk(1, 90)],
+        };
+        let peak = report.peak_stats();
+        assert_eq!(peak.variables, 100);
+        assert_eq!(peak.clauses, 90);
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //!
 //! The verification half of the DATE 2021 methodology. Given a port-ILA
 //! (from `gila-core`), an RTL implementation (from `gila-rtl`), and a
-//! small JSON-serializable [`RefinementMap`] (state map + interface map
-//! + per-instruction start/finish conditions), the engine *automatically
-//! generates one correctness property per atomic instruction* —
+//! small JSON-serializable [`RefinementMap`] (state map, interface map,
+//! and per-instruction start/finish conditions), the engine
+//! *automatically generates one correctness property per atomic
+//! instruction* —
 //!
 //! > starting from corresponding equivalent states, after executing the
 //! > specified instruction, the corresponding states are equivalent —
@@ -66,6 +67,7 @@ mod invariants;
 mod mutation;
 mod property;
 mod refmap;
+mod scheduler;
 mod synth;
 mod vcd;
 

@@ -16,12 +16,11 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use gila_json::Value;
 
 /// When an instruction's execution finishes in the RTL (i.e. when the
 /// state-map equivalence is checked).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FinishCondition {
     /// Check after exactly this many clock cycles.
     Cycles(
@@ -46,8 +45,7 @@ impl Default for FinishCondition {
 
 /// What the RTL inputs do on the cycles *after* the command is presented
 /// (relevant only for multi-cycle finish conditions).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum InputPolicy {
     /// Inputs are unconstrained after cycle 0.
     #[default]
@@ -57,20 +55,17 @@ pub enum InputPolicy {
 }
 
 /// Per-instruction verification directives.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InstructionMap {
     /// The atomic instruction's name, or `"*"` for a default entry.
     pub instruction: String,
     /// Extra start condition (a Verilog expression over RTL signals),
     /// conjoined with the instruction's decode function. `None` means the
     /// start condition is exactly the decode function.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub start_strengthening: Option<String>,
     /// When to check the post-state equivalence.
-    #[serde(default)]
     pub finish: FinishCondition,
     /// Input behaviour during multi-cycle execution.
-    #[serde(default)]
     pub input_policy: InputPolicy,
 }
 
@@ -103,7 +98,7 @@ impl InstructionMap {
 /// let back = RefinementMap::from_json(&json).unwrap();
 /// assert_eq!(map, back);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RefinementMap {
     /// Name (usually the port name).
     pub name: String,
@@ -113,20 +108,17 @@ pub struct RefinementMap {
     pub interface_map: BTreeMap<String, String>,
     /// Per-instruction directives. Instructions without an entry use the
     /// `"*"` entry, or the all-default single-cycle entry if none exists.
-    #[serde(default)]
     pub instruction_maps: Vec<InstructionMap>,
     /// ILA states that participate in the *pre-state* correspondence but
     /// are not checked for equivalence after the instruction — used when
     /// a port reads a state another port owns (e.g. the store buffer's
     /// load-port reads the buffer array that the in/out port updates;
     /// simultaneous traffic on the other port may legitimately change it).
-    #[serde(default)]
     pub unchecked_states: Vec<String>,
     /// Reachability invariants assumed at the start state, as Verilog
     /// expressions over RTL signals (e.g. `"status <= 2'd3"`). These
     /// restrict the symbolic start to states the RTL can actually reach,
     /// mirroring standard ILA refinement practice.
-    #[serde(default)]
     pub invariants: Vec<String>,
 }
 
@@ -183,21 +175,188 @@ impl RefinementMap {
     /// Serializes to pretty JSON (the artifact whose line count Table I
     /// reports as "Ref-map Size (LoC)").
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("refinement maps always serialize")
+        self.to_value().pretty()
+    }
+
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("name".into(), Value::from(self.name.clone())),
+            ("state_map".into(), Value::from(&self.state_map)),
+            ("interface_map".into(), Value::from(&self.interface_map)),
+            (
+                "instruction_maps".into(),
+                Value::Array(self.instruction_maps.iter().map(instr_map_to_value).collect()),
+            ),
+            (
+                "unchecked_states".into(),
+                Value::from(self.unchecked_states.clone()),
+            ),
+            ("invariants".into(), Value::from(self.invariants.clone())),
+        ])
     }
 
     /// Parses a map from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error on malformed input.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns [`RefMapParseError`] on malformed JSON or on a document
+    /// that doesn't match the refinement-map schema.
+    pub fn from_json(json: &str) -> Result<Self, RefMapParseError> {
+        let doc = gila_json::parse(json).map_err(|e| RefMapParseError(e.to_string()))?;
+        let name = require_str(&doc, "name")?.to_string();
+        let state_map = parse_string_map(&doc, "state_map")?;
+        let interface_map = parse_string_map(&doc, "interface_map")?;
+        let instruction_maps = match doc.get("instruction_maps") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| RefMapParseError("instruction_maps must be an array".into()))?
+                .iter()
+                .map(instr_map_from_value)
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(RefinementMap {
+            name,
+            state_map,
+            interface_map,
+            instruction_maps,
+            unchecked_states: parse_string_list(&doc, "unchecked_states")?,
+            invariants: parse_string_list(&doc, "invariants")?,
+        })
     }
 
     /// Line count of the JSON rendering ("Ref-map Size (LoC)").
     pub fn size_loc(&self) -> usize {
         self.to_json().lines().count()
+    }
+}
+
+/// Error parsing a refinement map from JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefMapParseError(String);
+
+impl std::fmt::Display for RefMapParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "refinement map: {}", self.0)
+    }
+}
+
+impl std::error::Error for RefMapParseError {}
+
+fn instr_map_to_value(m: &InstructionMap) -> Value {
+    let mut fields = vec![("instruction".into(), Value::from(m.instruction.clone()))];
+    if let Some(s) = &m.start_strengthening {
+        fields.push(("start_strengthening".into(), Value::from(s.clone())));
+    }
+    // Externally-tagged enum layout, matching the original serde schema.
+    let finish = match &m.finish {
+        FinishCondition::Cycles(n) => Value::object(vec![("cycles".into(), Value::from(*n))]),
+        FinishCondition::Condition { expr, max_cycles } => Value::object(vec![(
+            "condition".into(),
+            Value::object(vec![
+                ("expr".into(), Value::from(expr.clone())),
+                ("max_cycles".into(), Value::from(*max_cycles)),
+            ]),
+        )]),
+    };
+    fields.push(("finish".into(), finish));
+    let policy = match m.input_policy {
+        InputPolicy::Free => "free",
+        InputPolicy::Hold => "hold",
+    };
+    fields.push(("input_policy".into(), Value::from(policy)));
+    Value::object(fields)
+}
+
+fn instr_map_from_value(v: &Value) -> Result<InstructionMap, RefMapParseError> {
+    let instruction = require_str(v, "instruction")?.to_string();
+    let start_strengthening = match v.get("start_strengthening") {
+        None | Some(Value::Null) => None,
+        Some(s) => Some(
+            s.as_str()
+                .ok_or_else(|| RefMapParseError("start_strengthening must be a string".into()))?
+                .to_string(),
+        ),
+    };
+    let finish = match v.get("finish") {
+        None => FinishCondition::default(),
+        Some(f) => parse_finish(f)?,
+    };
+    let input_policy = match v.get("input_policy").and_then(Value::as_str) {
+        None => InputPolicy::default(),
+        Some("free") => InputPolicy::Free,
+        Some("hold") => InputPolicy::Hold,
+        Some(other) => {
+            return Err(RefMapParseError(format!("unknown input_policy `{other}`")));
+        }
+    };
+    Ok(InstructionMap {
+        instruction,
+        start_strengthening,
+        finish,
+        input_policy,
+    })
+}
+
+fn parse_finish(v: &Value) -> Result<FinishCondition, RefMapParseError> {
+    if let Some(n) = v.get("cycles") {
+        let n = n
+            .as_usize()
+            .ok_or_else(|| RefMapParseError("finish.cycles must be a non-negative integer".into()))?;
+        return Ok(FinishCondition::Cycles(n));
+    }
+    if let Some(c) = v.get("condition") {
+        let expr = require_str(c, "expr")?.to_string();
+        let max_cycles = c
+            .get("max_cycles")
+            .and_then(Value::as_usize)
+            .ok_or_else(|| {
+                RefMapParseError("finish.condition.max_cycles must be a non-negative integer".into())
+            })?;
+        return Ok(FinishCondition::Condition { expr, max_cycles });
+    }
+    Err(RefMapParseError(
+        "finish must be {\"cycles\": N} or {\"condition\": {...}}".into(),
+    ))
+}
+
+fn require_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, RefMapParseError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| RefMapParseError(format!("missing or non-string field `{key}`")))
+}
+
+fn parse_string_map(
+    doc: &Value,
+    key: &str,
+) -> Result<BTreeMap<String, String>, RefMapParseError> {
+    let fields = doc
+        .get(key)
+        .and_then(Value::as_object)
+        .ok_or_else(|| RefMapParseError(format!("missing or non-object field `{key}`")))?;
+    fields
+        .iter()
+        .map(|(k, v)| {
+            v.as_str()
+                .map(|s| (k.clone(), s.to_string()))
+                .ok_or_else(|| RefMapParseError(format!("`{key}` values must be strings")))
+        })
+        .collect()
+}
+
+fn parse_string_list(doc: &Value, key: &str) -> Result<Vec<String>, RefMapParseError> {
+    match doc.get(key) {
+        None => Ok(Vec::new()),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| RefMapParseError(format!("`{key}` must be an array")))?
+            .iter()
+            .map(|item| {
+                item.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| RefMapParseError(format!("`{key}` entries must be strings")))
+            })
+            .collect(),
     }
 }
 

@@ -1,0 +1,277 @@
+//! Work-stealing verification scheduler.
+//!
+//! All `(port, instruction)` pairs of a run are flattened into one
+//! global job queue served by a fixed pool of workers. Each worker owns
+//! a persistent [`WorkerEngine`] — one unrolling of the RTL transition
+//! system and one incremental solver — so *parallel* and *incremental*
+//! compose: the blasted transition relation and learned clauses are
+//! paid once per worker rather than once per instruction. Jobs carry no
+//! solver state of their own; per-instruction conditions live in a
+//! solver scope that is retracted when the job finishes (see
+//! [`check_instruction_planned`]).
+//!
+//! Scheduling is deterministic in its *results* but not its order:
+//! workers pull from their local deque first, refill in batches from
+//! the global injector, and steal from peers when both are empty.
+//! Verdicts are reassembled into declaration order afterwards, so a
+//! pooled run reports exactly what a sequential run would.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use gila_mc::TransitionSystem;
+
+use crate::engine::{
+    check_instruction_planned, CheckResult, InstrVerdict, PortPlan, VerifyError, WorkerEngine,
+};
+
+/// One unit of work: a single instruction of a single port.
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    port: usize,
+    instr: usize,
+}
+
+/// A port's share of a pool run.
+pub(crate) struct PoolPortResult {
+    /// `(instruction index, verdict)` in declaration order. Gaps occur
+    /// only when the run was cancelled (`stop_at_first_cex`).
+    pub(crate) verdicts: Vec<(usize, InstrVerdict)>,
+    /// When the port's last verdict landed, measured from pool start.
+    pub(crate) last_done: Duration,
+}
+
+/// The outcome of a pool run, plus introspection for tests.
+pub(crate) struct PoolOutcome {
+    /// One entry per input plan, in the same order.
+    pub(crate) ports: Vec<PoolPortResult>,
+    /// How many worker threads were spawned (≤ the requested size).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) workers_spawned: usize,
+    /// How many engines were actually built (≤ `workers_spawned`;
+    /// lazily created, so idle workers never blast anything).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) engines_created: usize,
+}
+
+/// Runs every instruction of every plan on a pool of at most `workers`
+/// threads. All plans must target the same transition system `ts` (one
+/// [`crate::engine::rtl_to_ts`] call), so any worker's engine can serve
+/// any job.
+///
+/// With `stop_at_first_cex`, the first counterexample found anywhere
+/// cancels all queued work; in-flight jobs still finish and report.
+///
+/// # Errors
+///
+/// A configuration error on any job cancels the run and is returned
+/// (the lowest `(port, instruction)` one, for determinism).
+pub(crate) fn run_pool(
+    plans: &[PortPlan<'_>],
+    ts: &TransitionSystem,
+    workers: usize,
+    stop_at_first_cex: bool,
+) -> Result<PoolOutcome, VerifyError> {
+    let injector = Injector::new();
+    let mut total = 0usize;
+    for (port, plan) in plans.iter().enumerate() {
+        for instr in 0..plan.instrs.len() {
+            injector.push(Job { port, instr });
+            total += 1;
+        }
+    }
+    let workers_spawned = workers.clamp(1, total.max(1));
+    let locals: Vec<Worker<Job>> = (0..workers_spawned).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<Job>> = locals.iter().map(Worker::stealer).collect();
+
+    let cancel = AtomicBool::new(false);
+    let engines_created = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    type JobRecord = (Job, Result<InstrVerdict, VerifyError>, Duration);
+    let results: Mutex<Vec<JobRecord>> = Mutex::new(Vec::with_capacity(total));
+
+    crossbeam::thread::scope(|scope| {
+        for local in locals {
+            let (injector, stealers) = (&injector, &stealers);
+            let (cancel, engines_created, results) = (&cancel, &engines_created, &results);
+            scope.spawn(move |_| {
+                let mut engine: Option<WorkerEngine> = None;
+                while !cancel.load(Ordering::Relaxed) {
+                    let Some(job) = find_job(&local, injector, stealers) else {
+                        break;
+                    };
+                    let engine = engine.get_or_insert_with(|| {
+                        engines_created.fetch_add(1, Ordering::Relaxed);
+                        WorkerEngine::new(ts)
+                    });
+                    let res = check_instruction_planned(&plans[job.port], job.instr, engine);
+                    let done_at = t0.elapsed();
+                    let abort = match &res {
+                        Ok(v) => {
+                            stop_at_first_cex
+                                && matches!(v.result, CheckResult::CounterExample(_))
+                        }
+                        Err(_) => true,
+                    };
+                    results.lock().expect("no panics hold the lock").push((
+                        job,
+                        res,
+                        done_at,
+                    ));
+                    if abort {
+                        cancel.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    let mut records = results.into_inner().expect("all workers joined");
+    records.sort_by_key(|(job, _, _)| (job.port, job.instr));
+    let mut ports: Vec<PoolPortResult> = plans
+        .iter()
+        .map(|_| PoolPortResult {
+            verdicts: Vec::new(),
+            last_done: Duration::ZERO,
+        })
+        .collect();
+    for (job, res, done_at) in records {
+        let verdict = res?;
+        let port = &mut ports[job.port];
+        port.verdicts.push((job.instr, verdict));
+        port.last_done = port.last_done.max(done_at);
+    }
+    Ok(PoolOutcome {
+        ports,
+        workers_spawned,
+        engines_created: engines_created.load(Ordering::Relaxed),
+    })
+}
+
+/// Local deque first, then a batch refill from the global injector,
+/// then stealing from a peer. `None` means the run is drained (no
+/// worker creates new jobs, so empty-everywhere is terminal).
+fn find_job(local: &Worker<Job>, injector: &Injector<Job>, stealers: &[Stealer<Job>]) -> Option<Job> {
+    if let Some(job) = local.pop() {
+        return Some(job);
+    }
+    if let Some(job) = injector.steal_batch_and_pop(local).success() {
+        return Some(job);
+    }
+    stealers.iter().find_map(|s| s.steal().success())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::testutil::{counter_ila, counter_map, counter_rtl};
+    use crate::engine::{rtl_to_ts, verify_port, VerifyOptions};
+
+    fn run_counter_pool(
+        buggy: bool,
+        workers: usize,
+        stop_at_first_cex: bool,
+    ) -> PoolOutcome {
+        let port = counter_ila();
+        let rtl = counter_rtl(buggy);
+        let map = counter_map();
+        let (ts, ts_signals) = rtl_to_ts(&rtl);
+        let plan = PortPlan::build(&port, &rtl, &map, &ts_signals).unwrap();
+        run_pool(std::slice::from_ref(&plan), &ts, workers, stop_at_first_cex).unwrap()
+    }
+
+    #[test]
+    fn pool_matches_sequential_verdicts() {
+        for buggy in [false, true] {
+            let port = counter_ila();
+            let rtl = counter_rtl(buggy);
+            let seq =
+                verify_port(&port, &rtl, &counter_map(), &VerifyOptions::default()).unwrap();
+            for workers in [1, 2, 8] {
+                let outcome = run_counter_pool(buggy, workers, false);
+                let pooled = &outcome.ports[0].verdicts;
+                assert_eq!(pooled.len(), seq.verdicts.len(), "workers={workers}");
+                for ((idx, got), want) in pooled.iter().zip(&seq.verdicts) {
+                    assert_eq!(got.instruction, want.instruction, "idx={idx}");
+                    assert_eq!(
+                        got.result.holds(),
+                        want.result.holds(),
+                        "workers={workers} instr={}",
+                        got.instruction
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_requested_jobs() {
+        // Two instructions: requesting 8 workers must spawn at most 2,
+        // and engines are only built for workers that actually ran.
+        let outcome = run_counter_pool(false, 8, false);
+        assert_eq!(outcome.workers_spawned, 2);
+        assert!(outcome.engines_created <= 2);
+        let outcome = run_counter_pool(false, 1, false);
+        assert_eq!(outcome.workers_spawned, 1);
+        assert_eq!(outcome.engines_created, 1);
+    }
+
+    #[test]
+    fn single_worker_pool_reuses_cnf_across_instructions() {
+        // On a persistent engine the second instruction re-uses the
+        // blasted transition relation: its CNF growth must collapse
+        // relative to the first instruction on the same worker.
+        let outcome = run_counter_pool(false, 1, false);
+        let verdicts = &outcome.ports[0].verdicts;
+        assert_eq!(verdicts.len(), 2);
+        let first = verdicts[0].1.cnf_growth;
+        let second = verdicts[1].1.cnf_growth;
+        assert!(first.clauses > 0);
+        assert!(
+            second.clauses * 2 < first.clauses,
+            "expected CNF reuse: first instruction grew by {first:?}, second by {second:?}"
+        );
+        assert!(second.variables * 2 < first.variables, "{first:?} vs {second:?}");
+    }
+
+    #[test]
+    fn shared_engine_does_not_leak_assumptions_between_jobs() {
+        // On the buggy counter, `inc` fails and `hold` passes. A single
+        // worker serves both from one solver; if `inc`'s scoped asserts
+        // (its decode en==1, or the violation clause) leaked, `hold`
+        // would be judged under the wrong start condition.
+        let outcome = run_counter_pool(true, 1, false);
+        let verdicts = &outcome.ports[0].verdicts;
+        assert_eq!(verdicts.len(), 2);
+        let inc = &verdicts[0].1;
+        let hold = &verdicts[1].1;
+        assert_eq!(inc.instruction, "inc");
+        assert!(matches!(inc.result, CheckResult::CounterExample(_)));
+        assert_eq!(hold.instruction, "hold");
+        assert!(hold.result.holds(), "leaked state poisoned the second job");
+    }
+
+    #[test]
+    fn cancellation_stops_scheduling_after_first_cex() {
+        let outcome = run_counter_pool(true, 2, true);
+        let verdicts = &outcome.ports[0].verdicts;
+        // The counterexample is always reported; later jobs may have
+        // been cancelled before starting.
+        assert!(verdicts
+            .iter()
+            .any(|(_, v)| matches!(v.result, CheckResult::CounterExample(_))));
+        assert!(verdicts.len() <= 2);
+    }
+
+    #[test]
+    fn empty_plan_set_yields_empty_outcome() {
+        let rtl = counter_rtl(false);
+        let (ts, _) = rtl_to_ts(&rtl);
+        let outcome = run_pool(&[], &ts, 4, false).unwrap();
+        assert!(outcome.ports.is_empty());
+        assert_eq!(outcome.engines_created, 0);
+    }
+}

@@ -41,12 +41,15 @@ proptest! {
         prop_assert_eq!(av.not().to_u64() as u128, !ar & m);
         prop_assert_eq!(av.ult(&bv), ar < br);
         prop_assert_eq!(av.ule(&bv), ar <= br);
-        if br != 0 {
-            prop_assert_eq!(av.udiv(&bv).to_u64() as u128, ar / br);
-            prop_assert_eq!(av.urem(&bv).to_u64() as u128, ar % br);
-        } else {
-            prop_assert!(av.udiv(&bv).is_ones());
-            prop_assert_eq!(av.urem(&bv), av.clone());
+        match ar.checked_div(br) {
+            Some(q) => {
+                prop_assert_eq!(av.udiv(&bv).to_u64() as u128, q);
+                prop_assert_eq!(av.urem(&bv).to_u64() as u128, ar % br);
+            }
+            None => {
+                prop_assert!(av.udiv(&bv).is_ones());
+                prop_assert_eq!(av.urem(&bv), av.clone());
+            }
         }
     }
 

@@ -1,0 +1,316 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the two pieces it uses:
+//!
+//! * [`thread::scope`] — crossbeam's scoped-thread API, implemented on
+//!   top of `std::thread::scope` (stable since 1.63). Panics in spawned
+//!   threads that the caller joined are reported through the returned
+//!   `Result`, matching crossbeam's contract.
+//! * [`deque`] — `Injector`/`Worker`/`Stealer` work-stealing queues. The
+//!   lock-free Chase-Lev deques of real crossbeam are replaced by
+//!   mutex-protected ring buffers; the scheduler's job granularity (one
+//!   bounded-model-check per job, milliseconds to seconds each) makes
+//!   queue contention irrelevant.
+
+pub mod thread {
+    use std::any::Any;
+    use std::marker::PhantomData;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Error payload of a panicked scope: the panic value of the first
+    /// unhandled child panic (or of the closure itself).
+    pub type ScopeResult<R> = Result<R, Box<dyn Any + Send + 'static>>;
+
+    /// A handle for spawning scoped threads; wraps `std::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _marker: PhantomData<&'env ()>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again
+        /// (crossbeam convention) so nested spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    f(&Scope {
+                        inner,
+                        _marker: PhantomData,
+                    })
+                }),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread; `join` returns `Err` with the
+    /// panic payload if the thread panicked.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing from the calling
+    /// stack frame can be spawned; all spawned threads are joined before
+    /// `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                f(&Scope {
+                    inner: s,
+                    _marker: PhantomData,
+                })
+            })
+        }))
+    }
+}
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt. The mutex-backed implementation never
+    /// yields `Retry`; it exists for API compatibility with retry loops
+    /// written against real crossbeam.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A global FIFO injection queue shared by reference among workers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector poisoned").push_back(task);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Moves a batch of tasks into `dest`'s local queue and returns
+        /// one task from the batch.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut queue = self.queue.lock().expect("injector poisoned");
+            let first = match queue.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            // Take up to half of what remains (capped like crossbeam's
+            // batch limit) so other workers still find work.
+            let extra = (queue.len() / 2).min(16);
+            let mut local = dest.inner.lock().expect("worker poisoned");
+            for _ in 0..extra {
+                match queue.pop_front() {
+                    Some(t) => local.push_back(t),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+
+    /// A worker-owned queue; other threads steal through [`Stealer`]
+    /// handles created by [`Worker::stealer`].
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        pub fn new_lifo() -> Worker<T> {
+            // LIFO scheduling order is an optimization, not a contract;
+            // the mutex-backed queue serves FIFO either way.
+            Worker::new_fifo()
+        }
+
+        pub fn push(&self, task: T) {
+            self.inner.lock().expect("worker poisoned").push_back(task);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("worker poisoned").pop_front()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("worker poisoned").is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("worker poisoned").len()
+        }
+    }
+
+    /// A handle for stealing from another worker's queue.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals from the far end of the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("worker poisoned").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("worker poisoned").is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let sum = super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| scope.spawn(move |_| x * 2))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum::<u64>()
+        })
+        .expect("scope completes");
+        assert_eq!(sum, 20);
+    }
+
+    #[test]
+    fn joined_panics_surface_as_errors() {
+        let result = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        });
+        assert_eq!(result.expect("scope itself completes"), true);
+    }
+
+    #[test]
+    fn injector_fans_out_every_task_exactly_once() {
+        let injector = Injector::new();
+        const N: usize = 1000;
+        for i in 0..N {
+            injector.push(i);
+        }
+        let seen = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    let local: Worker<usize> = Worker::new_fifo();
+                    loop {
+                        let task = local.pop().or_else(|| {
+                            injector.steal_batch_and_pop(&local).success()
+                        });
+                        match task {
+                            Some(_) => {
+                                seen.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        })
+        .expect("workers complete");
+        assert_eq!(seen.load(Ordering::Relaxed), N);
+    }
+
+    #[test]
+    fn stealers_drain_worker_queues() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(1));
+        assert!(s.steal().is_empty());
+    }
+}
