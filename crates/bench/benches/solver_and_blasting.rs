@@ -19,6 +19,9 @@ fn pigeonhole(n: usize) -> Solver {
     for row in &grid {
         s.add_clause(row.iter().copied());
     }
+    // Clause order matters for solver timing; keep the conventional
+    // hole-major encoding even though clippy prefers an iterator here.
+    #[allow(clippy::needless_range_loop)]
     for j in 0..m {
         for a in 0..n {
             for b in (a + 1)..n {

@@ -3,35 +3,47 @@
 //!
 //! Sequential is `jobs = 1` (fresh engine per instruction); pooled is a
 //! four-worker work-stealing pool with persistent incremental engines.
-//! Each configuration is run three times and the best time is kept, so
-//! the artifact reflects steady-state cost, not first-run noise.
+//! Each configuration is run `--runs N` times (default 3) and the best
+//! time is kept, so the artifact reflects steady-state cost, not
+//! first-run noise. Rows also carry the solver-effort telemetry totals
+//! of the sequential run, so regressions in *work done* (not just wall
+//! clock) show up in the artifact diff.
+//!
+//! `bench_verify --check` re-reads `BENCH_verify.json` and validates its
+//! schema instead of benchmarking — CI runs this after a `--runs 1`
+//! smoke pass to assert the artifact stays machine-readable.
 
 use std::time::Instant;
 
 use gila_designs::{all_case_studies, CaseStudy};
 use gila_json::Value;
-use gila_verify::{verify_module, VerifyOptions};
+use gila_verify::{verify_module, ModuleReport, VerifyOptions};
 
 const POOL_JOBS: usize = 4;
-const RUNS: usize = 3;
+const DEFAULT_RUNS: usize = 3;
+const ARTIFACT: &str = "BENCH_verify.json";
 
-fn best_time_s(cs: &CaseStudy, jobs: usize) -> f64 {
+fn best_run(cs: &CaseStudy, jobs: usize, runs: usize) -> (f64, ModuleReport) {
     let opts = VerifyOptions {
         jobs: Some(jobs),
         ..Default::default()
     };
-    (0..RUNS)
-        .map(|_| {
-            let t0 = Instant::now();
-            let report =
-                verify_module(&cs.ila, &cs.rtl, &cs.refmaps, &opts).expect("well-formed");
-            assert!(report.all_hold(), "{}: {report:#?}", cs.name);
-            t0.elapsed().as_secs_f64()
-        })
-        .fold(f64::INFINITY, f64::min)
+    let mut best_s = f64::INFINITY;
+    let mut best_report = None;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let report = verify_module(&cs.ila, &cs.rtl, &cs.refmaps, &opts).expect("well-formed");
+        assert!(report.all_hold(), "{}: {report:#?}", cs.name);
+        let s = t0.elapsed().as_secs_f64();
+        if s < best_s {
+            best_s = s;
+            best_report = Some(report);
+        }
+    }
+    (best_s, best_report.expect("runs >= 1"))
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn bench(runs: usize) -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for cs in all_case_studies() {
         // The i8051 datapath's memory blast dominates everything else;
@@ -41,26 +53,130 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         eprintln!("benchmarking {} ...", cs.name);
-        let sequential_s = best_time_s(&cs, 1);
-        let pooled_s = best_time_s(&cs, POOL_JOBS);
+        let (sequential_s, seq_report) = best_run(&cs, 1, runs);
+        let (pooled_s, _) = best_run(&cs, POOL_JOBS, runs);
+        // Telemetry is taken from the deterministic sequential run, so
+        // artifact diffs reflect engine changes, not scheduling noise.
+        let t = &seq_report.telemetry;
         rows.push(Value::Object(vec![
             ("design".into(), cs.name.into()),
-            (
-                "instructions".into(),
-                cs.ila.stats().instructions.into(),
-            ),
+            ("instructions".into(), cs.ila.stats().instructions.into()),
             ("sequential_s".into(), sequential_s.into()),
             ("pooled_s".into(), pooled_s.into()),
             ("speedup".into(), (sequential_s / pooled_s).into()),
+            (
+                "telemetry".into(),
+                Value::Object(vec![
+                    ("solves".into(), t.solves.into()),
+                    ("decisions".into(), t.decisions.into()),
+                    ("propagations".into(), t.propagations.into()),
+                    ("conflicts".into(), t.conflicts.into()),
+                    ("cnf_vars".into(), t.cnf_vars.into()),
+                    ("cnf_clauses".into(), t.cnf_clauses.into()),
+                ]),
+            ),
         ]));
     }
     let doc = Value::Object(vec![
         ("benchmark".into(), "verify: sequential vs pooled".into()),
         ("pool_jobs".into(), POOL_JOBS.into()),
-        ("runs_per_config".into(), RUNS.into()),
+        ("runs_per_config".into(), runs.into()),
         ("rows".into(), Value::Array(rows)),
     ]);
-    std::fs::write("BENCH_verify.json", doc.pretty() + "\n")?;
-    eprintln!("wrote BENCH_verify.json");
+    std::fs::write(ARTIFACT, doc.pretty() + "\n")?;
+    eprintln!("wrote {ARTIFACT}");
     Ok(())
+}
+
+/// Validates the artifact's schema; returns a description of the first
+/// violation, if any.
+fn check_artifact(doc: &Value) -> Result<(), String> {
+    for key in ["benchmark", "pool_jobs", "runs_per_config"] {
+        doc.get(key).ok_or_else(|| format!("missing {key:?}"))?;
+    }
+    doc.get("pool_jobs")
+        .and_then(Value::as_usize)
+        .ok_or("pool_jobs must be an integer")?;
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("rows must be an array")?;
+    if rows.is_empty() {
+        return Err("rows is empty".into());
+    }
+    for row in rows {
+        let design = row
+            .get("design")
+            .and_then(Value::as_str)
+            .ok_or("row missing design name")?;
+        let ctx = |key: &str| format!("{design}: bad or missing {key:?}");
+        row.get("instructions")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ctx("instructions"))?;
+        for key in ["sequential_s", "pooled_s", "speedup"] {
+            let v = row.get(key).and_then(Value::as_f64).ok_or_else(|| ctx(key))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{design}: {key} = {v} is not a positive time"));
+            }
+        }
+        let telemetry = row.get("telemetry").ok_or_else(|| ctx("telemetry"))?;
+        for key in [
+            "solves",
+            "decisions",
+            "propagations",
+            "conflicts",
+            "cnf_vars",
+            "cnf_clauses",
+        ] {
+            telemetry
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{design}: telemetry missing counter {key:?}"))?;
+        }
+        let solves = telemetry.get("solves").and_then(Value::as_u64).expect("checked");
+        let instrs = row.get("instructions").and_then(Value::as_u64).expect("checked");
+        if solves < instrs {
+            return Err(format!(
+                "{design}: {solves} solves for {instrs} instructions — every \
+                 instruction issues at least one SAT check"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check() -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(ARTIFACT)?;
+    let doc = gila_json::parse(&text).map_err(|e| format!("{ARTIFACT}: {e}"))?;
+    check_artifact(&doc).map_err(|e| format!("{ARTIFACT}: schema violation: {e}"))?;
+    let rows = doc.get("rows").and_then(Value::as_array).expect("checked").len();
+    eprintln!("{ARTIFACT}: schema OK ({rows} rows)");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut runs = DEFAULT_RUNS;
+    let mut check_only = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => check_only = true,
+            "--runs" => {
+                i += 1;
+                runs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--runs needs a positive integer")?;
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+        i += 1;
+    }
+    if check_only {
+        check()
+    } else {
+        bench(runs)
+    }
 }

@@ -7,9 +7,10 @@ use gila_core::ModuleIla;
 use gila_lang::parse_ila;
 use gila_mc::InductionOutcome;
 use gila_rtl::{parse_verilog, RtlModule};
+use gila_trace::Tracer;
 use gila_verify::{
-    cex_to_vcd, render_all_properties, validate_invariants, verify_module, CheckResult,
-    RefinementMap, VerifyOptions,
+    cex_to_vcd, identity_refmaps, render_all_properties, synthesize_module, validate_invariants,
+    verify_module, CheckResult, ModuleReport, RefinementMap, VerifyOptions,
 };
 
 type CmdResult = Result<bool, Box<dyn Error>>;
@@ -58,23 +59,47 @@ fn load_maps(flags: &[(String, String)]) -> Result<Vec<RefinementMap>, Box<dyn E
 }
 
 /// `gila verify`: the full refinement check.
+///
+/// `--spec` is an alias for `--ila`; when `--rtl`/`--map` are omitted
+/// the spec is checked against its own synthesized RTL with identity
+/// refinement maps (a self-check that exercises the whole pipeline).
 pub fn verify(flags: &[(String, String)]) -> CmdResult {
-    let ila = load_ila(require(flags, "ila")?)?;
-    let rtl = load_rtl(require(flags, "rtl")?)?;
-    let maps = load_maps(flags)?;
+    let ila_path = flag(flags, "ila")
+        .or_else(|| flag(flags, "spec"))
+        .ok_or("missing required flag --ila (or --spec)")?;
+    let ila = load_ila(ila_path)?;
+    let rtl = match flag(flags, "rtl") {
+        Some(path) => load_rtl(path)?,
+        None => synthesize_module(&ila)?,
+    };
+    let maps = if flag_all(flags, "map").is_empty() {
+        identity_refmaps(&ila)
+    } else {
+        load_maps(flags)?
+    };
     let jobs = flag(flags, "jobs")
         .map(|v| {
             v.parse::<usize>()
                 .map_err(|_| format!("--jobs expects a worker count, got {v:?}"))
         })
         .transpose()?;
+    let tracer = match flag(flags, "trace") {
+        Some(path) => Tracer::jsonl_file(std::path::Path::new(path))
+            .map_err(|e| format!("opening --trace {path}: {e}"))?,
+        None => Tracer::disabled(),
+    };
     let opts = VerifyOptions {
         stop_at_first_cex: flag(flags, "stop-at-first-cex").is_some(),
         parallel: flag(flags, "parallel").is_some(),
         incremental: flag(flags, "incremental").is_some(),
         jobs,
+        tracer,
     };
     let report = verify_module(&ila, &rtl, &maps, &opts)?;
+    opts.tracer.flush();
+    if let Some(path) = flag(flags, "trace") {
+        eprintln!("telemetry trace written to {path}");
+    }
     let mut vcd_count = 0usize;
     for port in &report.ports {
         println!("port {}:", port.port);
@@ -109,6 +134,9 @@ pub fn verify(flags: &[(String, String)]) -> CmdResult {
         report.total_time(),
         report.peak_stats().estimated_mb()
     );
+    if flag(flags, "stats").is_some() {
+        print_stats_table(&report);
+    }
     if report.all_hold() {
         println!("RESULT: the RTL refines the ILA (all properties hold)");
         Ok(true)
@@ -116,6 +144,42 @@ pub fn verify(flags: &[(String, String)]) -> CmdResult {
         println!("RESULT: refinement FAILS");
         Ok(false)
     }
+}
+
+/// The `--stats` table: one row per port plus a TOTAL row, fed from
+/// the same [`gila_trace::Telemetry`] totals tests and benches consume.
+fn print_stats_table(report: &ModuleReport) {
+    let header = format!(
+        "{:<24} {:>7} {:>7} {:>10} {:>12} {:>9} {:>9} {:>11} {:>10}",
+        "port", "instrs", "solves", "decisions", "propagation", "conflicts", "cnf vars", "cnf clauses", "wall"
+    );
+    println!("\nTELEMETRY:\n  {header}");
+    println!("  {}", "-".repeat(header.len()));
+    let row = |name: &str, t: &gila_trace::Telemetry| {
+        format!(
+            "{:<24} {:>7} {:>7} {:>10} {:>12} {:>9} {:>9} {:>11} {:>10.2?}",
+            name,
+            t.instructions,
+            t.solves,
+            t.decisions,
+            t.propagations,
+            t.conflicts,
+            t.cnf_vars,
+            t.cnf_clauses,
+            std::time::Duration::from_nanos(t.wall_ns)
+        )
+    };
+    for p in &report.ports {
+        println!("  {}", row(&p.port, &p.telemetry));
+    }
+    println!("  {}", "-".repeat(header.len()));
+    println!("  {}", row("TOTAL", &report.telemetry));
+    println!(
+        "  workers: {}   stolen jobs: {}   queue wait: {:.2?}",
+        report.telemetry.workers,
+        report.telemetry.steals,
+        std::time::Duration::from_nanos(report.telemetry.queue_ns)
+    );
 }
 
 fn sanitize(name: &str) -> String {

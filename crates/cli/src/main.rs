@@ -19,7 +19,7 @@ fn usage() -> ! {
 USAGE:
   gila verify    --ila SPEC.ila --rtl IMPL.v --map MAP.json [--map MAP2.json ...]
                  [--stop-at-first-cex] [--parallel] [--incremental] [--jobs N]
-                 [--vcd PREFIX]
+                 [--vcd PREFIX] [--trace OUT.jsonl] [--stats]
   gila describe  --ila SPEC.ila [--format ila]
   gila synth     --ila SPEC.ila [-o OUT.v]
   gila check-inv --rtl IMPL.v --invariant EXPR [--invariant EXPR ...] [--depth K]
@@ -33,9 +33,14 @@ EXIT CODES:
   2  usage or input error
 
 VERIFY OPTIONS:
-  --jobs N   check instructions on a work-stealing pool of N workers,
-             each with a persistent incremental solver (0 = one per CPU,
-             1 = sequential); conflicts with --parallel"
+  --jobs N         check instructions on a work-stealing pool of N workers,
+                   each with a persistent incremental solver (0 = one per
+                   CPU, 1 = sequential); conflicts with --parallel
+  --spec SPEC.ila  alias for --ila; without --rtl/--map the spec is
+                   checked against its own synthesized RTL (self-check)
+  --trace OUT      write a JSONL telemetry trace: one span per port,
+                   instruction, SAT solve, CNF blast, and unroll event
+  --stats          print a per-port solver/CNF/scheduling summary table"
     );
     std::process::exit(2)
 }
@@ -50,7 +55,7 @@ fn parse_args(args: &[String]) -> (Vec<String>, Vec<(String, String)>) {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags have no value; value flags consume the next arg.
-            if matches!(name, "stop-at-first-cex" | "parallel" | "incremental") {
+            if matches!(name, "stop-at-first-cex" | "parallel" | "incremental" | "stats") {
                 flags.push((name.to_string(), String::new()));
             } else {
                 i += 1;

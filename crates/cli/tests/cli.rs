@@ -121,10 +121,25 @@ fn verify_rejects_conflicting_options_with_exit_code_2() {
     let spec = ws.file("c.ila", SPEC);
     let rtl = ws.file("c.v", RTL_GOOD);
     let map = ws.file("m.json", MAP);
-    for extra in [
-        ["--parallel", "--stop-at-first-cex"].as_slice(),
-        ["--parallel", "--incremental"].as_slice(),
-        ["--parallel", "--jobs", "4"].as_slice(),
+    // Each conflicting pair must exit 2 and name both offending flags on
+    // stderr, so the user knows exactly what to drop.
+    for (extra, named) in [
+        (
+            ["--parallel", "--stop-at-first-cex"].as_slice(),
+            ["parallel", "stop_at_first_cex"].as_slice(),
+        ),
+        (
+            ["--parallel", "--incremental"].as_slice(),
+            ["parallel", "incremental"].as_slice(),
+        ),
+        (
+            ["--parallel", "--jobs", "4"].as_slice(),
+            ["parallel", "jobs"].as_slice(),
+        ),
+        (
+            ["--jobs", "4", "--incremental"].as_slice(),
+            ["incremental", "jobs"].as_slice(),
+        ),
     ] {
         let out = gila()
             .args(["verify", "--ila", &spec, "--rtl", &rtl, "--map", &map])
@@ -134,7 +149,20 @@ fn verify_rejects_conflicting_options_with_exit_code_2() {
         assert_eq!(out.status.code(), Some(2), "{extra:?}");
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(stderr.contains("conflicting options"), "{stderr}");
+        for flag in named {
+            assert!(stderr.contains(flag), "{extra:?}: {flag} not named in {stderr}");
+        }
     }
+    // jobs = 1 with --incremental is NOT a conflict: a one-worker pool
+    // degenerates to the shared sequential incremental engine.
+    let out = gila()
+        .args([
+            "verify", "--ila", &spec, "--rtl", &rtl, "--map", &map, "--jobs", "1",
+            "--incremental",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     // A malformed worker count is a usage error, not a crash.
     let out = gila()
         .args([
@@ -143,6 +171,46 @@ fn verify_rejects_conflicting_options_with_exit_code_2() {
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn verify_spec_self_check_writes_trace_and_stats() {
+    let ws = Workspace::new("trace");
+    let trace_path = ws.path("t.jsonl");
+    // --spec with no --rtl/--map verifies the spec against its own
+    // synthesized RTL; --trace dumps JSONL telemetry; --stats prints
+    // the summary table.
+    let out = gila()
+        .args([
+            "verify",
+            "--spec",
+            &ws.file("c.ila", SPEC),
+            "--trace",
+            &trace_path,
+            "--stats",
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("TELEMETRY"), "{stdout}");
+    assert!(stdout.contains("TOTAL"), "{stdout}");
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    // Every line is valid compact JSON with a kind, and both
+    // instructions of the counter port got a span with solver counters.
+    let mut instr_spans = 0;
+    for line in trace.lines() {
+        let v = gila_json::parse(line).unwrap_or_else(|e| {
+            panic!("bad JSONL line {line:?}: {e}");
+        });
+        assert!(v.get("kind").is_some(), "{line}");
+        if v.get("kind").and_then(|k| k.as_str()) == Some("instruction") {
+            instr_spans += 1;
+            assert!(v.get("solves").and_then(|s| s.as_u64()).unwrap() >= 1, "{line}");
+            assert!(v.get("cnf_clauses").is_some(), "{line}");
+        }
+    }
+    assert_eq!(instr_spans, 2, "one span per (port, instruction):\n{trace}");
 }
 
 #[test]

@@ -1,0 +1,109 @@
+//! Property test: `parse(render(v)) == v` for every serializable value.
+//!
+//! Rendering then reparsing must be the identity on the `Value` model —
+//! this is what guarantees the benchmark reports, refinement maps, and
+//! telemetry traces the workspace writes can always be read back. The
+//! generator leans on the cases that break naive JSON layers: escaped
+//! strings (quotes, backslashes, control characters, non-ASCII), deeply
+//! nested arrays/objects, and integer/float edge values.
+
+use gila_json::{parse, Value};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Characters that stress the escaper: every class `write_escaped`
+/// special-cases, plus ordinary ASCII and multi-byte code points.
+const PALETTE: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{0}', '\u{1b}', '{', '}', '[', ']',
+    ':', ',', 'é', 'λ', '🦎',
+];
+
+fn string_strategy() -> impl Strategy<Value = String> {
+    vec((0usize..PALETTE.len()).prop_map(|i| PALETTE[i]), 0..12)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Finite numbers only — JSON has no NaN/Infinity — biased toward the
+/// integer-boundary and precision edge cases.
+fn number_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        // i64-ish integers, including 2^53 boundaries where the writer
+        // switches between integer and float formatting.
+        any::<i64>().prop_map(|n| n as f64),
+        Just(0.0),
+        Just(-1.0),
+        Just(2f64.powi(53)),
+        Just(-(2f64.powi(53))),
+        Just(2f64.powi(53) + 2.0),
+        Just(9.007199254740993e15),
+        // Fractional and extreme-magnitude floats.
+        Just(0.5),
+        Just(-1234.5678901234567),
+        Just(1e-10),
+        Just(1.7976931348623157e308),
+        Just(5e-324),
+        (0u32..1_000_000).prop_map(|n| f64::from(n) / 1024.0),
+    ]
+}
+
+fn value_strategy() -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        number_strategy().prop_map(Value::Number),
+        string_strategy().prop_map(Value::String),
+    ];
+    leaf.prop_recursive(4, 64, 5, |inner| {
+        prop_oneof![
+            vec(inner.clone(), 0..5).prop_map(Value::Array),
+            vec((string_strategy(), inner), 0..5)
+                .prop_map(|fields| Value::Object(fields.into_iter().collect())),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn compact_roundtrips(v in value_strategy()) {
+        let rendered = v.to_compact();
+        let back = parse(&rendered)
+            .unwrap_or_else(|e| panic!("reparse of {rendered:?} failed: {e}"));
+        prop_assert_eq!(&back, &v, "compact render: {:?}", rendered);
+    }
+
+    #[test]
+    fn pretty_roundtrips(v in value_strategy()) {
+        let rendered = v.pretty();
+        let back = parse(&rendered)
+            .unwrap_or_else(|e| panic!("reparse of {rendered:?} failed: {e}"));
+        prop_assert_eq!(&back, &v, "pretty render: {:?}", rendered);
+    }
+
+    #[test]
+    fn pretty_and_compact_agree(v in value_strategy()) {
+        // Both layouts must denote the same value.
+        prop_assert_eq!(parse(&v.pretty()).unwrap(), parse(&v.to_compact()).unwrap());
+    }
+}
+
+#[test]
+fn handwritten_edge_cases_roundtrip() {
+    let cases = [
+        Value::String("\"\\\n\r\t\u{0}\u{1b}🦎".to_string()),
+        Value::Number(-0.0),
+        Value::Number(1e300),
+        Value::Array(vec![Value::Array(vec![Value::Array(vec![])])]),
+        Value::Object(vec![
+            ("".to_string(), Value::Null),
+            ("dup".to_string(), Value::Number(1.0)),
+            ("dup".to_string(), Value::Number(2.0)),
+        ]),
+    ];
+    for v in cases {
+        assert_eq!(parse(&v.to_compact()).unwrap(), v, "{}", v.to_compact());
+        assert_eq!(parse(&v.pretty()).unwrap(), v, "{}", v.pretty());
+    }
+}

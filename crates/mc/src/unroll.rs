@@ -4,6 +4,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use gila_expr::{substitute_cached, ExprCtx, ExprRef, Value};
 use gila_smt::SmtSolver;
+use gila_trace::{Event, SpanKind, Tracer};
 
 use crate::ts::TransitionSystem;
 
@@ -60,6 +61,7 @@ pub struct Unrolling {
     ts_constraints: Vec<ExprRef>,
     init_assumptions: Vec<ExprRef>,
     frames: Vec<Frame>,
+    tracer: Tracer,
 }
 
 impl Unrolling {
@@ -91,6 +93,7 @@ impl Unrolling {
             ts_constraints: ts.constraints().to_vec(),
             init_assumptions: Vec::new(),
             frames: Vec::new(),
+            tracer: Tracer::disabled(),
         };
         // Frame 0: fresh symbolic state.
         let mut states = BTreeMap::new();
@@ -161,6 +164,12 @@ impl Unrolling {
         map
     }
 
+    /// Attaches a telemetry tracer; extend/snapshot/rollback events are
+    /// emitted through it. The default is the disabled (no-op) tracer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     /// Appends one frame.
     pub fn step(&mut self) {
         let last = self.frames.last().expect("frame 0 exists");
@@ -175,6 +184,11 @@ impl Unrolling {
         let step = self.frames.len();
         let frame = self.make_frame(step, states);
         self.frames.push(frame);
+        self.tracer.record(|| {
+            Event::new(SpanKind::Unroll)
+                .label("extend")
+                .field("depth", step as u64)
+        });
     }
 
     /// Extends the unrolling so frames `0..=k` exist.
@@ -193,6 +207,11 @@ impl Unrolling {
     /// can be [rolled back](Unrolling::rollback_to) after serving a
     /// deeper-bounded query.
     pub fn snapshot(&self) -> UnrollingSnapshot {
+        self.tracer.record(|| {
+            Event::new(SpanKind::Unroll)
+                .label("snapshot")
+                .field("depth", (self.frames.len() - 1) as u64)
+        });
         UnrollingSnapshot {
             frames: self.frames.len(),
         }
@@ -218,6 +237,12 @@ impl Unrolling {
             snap.frames,
             self.frames.len()
         );
+        self.tracer.record(|| {
+            Event::new(SpanKind::Unroll)
+                .label("rollback")
+                .field("from", (self.frames.len() - 1) as u64)
+                .field("to", (snap.frames - 1) as u64)
+        });
         self.frames.truncate(snap.frames);
     }
 

@@ -59,6 +59,22 @@ pub struct SolverStats {
     pub peak_clauses: u64,
 }
 
+impl SolverStats {
+    /// Component-wise effort spent since `earlier` was captured.
+    /// Gauges (`learnt_clauses`, `peak_clauses`) keep their current
+    /// value rather than a difference; counters subtract saturating.
+    pub fn since(&self, earlier: SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learnt_clauses: self.learnt_clauses,
+            peak_clauses: self.peak_clauses,
+        }
+    }
+}
+
 /// A CDCL SAT solver.
 ///
 /// # Examples
@@ -95,6 +111,7 @@ pub struct Solver {
     cla_inc: f64,
     model: Vec<LBool>,
     stats: SolverStats,
+    last_solve_mark: SolverStats,
     seen: Vec<bool>,
     learnt_count: usize,
     max_learnts: f64,
@@ -126,6 +143,7 @@ impl Solver {
             cla_inc: 1.0,
             model: Vec::new(),
             stats: SolverStats::default(),
+            last_solve_mark: SolverStats::default(),
             seen: Vec::new(),
             learnt_count: 0,
             max_learnts: 4000.0,
@@ -160,6 +178,12 @@ impl Solver {
     /// Effort counters.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Effort spent by the most recent `solve`/`solve_with_assumptions`
+    /// call alone (counters are deltas; gauges are current values).
+    pub fn last_solve_stats(&self) -> SolverStats {
+        self.stats.since(self.last_solve_mark)
     }
 
     /// Adds a clause; returns `false` if the solver is already in an
@@ -530,6 +554,7 @@ impl Solver {
     /// Solves under the given assumption literals. The assumptions hold
     /// only for this call; learned clauses are kept for later calls.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.last_solve_mark = self.stats;
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -655,6 +680,9 @@ fn luby(x: u64) -> u64 {
 }
 
 #[cfg(test)]
+// Pigeonhole encodings index a 2-D grid by (pigeon, hole); iterator
+// rewrites obscure the encoding, so keep the index loops.
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
 
@@ -780,6 +808,43 @@ mod tests {
         }
         assert_eq!(s.solve(), SolveResult::Unsat);
         assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn last_solve_stats_is_per_call_delta() {
+        // A pigeonhole solve racks up conflicts; a trivial follow-up
+        // solve must report only its own (near-zero) effort.
+        let mut s = Solver::new();
+        let n = 5;
+        let m = 4;
+        let mut p = vec![vec![Lit(0); m]; n];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var().positive();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for j in 0..m {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    s.add_clause([!p[a][j], !p[b][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let first = s.last_solve_stats();
+        assert!(first.conflicts > 0);
+        assert_eq!(first.conflicts, s.stats().conflicts);
+
+        let mut t = Solver::new();
+        let a = t.new_var().positive();
+        t.add_clause([a]);
+        assert!(t.solve().is_sat());
+        assert!(t.solve_with_assumptions(&[a]).is_sat());
+        assert_eq!(t.last_solve_stats().conflicts, 0);
+        assert_eq!(t.last_solve_stats().decisions, 0);
     }
 
     #[test]

@@ -106,6 +106,9 @@ pub struct SmtSolver {
     /// retracted (by a permanent unit clause on the negation) when the
     /// scope pops; the blasted definitions stay shared across scopes.
     scopes: Vec<Lit>,
+    /// CNF grown by the most recent `check`/`check_assuming` call
+    /// (blasting assumptions can add variables and clauses).
+    last_check_cnf: BlastStats,
 }
 
 impl SmtSolver {
@@ -122,6 +125,19 @@ impl SmtSolver {
     /// Access to the effort counters of the underlying SAT solver.
     pub fn sat_stats(&self) -> gila_sat::SolverStats {
         self.solver.stats()
+    }
+
+    /// Solver effort spent by the most recent `check`/`check_assuming`
+    /// call alone (counters are per-call deltas).
+    pub fn last_check_effort(&self) -> gila_sat::SolverStats {
+        self.solver.last_solve_stats()
+    }
+
+    /// Incremental CNF growth caused by the most recent
+    /// `check`/`check_assuming` call (zero when every assumption was
+    /// already blasted — the cache-hit case incremental reuse aims for).
+    pub fn last_check_cnf_delta(&self) -> BlastStats {
+        self.last_check_cnf
     }
 
     fn tt(&mut self) -> Lit {
@@ -773,6 +789,7 @@ impl SmtSolver {
 
     /// Checks satisfiability of all assertions so far.
     pub fn check(&mut self) -> SmtResult {
+        self.last_check_cnf = BlastStats::default();
         if self.scopes.is_empty() {
             match self.solver.solve() {
                 SolveResult::Sat => SmtResult::Sat,
@@ -796,6 +813,7 @@ impl SmtSolver {
     ///
     /// Panics if an assumption is not boolean-sorted.
     pub fn check_assuming(&mut self, ctx: &ExprCtx, assumptions: &[ExprRef]) -> SmtResult {
+        let before = self.stats;
         let mut lits: Vec<Lit> = assumptions
             .iter()
             .map(|&e| {
@@ -811,6 +829,7 @@ impl SmtSolver {
             })
             .collect();
         lits.extend_from_slice(&self.scopes);
+        self.last_check_cnf = self.stats.since(before);
         match self.solver.solve_with_assumptions(&lits) {
             SolveResult::Sat => SmtResult::Sat,
             SolveResult::Unsat => SmtResult::Unsat,

@@ -34,3 +34,4 @@
 mod blast;
 
 pub use blast::{prove_equiv, BlastStats, SmtResult, SmtSolver};
+pub use gila_sat::SolverStats;

@@ -30,14 +30,53 @@ pub struct Divergence {
     pub ila_value: Value,
     /// The RTL's value.
     pub rtl_value: Value,
+    /// The RTL input vectors driven on cycles `0..=cycle` — the exact
+    /// command stream that reproduces this divergence.
+    pub inputs: Vec<BTreeMap<String, BitVecValue>>,
+}
+
+impl Divergence {
+    /// Renders the offending command stream in `gila sim` stimulus
+    /// format: one cycle per line, `name=0xHEX` pairs. Replaying it
+    /// (with the same random start state) reproduces the divergence.
+    pub fn command_stream(&self) -> String {
+        let mut out = String::new();
+        for (cycle, inputs) in self.inputs.iter().enumerate() {
+            out.push_str(&format!("# cycle {cycle}\n"));
+            let rendered: Vec<String> = inputs
+                .iter()
+                .map(|(name, v)| match v.try_to_u64() {
+                    Some(x) => format!("{name}=0x{x:x}"),
+                    None => {
+                        let bits: String = v
+                            .to_bits()
+                            .iter()
+                            .rev()
+                            .map(|b| if *b { '1' } else { '0' })
+                            .collect();
+                        format!("{name}=0b{bits}")
+                    }
+                })
+                .collect();
+            out.push_str(&rendered.join(" "));
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "state {:?} diverged at cycle {} after {:?}: ila = {:?}, rtl = {:?}",
-            self.state, self.cycle, self.instruction, self.ila_value, self.rtl_value
+            "state {:?} diverged at cycle {} after {:?}: ila = {:?}, rtl = {:?}\n\
+             offending command stream:\n{}",
+            self.state,
+            self.cycle,
+            self.instruction,
+            self.ila_value,
+            self.rtl_value,
+            self.command_stream()
         )
     }
 }
@@ -188,6 +227,7 @@ pub fn cosimulate(
         })
         .collect();
 
+    let mut input_history: Vec<BTreeMap<String, BitVecValue>> = Vec::new();
     for cycle in 0..cycles {
         for name in &map.unchecked_states {
             if let Some(rtl_signal) = map.state_map.get(name) {
@@ -233,6 +273,7 @@ pub fn cosimulate(
         let Some(fired) = fired else {
             return Err(CosimError::NoDecodableCommand { cycle });
         };
+        input_history.push(rtl_inputs.clone());
         ila_state = ila_sim.state().clone();
         rtl_sim
             .step(&rtl_inputs)
@@ -250,6 +291,7 @@ pub fn cosimulate(
                     state: state.clone(),
                     ila_value: ila_value.clone(),
                     rtl_value: rtl_value.clone(),
+                    inputs: input_history,
                 }));
             }
         }

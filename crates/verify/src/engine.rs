@@ -24,7 +24,8 @@ use gila_core::{Instruction, ModuleIla, PortIla};
 use gila_expr::{import, import_mapped, ExprRef, Sort, Value};
 use gila_mc::{TransitionSystem, Unrolling};
 use gila_rtl::{parse_rtl_expr, RtlModule, VerilogError};
-use gila_smt::{BlastStats, SmtSolver};
+use gila_smt::{BlastStats, SmtSolver, SolverStats};
+use gila_trace::{Event, SpanKind, Telemetry, Tracer};
 
 use crate::refmap::{FinishCondition, InputPolicy, RefinementMap};
 
@@ -169,6 +170,21 @@ pub struct InstrVerdict {
     /// relation is reused, so later instructions pay only for their
     /// start conditions and post-state equalities.
     pub cnf_growth: BlastStats,
+    /// SAT-solver effort this instruction alone cost (per-instruction
+    /// deltas of the shared solver's counters; `learnt_clauses` is the
+    /// delta too, saturating at zero under clause deletion).
+    pub effort: SolverStats,
+    /// Number of SAT checks issued for this instruction.
+    pub solves: u64,
+    /// Pool worker that served this instruction (`None` when run
+    /// sequentially).
+    pub worker: Option<usize>,
+    /// Time the job spent queued before a worker picked it up, in
+    /// nanoseconds (zero when run sequentially).
+    pub queue_ns: u64,
+    /// Whether a worker stole this job from a peer's deque rather than
+    /// taking it from its own queue or the global injector.
+    pub stolen: bool,
 }
 
 /// The verification report for one port.
@@ -182,6 +198,9 @@ pub struct PortReport {
     pub total_time: Duration,
     /// Peak CNF size over all queries (the "memory usage" proxy).
     pub peak_stats: BlastStats,
+    /// Aggregated solver/CNF/scheduling totals over the port's verdicts
+    /// — the same numbers the CLI `--stats` table prints.
+    pub telemetry: Telemetry,
 }
 
 impl PortReport {
@@ -218,6 +237,9 @@ pub struct ModuleReport {
     pub module: String,
     /// One report per port.
     pub ports: Vec<PortReport>,
+    /// Aggregated totals across all ports (counters sum; `workers` is
+    /// the number of pool workers spawned, 1 for sequential runs).
+    pub telemetry: Telemetry,
 }
 
 impl ModuleReport {
@@ -285,6 +307,19 @@ pub struct VerifyOptions {
     /// `Some(1)` — sequential; `Some(n)` — a pool of exactly `n`
     /// workers, each owning a persistent unrolling + incremental solver.
     pub jobs: Option<usize>,
+    /// Telemetry tracer; every unroll/blast/solve/instruction/port
+    /// event of the run is emitted through it. Defaults to the
+    /// disabled (no-op) tracer, which costs one branch per event site.
+    pub tracer: Tracer,
+}
+
+/// Scheduling context of one job, recorded into its verdict and its
+/// instruction span.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct JobMeta {
+    pub(crate) worker: Option<usize>,
+    pub(crate) queue_ns: u64,
+    pub(crate) stolen: bool,
 }
 
 /// One worker's persistent verification state: a single unrolling of
@@ -299,10 +334,13 @@ pub(crate) struct WorkerEngine {
 }
 
 impl WorkerEngine {
-    /// A fresh engine over `ts` with nothing blasted yet.
-    pub(crate) fn new(ts: &TransitionSystem) -> Self {
+    /// A fresh engine over `ts` with nothing blasted yet. The tracer
+    /// receives the engine's unrolling events.
+    pub(crate) fn new(ts: &TransitionSystem, tracer: &Tracer) -> Self {
+        let mut u = Unrolling::new(ts, false);
+        u.set_tracer(tracer.clone());
         WorkerEngine {
-            u: Unrolling::new(ts, false),
+            u,
             smt: SmtSolver::new(),
         }
     }
@@ -509,24 +547,70 @@ pub(crate) fn check_instruction_planned(
     plan: &PortPlan<'_>,
     idx: usize,
     engine: &mut WorkerEngine,
+    tracer: &Tracer,
+    meta: JobMeta,
 ) -> Result<InstrVerdict, VerifyError> {
     let t0 = Instant::now();
     let instr = &plan.port.instructions()[idx];
     let before = engine.smt.stats();
+    let sat_before = engine.smt.sat_stats();
     let snap = engine.u.snapshot();
     engine.u.extend_to(plan.instrs[idx].bound);
     engine.smt.push_scope();
-    let result = check_instruction_inner(plan, idx, instr, engine);
+    let mut solves = 0u64;
+    let result = check_instruction_inner(plan, idx, instr, engine, tracer, meta, &mut solves);
     engine.smt.pop_scope();
     match result {
         Ok(result) => {
             let stats = engine.smt.stats();
+            let sat_after = engine.smt.sat_stats();
+            let mut effort = sat_after.since(sat_before);
+            effort.learnt_clauses =
+                sat_after.learnt_clauses.saturating_sub(sat_before.learnt_clauses);
+            let cnf_growth = stats.since(before);
+            let time = t0.elapsed();
+            tracer.record(|| {
+                Event::new(SpanKind::Blast)
+                    .port(plan.port.name())
+                    .instruction(&instr.name)
+                    .worker(meta.worker)
+                    .field("cnf_vars", cnf_growth.variables)
+                    .field("cnf_clauses", cnf_growth.clauses)
+                    .field("total_vars", stats.variables)
+                    .field("total_clauses", stats.clauses)
+            });
+            tracer.record(|| {
+                Event::new(SpanKind::Instruction)
+                    .port(plan.port.name())
+                    .instruction(&instr.name)
+                    .label(match &result {
+                        CheckResult::Holds => "holds",
+                        CheckResult::CounterExample(_) => "cex",
+                        CheckResult::FinishNotReached { .. } => "unreached",
+                    })
+                    .worker(meta.worker)
+                    .field("solves", solves)
+                    .field("decisions", effort.decisions)
+                    .field("propagations", effort.propagations)
+                    .field("conflicts", effort.conflicts)
+                    .field("learnt_clauses", effort.learnt_clauses)
+                    .field("cnf_vars", cnf_growth.variables)
+                    .field("cnf_clauses", cnf_growth.clauses)
+                    .field("wall_ns", time.as_nanos() as u64)
+                    .field("queue_ns", meta.queue_ns)
+                    .field("steals", meta.stolen as u64)
+            });
             Ok(InstrVerdict {
                 instruction: instr.name.clone(),
                 result,
-                time: t0.elapsed(),
+                time,
                 stats,
-                cnf_growth: stats.since(before),
+                cnf_growth,
+                effort,
+                solves,
+                worker: meta.worker,
+                queue_ns: meta.queue_ns,
+                stolen: meta.stolen,
             })
         }
         Err(e) => {
@@ -538,11 +622,15 @@ pub(crate) fn check_instruction_planned(
 
 /// The body of [`check_instruction_planned`], run inside an open solver
 /// scope so every early return still retracts its asserts.
+#[allow(clippy::too_many_arguments)]
 fn check_instruction_inner(
     plan: &PortPlan<'_>,
     idx: usize,
     instr: &Instruction,
     engine: &mut WorkerEngine,
+    tracer: &Tracer,
+    meta: JobMeta,
+    solves: &mut u64,
 ) -> Result<CheckResult, VerifyError> {
     let WorkerEngine { u, smt } = engine;
     let port = plan.port;
@@ -700,7 +788,10 @@ fn check_instruction_inner(
         // Check that this case is reachable at all (for Condition
         // finishes); unreachable cases are skipped.
         if finish_ts.is_some() {
-            if !smt.check_assuming(u.ctx(), &extra_assumptions).is_sat() {
+            let reachable = smt.check_assuming(u.ctx(), &extra_assumptions).is_sat();
+            *solves += 1;
+            record_solve(smt, tracer, meta, port.name(), &instr.name, "reach", frame, reachable);
+            if !reachable {
                 continue;
             }
             finish_reachable = true;
@@ -711,7 +802,10 @@ fn check_instruction_inner(
         let viol = u.ctx_mut().not(all_eq);
         let mut assumptions = extra_assumptions;
         assumptions.push(viol);
-        if smt.check_assuming(u.ctx(), &assumptions).is_sat() {
+        let violated = smt.check_assuming(u.ctx(), &assumptions).is_sat();
+        *solves += 1;
+        record_solve(smt, tracer, meta, port.name(), &instr.name, "violation", frame, violated);
+        if violated {
             // Diagnose which states mismatch.
             let mismatched: Vec<String> = {
                 let vals = u.concretize(
@@ -747,6 +841,38 @@ fn check_instruction_inner(
     Ok(result)
 }
 
+/// Emits one `solve` span for a completed SAT check: its per-call
+/// solver effort and incremental CNF delta. The closure only runs when
+/// tracing is enabled.
+#[allow(clippy::too_many_arguments)]
+fn record_solve(
+    smt: &SmtSolver,
+    tracer: &Tracer,
+    meta: JobMeta,
+    port: &str,
+    instr: &str,
+    label: &str,
+    frame: usize,
+    sat: bool,
+) {
+    tracer.record(|| {
+        let effort = smt.last_check_effort();
+        let cnf = smt.last_check_cnf_delta();
+        Event::new(SpanKind::Solve)
+            .port(port)
+            .instruction(instr)
+            .label(label)
+            .worker(meta.worker)
+            .field("frame", frame as u64)
+            .field("sat", sat as u64)
+            .field("decisions", effort.decisions)
+            .field("propagations", effort.propagations)
+            .field("conflicts", effort.conflicts)
+            .field("cnf_vars", cnf.variables)
+            .field("cnf_clauses", cnf.clauses)
+    });
+}
+
 /// How a run executes after option validation.
 enum ExecMode {
     Sequential { incremental: bool },
@@ -773,6 +899,12 @@ fn validate_options(opts: &VerifyOptions) -> Result<(), VerifyError> {
     }
     if opts.parallel && opts.jobs.is_some() {
         return bad("`parallel` with `jobs` — `jobs` supersedes `parallel`; set only `jobs`");
+    }
+    if opts.incremental && matches!(opts.jobs, Some(n) if n != 1) {
+        return bad(
+            "`incremental` with a multi-worker `jobs` pool — pool workers are already \
+             incremental by construction; drop `incremental` or set `jobs` to 1",
+        );
     }
     Ok(())
 }
@@ -808,19 +940,20 @@ fn run_port_sequential(
     ts: &TransitionSystem,
     incremental: bool,
     stop_at_first_cex: bool,
+    tracer: &Tracer,
 ) -> Result<Vec<InstrVerdict>, VerifyError> {
-    let mut shared = incremental.then(|| WorkerEngine::new(ts));
+    let mut shared = incremental.then(|| WorkerEngine::new(ts, tracer));
     let mut verdicts = Vec::new();
     for idx in 0..plan.instrs.len() {
         let mut own;
         let engine = match shared.as_mut() {
             Some(e) => e,
             None => {
-                own = WorkerEngine::new(ts);
+                own = WorkerEngine::new(ts, tracer);
                 &mut own
             }
         };
-        let v = check_instruction_planned(plan, idx, engine)?;
+        let v = check_instruction_planned(plan, idx, engine, tracer, JobMeta::default())?;
         let is_cex = matches!(v.result, CheckResult::CounterExample(_));
         verdicts.push(v);
         if is_cex && stop_at_first_cex {
@@ -836,6 +969,46 @@ fn peak_of(verdicts: &[InstrVerdict]) -> BlastStats {
         peak = peak.max(v.stats);
     }
     peak
+}
+
+/// Sums a verdict slice into the telemetry totals; `workers` counts the
+/// distinct pool workers that appear (1 for purely sequential runs).
+fn telemetry_of(verdicts: &[InstrVerdict]) -> Telemetry {
+    let mut t = Telemetry::default();
+    let mut workers: Vec<usize> = Vec::new();
+    for v in verdicts {
+        t.instructions += 1;
+        t.solves += v.solves;
+        t.decisions += v.effort.decisions;
+        t.propagations += v.effort.propagations;
+        t.conflicts += v.effort.conflicts;
+        t.learnt_clauses += v.effort.learnt_clauses;
+        t.cnf_vars += v.cnf_growth.variables;
+        t.cnf_clauses += v.cnf_growth.clauses;
+        t.wall_ns += v.time.as_nanos() as u64;
+        t.queue_ns += v.queue_ns;
+        t.steals += v.stolen as u64;
+        if let Some(w) = v.worker {
+            if !workers.contains(&w) {
+                workers.push(w);
+            }
+        }
+    }
+    t.workers = (workers.len() as u64).max(1);
+    t
+}
+
+/// Emits the per-port summary span once a port's verdicts are in.
+fn record_port_span(tracer: &Tracer, report: &PortReport) {
+    tracer.record(|| {
+        Event::new(SpanKind::Port)
+            .port(&report.port)
+            .label(if report.all_hold() { "holds" } else { "fails" })
+            .field("instructions", report.verdicts.len() as u64)
+            .field("solves", report.telemetry.solves)
+            .field("conflicts", report.telemetry.conflicts)
+            .field("wall_ns", report.total_time.as_nanos() as u64)
+    });
 }
 
 /// Verifies one port-ILA against an RTL implementation.
@@ -856,26 +1029,35 @@ pub fn verify_port(
     let (ts, ts_signals) = rtl_to_ts(rtl);
     let plan = PortPlan::build(port, rtl, map, &ts_signals)?;
     let verdicts = match resolve_mode(opts, plan.instrs.len()) {
-        ExecMode::Sequential { incremental } => {
-            run_port_sequential(&plan, &ts, incremental, opts.stop_at_first_cex)?
-        }
+        ExecMode::Sequential { incremental } => run_port_sequential(
+            &plan,
+            &ts,
+            incremental,
+            opts.stop_at_first_cex,
+            &opts.tracer,
+        )?,
         ExecMode::Pool { workers } => {
             let outcome = crate::scheduler::run_pool(
                 std::slice::from_ref(&plan),
                 &ts,
                 workers,
                 opts.stop_at_first_cex,
+                &opts.tracer,
             )?;
             let port_result = outcome.ports.into_iter().next().expect("one plan in");
             port_result.verdicts.into_iter().map(|(_, v)| v).collect()
         }
     };
-    Ok(PortReport {
+    let report = PortReport {
         port: port.name().to_string(),
         peak_stats: peak_of(&verdicts),
+        telemetry: telemetry_of(&verdicts),
         verdicts,
         total_time: start_all.elapsed(),
-    })
+    };
+    record_port_span(&opts.tracer, &report);
+    opts.tracer.flush();
+    Ok(report)
 }
 
 /// Verifies a whole module-ILA: each port against the same RTL, using
@@ -907,6 +1089,7 @@ pub fn verify_module(
             })
     };
     let total_jobs: usize = module.ports().iter().map(|p| p.instructions().len()).sum();
+    let mut pool_workers = None;
     let ports = match resolve_mode(opts, total_jobs) {
         ExecMode::Sequential { .. } => {
             let mut ports = Vec::new();
@@ -926,8 +1109,14 @@ pub fn verify_module(
             for port in module.ports() {
                 plans.push(PortPlan::build(port, rtl, map_for(port)?, &ts_signals)?);
             }
-            let outcome =
-                crate::scheduler::run_pool(&plans, &ts, workers, opts.stop_at_first_cex)?;
+            let outcome = crate::scheduler::run_pool(
+                &plans,
+                &ts,
+                workers,
+                opts.stop_at_first_cex,
+                &opts.tracer,
+            )?;
+            pool_workers = Some(outcome.workers_spawned as u64);
             module
                 .ports()
                 .iter()
@@ -935,19 +1124,30 @@ pub fn verify_module(
                 .map(|(port, pr)| {
                     let verdicts: Vec<InstrVerdict> =
                         pr.verdicts.into_iter().map(|(_, v)| v).collect();
-                    PortReport {
+                    let report = PortReport {
                         port: port.name().to_string(),
                         peak_stats: peak_of(&verdicts),
+                        telemetry: telemetry_of(&verdicts),
                         verdicts,
                         total_time: pr.last_done,
-                    }
+                    };
+                    record_port_span(&opts.tracer, &report);
+                    report
                 })
                 .collect()
         }
     };
+    let mut telemetry = ports
+        .iter()
+        .fold(Telemetry::default(), |acc, p| acc.merge(&p.telemetry));
+    if let Some(w) = pool_workers {
+        telemetry.workers = w;
+    }
+    opts.tracer.flush();
     Ok(ModuleReport {
         module: module.name().to_string(),
         ports,
+        telemetry,
     })
 }
 
@@ -1122,6 +1322,11 @@ mod tests {
                 jobs: Some(4),
                 ..Default::default()
             },
+            VerifyOptions {
+                incremental: true,
+                jobs: Some(4),
+                ..Default::default()
+            },
         ];
         for opts in combos {
             let err = verify_port(&port, &rtl, &map, &opts).unwrap_err();
@@ -1134,6 +1339,13 @@ mod tests {
             ..Default::default()
         };
         verify_port(&port, &rtl, &map, &ok).unwrap();
+        // `jobs = 1` + `incremental` is the shared sequential engine.
+        let ok = VerifyOptions {
+            jobs: Some(1),
+            incremental: true,
+            ..Default::default()
+        };
+        verify_port(&port, &rtl, &map, &ok).unwrap();
     }
 
     #[test]
@@ -1143,10 +1355,12 @@ mod tests {
             verdicts: Vec::new(),
             total_time: Duration::ZERO,
             peak_stats: BlastStats { variables, clauses },
+            telemetry: Telemetry::default(),
         };
         let report = ModuleReport {
             module: "m".into(),
             ports: vec![mk(100, 1), mk(1, 90)],
+            telemetry: Telemetry::default(),
         };
         let peak = report.peak_stats();
         assert_eq!(peak.variables, 100);

@@ -22,9 +22,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 use gila_mc::TransitionSystem;
+use gila_trace::Tracer;
 
 use crate::engine::{
-    check_instruction_planned, CheckResult, InstrVerdict, PortPlan, VerifyError, WorkerEngine,
+    check_instruction_planned, CheckResult, InstrVerdict, JobMeta, PortPlan, VerifyError,
+    WorkerEngine,
 };
 
 /// One unit of work: a single instruction of a single port.
@@ -73,6 +75,7 @@ pub(crate) fn run_pool(
     ts: &TransitionSystem,
     workers: usize,
     stop_at_first_cex: bool,
+    tracer: &Tracer,
 ) -> Result<PoolOutcome, VerifyError> {
     let injector = Injector::new();
     let mut total = 0usize;
@@ -93,20 +96,32 @@ pub(crate) fn run_pool(
     let results: Mutex<Vec<JobRecord>> = Mutex::new(Vec::with_capacity(total));
 
     crossbeam::thread::scope(|scope| {
-        for local in locals {
+        for (worker_id, local) in locals.into_iter().enumerate() {
             let (injector, stealers) = (&injector, &stealers);
             let (cancel, engines_created, results) = (&cancel, &engines_created, &results);
             scope.spawn(move |_| {
                 let mut engine: Option<WorkerEngine> = None;
                 while !cancel.load(Ordering::Relaxed) {
-                    let Some(job) = find_job(&local, injector, stealers) else {
+                    let Some((job, stolen)) = find_job(&local, injector, stealers) else {
                         break;
                     };
+                    let queue_ns = t0.elapsed().as_nanos() as u64;
                     let engine = engine.get_or_insert_with(|| {
                         engines_created.fetch_add(1, Ordering::Relaxed);
-                        WorkerEngine::new(ts)
+                        WorkerEngine::new(ts, tracer)
                     });
-                    let res = check_instruction_planned(&plans[job.port], job.instr, engine);
+                    let meta = JobMeta {
+                        worker: Some(worker_id),
+                        queue_ns,
+                        stolen,
+                    };
+                    let res = check_instruction_planned(
+                        &plans[job.port],
+                        job.instr,
+                        engine,
+                        tracer,
+                        meta,
+                    );
                     let done_at = t0.elapsed();
                     let abort = match &res {
                         Ok(v) => {
@@ -153,15 +168,24 @@ pub(crate) fn run_pool(
 
 /// Local deque first, then a batch refill from the global injector,
 /// then stealing from a peer. `None` means the run is drained (no
-/// worker creates new jobs, so empty-everywhere is terminal).
-fn find_job(local: &Worker<Job>, injector: &Injector<Job>, stealers: &[Stealer<Job>]) -> Option<Job> {
+/// worker creates new jobs, so empty-everywhere is terminal). The
+/// boolean marks jobs taken from a *peer's* deque — the telemetry
+/// steal count.
+fn find_job(
+    local: &Worker<Job>,
+    injector: &Injector<Job>,
+    stealers: &[Stealer<Job>],
+) -> Option<(Job, bool)> {
     if let Some(job) = local.pop() {
-        return Some(job);
+        return Some((job, false));
     }
     if let Some(job) = injector.steal_batch_and_pop(local).success() {
-        return Some(job);
+        return Some((job, false));
     }
-    stealers.iter().find_map(|s| s.steal().success())
+    stealers
+        .iter()
+        .find_map(|s| s.steal().success())
+        .map(|job| (job, true))
 }
 
 #[cfg(test)]
@@ -180,7 +204,14 @@ mod tests {
         let map = counter_map();
         let (ts, ts_signals) = rtl_to_ts(&rtl);
         let plan = PortPlan::build(&port, &rtl, &map, &ts_signals).unwrap();
-        run_pool(std::slice::from_ref(&plan), &ts, workers, stop_at_first_cex).unwrap()
+        run_pool(
+            std::slice::from_ref(&plan),
+            &ts,
+            workers,
+            stop_at_first_cex,
+            &gila_trace::Tracer::disabled(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -270,7 +301,7 @@ mod tests {
     fn empty_plan_set_yields_empty_outcome() {
         let rtl = counter_rtl(false);
         let (ts, _) = rtl_to_ts(&rtl);
-        let outcome = run_pool(&[], &ts, 4, false).unwrap();
+        let outcome = run_pool(&[], &ts, 4, false, &gila_trace::Tracer::disabled()).unwrap();
         assert!(outcome.ports.is_empty());
         assert_eq!(outcome.engines_created, 0);
     }

@@ -13,13 +13,16 @@
 //! - [`sat`] / [`smt`]: CDCL SAT solver and bit-blaster
 //! - [`mc`]: transition systems and bounded model checking
 //! - [`verify`]: refinement maps, property generation, verification engine
+//! - [`trace`]: structured verification telemetry (spans, counters, sinks)
 //! - [`designs`]: the eight DATE 2021 case studies
 pub use gila_core as core;
 pub use gila_designs as designs;
 pub use gila_expr as expr;
+pub use gila_json as json;
 pub use gila_lang as lang;
 pub use gila_mc as mc;
 pub use gila_rtl as rtl;
 pub use gila_sat as sat;
 pub use gila_smt as smt;
+pub use gila_trace as trace;
 pub use gila_verify as verify;

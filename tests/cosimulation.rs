@@ -10,6 +10,21 @@
 use gila::designs::all_case_studies;
 use gila::verify::cosimulate;
 
+/// Random command streams per (case study, port) for the agreement sweep.
+const SEEDS: u64 = 16;
+/// Cycle budget per agreement stream.
+const CYCLES: usize = 60;
+/// Base seed for the agreement sweep.
+const SEED_BASE: u64 = 0xC0517;
+
+/// Random command streams per (buggy design, port) for bug hunting.
+const BUG_SEEDS: u64 = 16;
+/// Cycle budget per bug-hunting stream — longer, since the injected bugs
+/// need specific command prefixes to surface.
+const BUG_CYCLES: usize = 120;
+/// Base seed for the bug-hunting sweep.
+const BUG_SEED_BASE: u64 = 0xB06;
+
 #[test]
 fn cosimulation_agrees_for_every_case_study() {
     for cs in all_case_studies() {
@@ -19,8 +34,8 @@ fn cosimulation_agrees_for_every_case_study() {
                 .iter()
                 .find(|m| m.name == port.name())
                 .expect("one map per port");
-            for seed in 0..4u64 {
-                let d = cosimulate(port, &cs.rtl, map, 0xC0517 + seed, 60)
+            for seed in 0..SEEDS {
+                let d = cosimulate(port, &cs.rtl, map, SEED_BASE + seed, CYCLES)
                     .unwrap_or_else(|e| panic!("{}/{}: {e}", cs.name, port.name()));
                 assert!(
                     d.is_none(),
@@ -56,11 +71,9 @@ fn cosimulation_detects_the_injected_bugs() {
                 .iter()
                 .find(|m| m.name == port.name())
                 .expect("one map per port");
-            for seed in 0..16u64 {
-                if let Some(d) =
-                    cosimulate(port, buggy, map, 0xB06 + seed, 120).unwrap_or_else(|e| {
-                        panic!("{}/{}: {e}", cs.name, port.name())
-                    })
+            for seed in 0..BUG_SEEDS {
+                if let Some(d) = cosimulate(port, buggy, map, BUG_SEED_BASE + seed, BUG_CYCLES)
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", cs.name, port.name()))
                 {
                     assert_eq!(
                         port.name(),

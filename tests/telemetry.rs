@@ -1,0 +1,179 @@
+//! Golden-trace tests for the telemetry layer.
+//!
+//! A single-threaded (`jobs = 1`) verification run is fully
+//! deterministic: the CDCL solver branches deterministically, ports and
+//! instructions run in declaration order, and every span's counters
+//! depend only on the formula. So after stripping the volatile keys
+//! (wall time, queue latency, worker id, steal flags) and sorting, the
+//! trace is a stable artifact we can diff against a checked-in golden.
+//!
+//! A pooled run (`jobs = 4`) interleaves nondeterministically and its
+//! per-worker CNF deltas differ (each persistent engine pays the
+//! transition relation once), but the *set of work performed* — which
+//! (port, instruction) jobs ran and which SAT checks they issued — must
+//! be identical to the sequential run. That is the span-set test.
+//!
+//! Regenerate goldens with `GILA_REGEN_GOLDEN=1 cargo test --test
+//! telemetry` after an intentional engine change, and review the diff.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gila::designs::all_case_studies;
+use gila::trace::{canonicalize_jsonl, span_set, RingSink, Tracer};
+use gila::verify::{
+    identity_refmaps, synthesize_module, verify_module, ModuleReport, RefinementMap,
+    VerifyOptions,
+};
+
+/// The self-check fixture: the counter spec verified against its own
+/// synthesized RTL (what `gila verify --spec specs/counter.ila` runs).
+fn counter_fixture() -> (gila::core::ModuleIla, gila::rtl::RtlModule, Vec<RefinementMap>) {
+    let ila = gila::lang::parse_ila(include_str!("../specs/counter.ila")).unwrap();
+    let rtl = synthesize_module(&ila).unwrap();
+    let maps = identity_refmaps(&ila);
+    (ila, rtl, maps)
+}
+
+/// Runs `name`'s verification with `jobs` workers and a ring tracer,
+/// returning the report and the raw JSONL trace.
+fn traced_run(name: &str, jobs: usize) -> (ModuleReport, String) {
+    let (tracer, ring): (Tracer, Arc<RingSink>) = Tracer::ring(100_000);
+    let opts = VerifyOptions {
+        jobs: Some(jobs),
+        tracer,
+        ..Default::default()
+    };
+    let report = match name {
+        "counter" => {
+            let (ila, rtl, maps) = counter_fixture();
+            verify_module(&ila, &rtl, &maps, &opts).unwrap()
+        }
+        other => {
+            let cs = all_case_studies()
+                .into_iter()
+                .find(|c| c.name == other)
+                .unwrap_or_else(|| panic!("no case study {other:?}"));
+            verify_module(&cs.ila, &cs.rtl, &cs.refmaps, &opts).unwrap()
+        }
+    };
+    let jsonl = ring
+        .events()
+        .iter()
+        .map(|e| e.to_json_line())
+        .collect::<Vec<_>>()
+        .join("\n");
+    (report, jsonl)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.trace"))
+}
+
+/// Diffs a canonicalized `jobs = 1` trace against the checked-in
+/// golden; set `GILA_REGEN_GOLDEN=1` to rewrite it instead.
+fn assert_matches_golden(name: &str) {
+    let (report, jsonl) = traced_run(name, 1);
+    assert!(report.all_hold(), "{name}: {report:#?}");
+    let canon = canonicalize_jsonl(&jsonl).unwrap();
+    let path = golden_path(name);
+    if std::env::var("GILA_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &canon).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("no golden at {}: {e} (run with GILA_REGEN_GOLDEN=1)", path.display()));
+    assert_eq!(
+        canon,
+        golden,
+        "{name}: canonicalized trace diverged from {} — if the engine \
+         change is intentional, regenerate with GILA_REGEN_GOLDEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn counter_trace_matches_golden() {
+    assert_matches_golden("counter");
+}
+
+#[test]
+fn decoder_trace_matches_golden() {
+    assert_matches_golden("Decoder");
+}
+
+#[test]
+fn pooled_trace_performs_the_same_work_as_sequential() {
+    for name in ["counter", "Decoder"] {
+        let (seq_report, seq) = traced_run(name, 1);
+        let (pool_report, pool) = traced_run(name, 4);
+        assert!(seq_report.all_hold() && pool_report.all_hold(), "{name}");
+        assert_eq!(
+            span_set(&seq).unwrap(),
+            span_set(&pool).unwrap(),
+            "{name}: jobs=4 must issue exactly the jobs=1 span set"
+        );
+    }
+}
+
+#[test]
+fn every_instruction_gets_a_span_with_counters() {
+    let (report, jsonl) = traced_run("Decoder", 1);
+    for port in &report.ports {
+        for v in &port.verdicts {
+            let span = jsonl
+                .lines()
+                .map(|l| gila::json::parse(l).unwrap())
+                .find(|e| {
+                    e.get("kind").and_then(|v| v.as_str()) == Some("instruction")
+                        && e.get("port").and_then(|v| v.as_str()) == Some(port.port.as_str())
+                        && e.get("instr").and_then(|v| v.as_str())
+                            == Some(v.instruction.as_str())
+                })
+                .unwrap_or_else(|| panic!("no span for ({}, {})", port.port, v.instruction));
+            // Solver counters and CNF deltas ride on the span and agree
+            // with the verdict's telemetry fields.
+            assert_eq!(
+                span.get("decisions").and_then(|v| v.as_u64()),
+                Some(v.effort.decisions)
+            );
+            assert_eq!(
+                span.get("cnf_clauses").and_then(|v| v.as_u64()),
+                Some(v.cnf_growth.clauses)
+            );
+            assert!(span.get("solves").and_then(|v| v.as_u64()).unwrap() >= 1);
+        }
+    }
+}
+
+#[test]
+fn report_telemetry_sums_verdicts() {
+    let (report, _) = traced_run("Decoder", 1);
+    let t = &report.telemetry;
+    assert_eq!(t.instructions as usize, report.instructions_checked());
+    assert!(t.solves >= t.instructions);
+    assert!(t.propagations > 0);
+    assert!(t.cnf_clauses > 0);
+    assert!(t.wall_ns > 0);
+    assert_eq!(t.workers, 1);
+    let summed: u64 = report.ports.iter().map(|p| p.telemetry.solves).sum();
+    assert_eq!(t.solves, summed);
+}
+
+/// CI matrix hook: `GILA_TEST_JOBS` picks the pool size this suite
+/// exercises (defaults to 1), so the same test binary covers both the
+/// sequential and the pooled scheduler in separate CI legs.
+#[test]
+fn verification_holds_at_env_selected_job_count() {
+    let jobs: usize = std::env::var("GILA_TEST_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let (report, jsonl) = traced_run("Decoder", jobs);
+    assert!(report.all_hold(), "jobs={jobs}");
+    assert!(report.telemetry.workers >= 1);
+    assert!(span_set(&jsonl).unwrap().len() >= report.instructions_checked());
+}

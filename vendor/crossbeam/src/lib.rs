@@ -249,7 +249,7 @@ mod tests {
 
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let sum = super::thread::scope(|scope| {
             let handles: Vec<_> = data
                 .iter()
@@ -270,7 +270,7 @@ mod tests {
             let h = scope.spawn(|_| panic!("boom"));
             h.join().is_err()
         });
-        assert_eq!(result.expect("scope itself completes"), true);
+        assert!(result.expect("scope itself completes"));
     }
 
     #[test]

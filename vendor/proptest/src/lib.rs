@@ -247,11 +247,12 @@ mod tests {
             if let Some(v) = o {
                 prop_assert_eq!(v, 3);
             }
-            prop_assert!(tagged == 0 || (tagged >= 10 && tagged <= 30));
+            prop_assert!(tagged == 0 || (10..=30).contains(&tagged));
         }
     }
 
     #[derive(Clone, Debug)]
+    #[allow(dead_code)] // Leaf payload exists to exercise prop_map, not to be read
     enum Tree {
         Leaf(u8),
         Node(Box<Tree>, Box<Tree>),
