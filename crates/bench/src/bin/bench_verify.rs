@@ -73,6 +73,13 @@ fn bench(runs: usize) -> Result<(), Box<dyn std::error::Error>> {
                     ("conflicts".into(), t.conflicts.into()),
                     ("cnf_vars".into(), t.cnf_vars.into()),
                     ("cnf_clauses".into(), t.cnf_clauses.into()),
+                    // Robustness counters: all zero on these unbounded
+                    // runs; a nonzero value in a diff means a budget or
+                    // panic path fired where none should.
+                    ("unknown_count".into(), t.unknown.into()),
+                    ("panicked_count".into(), t.panicked.into()),
+                    ("retries".into(), t.retries.into()),
+                    ("budget_spent_conflicts".into(), t.budget_spent_conflicts.into()),
                 ]),
             ),
         ]));
@@ -127,11 +134,25 @@ fn check_artifact(doc: &Value) -> Result<(), String> {
             "conflicts",
             "cnf_vars",
             "cnf_clauses",
+            "unknown_count",
+            "panicked_count",
+            "retries",
+            "budget_spent_conflicts",
         ] {
             telemetry
                 .get(key)
                 .and_then(Value::as_u64)
                 .ok_or_else(|| format!("{design}: telemetry missing counter {key:?}"))?;
+        }
+        // Unbounded benchmark runs must never exercise the robustness
+        // machinery; any nonzero counter is a regression.
+        for key in ["unknown_count", "panicked_count", "retries"] {
+            let v = telemetry.get(key).and_then(Value::as_u64).expect("checked");
+            if v != 0 {
+                return Err(format!(
+                    "{design}: {key} = {v} on an unbounded benchmark run"
+                ));
+            }
         }
         let solves = telemetry.get("solves").and_then(Value::as_u64).expect("checked");
         let instrs = row.get("instructions").and_then(Value::as_u64).expect("checked");

@@ -2,6 +2,9 @@
 
 use std::error::Error;
 use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 use gila_core::ModuleIla;
 use gila_lang::parse_ila;
@@ -10,10 +13,20 @@ use gila_rtl::{parse_verilog, RtlModule};
 use gila_trace::Tracer;
 use gila_verify::{
     cex_to_vcd, identity_refmaps, render_all_properties, synthesize_module, validate_invariants,
-    verify_module, CheckResult, ModuleReport, RefinementMap, VerifyOptions,
+    verify_module, CheckResult, FaultPlan, ModuleReport, RefinementMap, SolveBudget,
+    VerifyError, VerifyOptions,
 };
 
-type CmdResult = Result<bool, Box<dyn Error>>;
+/// Commands return the process exit code; `Err` means a usage or input
+/// error (exit 2, mapped in `main`).
+type CmdResult = Result<u8, Box<dyn Error>>;
+
+/// Exit code for internal faults: a panicked verification job or a
+/// checkpoint/scheduler failure. Distinct from "property failed" so
+/// scripts can tell a refuted design from a broken run.
+const EXIT_INTERNAL: u8 = 4;
+/// Exit code when at least one verdict is Unknown (budget exhausted).
+const EXIT_UNKNOWN: u8 = 3;
 
 fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
     flags
@@ -88,14 +101,45 @@ pub fn verify(flags: &[(String, String)]) -> CmdResult {
             .map_err(|e| format!("opening --trace {path}: {e}"))?,
         None => Tracer::disabled(),
     };
+    let parse_u64 = |name: &str| -> Result<Option<u64>, Box<dyn Error>> {
+        flag(flags, name)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--{name} expects a non-negative integer, got {v:?}").into())
+            })
+            .transpose()
+    };
+    let budget = SolveBudget {
+        conflicts: parse_u64("conflict-budget")?,
+        timeout: parse_u64("timeout-ms")?.map(Duration::from_millis),
+    };
+    let retries = parse_u64("retries")?.unwrap_or(0);
+    let retries = u32::try_from(retries).map_err(|_| "--retries is out of range")?;
+    // Fault injection is test-only and env-driven: the library never
+    // reads the environment, the CLI forwards it explicitly.
+    let fault_plan = FaultPlan::from_env()
+        .map_err(|e| format!("GILA_FAULT_PLAN: {e}"))?
+        .map(Arc::new);
     let opts = VerifyOptions {
         stop_at_first_cex: flag(flags, "stop-at-first-cex").is_some(),
         parallel: flag(flags, "parallel").is_some(),
         incremental: flag(flags, "incremental").is_some(),
         jobs,
         tracer,
+        budget,
+        retries,
+        fault_plan,
+        checkpoint: flag(flags, "checkpoint").map(PathBuf::from),
+        resume: flag(flags, "resume").map(PathBuf::from),
     };
-    let report = verify_module(&ila, &rtl, &maps, &opts)?;
+    let report = match verify_module(&ila, &rtl, &maps, &opts) {
+        Ok(report) => report,
+        Err(e @ (VerifyError::Internal { .. } | VerifyError::Checkpoint { .. })) => {
+            eprintln!("error: {e}");
+            return Ok(EXIT_INTERNAL);
+        }
+        Err(e) => return Err(e.into()),
+    };
     opts.tracer.flush();
     if let Some(path) = flag(flags, "trace") {
         eprintln!("telemetry trace written to {path}");
@@ -112,6 +156,16 @@ pub fn verify(flags: &[(String, String)]) -> CmdResult {
                 CheckResult::FinishNotReached { max_cycles } => {
                     format!("VACUOUS (finish not reached within {max_cycles} cycles)")
                 }
+                CheckResult::Unknown {
+                    reason,
+                    budget_spent,
+                } => format!(
+                    "UNKNOWN ({} budget exhausted after {} conflicts, {} attempt(s))",
+                    reason.as_str(),
+                    budget_spent.conflicts,
+                    budget_spent.attempts
+                ),
+                CheckResult::JobPanicked { message } => format!("PANICKED ({message})"),
             };
             println!(
                 "  {:<28} {status:<32} {:>9.2?}  {:>8} clauses",
@@ -137,12 +191,29 @@ pub fn verify(flags: &[(String, String)]) -> CmdResult {
     if flag(flags, "stats").is_some() {
         print_stats_table(&report);
     }
-    if report.all_hold() {
-        println!("RESULT: the RTL refines the ILA (all properties hold)");
-        Ok(true)
-    } else {
+    // Exit-code priority: internal faults trump counterexamples trump
+    // resource exhaustion — a panicked or undecided run is never
+    // reported as a clean pass or a clean refutation.
+    let counts = report.counts();
+    if counts.panicked > 0 {
+        println!(
+            "RESULT: INTERNAL ERROR ({} job(s) panicked; other verdicts above are valid)",
+            counts.panicked
+        );
+        Ok(EXIT_INTERNAL)
+    } else if counts.cex > 0 || counts.unreached > 0 {
         println!("RESULT: refinement FAILS");
-        Ok(false)
+        Ok(1)
+    } else if counts.unknown > 0 {
+        println!(
+            "RESULT: UNDECIDED ({} instruction(s) ran out of budget; \
+             raise --conflict-budget/--timeout-ms/--retries or --resume a checkpoint)",
+            counts.unknown
+        );
+        Ok(EXIT_UNKNOWN)
+    } else {
+        println!("RESULT: the RTL refines the ILA (all properties hold)");
+        Ok(0)
     }
 }
 
@@ -180,6 +251,13 @@ fn print_stats_table(report: &ModuleReport) {
         report.telemetry.steals,
         std::time::Duration::from_nanos(report.telemetry.queue_ns)
     );
+    println!(
+        "  unknown: {}   panicked: {}   retries: {}   conflicts spent on exhausted budgets: {}",
+        report.telemetry.unknown,
+        report.telemetry.panicked,
+        report.telemetry.retries,
+        report.telemetry.budget_spent_conflicts
+    );
 }
 
 fn sanitize(name: &str) -> String {
@@ -194,7 +272,7 @@ pub fn describe(flags: &[(String, String)]) -> CmdResult {
     let ila = load_ila(require(flags, "ila")?)?;
     if flag(flags, "format") == Some("ila") {
         println!("{}", gila_lang::to_ila_text(&ila)?);
-        return Ok(true);
+        return Ok(0);
     }
     println!("{}", ila.describe());
     let stats = ila.stats();
@@ -202,7 +280,7 @@ pub fn describe(flags: &[(String, String)]) -> CmdResult {
         "{} port(s), {} atomic instructions, {} architectural state bits",
         stats.ports, stats.instructions, stats.arch_state_bits
     );
-    Ok(true)
+    Ok(0)
 }
 
 /// `gila synth`: generate Verilog from the specification.
@@ -217,7 +295,7 @@ pub fn synth(flags: &[(String, String)]) -> CmdResult {
         }
         None => print!("{verilog}"),
     }
-    Ok(true)
+    Ok(0)
 }
 
 /// `gila check-inv`: prove or refute RTL invariants by k-induction.
@@ -234,7 +312,7 @@ pub fn check_inv(flags: &[(String, String)]) -> CmdResult {
     match validate_invariants(&rtl, &invariants, depth)? {
         InductionOutcome::Proved { k } => {
             println!("PROVED: invariants are {k}-inductive");
-            Ok(true)
+            Ok(0)
         }
         InductionOutcome::Violated(cex) => {
             println!(
@@ -247,14 +325,21 @@ pub fn check_inv(flags: &[(String, String)]) -> CmdResult {
                     println!("    {name:<20} = {value:?}");
                 }
             }
-            Ok(false)
+            Ok(1)
         }
         InductionOutcome::Unknown { max_k } => {
             println!(
                 "UNKNOWN: neither proved nor refuted with induction depth <= {max_k}; \
                  raise --depth or strengthen the invariants"
             );
-            Ok(false)
+            Ok(1)
+        }
+        InductionOutcome::ResourceOut { reason, at_k } => {
+            println!(
+                "UNDECIDED: the solver ran out of {} at induction depth {at_k}",
+                reason.as_str()
+            );
+            Ok(EXIT_UNKNOWN)
         }
     }
 }
@@ -264,7 +349,7 @@ pub fn check_inv(flags: &[(String, String)]) -> CmdResult {
 pub fn export(flags: &[(String, String)]) -> CmdResult {
     let rtl = load_rtl(require(flags, "rtl")?)?;
     let mut rtl_scratch = rtl.clone();
-    let (mut ts, _signals) = gila_verify::rtl_to_ts(&rtl);
+    let (mut ts, _signals) = gila_verify::rtl_to_ts(&rtl)?;
     let prop = match flag(flags, "prop") {
         Some(expr) => {
             let e = gila_rtl::parse_rtl_expr(&mut rtl_scratch, expr)
@@ -283,7 +368,7 @@ pub fn export(flags: &[(String, String)]) -> CmdResult {
         }
         None => print!("{doc}"),
     }
-    Ok(true)
+    Ok(0)
 }
 
 /// `gila sim`: scripted simulation of an RTL module or an `.ila` port.
@@ -338,7 +423,7 @@ pub fn sim(flags: &[(String, String)]) -> CmdResult {
             }
             println!();
         }
-        return Ok(true);
+        return Ok(0);
     }
     let ila = load_ila(require(flags, "ila")?)?;
     let port = &ila.ports()[0];
@@ -380,7 +465,7 @@ pub fn sim(flags: &[(String, String)]) -> CmdResult {
         }
         println!();
     }
-    Ok(true)
+    Ok(0)
 }
 
 /// `gila props`: print the auto-generated refinement properties.
@@ -397,5 +482,5 @@ pub fn props(flags: &[(String, String)]) -> CmdResult {
         };
         println!("{}", render_all_properties(port, map));
     }
-    Ok(true)
+    Ok(0)
 }

@@ -19,6 +19,8 @@ fn usage() -> ! {
 USAGE:
   gila verify    --ila SPEC.ila --rtl IMPL.v --map MAP.json [--map MAP2.json ...]
                  [--stop-at-first-cex] [--parallel] [--incremental] [--jobs N]
+                 [--conflict-budget N] [--timeout-ms N] [--retries N]
+                 [--checkpoint FILE] [--resume FILE]
                  [--vcd PREFIX] [--trace OUT.jsonl] [--stats]
   gila describe  --ila SPEC.ila [--format ila]
   gila synth     --ila SPEC.ila [-o OUT.v]
@@ -31,16 +33,30 @@ EXIT CODES:
   0  success (all properties hold / invariants proved)
   1  a property failed or an invariant was refuted
   2  usage or input error
+  3  undecided: at least one verdict is UNKNOWN (solve budget exhausted)
+  4  internal error (a verification job panicked, or a checkpoint/
+     scheduler failure); 4 beats 1 beats 3 when a run mixes outcomes
 
 VERIFY OPTIONS:
-  --jobs N         check instructions on a work-stealing pool of N workers,
-                   each with a persistent incremental solver (0 = one per
-                   CPU, 1 = sequential); conflicts with --parallel
-  --spec SPEC.ila  alias for --ila; without --rtl/--map the spec is
-                   checked against its own synthesized RTL (self-check)
-  --trace OUT      write a JSONL telemetry trace: one span per port,
-                   instruction, SAT solve, CNF blast, and unroll event
-  --stats          print a per-port solver/CNF/scheduling summary table"
+  --jobs N             check instructions on a work-stealing pool of N
+                       workers, each with a persistent incremental solver
+                       (0 = one per CPU, 1 = sequential); conflicts with
+                       --parallel
+  --spec SPEC.ila      alias for --ila; without --rtl/--map the spec is
+                       checked against its own synthesized RTL (self-check)
+  --conflict-budget N  give up on a solve after N SAT conflicts and report
+                       the instruction UNKNOWN instead of running forever
+  --timeout-ms N       wall-clock budget per solve attempt, milliseconds
+  --retries N          re-attempt exhausted instructions up to N times,
+                       quadrupling the budget each attempt (default 0)
+  --checkpoint FILE    stream every decided verdict to FILE (JSONL), one
+                       flushed line per instruction, crash-safe
+  --resume FILE        replay decided verdicts from FILE and re-verify
+                       only undecided (unknown/panicked/missing) jobs;
+                       combine with --checkpoint to keep extending FILE
+  --trace OUT          write a JSONL telemetry trace: one span per port,
+                       instruction, SAT solve, CNF blast, and unroll event
+  --stats              print a per-port solver/CNF/scheduling summary table"
     );
     std::process::exit(2)
 }
@@ -100,8 +116,7 @@ fn main() -> ExitCode {
         }
     };
     match result {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::from(1),
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::from(2)

@@ -344,6 +344,129 @@ fn export_produces_btor2() {
 }
 
 #[test]
+fn verify_undecided_exits_3() {
+    // A zero wall-clock budget expires before any solve: every
+    // instruction comes back UNKNOWN (deadline), exit code 3.
+    let ws = Workspace::new("unknown");
+    let out = gila()
+        .args([
+            "verify",
+            "--ila",
+            &ws.file("c.ila", SPEC),
+            "--rtl",
+            &ws.file("c.v", RTL_GOOD),
+            "--map",
+            &ws.file("m.json", MAP),
+            "--timeout-ms",
+            "0",
+            "--retries",
+            "0",
+            "--stats",
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(3), "{stdout}");
+    assert!(stdout.contains("UNKNOWN (deadline"), "{stdout}");
+    assert!(stdout.contains("RESULT: UNDECIDED"), "{stdout}");
+    // The robustness telemetry line reports the unknowns.
+    assert!(stdout.contains("unknown: 2"), "{stdout}");
+}
+
+#[test]
+fn verify_panicked_job_exits_4_without_aborting() {
+    // An injected panic in one job must not kill the process: the other
+    // instruction still gets its verdict, and the run exits 4.
+    let ws = Workspace::new("panic");
+    for jobs in ["1", "4"] {
+        let out = gila()
+            .env("GILA_FAULT_PLAN", "panic:injected boom@counter/inc")
+            .args([
+                "verify",
+                "--ila",
+                &ws.file("c.ila", SPEC),
+                "--rtl",
+                &ws.file("c.v", RTL_GOOD),
+                "--map",
+                &ws.file("m.json", MAP),
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .expect("binary runs");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(out.status.code(), Some(4), "jobs={jobs}: {stdout}");
+        assert!(stdout.contains("PANICKED (injected fault: injected boom"), "{stdout}");
+        assert!(stdout.contains("HOLDS"), "jobs={jobs}: other job lost\n{stdout}");
+        assert!(stdout.contains("RESULT: INTERNAL ERROR"), "{stdout}");
+    }
+    // A malformed plan is a usage error.
+    let out = gila()
+        .env("GILA_FAULT_PLAN", "explode@counter")
+        .args(["verify", "--ila", &ws.file("c.ila", SPEC)])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("GILA_FAULT_PLAN"));
+}
+
+#[test]
+fn verify_checkpoint_resume_round_trips() {
+    let ws = Workspace::new("resume");
+    let spec = ws.file("c.ila", SPEC);
+    let rtl = ws.file("c.v", RTL_GOOD);
+    let map = ws.file("m.json", MAP);
+    let ckpt = ws.path("run.jsonl");
+    // First run: force `inc` UNKNOWN once while checkpointing.
+    let out = gila()
+        .env("GILA_FAULT_PLAN", "unknown@counter/inc*1")
+        .args([
+            "verify", "--ila", &spec, "--rtl", &rtl, "--map", &map, "--checkpoint", &ckpt,
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stdout));
+    let ckpt_text = std::fs::read_to_string(&ckpt).expect("checkpoint written");
+    assert!(ckpt_text.lines().count() >= 2, "{ckpt_text}");
+    for line in ckpt_text.lines() {
+        gila_json::parse(line).unwrap_or_else(|e| panic!("bad checkpoint line {line:?}: {e}"));
+    }
+    // Resume: only `inc` is re-verified (now for real), `hold` replays.
+    let out = gila()
+        .args(["verify", "--ila", &spec, "--rtl", &rtl, "--map", &map, "--resume", &ckpt])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("the RTL refines the ILA"), "{stdout}");
+}
+
+#[test]
+fn verify_budget_retries_converge() {
+    // A 1-conflict budget with escalating retries still decides the
+    // counter (it needs few conflicts), and bad flag values exit 2.
+    let ws = Workspace::new("budget");
+    let spec = ws.file("c.ila", SPEC);
+    let rtl = ws.file("c.v", RTL_GOOD);
+    let map = ws.file("m.json", MAP);
+    let out = gila()
+        .args([
+            "verify", "--ila", &spec, "--rtl", &rtl, "--map", &map, "--conflict-budget",
+            "1000000", "--retries", "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let out = gila()
+        .args([
+            "verify", "--ila", &spec, "--rtl", &rtl, "--map", &map, "--conflict-budget", "lots",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn sim_drives_both_specs_and_rtl() {
     let ws = Workspace::new("sim");
     let stim = ws.file("stim.txt", "en=1\nen=1\nen=0\n");

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use gila_expr::{ExprRef, Value};
-use gila_smt::{BlastStats, SmtSolver};
+use gila_smt::{BlastStats, ResourceOut, SmtResult, SmtSolver, SolveLimits};
 
 use crate::ts::TransitionSystem;
 use crate::unroll::Unrolling;
@@ -39,10 +39,20 @@ pub enum BmcOutcome {
         /// The witnessing trace.
         Box<Counterexample>,
     ),
+    /// The check gave up at some step: a solve limit fired or the run
+    /// was cancelled (see [`bmc_safety_bounded`]). Steps before
+    /// `at_step` were verified violation-free.
+    Unknown {
+        /// Why the solver gave up.
+        reason: ResourceOut,
+        /// The step whose check was abandoned.
+        at_step: usize,
+    },
 }
 
 impl BmcOutcome {
-    /// True if no violation was found.
+    /// True if no violation was found *within the full bound* (an
+    /// [`BmcOutcome::Unknown`] outcome does not count as holding).
     pub fn holds(&self) -> bool {
         matches!(self, BmcOutcome::HoldsUpTo(_))
     }
@@ -65,6 +75,14 @@ pub enum InductionOutcome {
     Unknown {
         /// The maximum depth tried.
         max_k: usize,
+    },
+    /// A solve limit fired before depth `max_k` was reached (see
+    /// [`k_induction_bounded`]); the proof attempt is inconclusive.
+    ResourceOut {
+        /// Why the solver gave up.
+        reason: ResourceOut,
+        /// The depth at which it gave up.
+        at_k: usize,
     },
 }
 
@@ -97,11 +115,25 @@ pub fn bmc_safety(
     prop: ExprRef,
     bound: usize,
 ) -> (BmcOutcome, BlastStats) {
+    bmc_safety_bounded(ts, prop, bound, SolveLimits::default())
+}
+
+/// Like [`bmc_safety`], but every per-step SAT query runs under the
+/// given [`SolveLimits`]. A query that exceeds them makes the whole
+/// check return [`BmcOutcome::Unknown`] with the offending step, so a
+/// pathological depth cannot hang the caller.
+pub fn bmc_safety_bounded(
+    ts: &TransitionSystem,
+    prop: ExprRef,
+    bound: usize,
+    limits: SolveLimits,
+) -> (BmcOutcome, BlastStats) {
     let mut u = Unrolling::new(ts, true);
     u.extend_to(bound);
     let mut last_stats = BlastStats::default();
     for k in 0..=bound {
         let mut smt = SmtSolver::new();
+        smt.set_limits(limits);
         for &a in u.init_assumptions() {
             smt.assert(u.ctx(), a);
         }
@@ -111,22 +143,28 @@ pub fn bmc_safety(
         let p_k = u.map_expr(k, prop);
         let viol = u.ctx_mut().not(p_k);
         smt.assert(u.ctx(), viol);
-        let sat = smt.check().is_sat();
+        let result = smt.check();
         last_stats = smt.stats();
-        if sat {
-            let steps = (0..=k)
-                .map(|j| TraceStep {
-                    states: u.concretize_states(&smt, j),
-                    inputs: u.concretize_inputs(&smt, j),
-                })
-                .collect();
-            return (
-                BmcOutcome::Violated(Box::new(Counterexample {
-                    violation_step: k,
-                    steps,
-                })),
-                last_stats,
-            );
+        match result {
+            SmtResult::Sat => {
+                let steps = (0..=k)
+                    .map(|j| TraceStep {
+                        states: u.concretize_states(&smt, j),
+                        inputs: u.concretize_inputs(&smt, j),
+                    })
+                    .collect();
+                return (
+                    BmcOutcome::Violated(Box::new(Counterexample {
+                        violation_step: k,
+                        steps,
+                    })),
+                    last_stats,
+                );
+            }
+            SmtResult::Unsat => {}
+            SmtResult::Unknown(reason) => {
+                return (BmcOutcome::Unknown { reason, at_step: k }, last_stats)
+            }
         }
     }
     (BmcOutcome::HoldsUpTo(bound), last_stats)
@@ -139,16 +177,33 @@ pub fn bmc_safety(
 /// * inductive step: from *any* state, `k` consecutive steps satisfying
 ///   `prop` imply `prop` at step `k+1`.
 pub fn k_induction(ts: &TransitionSystem, prop: ExprRef, max_k: usize) -> InductionOutcome {
+    k_induction_bounded(ts, prop, max_k, SolveLimits::default())
+}
+
+/// Like [`k_induction`], but every SAT query runs under the given
+/// [`SolveLimits`]; exhausting them returns
+/// [`InductionOutcome::ResourceOut`] instead of looping deeper.
+pub fn k_induction_bounded(
+    ts: &TransitionSystem,
+    prop: ExprRef,
+    max_k: usize,
+    limits: SolveLimits,
+) -> InductionOutcome {
     for k in 0..=max_k {
         // Base case.
-        let (base, _) = bmc_safety(ts, prop, k);
-        if let BmcOutcome::Violated(cex) = base {
-            return InductionOutcome::Violated(cex);
+        let (base, _) = bmc_safety_bounded(ts, prop, k, limits);
+        match base {
+            BmcOutcome::Violated(cex) => return InductionOutcome::Violated(cex),
+            BmcOutcome::Unknown { reason, .. } => {
+                return InductionOutcome::ResourceOut { reason, at_k: k }
+            }
+            BmcOutcome::HoldsUpTo(_) => {}
         }
         // Inductive step: symbolic start, frames 0..=k+1.
         let mut u = Unrolling::new(ts, false);
         u.extend_to(k + 1);
         let mut smt = SmtSolver::new();
+        smt.set_limits(limits);
         for c in u.constraints_up_to(k + 1) {
             smt.assert(u.ctx(), c);
         }
@@ -159,8 +214,12 @@ pub fn k_induction(ts: &TransitionSystem, prop: ExprRef, max_k: usize) -> Induct
         let p_last = u.map_expr(k + 1, prop);
         let viol = u.ctx_mut().not(p_last);
         smt.assert(u.ctx(), viol);
-        if !smt.check().is_sat() {
-            return InductionOutcome::Proved { k };
+        match smt.check() {
+            SmtResult::Unsat => return InductionOutcome::Proved { k },
+            SmtResult::Sat => {}
+            SmtResult::Unknown(reason) => {
+                return InductionOutcome::ResourceOut { reason, at_k: k }
+            }
         }
     }
     InductionOutcome::Unknown { max_k }
@@ -256,6 +315,65 @@ mod tests {
         match k_induction(&ts, prop, 2) {
             InductionOutcome::Unknown { max_k } => assert_eq!(max_k, 2),
             other => panic!("expected unknown, got {other:?}"),
+        }
+    }
+
+    /// A counter gated by a free input: queries beyond step 0 have free
+    /// variables, so they reach the SAT search (a closed system would be
+    /// fully decided by level-0 propagation and never consult limits).
+    fn enabled_counter() -> TransitionSystem {
+        let mut ts = TransitionSystem::new("en_cnt");
+        let en = ts.input("en", Sort::Bv(1));
+        let cnt = ts.state("cnt", Sort::Bv(8));
+        let one = ts.ctx_mut().bv_u64(1, 8);
+        let inc = ts.ctx_mut().bvadd(cnt, one);
+        let c = ts.ctx_mut().eq_u64(en, 1);
+        let next = ts.ctx_mut().ite(c, inc, cnt);
+        ts.set_next("cnt", next).unwrap();
+        ts.set_init("cnt", BitVecValue::from_u64(0, 8)).unwrap();
+        ts
+    }
+
+    #[test]
+    fn bounded_bmc_reports_unknown_with_step() {
+        // An expired deadline trips at the first step whose query needs
+        // search (step 1); loosening it recovers the ordinary verdict.
+        let mut ts = enabled_counter();
+        let cnt = ts.ctx().find_var("cnt").unwrap();
+        let lim = ts.ctx_mut().bv_u64(100, 8);
+        let prop = ts.ctx_mut().ult(cnt, lim);
+        let limits = SolveLimits {
+            deadline: Some(std::time::Instant::now()),
+            ..Default::default()
+        };
+        let (outcome, _) = bmc_safety_bounded(&ts, prop, 8, limits);
+        match outcome {
+            BmcOutcome::Unknown { reason, at_step } => {
+                assert_eq!(reason, ResourceOut::Deadline);
+                assert_eq!(at_step, 1);
+            }
+            other => panic!("expected unknown, got {other:?}"),
+        }
+        assert!(!outcome.holds());
+        let (outcome, _) = bmc_safety_bounded(&ts, prop, 8, SolveLimits::default());
+        assert!(outcome.holds());
+    }
+
+    #[test]
+    fn bounded_k_induction_reports_resource_out() {
+        let mut ts = enabled_counter();
+        let cnt = ts.ctx().find_var("cnt").unwrap();
+        let lim = ts.ctx_mut().bv_u64(100, 8);
+        let prop = ts.ctx_mut().ult(cnt, lim);
+        let limits = SolveLimits {
+            deadline: Some(std::time::Instant::now()),
+            ..Default::default()
+        };
+        match k_induction_bounded(&ts, prop, 3, limits) {
+            InductionOutcome::ResourceOut { reason, .. } => {
+                assert_eq!(reason, ResourceOut::Deadline);
+            }
+            other => panic!("expected resource-out, got {other:?}"),
         }
     }
 

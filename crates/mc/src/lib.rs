@@ -35,7 +35,10 @@ mod liveness;
 mod ts;
 mod unroll;
 
-pub use bmc::{bmc_safety, k_induction, BmcOutcome, Counterexample, InductionOutcome, TraceStep};
+pub use bmc::{
+    bmc_safety, bmc_safety_bounded, k_induction, k_induction_bounded, BmcOutcome,
+    Counterexample, InductionOutcome, TraceStep,
+};
 pub use btor2::{to_btor2, Btor2Error};
 pub use liveness::{check_justice, liveness_to_safety, LivenessOutcome};
 pub use ts::{TransitionSystem, TsError, TsVar};

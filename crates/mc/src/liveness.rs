@@ -135,6 +135,10 @@ pub fn check_justice(ts: &TransitionSystem, justice: ExprRef, bound: usize) -> L
     match bmc_safety(&lts, safety, bound).0 {
         BmcOutcome::HoldsUpTo(k) => LivenessOutcome::NoLassoUpTo(k),
         BmcOutcome::Violated(cex) => LivenessOutcome::LassoFound(cex),
+        // Unreachable: bmc_safety runs with no solve limits installed.
+        BmcOutcome::Unknown { reason, at_step } => {
+            unreachable!("unbounded BMC gave up ({reason:?} at step {at_step})")
+        }
     }
 }
 

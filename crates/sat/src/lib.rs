@@ -7,8 +7,10 @@
 //!
 //! Features: two-watched-literal unit propagation, first-UIP clause
 //! learning with local minimization, VSIDS branching with phase saving,
-//! Luby restarts, LBD/activity-guided learnt-clause reduction, and
-//! solving under assumptions (incremental use).
+//! Luby restarts, LBD/activity-guided learnt-clause reduction, solving
+//! under assumptions (incremental use), and resource-bounded solving
+//! ([`SolveLimits`] budgets plus a shared [`CancelToken`]) that returns
+//! [`SolveResult::Unknown`] instead of hanging.
 //!
 //! # Examples
 //!
@@ -33,4 +35,4 @@ mod solver;
 
 pub use dimacs::{parse_dimacs, solver_from_dimacs, to_dimacs, ParseDimacsError};
 pub use lit::{LBool, Lit, Var};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{CancelToken, ResourceOut, SolveLimits, SolveResult, Solver, SolverStats};

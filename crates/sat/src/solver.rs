@@ -4,6 +4,10 @@
 //! first-UIP conflict analysis, VSIDS branching with phase saving, Luby
 //! restarts, and activity/LBD-guided learnt-clause database reduction.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
 
@@ -26,6 +30,87 @@ struct Watcher {
     blocker: Lit,
 }
 
+/// Why a solve call gave up before reaching a verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResourceOut {
+    /// The per-call conflict budget was exceeded.
+    Conflicts,
+    /// The per-call propagation budget was exceeded.
+    Propagations,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The shared [`CancelToken`] was triggered.
+    Cancelled,
+}
+
+impl ResourceOut {
+    /// Stable lower-case name for reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResourceOut::Conflicts => "conflicts",
+            ResourceOut::Propagations => "propagations",
+            ResourceOut::Deadline => "deadline",
+            ResourceOut::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Per-call resource budgets for [`Solver::solve_with_assumptions`].
+///
+/// Every field is a *maximum allowed* amount of that resource for one
+/// solve call; exceeding it makes the call return
+/// [`SolveResult::Unknown`] with the limit that fired. `None` fields
+/// are unlimited. Limits are sticky on the solver ([`Solver::set_limits`])
+/// and measured per call, so an incremental solver can run many bounded
+/// queries without re-arming.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveLimits {
+    /// Maximum conflicts this call may analyze.
+    pub conflicts: Option<u64>,
+    /// Maximum literals this call may propagate.
+    pub propagations: Option<u64>,
+    /// Wall-clock instant after which the call gives up.
+    pub deadline: Option<Instant>,
+}
+
+impl SolveLimits {
+    /// True when no limit is set (the solver runs unbounded).
+    pub fn is_unbounded(&self) -> bool {
+        self.conflicts.is_none() && self.propagations.is_none() && self.deadline.is_none()
+    }
+}
+
+/// A shared cooperative cancellation flag.
+///
+/// Clones share the flag; any holder may [`cancel`](CancelToken::cancel)
+/// and every solver carrying a clone aborts its in-flight call with
+/// [`SolveResult::Unknown`]`(`[`ResourceOut::Cancelled`]`)` at the next
+/// check point. The flag stays set until [`reset`](CancelToken::reset).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation of every solver sharing this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`cancel`](CancelToken::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Clears the flag so the token can be reused.
+    pub fn reset(&self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+}
+
 /// Outcome of a satisfiability query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SolveResult {
@@ -33,12 +118,21 @@ pub enum SolveResult {
     Sat,
     /// The formula (plus assumptions) is unsatisfiable.
     Unsat,
+    /// The call gave up: a resource limit fired or it was cancelled.
+    /// The formula's status is undetermined and the solver remains
+    /// usable (learnt clauses are kept).
+    Unknown(ResourceOut),
 }
 
 impl SolveResult {
     /// True for [`SolveResult::Sat`].
     pub fn is_sat(self) -> bool {
         matches!(self, SolveResult::Sat)
+    }
+
+    /// True for [`SolveResult::Unknown`].
+    pub fn is_unknown(self) -> bool {
+        matches!(self, SolveResult::Unknown(_))
     }
 }
 
@@ -115,6 +209,8 @@ pub struct Solver {
     seen: Vec<bool>,
     learnt_count: usize,
     max_learnts: f64,
+    limits: SolveLimits,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for Solver {
@@ -147,7 +243,25 @@ impl Solver {
             seen: Vec::new(),
             learnt_count: 0,
             max_learnts: 4000.0,
+            limits: SolveLimits::default(),
+            cancel: None,
         }
+    }
+
+    /// Installs per-call resource limits; they apply to every subsequent
+    /// solve call until replaced. `SolveLimits::default()` removes them.
+    pub fn set_limits(&mut self, limits: SolveLimits) {
+        self.limits = limits;
+    }
+
+    /// The currently installed limits.
+    pub fn limits(&self) -> SolveLimits {
+        self.limits
+    }
+
+    /// Installs a shared cancellation token checked during solving.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Creates a fresh variable.
@@ -551,6 +665,43 @@ impl Solver {
         self.solve_with_assumptions(&[])
     }
 
+    /// Abandons the current call: undoes all decisions so the solver
+    /// stays reusable (learnt clauses are kept) and reports why.
+    fn give_up(&mut self, reason: ResourceOut) -> SolveResult {
+        self.cancel_until(0);
+        self.stats.learnt_clauses = self.learnt_count as u64;
+        SolveResult::Unknown(reason)
+    }
+
+    /// The limit violated by this call's effort so far, if any.
+    /// `check_clock` gates the (comparatively costly) deadline read.
+    fn budget_exceeded(&self, check_clock: bool) -> Option<ResourceOut> {
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                return Some(ResourceOut::Cancelled);
+            }
+        }
+        let spent = self.stats.since(self.last_solve_mark);
+        if let Some(max) = self.limits.conflicts {
+            if spent.conflicts > max {
+                return Some(ResourceOut::Conflicts);
+            }
+        }
+        if let Some(max) = self.limits.propagations {
+            if spent.propagations > max {
+                return Some(ResourceOut::Propagations);
+            }
+        }
+        if check_clock {
+            if let Some(deadline) = self.limits.deadline {
+                if Instant::now() >= deadline {
+                    return Some(ResourceOut::Deadline);
+                }
+            }
+        }
+        None
+    }
+
     /// Solves under the given assumption literals. The assumptions hold
     /// only for this call; learned clauses are kept for later calls.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
@@ -559,6 +710,9 @@ impl Solver {
             return SolveResult::Unsat;
         }
         self.cancel_until(0);
+        if let Some(out) = self.budget_exceeded(true) {
+            return self.give_up(out);
+        }
         if self.propagate().is_some() {
             self.ok = false;
             return SolveResult::Unsat;
@@ -566,13 +720,29 @@ impl Solver {
         let mut luby_index = 0u64;
         let mut conflicts_until_restart = 64 * luby(luby_index);
         let mut conflicts_this_restart = 0u64;
+        let mut iters = 0u64;
         loop {
+            // Cooperative cancellation and budgets: cheap counter
+            // comparisons every iteration; the wall clock only every 64
+            // iterations so unbounded solving stays syscall-free.
+            iters += 1;
+            if let Some(out) = self.budget_exceeded(iters.is_multiple_of(64)) {
+                return self.give_up(out);
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_this_restart += 1;
                 if self.decision_level() == 0 {
+                    // A level-0 conflict is a definitive Unsat; letting
+                    // the budget pre-empt it would leave the falsified
+                    // clause unexamined on later calls.
                     self.ok = false;
                     return SolveResult::Unsat;
+                }
+                if let Some(max) = self.limits.conflicts {
+                    if self.stats.since(self.last_solve_mark).conflicts > max {
+                        return self.give_up(ResourceOut::Conflicts);
+                    }
                 }
                 let (learnt, bt_level) = self.analyze(confl);
                 // If the conflict is rooted entirely in assumption levels we
@@ -947,6 +1117,126 @@ mod tests {
             let got = ok && s.solve_with_assumptions(&lits).is_sat();
             assert_eq!(got, brute, "clauses {clauses:?} assumptions {assumptions:?}");
         }
+    }
+
+    /// A guarded pigeonhole core: UNSAT under `sel`, SAT without it.
+    /// Returns the solver and the selector literal.
+    fn guarded_php(n: usize, m: usize) -> (Solver, Lit) {
+        let mut s = Solver::new();
+        let mut grid = Vec::new();
+        for _ in 0..n {
+            let row: Vec<Lit> = (0..m).map(|_| s.new_var().positive()).collect();
+            grid.push(row);
+        }
+        let sel = s.new_var().positive();
+        for row in &grid {
+            let mut c = row.clone();
+            c.push(!sel);
+            s.add_clause(c);
+        }
+        for j in 0..m {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    s.add_clause([!grid[a][j], !grid[b][j], !sel]);
+                }
+            }
+        }
+        (s, sel)
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown_and_solver_stays_usable() {
+        let (mut s, sel) = guarded_php(6, 5);
+        s.set_limits(SolveLimits {
+            conflicts: Some(2),
+            ..Default::default()
+        });
+        let r = s.solve_with_assumptions(&[sel]);
+        assert_eq!(r, SolveResult::Unknown(ResourceOut::Conflicts));
+        // Unknown implies the limit actually fired.
+        assert!(s.last_solve_stats().conflicts > 2);
+        // Removing the limit converges to the real verdict, and the
+        // solver was not poisoned by the aborted call.
+        s.set_limits(SolveLimits::default());
+        assert_eq!(s.solve_with_assumptions(&[sel]), SolveResult::Unsat);
+        assert!(s.solve_with_assumptions(&[!sel]).is_sat());
+    }
+
+    #[test]
+    fn propagation_budget_returns_unknown() {
+        let (mut s, sel) = guarded_php(6, 5);
+        s.set_limits(SolveLimits {
+            propagations: Some(1),
+            ..Default::default()
+        });
+        let r = s.solve_with_assumptions(&[sel]);
+        assert_eq!(r, SolveResult::Unknown(ResourceOut::Propagations));
+        assert!(s.last_solve_stats().propagations > 1);
+    }
+
+    #[test]
+    fn expired_deadline_returns_unknown_before_searching() {
+        let (mut s, sel) = guarded_php(4, 3);
+        s.set_limits(SolveLimits {
+            deadline: Some(Instant::now()),
+            ..Default::default()
+        });
+        assert_eq!(
+            s.solve_with_assumptions(&[sel]),
+            SolveResult::Unknown(ResourceOut::Deadline)
+        );
+        // No search effort was spent.
+        assert_eq!(s.last_solve_stats().conflicts, 0);
+        assert_eq!(s.last_solve_stats().decisions, 0);
+    }
+
+    #[test]
+    fn cancel_token_aborts_and_reset_recovers() {
+        let (mut s, sel) = guarded_php(4, 3);
+        let tok = CancelToken::new();
+        s.set_cancel(tok.clone());
+        tok.cancel();
+        assert_eq!(
+            s.solve_with_assumptions(&[sel]),
+            SolveResult::Unknown(ResourceOut::Cancelled)
+        );
+        tok.reset();
+        assert_eq!(s.solve_with_assumptions(&[sel]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn generous_budget_never_reports_unknown() {
+        // The budget-semantics property: limits that are never hit do
+        // not change verdicts.
+        let (mut s, sel) = guarded_php(5, 4);
+        s.set_limits(SolveLimits {
+            conflicts: Some(u64::MAX),
+            propagations: Some(u64::MAX),
+            deadline: Some(Instant::now() + std::time::Duration::from_secs(3600)),
+        });
+        assert_eq!(s.solve_with_assumptions(&[sel]), SolveResult::Unsat);
+        assert!(s.solve_with_assumptions(&[!sel]).is_sat());
+    }
+
+    #[test]
+    fn zero_conflict_budget_is_sound_under_failing_assumptions() {
+        // Budget 0 turns the first conflict into Unknown; the aborted
+        // call must leave the solver able to find the real model.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], !v[1]]);
+        s.add_clause([!v[0], v[1]]);
+        s.set_limits(SolveLimits {
+            conflicts: Some(0),
+            ..Default::default()
+        });
+        let r = s.solve_with_assumptions(&[!v[0]]);
+        assert_eq!(r, SolveResult::Unknown(ResourceOut::Conflicts));
+        s.set_limits(SolveLimits::default());
+        assert_eq!(s.solve_with_assumptions(&[!v[0]]), SolveResult::Unsat);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(v[0].var()), Some(true));
     }
 
     #[test]

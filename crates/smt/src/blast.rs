@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use gila_expr::{BitVecValue, ExprCtx, ExprNode, ExprRef, MemValue, Op, Value};
-use gila_sat::{Lit, SolveResult, Solver};
+use gila_sat::{CancelToken, Lit, ResourceOut, SolveLimits, SolveResult, Solver};
 
 /// The bit-level representation of an expression.
 #[derive(Clone, Debug)]
@@ -22,12 +22,30 @@ pub enum SmtResult {
     Sat,
     /// Unsatisfiable.
     Unsat,
+    /// The check gave up (resource limit or cancellation); no verdict.
+    /// See [`SmtSolver::set_limits`] / [`SmtSolver::set_cancel`].
+    Unknown(ResourceOut),
 }
 
 impl SmtResult {
     /// True for [`SmtResult::Sat`].
     pub fn is_sat(self) -> bool {
         matches!(self, SmtResult::Sat)
+    }
+
+    /// True for [`SmtResult::Unknown`].
+    pub fn is_unknown(self) -> bool {
+        matches!(self, SmtResult::Unknown(_))
+    }
+}
+
+impl From<SolveResult> for SmtResult {
+    fn from(r: SolveResult) -> Self {
+        match r {
+            SolveResult::Sat => SmtResult::Sat,
+            SolveResult::Unsat => SmtResult::Unsat,
+            SolveResult::Unknown(out) => SmtResult::Unknown(out),
+        }
     }
 }
 
@@ -131,6 +149,24 @@ impl SmtSolver {
     /// call alone (counters are per-call deltas).
     pub fn last_check_effort(&self) -> gila_sat::SolverStats {
         self.solver.last_solve_stats()
+    }
+
+    /// Installs per-check resource limits on the underlying SAT solver;
+    /// a check that exceeds them returns [`SmtResult::Unknown`].
+    /// `SolveLimits::default()` removes all limits.
+    pub fn set_limits(&mut self, limits: SolveLimits) {
+        self.solver.set_limits(limits);
+    }
+
+    /// The currently installed solve limits.
+    pub fn limits(&self) -> SolveLimits {
+        self.solver.limits()
+    }
+
+    /// Installs a shared cancellation token: once cancelled, in-flight
+    /// and future checks return [`SmtResult::Unknown`] until it is reset.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.solver.set_cancel(token);
     }
 
     /// Incremental CNF growth caused by the most recent
@@ -791,16 +827,10 @@ impl SmtSolver {
     pub fn check(&mut self) -> SmtResult {
         self.last_check_cnf = BlastStats::default();
         if self.scopes.is_empty() {
-            match self.solver.solve() {
-                SolveResult::Sat => SmtResult::Sat,
-                SolveResult::Unsat => SmtResult::Unsat,
-            }
+            self.solver.solve().into()
         } else {
             let scopes = self.scopes.clone();
-            match self.solver.solve_with_assumptions(&scopes) {
-                SolveResult::Sat => SmtResult::Sat,
-                SolveResult::Unsat => SmtResult::Unsat,
-            }
+            self.solver.solve_with_assumptions(&scopes).into()
         }
     }
 
@@ -830,10 +860,7 @@ impl SmtSolver {
             .collect();
         lits.extend_from_slice(&self.scopes);
         self.last_check_cnf = self.stats.since(before);
-        match self.solver.solve_with_assumptions(&lits) {
-            SolveResult::Sat => SmtResult::Sat,
-            SolveResult::Unsat => SmtResult::Unsat,
-        }
+        self.solver.solve_with_assumptions(&lits).into()
     }
 
     /// Reads the value of an expression from the most recent model.
@@ -913,6 +940,47 @@ mod tests {
         let mut smt = SmtSolver::new();
         smt.assert(ctx, neg);
         !smt.check().is_sat()
+    }
+
+    #[test]
+    fn limits_pass_through_and_unknown_surfaces() {
+        // A 10-bit multiplication equivalence is hard enough to burn a
+        // tiny conflict budget; clearing the limit converges to Unsat.
+        let mut ctx = ExprCtx::new();
+        let x = ctx.var("x", Sort::Bv(10));
+        let y = ctx.var("y", Sort::Bv(10));
+        let l = ctx.bvmul(x, y);
+        let r = ctx.bvmul(y, x);
+        let ne = ctx.ne(l, r);
+        let mut smt = SmtSolver::new();
+        smt.assert(&ctx, ne);
+        smt.set_limits(SolveLimits {
+            conflicts: Some(1),
+            ..Default::default()
+        });
+        assert_eq!(smt.check(), SmtResult::Unknown(ResourceOut::Conflicts));
+        assert!(smt.check().is_unknown());
+        smt.set_limits(SolveLimits::default());
+        assert_eq!(smt.check(), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn cancel_token_passes_through_scoped_checks() {
+        let mut ctx = ExprCtx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let c = ctx.bv_u64(7, 8);
+        let eq = ctx.eq(x, c);
+        let mut smt = SmtSolver::new();
+        let tok = CancelToken::new();
+        smt.set_cancel(tok.clone());
+        smt.push_scope();
+        smt.assert(&ctx, eq);
+        assert!(smt.check().is_sat());
+        tok.cancel();
+        assert!(smt.check().is_unknown());
+        tok.reset();
+        assert!(smt.check().is_sat());
+        smt.pop_scope();
     }
 
     #[test]

@@ -34,4 +34,4 @@
 mod blast;
 
 pub use blast::{prove_equiv, BlastStats, SmtResult, SmtSolver};
-pub use gila_sat::SolverStats;
+pub use gila_sat::{CancelToken, ResourceOut, SolveLimits, SolverStats};

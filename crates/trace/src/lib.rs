@@ -38,6 +38,13 @@ pub enum SpanKind {
     Blast,
     /// One SAT check, with the solver effort it cost.
     Solve,
+    /// A solve attempt gave up on a resource limit (reason + effort
+    /// spent ride as fields/label).
+    BudgetExhausted,
+    /// A job is being re-run with an escalated budget.
+    Retry,
+    /// A job panicked and was isolated by the scheduler.
+    Panic,
 }
 
 impl SpanKind {
@@ -48,6 +55,9 @@ impl SpanKind {
             SpanKind::Unroll => "unroll",
             SpanKind::Blast => "blast",
             SpanKind::Solve => "solve",
+            SpanKind::BudgetExhausted => "budget_exhausted",
+            SpanKind::Retry => "retry",
+            SpanKind::Panic => "panic",
         }
     }
 }
@@ -285,6 +295,14 @@ pub struct Telemetry {
     pub queue_ns: u64,
     pub steals: u64,
     pub workers: u64,
+    /// Jobs whose final verdict was `Unknown` (budget exhausted).
+    pub unknown: u64,
+    /// Jobs that panicked and were isolated.
+    pub panicked: u64,
+    /// Budget-escalation re-runs across all jobs.
+    pub retries: u64,
+    /// Conflicts burned by solve attempts that ended in `Unknown`.
+    pub budget_spent_conflicts: u64,
 }
 
 impl Telemetry {
@@ -303,6 +321,11 @@ impl Telemetry {
             queue_ns: self.queue_ns + other.queue_ns,
             steals: self.steals + other.steals,
             workers: self.workers.max(other.workers),
+            unknown: self.unknown + other.unknown,
+            panicked: self.panicked + other.panicked,
+            retries: self.retries + other.retries,
+            budget_spent_conflicts: self.budget_spent_conflicts
+                + other.budget_spent_conflicts,
         }
     }
 
@@ -320,6 +343,13 @@ impl Telemetry {
             ("queue_ns".into(), self.queue_ns.into()),
             ("steals".into(), self.steals.into()),
             ("workers".into(), self.workers.into()),
+            ("unknown".into(), self.unknown.into()),
+            ("panicked".into(), self.panicked.into()),
+            ("retries".into(), self.retries.into()),
+            (
+                "budget_spent_conflicts".into(),
+                self.budget_spent_conflicts.into(),
+            ),
         ])
     }
 }
@@ -457,6 +487,52 @@ mod tests {
             "{\"kind\":\"instruction\",\"port\":\"p\",\"instr\":\"i1\",\"wall_ns\":9}\n",
         );
         assert_eq!(span_set(a).unwrap(), span_set(b).unwrap());
+    }
+
+    #[test]
+    fn robustness_span_kinds_have_stable_names() {
+        assert_eq!(SpanKind::BudgetExhausted.as_str(), "budget_exhausted");
+        assert_eq!(SpanKind::Retry.as_str(), "retry");
+        assert_eq!(SpanKind::Panic.as_str(), "panic");
+        let e = Event::new(SpanKind::Retry)
+            .port("p")
+            .instruction("i")
+            .field("attempt", 2)
+            .field("conflict_budget", 4000);
+        assert_eq!(
+            e.to_json_line(),
+            r#"{"kind":"retry","port":"p","instr":"i","attempt":2,"conflict_budget":4000}"#
+        );
+    }
+
+    #[test]
+    fn robustness_counters_merge_and_serialize() {
+        let a = Telemetry {
+            unknown: 1,
+            retries: 2,
+            budget_spent_conflicts: 100,
+            ..Default::default()
+        };
+        let b = Telemetry {
+            unknown: 1,
+            panicked: 1,
+            retries: 1,
+            budget_spent_conflicts: 50,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.unknown, 2);
+        assert_eq!(m.panicked, 1);
+        assert_eq!(m.retries, 3);
+        assert_eq!(m.budget_spent_conflicts, 150);
+        let j = m.to_json();
+        assert_eq!(j.get("unknown").and_then(Value::as_u64), Some(2));
+        assert_eq!(j.get("panicked").and_then(Value::as_u64), Some(1));
+        assert_eq!(j.get("retries").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            j.get("budget_spent_conflicts").and_then(Value::as_u64),
+            Some(150)
+        );
     }
 
     #[test]

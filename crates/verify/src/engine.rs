@@ -18,15 +18,20 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gila_core::{Instruction, ModuleIla, PortIla};
 use gila_expr::{import, import_mapped, ExprRef, Sort, Value};
 use gila_mc::{TransitionSystem, Unrolling};
 use gila_rtl::{parse_rtl_expr, RtlModule, VerilogError};
-use gila_smt::{BlastStats, SmtSolver, SolverStats};
+use gila_smt::{BlastStats, ResourceOut, SmtResult, SmtSolver, SolveLimits, SolverStats};
 use gila_trace::{Event, SpanKind, Telemetry, Tracer};
 
+use crate::checkpoint::CheckpointWriter;
+use crate::fault::{FaultAction, FaultPlan};
 use crate::refmap::{FinishCondition, InputPolicy, RefinementMap};
 
 /// An error in the verification setup (not a property failure).
@@ -71,6 +76,26 @@ pub enum VerifyError {
         /// Which combination is rejected and what to use instead.
         reason: String,
     },
+    /// The RTL module is internally inconsistent (e.g. an init value
+    /// whose sort does not match its register, or a next-state function
+    /// for an undeclared signal).
+    MalformedRtl {
+        /// What was inconsistent.
+        reason: String,
+    },
+    /// A checkpoint file could not be written, read, or parsed.
+    Checkpoint {
+        /// The offending file.
+        path: String,
+        /// The underlying problem.
+        reason: String,
+    },
+    /// An internal engine failure (e.g. the worker pool could not be
+    /// joined). These map to the CLI's "internal error" exit code.
+    Internal {
+        /// What failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -95,6 +120,11 @@ impl fmt::Display for VerifyError {
             VerifyError::Verilog(e) => write!(f, "{e}"),
             VerifyError::BadBound => write!(f, "finish condition must allow at least one cycle"),
             VerifyError::BadOptions { reason } => write!(f, "conflicting options: {reason}"),
+            VerifyError::MalformedRtl { reason } => write!(f, "malformed RTL: {reason}"),
+            VerifyError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint {path}: {reason}")
+            }
+            VerifyError::Internal { reason } => write!(f, "internal error: {reason}"),
         }
     }
 }
@@ -127,6 +157,58 @@ pub struct RefinementCex {
     pub mismatched_states: Vec<String>,
 }
 
+/// Per-job resource budget. Applies to every SAT query a job issues;
+/// the wall-clock allowance is armed when the job's attempt starts.
+/// `Default` is unbounded (today's behavior).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Maximum SAT conflicts per query before the query gives up.
+    pub conflicts: Option<u64>,
+    /// Wall-clock allowance per job attempt.
+    pub timeout: Option<Duration>,
+}
+
+impl SolveBudget {
+    /// True if no limit is configured.
+    pub fn is_unbounded(&self) -> bool {
+        self.conflicts.is_none() && self.timeout.is_none()
+    }
+
+    /// The budget for retry attempt `attempt` (0 = the first try):
+    /// every limit grows geometrically, 4x per retry, so a handful of
+    /// retries spans orders of magnitude. A zero timeout stays zero —
+    /// it means "give up immediately", not "escalate from nothing".
+    pub(crate) fn escalated(&self, attempt: u32) -> SolveBudget {
+        let factor = 4u64.saturating_pow(attempt);
+        SolveBudget {
+            conflicts: self.conflicts.map(|c| c.saturating_mul(factor)),
+            timeout: self.timeout.map(|t| t.saturating_mul(factor.min(u32::MAX as u64) as u32)),
+        }
+    }
+
+    /// Converts to solver limits, arming the deadline now.
+    pub(crate) fn to_limits(self) -> SolveLimits {
+        SolveLimits {
+            conflicts: self.conflicts,
+            propagations: None,
+            deadline: self.timeout.map(|t| Instant::now() + t),
+        }
+    }
+}
+
+/// What a job that gave up actually consumed, across all its attempts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BudgetSpent {
+    /// SAT conflicts over all attempts.
+    pub conflicts: u64,
+    /// SAT propagations over all attempts.
+    pub propagations: u64,
+    /// Wall-clock time over all attempts.
+    pub wall: Duration,
+    /// How many attempts ran (1 = no retries).
+    pub attempts: u32,
+}
+
 /// Result of checking one instruction.
 #[derive(Clone, Debug)]
 pub enum CheckResult {
@@ -143,12 +225,48 @@ pub enum CheckResult {
         /// The bound that was exhausted.
         max_cycles: usize,
     },
+    /// The job gave up: every attempt exhausted its solve budget (or
+    /// the run was cancelled mid-solve). Neither a proof nor a
+    /// counterexample — rerun with a larger budget to decide it.
+    Unknown {
+        /// Which resource ran out on the final attempt.
+        reason: ResourceOut,
+        /// What the job consumed before giving up.
+        budget_spent: BudgetSpent,
+    },
+    /// The job panicked and was isolated by the scheduler; the rest of
+    /// the run is unaffected.
+    JobPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl CheckResult {
     /// True for [`CheckResult::Holds`].
     pub fn holds(&self) -> bool {
         matches!(self, CheckResult::Holds)
+    }
+
+    /// True for [`CheckResult::Unknown`].
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, CheckResult::Unknown { .. })
+    }
+
+    /// True for [`CheckResult::JobPanicked`].
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, CheckResult::JobPanicked { .. })
+    }
+
+    /// Stable lowercase tag, used in trace spans and checkpoints.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CheckResult::Holds => "holds",
+            CheckResult::CounterExample(_) => "cex",
+            CheckResult::FinishNotReached { .. } => "unreached",
+            CheckResult::Unknown { .. } => "unknown",
+            CheckResult::JobPanicked { .. } => "panicked",
+        }
     }
 }
 
@@ -176,6 +294,10 @@ pub struct InstrVerdict {
     pub effort: SolverStats,
     /// Number of SAT checks issued for this instruction.
     pub solves: u64,
+    /// How many extra attempts the budget-escalation loop ran after the
+    /// first one exhausted its budget (0 when the first attempt decided
+    /// the job or no budget was configured).
+    pub retries: u32,
     /// Pool worker that served this instruction (`None` when run
     /// sequentially).
     pub worker: Option<usize>,
@@ -203,10 +325,46 @@ pub struct PortReport {
     pub telemetry: Telemetry,
 }
 
+/// Aggregate pass/fail/unknown tallies over a report's verdicts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerdictCounts {
+    /// Instructions whose property holds.
+    pub holds: usize,
+    /// Instructions with a counterexample.
+    pub cex: usize,
+    /// Vacuous checks (finish condition never reached).
+    pub unreached: usize,
+    /// Jobs that exhausted their budget (or were cancelled).
+    pub unknown: usize,
+    /// Jobs that panicked and were isolated.
+    pub panicked: usize,
+}
+
+impl VerdictCounts {
+    fn tally(counts: &mut VerdictCounts, verdicts: &[InstrVerdict]) {
+        for v in verdicts {
+            match &v.result {
+                CheckResult::Holds => counts.holds += 1,
+                CheckResult::CounterExample(_) => counts.cex += 1,
+                CheckResult::FinishNotReached { .. } => counts.unreached += 1,
+                CheckResult::Unknown { .. } => counts.unknown += 1,
+                CheckResult::JobPanicked { .. } => counts.panicked += 1,
+            }
+        }
+    }
+}
+
 impl PortReport {
     /// True if every instruction's property holds.
     pub fn all_hold(&self) -> bool {
         self.verdicts.iter().all(|v| v.result.holds())
+    }
+
+    /// Pass/fail/unknown tallies over this port's verdicts.
+    pub fn counts(&self) -> VerdictCounts {
+        let mut c = VerdictCounts::default();
+        VerdictCounts::tally(&mut c, &self.verdicts);
+        c
     }
 
     /// The first counterexample, if any.
@@ -246,6 +404,15 @@ impl ModuleReport {
     /// True if every port verifies.
     pub fn all_hold(&self) -> bool {
         self.ports.iter().all(|p| p.all_hold())
+    }
+
+    /// Pass/fail/unknown tallies across all ports.
+    pub fn counts(&self) -> VerdictCounts {
+        let mut c = VerdictCounts::default();
+        for p in &self.ports {
+            VerdictCounts::tally(&mut c, &p.verdicts);
+        }
+        c
     }
 
     /// Total wall-clock time across ports.
@@ -311,6 +478,96 @@ pub struct VerifyOptions {
     /// event of the run is emitted through it. Defaults to the
     /// disabled (no-op) tracer, which costs one branch per event site.
     pub tracer: Tracer,
+    /// Per-job resource budget. Unbounded by default; with a limit set,
+    /// a job that exhausts it reports [`CheckResult::Unknown`] instead
+    /// of running forever.
+    pub budget: SolveBudget,
+    /// Extra attempts for a budget-exhausted job, each with a 4x larger
+    /// budget ([`SolveBudget::escalated`]). Ignored when no budget is
+    /// configured.
+    pub retries: u32,
+    /// Test-only fault injection: panics, forced unknowns, and delays
+    /// per (port, instruction). `None` (the default) injects nothing.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Stream every decided verdict to this JSONL checkpoint file
+    /// (created fresh, replacing any previous content).
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from a checkpoint written by a previous run: jobs already
+    /// decided there (holds / cex / unreached) are not re-verified, and
+    /// newly decided verdicts are appended to the same file. `unknown`
+    /// and `panicked` entries are re-verified.
+    pub resume: Option<PathBuf>,
+}
+
+/// The per-job knobs a scheduler threads through to every check.
+#[derive(Clone, Default)]
+pub(crate) struct JobPolicy {
+    pub(crate) budget: SolveBudget,
+    pub(crate) retries: u32,
+    pub(crate) fault: Option<Arc<FaultPlan>>,
+}
+
+/// Shared run state: job policy, checkpoint sink, and verdicts resumed
+/// from a previous run's checkpoint, keyed by `(port, instruction)`.
+pub(crate) struct RunCtx<'t> {
+    pub(crate) policy: JobPolicy,
+    pub(crate) tracer: &'t Tracer,
+    pub(crate) checkpoint: Option<Arc<CheckpointWriter>>,
+    pub(crate) resumed: HashMap<(String, String), InstrVerdict>,
+}
+
+impl<'t> RunCtx<'t> {
+    /// A plain context with no budget, faults, or checkpointing.
+    #[cfg(test)]
+    pub(crate) fn plain(tracer: &'t Tracer) -> Self {
+        RunCtx {
+            policy: JobPolicy::default(),
+            tracer,
+            checkpoint: None,
+            resumed: HashMap::new(),
+        }
+    }
+
+    fn from_opts(opts: &'t VerifyOptions) -> Result<Self, VerifyError> {
+        let resumed = match &opts.resume {
+            Some(path) => crate::checkpoint::load_resume(path)?,
+            None => HashMap::new(),
+        };
+        // `--checkpoint` starts a fresh file; `--resume` alone keeps
+        // appending to the file it read, so an interrupted resumed run
+        // can itself be resumed.
+        let checkpoint = match (&opts.checkpoint, &opts.resume) {
+            (Some(path), _) => Some(Arc::new(CheckpointWriter::create(path)?)),
+            (None, Some(path)) => Some(Arc::new(CheckpointWriter::append(path)?)),
+            (None, None) => None,
+        };
+        Ok(RunCtx {
+            policy: JobPolicy {
+                budget: opts.budget,
+                retries: opts.retries,
+                fault: opts.fault_plan.clone(),
+            },
+            tracer: &opts.tracer,
+            checkpoint,
+            resumed,
+        })
+    }
+
+    /// The resumed verdict for a job, if its checkpoint entry decided it.
+    pub(crate) fn resumed_verdict(&self, port: &str, instr: &str) -> Option<InstrVerdict> {
+        self.resumed
+            .get(&(port.to_string(), instr.to_string()))
+            .cloned()
+    }
+
+    /// Streams a decided verdict to the checkpoint, if one is open.
+    /// Write failures are swallowed: a broken checkpoint must not take
+    /// down an otherwise healthy verification run.
+    pub(crate) fn record_checkpoint(&self, port: &str, verdict: &InstrVerdict) {
+        if let Some(w) = &self.checkpoint {
+            w.record(port, verdict);
+        }
+    }
 }
 
 /// Scheduling context of one job, recorded into its verdict and its
@@ -352,7 +609,18 @@ impl WorkerEngine {
 ///
 /// Useful beyond refinement checking: BMC, k-induction, and liveness
 /// checking of RTL modules all go through this conversion.
-pub fn rtl_to_ts(rtl: &RtlModule) -> (TransitionSystem, BTreeMap<String, ExprRef>) {
+///
+/// # Errors
+///
+/// [`VerifyError::MalformedRtl`] if the module is internally
+/// inconsistent — an init value whose sort disagrees with its signal,
+/// or a next-state function for a signal the module never declared.
+pub fn rtl_to_ts(
+    rtl: &RtlModule,
+) -> Result<(TransitionSystem, BTreeMap<String, ExprRef>), VerifyError> {
+    let malformed = |what: &str, name: &str, e: &dyn fmt::Display| VerifyError::MalformedRtl {
+        reason: format!("{what} of {name:?}: {e}"),
+    };
     let mut ts = TransitionSystem::new(rtl.name());
     for i in rtl.inputs() {
         ts.input(i.name.clone(), Sort::Bv(i.width));
@@ -360,7 +628,8 @@ pub fn rtl_to_ts(rtl: &RtlModule) -> (TransitionSystem, BTreeMap<String, ExprRef
     for r in rtl.regs() {
         ts.state(r.name.clone(), Sort::Bv(r.width));
         if let Some(init) = &r.init {
-            ts.set_init(&r.name, init.clone()).expect("sort matches");
+            ts.set_init(&r.name, init.clone())
+                .map_err(|e| malformed("init value", &r.name, &e))?;
         }
     }
     for m in rtl.mems() {
@@ -372,42 +641,41 @@ pub fn rtl_to_ts(rtl: &RtlModule) -> (TransitionSystem, BTreeMap<String, ExprRef
             },
         );
         if let Some(init) = &m.init {
-            ts.set_init(&m.name, init.clone()).expect("sort matches");
+            ts.set_init(&m.name, init.clone())
+                .map_err(|e| malformed("init value", &m.name, &e))?;
         }
     }
     let mut memo = HashMap::new();
     for r in rtl.regs() {
         let next = import(ts.ctx_mut(), rtl.ctx(), r.next, &mut memo);
-        ts.set_next(&r.name, next).expect("declared above");
+        ts.set_next(&r.name, next)
+            .map_err(|e| malformed("next-state function", &r.name, &e))?;
     }
     for m in rtl.mems() {
         let next = import(ts.ctx_mut(), rtl.ctx(), m.next, &mut memo);
-        ts.set_next(&m.name, next).expect("declared above");
+        ts.set_next(&m.name, next)
+            .map_err(|e| malformed("next-state function", &m.name, &e))?;
     }
     let mut signals = BTreeMap::new();
+    let lookup = |ts: &TransitionSystem, name: &str| {
+        ts.ctx().find_var(name).ok_or_else(|| VerifyError::MalformedRtl {
+            reason: format!("signal {name:?} vanished after declaration"),
+        })
+    };
     for i in rtl.inputs() {
-        signals.insert(
-            i.name.clone(),
-            ts.ctx().find_var(&i.name).expect("declared"),
-        );
+        signals.insert(i.name.clone(), lookup(&ts, &i.name)?);
     }
     for r in rtl.regs() {
-        signals.insert(
-            r.name.clone(),
-            ts.ctx().find_var(&r.name).expect("declared"),
-        );
+        signals.insert(r.name.clone(), lookup(&ts, &r.name)?);
     }
     for m in rtl.mems() {
-        signals.insert(
-            m.name.clone(),
-            ts.ctx().find_var(&m.name).expect("declared"),
-        );
+        signals.insert(m.name.clone(), lookup(&ts, &m.name)?);
     }
     for s in rtl.signals() {
         let e = import(ts.ctx_mut(), rtl.ctx(), s.expr, &mut memo);
         signals.insert(s.name.clone(), e);
     }
-    (ts, signals)
+    Ok((ts, signals))
 }
 
 /// Everything about one instruction that can be computed before any
@@ -549,74 +817,199 @@ pub(crate) fn check_instruction_planned(
     engine: &mut WorkerEngine,
     tracer: &Tracer,
     meta: JobMeta,
+    policy: &JobPolicy,
 ) -> Result<InstrVerdict, VerifyError> {
     let t0 = Instant::now();
     let instr = &plan.port.instructions()[idx];
+
+    // Test-only fault injection. An injected panic exercises the
+    // schedulers' isolation; a forced unknown swaps this job's budget
+    // for an already-expired deadline, so the Unknown flows through the
+    // real resource-out machinery instead of being faked here.
+    let mut budget = policy.budget;
+    let mut retries = policy.retries;
+    if let Some(fault) = policy.fault.as_deref() {
+        match fault.fire(plan.port.name(), &instr.name) {
+            Some(FaultAction::Panic(msg)) => panic!("injected fault: {msg}"),
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(FaultAction::ForceUnknown) => {
+                budget = SolveBudget {
+                    conflicts: None,
+                    timeout: Some(Duration::ZERO),
+                };
+                retries = 0;
+            }
+            None => {}
+        }
+    }
+
     let before = engine.smt.stats();
     let sat_before = engine.smt.sat_stats();
-    let snap = engine.u.snapshot();
-    engine.u.extend_to(plan.instrs[idx].bound);
-    engine.smt.push_scope();
+    let mut attempt = 0u32;
     let mut solves = 0u64;
-    let result = check_instruction_inner(plan, idx, instr, engine, tracer, meta, &mut solves);
-    engine.smt.pop_scope();
-    match result {
-        Ok(result) => {
-            let stats = engine.smt.stats();
-            let sat_after = engine.smt.sat_stats();
-            let mut effort = sat_after.since(sat_before);
-            effort.learnt_clauses =
-                sat_after.learnt_clauses.saturating_sub(sat_before.learnt_clauses);
-            let cnf_growth = stats.since(before);
-            let time = t0.elapsed();
+    // Budget-escalation loop. Each attempt runs in its own solver scope
+    // against the same persistent CNF, so learned clauses from an
+    // exhausted attempt carry into the next, larger-budget one.
+    let result = loop {
+        engine.smt.set_limits(budget.escalated(attempt).to_limits());
+        let snap = engine.u.snapshot();
+        engine.u.extend_to(plan.instrs[idx].bound);
+        engine.smt.push_scope();
+        let result =
+            check_instruction_inner(plan, idx, instr, engine, tracer, meta, &mut solves);
+        engine.smt.pop_scope();
+        engine.smt.set_limits(SolveLimits::default());
+        match result {
+            Ok(CheckResult::Unknown { reason, .. }) => {
+                let spent_so_far = engine.smt.sat_stats().since(sat_before);
+                tracer.record(|| {
+                    Event::new(SpanKind::BudgetExhausted)
+                        .port(plan.port.name())
+                        .instruction(&instr.name)
+                        .label(reason.as_str())
+                        .worker(meta.worker)
+                        .field("attempt", attempt as u64)
+                        .field("conflicts", spent_so_far.conflicts)
+                });
+                // Cancellation is a run-level abort, not a too-small
+                // budget: retrying would only be cancelled again.
+                if attempt < retries && reason != ResourceOut::Cancelled {
+                    attempt += 1;
+                    tracer.record(|| {
+                        Event::new(SpanKind::Retry)
+                            .port(plan.port.name())
+                            .instruction(&instr.name)
+                            .worker(meta.worker)
+                            .field("attempt", attempt as u64)
+                    });
+                    continue;
+                }
+                break CheckResult::Unknown {
+                    reason,
+                    budget_spent: BudgetSpent {
+                        conflicts: spent_so_far.conflicts,
+                        propagations: spent_so_far.propagations,
+                        wall: t0.elapsed(),
+                        attempts: attempt + 1,
+                    },
+                };
+            }
+            Ok(result) => break result,
+            Err(e) => {
+                engine.u.rollback_to(snap);
+                return Err(e);
+            }
+        }
+    };
+    let stats = engine.smt.stats();
+    let sat_after = engine.smt.sat_stats();
+    let mut effort = sat_after.since(sat_before);
+    effort.learnt_clauses = sat_after.learnt_clauses.saturating_sub(sat_before.learnt_clauses);
+    let cnf_growth = stats.since(before);
+    let time = t0.elapsed();
+    tracer.record(|| {
+        Event::new(SpanKind::Blast)
+            .port(plan.port.name())
+            .instruction(&instr.name)
+            .worker(meta.worker)
+            .field("cnf_vars", cnf_growth.variables)
+            .field("cnf_clauses", cnf_growth.clauses)
+            .field("total_vars", stats.variables)
+            .field("total_clauses", stats.clauses)
+    });
+    tracer.record(|| {
+        Event::new(SpanKind::Instruction)
+            .port(plan.port.name())
+            .instruction(&instr.name)
+            .label(result.tag())
+            .worker(meta.worker)
+            .field("solves", solves)
+            .field("decisions", effort.decisions)
+            .field("propagations", effort.propagations)
+            .field("conflicts", effort.conflicts)
+            .field("learnt_clauses", effort.learnt_clauses)
+            .field("cnf_vars", cnf_growth.variables)
+            .field("cnf_clauses", cnf_growth.clauses)
+            .field("wall_ns", time.as_nanos() as u64)
+            .field("queue_ns", meta.queue_ns)
+            .field("steals", meta.stolen as u64)
+    });
+    Ok(InstrVerdict {
+        instruction: instr.name.clone(),
+        result,
+        time,
+        stats,
+        cnf_growth,
+        effort,
+        solves,
+        retries: attempt,
+        worker: meta.worker,
+        queue_ns: meta.queue_ns,
+        stolen: meta.stolen,
+    })
+}
+
+/// Runs one job with panic isolation: the check is wrapped in
+/// [`catch_unwind`], and a panicking job becomes a
+/// [`CheckResult::JobPanicked`] verdict instead of tearing down the
+/// scheduler. The worker's engine is discarded on panic (its solver may
+/// have been mid-update), so `engine_slot` comes back `None` and the
+/// caller's `mk_engine` rebuilds it for the next job.
+pub(crate) fn run_job_guarded(
+    plan: &PortPlan<'_>,
+    idx: usize,
+    engine_slot: &mut Option<WorkerEngine>,
+    mk_engine: impl FnOnce() -> WorkerEngine,
+    tracer: &Tracer,
+    meta: JobMeta,
+    policy: &JobPolicy,
+) -> Result<InstrVerdict, VerifyError> {
+    let t0 = Instant::now();
+    let engine = match engine_slot {
+        Some(e) => e,
+        None => engine_slot.insert(mk_engine()),
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        check_instruction_planned(plan, idx, engine, tracer, meta, policy)
+    }));
+    match outcome {
+        Ok(res) => res,
+        Err(payload) => {
+            *engine_slot = None;
+            let message = panic_message(payload.as_ref());
+            let instr = &plan.port.instructions()[idx].name;
             tracer.record(|| {
-                Event::new(SpanKind::Blast)
+                Event::new(SpanKind::Panic)
                     .port(plan.port.name())
-                    .instruction(&instr.name)
+                    .instruction(instr)
+                    .label(&message)
                     .worker(meta.worker)
-                    .field("cnf_vars", cnf_growth.variables)
-                    .field("cnf_clauses", cnf_growth.clauses)
-                    .field("total_vars", stats.variables)
-                    .field("total_clauses", stats.clauses)
-            });
-            tracer.record(|| {
-                Event::new(SpanKind::Instruction)
-                    .port(plan.port.name())
-                    .instruction(&instr.name)
-                    .label(match &result {
-                        CheckResult::Holds => "holds",
-                        CheckResult::CounterExample(_) => "cex",
-                        CheckResult::FinishNotReached { .. } => "unreached",
-                    })
-                    .worker(meta.worker)
-                    .field("solves", solves)
-                    .field("decisions", effort.decisions)
-                    .field("propagations", effort.propagations)
-                    .field("conflicts", effort.conflicts)
-                    .field("learnt_clauses", effort.learnt_clauses)
-                    .field("cnf_vars", cnf_growth.variables)
-                    .field("cnf_clauses", cnf_growth.clauses)
-                    .field("wall_ns", time.as_nanos() as u64)
-                    .field("queue_ns", meta.queue_ns)
-                    .field("steals", meta.stolen as u64)
             });
             Ok(InstrVerdict {
-                instruction: instr.name.clone(),
-                result,
-                time,
-                stats,
-                cnf_growth,
-                effort,
-                solves,
+                instruction: instr.clone(),
+                result: CheckResult::JobPanicked { message },
+                time: t0.elapsed(),
+                stats: BlastStats::default(),
+                cnf_growth: BlastStats::default(),
+                effort: SolverStats::default(),
+                solves: 0,
+                retries: 0,
                 worker: meta.worker,
                 queue_ns: meta.queue_ns,
                 stolen: meta.stolen,
             })
         }
-        Err(e) => {
-            engine.u.rollback_to(snap);
-            Err(e)
-        }
+    }
+}
+
+/// The human-readable part of a panic payload, when there is one.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -788,10 +1181,16 @@ fn check_instruction_inner(
         // Check that this case is reachable at all (for Condition
         // finishes); unreachable cases are skipped.
         if finish_ts.is_some() {
-            let reachable = smt.check_assuming(u.ctx(), &extra_assumptions).is_sat();
+            let reach = smt.check_assuming(u.ctx(), &extra_assumptions);
             *solves += 1;
-            record_solve(smt, tracer, meta, port.name(), &instr.name, "reach", frame, reachable);
-            if !reachable {
+            record_solve(smt, tracer, meta, port.name(), &instr.name, "reach", frame, reach.is_sat());
+            if let SmtResult::Unknown(reason) = reach {
+                return Ok(CheckResult::Unknown {
+                    reason,
+                    budget_spent: BudgetSpent::default(),
+                });
+            }
+            if !reach.is_sat() {
                 continue;
             }
             finish_reachable = true;
@@ -802,9 +1201,16 @@ fn check_instruction_inner(
         let viol = u.ctx_mut().not(all_eq);
         let mut assumptions = extra_assumptions;
         assumptions.push(viol);
-        let violated = smt.check_assuming(u.ctx(), &assumptions).is_sat();
+        let violation = smt.check_assuming(u.ctx(), &assumptions);
         *solves += 1;
+        let violated = violation.is_sat();
         record_solve(smt, tracer, meta, port.name(), &instr.name, "violation", frame, violated);
+        if let SmtResult::Unknown(reason) = violation {
+            return Ok(CheckResult::Unknown {
+                reason,
+                budget_spent: BudgetSpent::default(),
+            });
+        }
         if violated {
             // Diagnose which states mismatch.
             let mismatched: Vec<String> = {
@@ -935,25 +1341,38 @@ fn default_workers() -> usize {
 
 /// Runs a port's instructions in declaration order: one throwaway
 /// engine per instruction, or (incremental) one engine for all of them.
+/// Jobs decided by a resumed checkpoint are not re-run; a panicking job
+/// is isolated ([`run_job_guarded`]) and, in incremental mode, costs
+/// only a rebuild of the shared engine.
 fn run_port_sequential(
     plan: &PortPlan<'_>,
     ts: &TransitionSystem,
     incremental: bool,
     stop_at_first_cex: bool,
-    tracer: &Tracer,
+    ctx: &RunCtx<'_>,
 ) -> Result<Vec<InstrVerdict>, VerifyError> {
-    let mut shared = incremental.then(|| WorkerEngine::new(ts, tracer));
+    let mut shared: Option<WorkerEngine> = None;
     let mut verdicts = Vec::new();
     for idx in 0..plan.instrs.len() {
-        let mut own;
-        let engine = match shared.as_mut() {
-            Some(e) => e,
+        let instr_name = &plan.port.instructions()[idx].name;
+        let v = match ctx.resumed_verdict(plan.port.name(), instr_name) {
+            Some(v) => v,
             None => {
-                own = WorkerEngine::new(ts, tracer);
-                &mut own
+                let mut own = None;
+                let slot = if incremental { &mut shared } else { &mut own };
+                let v = run_job_guarded(
+                    plan,
+                    idx,
+                    slot,
+                    || WorkerEngine::new(ts, ctx.tracer),
+                    ctx.tracer,
+                    JobMeta::default(),
+                    &ctx.policy,
+                )?;
+                ctx.record_checkpoint(plan.port.name(), &v);
+                v
             }
         };
-        let v = check_instruction_planned(plan, idx, engine, tracer, JobMeta::default())?;
         let is_cex = matches!(v.result, CheckResult::CounterExample(_));
         verdicts.push(v);
         if is_cex && stop_at_first_cex {
@@ -988,6 +1407,15 @@ fn telemetry_of(verdicts: &[InstrVerdict]) -> Telemetry {
         t.wall_ns += v.time.as_nanos() as u64;
         t.queue_ns += v.queue_ns;
         t.steals += v.stolen as u64;
+        t.retries += v.retries as u64;
+        match &v.result {
+            CheckResult::Unknown { budget_spent, .. } => {
+                t.unknown += 1;
+                t.budget_spent_conflicts += budget_spent.conflicts;
+            }
+            CheckResult::JobPanicked { .. } => t.panicked += 1,
+            _ => {}
+        }
         if let Some(w) = v.worker {
             if !workers.contains(&w) {
                 workers.push(w);
@@ -1025,26 +1453,39 @@ pub fn verify_port(
     opts: &VerifyOptions,
 ) -> Result<PortReport, VerifyError> {
     validate_options(opts)?;
+    let ctx = RunCtx::from_opts(opts)?;
+    verify_port_with(port, rtl, map, opts, &ctx)
+}
+
+/// [`verify_port`] against an existing run context, so a module run
+/// shares one checkpoint writer and resume set across its ports.
+fn verify_port_with(
+    port: &PortIla,
+    rtl: &RtlModule,
+    map: &RefinementMap,
+    opts: &VerifyOptions,
+    ctx: &RunCtx<'_>,
+) -> Result<PortReport, VerifyError> {
     let start_all = Instant::now();
-    let (ts, ts_signals) = rtl_to_ts(rtl);
+    let (ts, ts_signals) = rtl_to_ts(rtl)?;
     let plan = PortPlan::build(port, rtl, map, &ts_signals)?;
     let verdicts = match resolve_mode(opts, plan.instrs.len()) {
-        ExecMode::Sequential { incremental } => run_port_sequential(
-            &plan,
-            &ts,
-            incremental,
-            opts.stop_at_first_cex,
-            &opts.tracer,
-        )?,
+        ExecMode::Sequential { incremental } => {
+            run_port_sequential(&plan, &ts, incremental, opts.stop_at_first_cex, ctx)?
+        }
         ExecMode::Pool { workers } => {
             let outcome = crate::scheduler::run_pool(
                 std::slice::from_ref(&plan),
                 &ts,
                 workers,
                 opts.stop_at_first_cex,
-                &opts.tracer,
+                ctx,
             )?;
-            let port_result = outcome.ports.into_iter().next().expect("one plan in");
+            let port_result = outcome.ports.into_iter().next().ok_or_else(|| {
+                VerifyError::Internal {
+                    reason: "pool returned no result for the submitted plan".to_string(),
+                }
+            })?;
             port_result.verdicts.into_iter().map(|(_, v)| v).collect()
         }
     };
@@ -1089,12 +1530,13 @@ pub fn verify_module(
             })
     };
     let total_jobs: usize = module.ports().iter().map(|p| p.instructions().len()).sum();
+    let ctx = RunCtx::from_opts(opts)?;
     let mut pool_workers = None;
     let ports = match resolve_mode(opts, total_jobs) {
         ExecMode::Sequential { .. } => {
             let mut ports = Vec::new();
             for port in module.ports() {
-                let report = verify_port(port, rtl, map_for(port)?, opts)?;
+                let report = verify_port_with(port, rtl, map_for(port)?, opts, &ctx)?;
                 let has_cex = report.first_counterexample().is_some();
                 ports.push(report);
                 if has_cex && opts.stop_at_first_cex {
@@ -1104,7 +1546,7 @@ pub fn verify_module(
             ports
         }
         ExecMode::Pool { workers } => {
-            let (ts, ts_signals) = rtl_to_ts(rtl);
+            let (ts, ts_signals) = rtl_to_ts(rtl)?;
             let mut plans = Vec::new();
             for port in module.ports() {
                 plans.push(PortPlan::build(port, rtl, map_for(port)?, &ts_signals)?);
@@ -1114,7 +1556,7 @@ pub fn verify_module(
                 &ts,
                 workers,
                 opts.stop_at_first_cex,
-                &opts.tracer,
+                &ctx,
             )?;
             pool_workers = Some(outcome.workers_spawned as u64);
             module
@@ -1201,6 +1643,262 @@ mod tests {
     use super::*;
     use gila_core::StateKind;
     use gila_rtl::parse_verilog;
+
+    /// An 8-bit multiplier whose refinement proof needs real SAT search:
+    /// the RTL computes `b * a`, the ILA `a * b`, so UNSAT amounts to
+    /// proving bit-level multiplication commutativity — cheap enough to
+    /// finish, expensive enough that small conflict budgets run out.
+    fn mul_ila() -> PortIla {
+        let mut p = PortIla::new("mul");
+        let en = p.input("en", Sort::Bv(1));
+        let a = p.input("a", Sort::Bv(8));
+        let b = p.input("b", Sort::Bv(8));
+        p.state("out", Sort::Bv(8), StateKind::Output);
+        let d = p.ctx_mut().eq_u64(en, 1);
+        let prod = p.ctx_mut().bvmul(a, b);
+        p.instr("mul").decode(d).update("out", prod).add().unwrap();
+        p
+    }
+
+    fn mul_rtl() -> RtlModule {
+        parse_verilog(
+            r#"
+module mul(clk, en, a, b);
+  input clk;
+  input en;
+  input [7:0] a;
+  input [7:0] b;
+  reg [7:0] out_r;
+  always @(posedge clk) if (en) out_r <= b * a;
+endmodule
+"#,
+        )
+        .unwrap()
+    }
+
+    fn mul_map() -> RefinementMap {
+        let mut m = RefinementMap::new("mul");
+        m.map_state("out", "out_r");
+        m.map_input("en", "en");
+        m.map_input("a", "a");
+        m.map_input("b", "b");
+        m
+    }
+
+    #[test]
+    fn exhausted_conflict_budget_reports_unknown_with_spent_effort() {
+        let report = verify_port(
+            &mul_ila(),
+            &mul_rtl(),
+            &mul_map(),
+            &VerifyOptions {
+                budget: SolveBudget {
+                    conflicts: Some(1),
+                    timeout: None,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!report.all_hold());
+        let v = &report.verdicts[0];
+        let CheckResult::Unknown { reason, budget_spent } = &v.result else {
+            panic!("expected Unknown, got {:?}", v.result);
+        };
+        assert_eq!(*reason, ResourceOut::Conflicts);
+        // "spent > max" semantics: giving up means the limit was passed.
+        assert!(budget_spent.conflicts > 1, "{budget_spent:?}");
+        assert_eq!(budget_spent.attempts, 1);
+        assert_eq!(v.retries, 0);
+        assert_eq!(report.telemetry.unknown, 1);
+        assert!(report.telemetry.budget_spent_conflicts > 1);
+        assert_eq!(report.counts().unknown, 1);
+    }
+
+    #[test]
+    fn retry_escalation_converges_to_unbounded_verdict() {
+        let baseline =
+            verify_port(&mul_ila(), &mul_rtl(), &mul_map(), &VerifyOptions::default()).unwrap();
+        assert!(baseline.all_hold(), "commutativity proof should close");
+        let budgeted = verify_port(
+            &mul_ila(),
+            &mul_rtl(),
+            &mul_map(),
+            &VerifyOptions {
+                budget: SolveBudget {
+                    conflicts: Some(1),
+                    timeout: None,
+                },
+                retries: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(budgeted.all_hold(), "{:?}", budgeted.verdicts[0].result);
+        let v = &budgeted.verdicts[0];
+        assert!(v.retries > 0, "a 1-conflict budget cannot decide this in one try");
+        assert_eq!(budgeted.telemetry.retries, v.retries as u64);
+        assert_eq!(budgeted.telemetry.unknown, 0);
+    }
+
+    #[test]
+    fn expired_deadline_is_unknown_and_attempts_are_counted() {
+        let report = verify_port(
+            &mul_ila(),
+            &mul_rtl(),
+            &mul_map(),
+            &VerifyOptions {
+                budget: SolveBudget {
+                    conflicts: None,
+                    timeout: Some(Duration::ZERO),
+                },
+                retries: 2, // a zero timeout never escalates: all 3 attempts expire
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let CheckResult::Unknown { reason, budget_spent } = &report.verdicts[0].result else {
+            panic!("expected Unknown, got {:?}", report.verdicts[0].result);
+        };
+        assert_eq!(*reason, ResourceOut::Deadline);
+        assert_eq!(budget_spent.attempts, 3);
+        assert_eq!(report.verdicts[0].retries, 2);
+    }
+
+    #[test]
+    fn budget_prop_unknown_only_past_the_limit() {
+        // Property over the budget axis: for any conflict budget, the
+        // verdict is either decided (never Unknown without a cause) or
+        // Unknown with strictly more conflicts spent than the budget
+        // allowed — and an unbounded budget is never Unknown.
+        for conflicts in [0u64, 1, 2, 5, 17, 1 << 40] {
+            let report = verify_port(
+                &mul_ila(),
+                &mul_rtl(),
+                &mul_map(),
+                &VerifyOptions {
+                    budget: SolveBudget {
+                        conflicts: Some(conflicts),
+                        timeout: None,
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            match &report.verdicts[0].result {
+                CheckResult::Unknown { reason, budget_spent } => {
+                    assert_eq!(*reason, ResourceOut::Conflicts, "budget={conflicts}");
+                    assert!(budget_spent.conflicts > conflicts, "budget={conflicts}");
+                }
+                CheckResult::Holds => {}
+                other => panic!("budget={conflicts}: unexpected {other:?}"),
+            }
+        }
+        let unbounded =
+            verify_port(&mul_ila(), &mul_rtl(), &mul_map(), &VerifyOptions::default()).unwrap();
+        assert_eq!(unbounded.telemetry.unknown, 0);
+        assert!(unbounded.all_hold());
+    }
+
+    #[test]
+    fn forced_unknown_fault_flows_through_resource_out_path() {
+        let fault = FaultPlan::new().inject("counter", "inc", FaultAction::ForceUnknown, Some(1));
+        let report = verify_port(
+            &counter_ila(),
+            &counter_rtl(false),
+            &counter_map(),
+            &VerifyOptions {
+                fault_plan: Some(Arc::new(fault)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let inc = &report.verdicts[0];
+        let CheckResult::Unknown { reason, .. } = &inc.result else {
+            panic!("expected forced Unknown, got {:?}", inc.result);
+        };
+        assert_eq!(*reason, ResourceOut::Deadline);
+        // The untouched instruction is unaffected.
+        assert!(report.verdicts[1].result.holds());
+    }
+
+    #[test]
+    fn checkpoint_resume_reverifies_only_undecided_jobs() {
+        let dir = std::env::temp_dir().join("gila_engine_resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.jsonl");
+        // First run: `inc` is forced Unknown (once), `hold` decides.
+        let fault = FaultPlan::new().inject("counter", "inc", FaultAction::ForceUnknown, Some(1));
+        let first = verify_port(
+            &counter_ila(),
+            &counter_rtl(false),
+            &counter_map(),
+            &VerifyOptions {
+                fault_plan: Some(Arc::new(fault)),
+                checkpoint: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(first.counts().unknown, 1);
+        assert_eq!(first.counts().holds, 1);
+        // Resumed run: `hold` is replayed from the checkpoint (zero
+        // solves), `inc` is re-verified for real and now holds.
+        let second = verify_port(
+            &counter_ila(),
+            &counter_rtl(false),
+            &counter_map(),
+            &VerifyOptions {
+                resume: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(second.all_hold(), "{:#?}", second.verdicts);
+        let inc = &second.verdicts[0];
+        let hold = &second.verdicts[1];
+        assert!(inc.solves > 0, "undecided job must be re-verified");
+        assert_eq!(hold.solves, 0, "decided job must be replayed, not re-solved");
+        // The resumed run appended its new verdicts: resuming again
+        // re-solves nothing.
+        let third = verify_port(
+            &counter_ila(),
+            &counter_rtl(false),
+            &counter_map(),
+            &VerifyOptions {
+                resume: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(third.all_hold());
+        assert!(third.verdicts.iter().all(|v| v.solves == 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn panicked_job_in_sequential_run_is_isolated() {
+        let fault =
+            FaultPlan::new().inject("counter", "inc", FaultAction::Panic("seq boom".into()), None);
+        let report = verify_port(
+            &counter_ila(),
+            &counter_rtl(false),
+            &counter_map(),
+            &VerifyOptions {
+                fault_plan: Some(Arc::new(fault)),
+                jobs: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.counts().panicked, 1);
+        assert!(matches!(
+            &report.verdicts[0].result,
+            CheckResult::JobPanicked { message } if message.contains("seq boom")
+        ));
+        assert!(report.verdicts[1].result.holds());
+        assert_eq!(report.telemetry.panicked, 1);
+    }
 
     #[test]
     fn correct_rtl_verifies() {

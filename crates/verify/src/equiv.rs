@@ -207,6 +207,10 @@ pub fn check_rtl_equivalence(
     Ok(match bmc_safety(&ts, prop, bound).0 {
         BmcOutcome::HoldsUpTo(k) => EquivOutcome::EquivalentUpTo(k),
         BmcOutcome::Violated(cex) => EquivOutcome::Diverges(cex),
+        // Unreachable: unbounded bmc_safety installs no solve limits.
+        BmcOutcome::Unknown { reason, at_step } => {
+            unreachable!("unbounded BMC gave up ({reason:?} at step {at_step})")
+        }
     })
 }
 

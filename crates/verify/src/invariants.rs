@@ -54,7 +54,7 @@ pub fn validate_invariants(
     max_k: usize,
 ) -> Result<InductionOutcome, VerifyError> {
     let mut rtl_scratch = rtl.clone();
-    let (mut ts, _signals) = crate::engine::rtl_to_ts(rtl);
+    let (mut ts, _signals) = crate::engine::rtl_to_ts(rtl)?;
     let mut memo = std::collections::HashMap::new();
     let mut conjuncts = Vec::new();
     for inv in invariants {

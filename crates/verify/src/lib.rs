@@ -60,9 +60,11 @@
 #![warn(missing_docs)]
 
 mod abstraction;
+mod checkpoint;
 mod cosim;
 mod engine;
 mod equiv;
+mod fault;
 mod invariants;
 mod mutation;
 mod property;
@@ -72,10 +74,15 @@ mod synth;
 mod vcd;
 
 pub use abstraction::{abstract_port_memory, abstract_rtl_memory, AbstractError};
+pub use checkpoint::CheckpointWriter;
 pub use engine::{
-    rtl_to_ts, verify_module, verify_port, CheckResult, InstrVerdict, ModuleReport, PortReport,
-    RefinementCex, VerifyError, VerifyOptions,
+    rtl_to_ts, verify_module, verify_port, BudgetSpent, CheckResult, InstrVerdict, ModuleReport,
+    PortReport, RefinementCex, SolveBudget, VerdictCounts, VerifyError, VerifyOptions,
 };
+pub use fault::{FaultAction, FaultPlan, FaultPlanError};
+/// Re-exported so budget consumers can name the resource that ran out
+/// without depending on `gila-smt` directly.
+pub use gila_smt::ResourceOut;
 pub use property::{render_all_properties, render_property};
 pub use refmap::{FinishCondition, InputPolicy, InstructionMap, RefinementMap};
 pub use cosim::{cosimulate, CosimError, Divergence};

@@ -16,16 +16,16 @@
 //! Verdicts are reassembled into declaration order afterwards, so a
 //! pooled run reports exactly what a sequential run would.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 use gila_mc::TransitionSystem;
-use gila_trace::Tracer;
+use gila_smt::CancelToken;
 
 use crate::engine::{
-    check_instruction_planned, CheckResult, InstrVerdict, JobMeta, PortPlan, VerifyError,
+    run_job_guarded, CheckResult, InstrVerdict, JobMeta, PortPlan, RunCtx, VerifyError,
     WorkerEngine,
 };
 
@@ -64,7 +64,14 @@ pub(crate) struct PoolOutcome {
 /// any job.
 ///
 /// With `stop_at_first_cex`, the first counterexample found anywhere
-/// cancels all queued work; in-flight jobs still finish and report.
+/// cancels all queued work *and* interrupts in-flight solves through
+/// the workers' [`CancelToken`]s; an interrupted job reports
+/// `Unknown(Cancelled)`.
+///
+/// Jobs already decided by the context's resumed checkpoint are never
+/// scheduled; their stored verdicts are merged into the result. A job
+/// that panics is isolated into a [`CheckResult::JobPanicked`] verdict
+/// ([`run_job_guarded`]) and the pool keeps draining.
 ///
 /// # Errors
 ///
@@ -75,76 +82,101 @@ pub(crate) fn run_pool(
     ts: &TransitionSystem,
     workers: usize,
     stop_at_first_cex: bool,
-    tracer: &Tracer,
+    ctx: &RunCtx<'_>,
 ) -> Result<PoolOutcome, VerifyError> {
+    let tracer = ctx.tracer;
     let injector = Injector::new();
     let mut total = 0usize;
+    let mut resumed: Vec<(Job, InstrVerdict)> = Vec::new();
     for (port, plan) in plans.iter().enumerate() {
         for instr in 0..plan.instrs.len() {
-            injector.push(Job { port, instr });
-            total += 1;
+            let name = &plan.port.instructions()[instr].name;
+            match ctx.resumed_verdict(plan.port.name(), name) {
+                Some(v) => resumed.push((Job { port, instr }, v)),
+                None => {
+                    injector.push(Job { port, instr });
+                    total += 1;
+                }
+            }
         }
     }
     let workers_spawned = workers.clamp(1, total.max(1));
     let locals: Vec<Worker<Job>> = (0..workers_spawned).map(|_| Worker::new_fifo()).collect();
     let stealers: Vec<Stealer<Job>> = locals.iter().map(Worker::stealer).collect();
 
-    let cancel = AtomicBool::new(false);
+    let cancel = CancelToken::new();
     let engines_created = AtomicUsize::new(0);
     let t0 = Instant::now();
     type JobRecord = (Job, Result<InstrVerdict, VerifyError>, Duration);
     let results: Mutex<Vec<JobRecord>> = Mutex::new(Vec::with_capacity(total));
 
-    crossbeam::thread::scope(|scope| {
+    let scope_result = crossbeam::thread::scope(|scope| {
         for (worker_id, local) in locals.into_iter().enumerate() {
-            let (injector, stealers) = (&injector, &stealers);
-            let (cancel, engines_created, results) = (&cancel, &engines_created, &results);
+            let (injector, stealers, cancel) = (&injector, &stealers, &cancel);
+            let (engines_created, results, ctx) = (&engines_created, &results, &ctx);
             scope.spawn(move |_| {
                 let mut engine: Option<WorkerEngine> = None;
-                while !cancel.load(Ordering::Relaxed) {
+                while !cancel.is_cancelled() {
                     let Some((job, stolen)) = find_job(&local, injector, stealers) else {
                         break;
                     };
                     let queue_ns = t0.elapsed().as_nanos() as u64;
-                    let engine = engine.get_or_insert_with(|| {
-                        engines_created.fetch_add(1, Ordering::Relaxed);
-                        WorkerEngine::new(ts, tracer)
-                    });
                     let meta = JobMeta {
                         worker: Some(worker_id),
                         queue_ns,
                         stolen,
                     };
-                    let res = check_instruction_planned(
-                        &plans[job.port],
+                    let plan = &plans[job.port];
+                    let res = run_job_guarded(
+                        plan,
                         job.instr,
-                        engine,
+                        &mut engine,
+                        || {
+                            engines_created.fetch_add(1, Ordering::Relaxed);
+                            let mut e = WorkerEngine::new(ts, tracer);
+                            // Cancellation interrupts this worker's
+                            // solver mid-search, not just job pickup.
+                            e.smt.set_cancel(cancel.clone());
+                            e
+                        },
                         tracer,
                         meta,
+                        &ctx.policy,
                     );
                     let done_at = t0.elapsed();
                     let abort = match &res {
                         Ok(v) => {
+                            ctx.record_checkpoint(plan.port.name(), v);
                             stop_at_first_cex
                                 && matches!(v.result, CheckResult::CounterExample(_))
                         }
                         Err(_) => true,
                     };
-                    results.lock().expect("no panics hold the lock").push((
+                    results.lock().unwrap_or_else(|p| p.into_inner()).push((
                         job,
                         res,
                         done_at,
                     ));
                     if abort {
-                        cancel.store(true, Ordering::Relaxed);
+                        cancel.cancel();
                     }
                 }
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
+    // Workers isolate job panics themselves; a panic escaping to here
+    // is a scheduler bug, reported as an internal error rather than a
+    // double panic out of the verification API.
+    if scope_result.is_err() {
+        return Err(VerifyError::Internal {
+            reason: "a verification worker died outside job isolation".to_string(),
+        });
+    }
 
-    let mut records = results.into_inner().expect("all workers joined");
+    let mut records = results
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    records.extend(resumed.into_iter().map(|(job, v)| (job, Ok(v), Duration::ZERO)));
     records.sort_by_key(|(job, _, _)| (job.port, job.instr));
     let mut ports: Vec<PoolPortResult> = plans
         .iter()
@@ -193,23 +225,36 @@ mod tests {
     use super::*;
     use crate::engine::testutil::{counter_ila, counter_map, counter_rtl};
     use crate::engine::{rtl_to_ts, verify_port, VerifyOptions};
+    use crate::fault::{FaultAction, FaultPlan};
 
     fn run_counter_pool(
         buggy: bool,
         workers: usize,
         stop_at_first_cex: bool,
     ) -> PoolOutcome {
+        run_counter_pool_with(buggy, workers, stop_at_first_cex, None)
+    }
+
+    fn run_counter_pool_with(
+        buggy: bool,
+        workers: usize,
+        stop_at_first_cex: bool,
+        fault: Option<FaultPlan>,
+    ) -> PoolOutcome {
         let port = counter_ila();
         let rtl = counter_rtl(buggy);
         let map = counter_map();
-        let (ts, ts_signals) = rtl_to_ts(&rtl);
+        let (ts, ts_signals) = rtl_to_ts(&rtl).unwrap();
         let plan = PortPlan::build(&port, &rtl, &map, &ts_signals).unwrap();
+        let tracer = gila_trace::Tracer::disabled();
+        let mut ctx = RunCtx::plain(&tracer);
+        ctx.policy.fault = fault.map(std::sync::Arc::new);
         run_pool(
             std::slice::from_ref(&plan),
             &ts,
             workers,
             stop_at_first_cex,
-            &gila_trace::Tracer::disabled(),
+            &ctx,
         )
         .unwrap()
     }
@@ -300,9 +345,61 @@ mod tests {
     #[test]
     fn empty_plan_set_yields_empty_outcome() {
         let rtl = counter_rtl(false);
-        let (ts, _) = rtl_to_ts(&rtl);
-        let outcome = run_pool(&[], &ts, 4, false, &gila_trace::Tracer::disabled()).unwrap();
+        let (ts, _) = rtl_to_ts(&rtl).unwrap();
+        let tracer = gila_trace::Tracer::disabled();
+        let outcome = run_pool(&[], &ts, 4, false, &RunCtx::plain(&tracer)).unwrap();
         assert!(outcome.ports.is_empty());
         assert_eq!(outcome.engines_created, 0);
+    }
+
+    /// Regression test for the poisoning `.expect(...)` lock/join
+    /// handling: a job that panics mid-check must become a
+    /// `JobPanicked` verdict, not tear down the pool, and every other
+    /// job must still be decided normally.
+    #[test]
+    fn panicking_job_is_isolated_and_pool_drains() {
+        for workers in [1, 4] {
+            let fault = FaultPlan::new().inject(
+                "counter",
+                "inc",
+                FaultAction::Panic("injected".into()),
+                Some(1),
+            );
+            let outcome = run_counter_pool_with(false, workers, false, Some(fault));
+            let verdicts = &outcome.ports[0].verdicts;
+            assert_eq!(verdicts.len(), 2, "workers={workers}");
+            let inc = &verdicts[0].1;
+            assert_eq!(inc.instruction, "inc");
+            let CheckResult::JobPanicked { message } = &inc.result else {
+                panic!("expected JobPanicked, got {:?}", inc.result);
+            };
+            assert!(message.contains("injected"), "{message}");
+            // The other instruction is decided as if nothing happened.
+            let hold = &verdicts[1].1;
+            assert_eq!(hold.instruction, "hold");
+            assert!(hold.result.holds(), "workers={workers}");
+        }
+    }
+
+    /// A worker whose engine was poisoned by a panic rebuilds it and
+    /// keeps serving: with one worker, the panic on the first job must
+    /// not leave the second job with a corrupt solver.
+    #[test]
+    fn single_worker_rebuilds_engine_after_panic() {
+        let fault = FaultPlan::new().inject(
+            "counter",
+            "inc",
+            FaultAction::Panic("first job dies".into()),
+            Some(1),
+        );
+        let outcome = run_counter_pool_with(true, 1, false, Some(fault));
+        let verdicts = &outcome.ports[0].verdicts;
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts[0].1.result.is_panicked());
+        // On the buggy counter `hold` still genuinely holds; deciding it
+        // requires a fresh, working engine after the panic.
+        assert!(verdicts[1].1.result.holds());
+        // One engine for the panicked job, one rebuilt for the next.
+        assert_eq!(outcome.engines_created, 2);
     }
 }

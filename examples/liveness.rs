@@ -17,7 +17,7 @@ use gila::verify::rtl_to_ts;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rtl = master::rtl();
-    let (mut ts, signals) = rtl_to_ts(&rtl);
+    let (mut ts, signals) = rtl_to_ts(&rtl)?;
 
     // Justice: the write-done pulse recurs forever.
     let done = signals["host_wr_done_r"];

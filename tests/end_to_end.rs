@@ -209,7 +209,7 @@ fn every_design_exports_btor2() {
     use gila::mc::to_btor2;
     use gila::verify::rtl_to_ts;
     for cs in all_case_studies() {
-        let (mut ts, _signals) = rtl_to_ts(&cs.rtl);
+        let (mut ts, _signals) = rtl_to_ts(&cs.rtl).expect("case-study RTL is well-formed");
         let prop = ts.ctx_mut().tt();
         let doc = to_btor2(&ts, prop)
             .unwrap_or_else(|e| panic!("{}: btor2 export failed: {e}", cs.name));

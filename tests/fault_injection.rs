@@ -1,0 +1,232 @@
+//! Fault-injection integration tests: the acceptance criteria of the
+//! robustness layer. An injected panic or an exhausted budget must never
+//! abort a module run — every other instruction still gets the verdict
+//! it would get in a clean run — and `resume` must re-verify only the
+//! jobs a previous run left undecided. Everything is exercised at both
+//! `jobs = 1` (sequential engine) and `jobs = 4` (work-stealing pool).
+
+use std::sync::Arc;
+
+use gila::core::ModuleIla;
+use gila::designs::all_case_studies;
+use gila::rtl::RtlModule;
+use gila::verify::{
+    identity_refmaps, synthesize_module, verify_module, CheckResult, FaultAction, FaultPlan,
+    ModuleReport, RefinementMap, ResourceOut, SolveBudget, VerifyOptions,
+};
+use proptest::prelude::*;
+
+fn decoder() -> (ModuleIla, RtlModule, Vec<RefinementMap>) {
+    let cs = all_case_studies()
+        .into_iter()
+        .find(|c| c.name == "Decoder")
+        .unwrap();
+    (cs.ila, cs.rtl, cs.refmaps)
+}
+
+fn counter() -> (ModuleIla, RtlModule, Vec<RefinementMap>) {
+    let ila = gila::lang::parse_ila(include_str!("../specs/counter.ila")).unwrap();
+    let rtl = synthesize_module(&ila).unwrap();
+    let maps = identity_refmaps(&ila);
+    (ila, rtl, maps)
+}
+
+/// `(port, instruction, verdict tag)` triples in declaration order.
+fn shape(report: &ModuleReport) -> Vec<(String, String, &'static str)> {
+    report
+        .ports
+        .iter()
+        .flat_map(|p| {
+            p.verdicts
+                .iter()
+                .map(|v| (p.port.clone(), v.instruction.clone(), v.result.tag()))
+        })
+        .collect()
+}
+
+fn with_jobs(jobs: usize) -> VerifyOptions {
+    VerifyOptions {
+        jobs: Some(jobs),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn injected_panic_never_aborts_and_other_verdicts_match() {
+    let (ila, rtl, maps) = decoder();
+    let port = ila.ports()[0].name().to_string();
+    let instr = ila.ports()[0].instructions()[0].name.clone();
+    for jobs in [1usize, 4] {
+        let clean = verify_module(&ila, &rtl, &maps, &with_jobs(jobs)).unwrap();
+        assert!(clean.all_hold());
+        let fault = FaultPlan::new().inject(
+            &port,
+            &instr,
+            FaultAction::Panic("isolation test".into()),
+            None,
+        );
+        let faulted = verify_module(
+            &ila,
+            &rtl,
+            &maps,
+            &VerifyOptions {
+                fault_plan: Some(Arc::new(fault)),
+                ..with_jobs(jobs)
+            },
+        )
+        .unwrap();
+        // The run completed: one verdict per instruction, exactly one of
+        // them the isolated panic, all others identical to the clean run.
+        assert_eq!(
+            clean.instructions_checked(),
+            faulted.instructions_checked(),
+            "jobs={jobs}"
+        );
+        assert_eq!(faulted.counts().panicked, 1, "jobs={jobs}");
+        assert_eq!(faulted.telemetry.panicked, 1, "jobs={jobs}");
+        for (c, f) in shape(&clean).iter().zip(shape(&faulted).iter()) {
+            if f.0 == port && f.1 == instr {
+                assert_eq!(f.2, "panicked", "jobs={jobs}");
+            } else {
+                assert_eq!(c, f, "jobs={jobs}: unfaulted verdict drifted");
+            }
+        }
+    }
+}
+
+#[test]
+fn wildcard_panic_on_every_job_still_drains_the_run() {
+    // The pathological case: every single job dies. The module run must
+    // still return a full report, not abort or hang.
+    let (ila, rtl, maps) = decoder();
+    for jobs in [1usize, 4] {
+        let fault = FaultPlan::new().inject("*", "*", FaultAction::Panic("total loss".into()), None);
+        let report = verify_module(
+            &ila,
+            &rtl,
+            &maps,
+            &VerifyOptions {
+                fault_plan: Some(Arc::new(fault)),
+                ..with_jobs(jobs)
+            },
+        )
+        .unwrap();
+        let counts = report.counts();
+        assert_eq!(
+            counts.panicked,
+            report.instructions_checked(),
+            "jobs={jobs}: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn resume_reverifies_only_undecided_jobs() {
+    let (ila, rtl, maps) = decoder();
+    let port = ila.ports()[0].name().to_string();
+    let instr = ila.ports()[0].instructions()[0].name.clone();
+    let dir = std::env::temp_dir().join(format!("gila_fault_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for jobs in [1usize, 4] {
+        let ckpt = dir.join(format!("jobs{jobs}.jsonl"));
+        // First run: the target instruction is forced Unknown (once),
+        // every verdict streams to the checkpoint.
+        let fault = FaultPlan::new().inject(&port, &instr, FaultAction::ForceUnknown, Some(1));
+        let first = verify_module(
+            &ila,
+            &rtl,
+            &maps,
+            &VerifyOptions {
+                fault_plan: Some(Arc::new(fault)),
+                checkpoint: Some(ckpt.clone()),
+                ..with_jobs(jobs)
+            },
+        )
+        .unwrap();
+        assert_eq!(first.counts().unknown, 1, "jobs={jobs}");
+        // Resumed run: decided verdicts replay with zero solver work,
+        // only the undecided instruction is re-verified.
+        let second = verify_module(
+            &ila,
+            &rtl,
+            &maps,
+            &VerifyOptions {
+                resume: Some(ckpt.clone()),
+                ..with_jobs(jobs)
+            },
+        )
+        .unwrap();
+        assert!(second.all_hold(), "jobs={jobs}: {:#?}", second.counts());
+        for p in &second.ports {
+            for v in &p.verdicts {
+                if p.port == port && v.instruction == instr {
+                    assert!(v.solves > 0, "jobs={jobs}: undecided job must re-solve");
+                } else {
+                    assert_eq!(
+                        v.solves, 0,
+                        "jobs={jobs}: {}/{} was decided and must replay",
+                        p.port, v.instruction
+                    );
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn delay_faults_only_slow_the_run_down() {
+    let (ila, rtl, maps) = counter();
+    let fault = FaultPlan::new().inject(
+        "*",
+        "*",
+        FaultAction::Delay(std::time::Duration::from_millis(5)),
+        None,
+    );
+    let report = verify_module(
+        &ila,
+        &rtl,
+        &maps,
+        &VerifyOptions {
+            fault_plan: Some(Arc::new(fault)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(report.all_hold());
+    assert!(report.total_time() >= std::time::Duration::from_millis(10));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Budget semantics, property-style: Unknown can only appear when a
+    /// conflict limit was configured, and then only with more conflicts
+    /// spent than the limit allowed; an unbounded budget always decides.
+    #[test]
+    fn unknown_only_when_a_limit_was_hit(raw in 0u64..60, retries in 0u32..3) {
+        let (ila, rtl, maps) = counter();
+        let conflicts = (raw < 50).then_some(raw);
+        let opts = VerifyOptions {
+            budget: SolveBudget { conflicts, timeout: None },
+            retries,
+            ..Default::default()
+        };
+        let report = verify_module(&ila, &rtl, &maps, &opts).unwrap();
+        for p in &report.ports {
+            for v in &p.verdicts {
+                if let CheckResult::Unknown { reason, budget_spent } = &v.result {
+                    prop_assert!(conflicts.is_some(), "Unknown without a limit");
+                    prop_assert_eq!(*reason, ResourceOut::Conflicts);
+                    // Escalation quadruples per retry; the final
+                    // attempt still overshot its (largest) budget.
+                    prop_assert!(budget_spent.conflicts > conflicts.unwrap());
+                }
+            }
+        }
+        if conflicts.is_none() {
+            prop_assert!(report.all_hold());
+            prop_assert_eq!(report.telemetry.unknown, 0);
+        }
+    }
+}

@@ -3,8 +3,12 @@
 //! sequential run reports, for any worker count, and `stop_at_first_cex`
 //! must still surface the documented bugs when workers race.
 
+use std::sync::Arc;
+
 use gila::designs::all_case_studies;
-use gila::verify::{verify_module, CheckResult, VerifyOptions};
+use gila::verify::{
+    verify_module, CheckResult, FaultAction, FaultPlan, SolveBudget, VerifyOptions,
+};
 
 fn with_jobs(jobs: usize) -> VerifyOptions {
     VerifyOptions {
@@ -91,6 +95,92 @@ fn pooled_stop_at_first_cex_finds_the_documented_bug() {
     assert!(
         cex.contains(&"RD_DATA_PREPARE"),
         "documented bug not among counterexamples: {cex:?}"
+    );
+}
+
+#[test]
+fn pooled_verdicts_match_sequential_under_fault_injection() {
+    // Panic isolation and forced Unknowns must not depend on the
+    // scheduling mode: a faulted pooled run reports the same per-
+    // instruction outcome tags as a faulted sequential run.
+    let cs = all_case_studies()
+        .into_iter()
+        .find(|c| c.name == "Decoder")
+        .unwrap();
+    let target = cs.ila.ports()[0].instructions()[0].name.clone();
+    let tags = |jobs: usize| {
+        let opts = VerifyOptions {
+            jobs: Some(jobs),
+            fault_plan: Some(Arc::new(FaultPlan::new().inject(
+                "*",
+                &target,
+                FaultAction::Panic("parity".into()),
+                None,
+            ))),
+            ..Default::default()
+        };
+        let report = verify_module(&cs.ila, &cs.rtl, &cs.refmaps, &opts).unwrap();
+        report
+            .ports
+            .iter()
+            .flat_map(|p| {
+                p.verdicts
+                    .iter()
+                    .map(|v| (p.port.clone(), v.instruction.clone(), v.result.tag()))
+            })
+            .collect::<Vec<_>>()
+    };
+    let seq = tags(1);
+    assert!(seq.iter().any(|(_, _, t)| *t == "panicked"));
+    for jobs in [2, 8] {
+        assert_eq!(seq, tags(jobs), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn budgets_disabled_pool_matches_pr2_behavior() {
+    // The default (unbounded) budget takes the exact pre-budget code
+    // path: no Unknown verdicts, no retries, zero budget telemetry.
+    let cs = all_case_studies()
+        .into_iter()
+        .find(|c| c.name == "Decoder")
+        .unwrap();
+    let opts = VerifyOptions {
+        jobs: Some(4),
+        ..Default::default()
+    };
+    assert!(opts.budget.is_unbounded());
+    let report = verify_module(&cs.ila, &cs.rtl, &cs.refmaps, &opts).unwrap();
+    assert!(report.all_hold());
+    let c = report.counts();
+    assert_eq!((c.unknown, c.panicked), (0, 0));
+    assert_eq!(report.telemetry.retries, 0);
+    assert_eq!(report.telemetry.budget_spent_conflicts, 0);
+    assert!(report.ports.iter().flat_map(|p| &p.verdicts).all(|v| v.retries == 0));
+}
+
+#[test]
+fn pooled_budget_exhaustion_is_reported_not_fatal() {
+    // A zero deadline exhausts every job in the pool; the run still
+    // completes with a full set of Unknown verdicts.
+    let cs = all_case_studies()
+        .into_iter()
+        .find(|c| c.name == "Decoder")
+        .unwrap();
+    let opts = VerifyOptions {
+        jobs: Some(4),
+        budget: SolveBudget {
+            conflicts: None,
+            timeout: Some(std::time::Duration::ZERO),
+        },
+        ..Default::default()
+    };
+    let report = verify_module(&cs.ila, &cs.rtl, &cs.refmaps, &opts).unwrap();
+    assert_eq!(
+        report.counts().unknown,
+        report.instructions_checked(),
+        "{:?}",
+        report.counts()
     );
 }
 

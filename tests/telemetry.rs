@@ -23,7 +23,7 @@ use gila::designs::all_case_studies;
 use gila::trace::{canonicalize_jsonl, span_set, RingSink, Tracer};
 use gila::verify::{
     identity_refmaps, synthesize_module, verify_module, ModuleReport, RefinementMap,
-    VerifyOptions,
+    SolveBudget, VerifyOptions,
 };
 
 /// The self-check fixture: the counter spec verified against its own
@@ -161,6 +161,55 @@ fn report_telemetry_sums_verdicts() {
     assert_eq!(t.workers, 1);
     let summed: u64 = report.ports.iter().map(|p| p.telemetry.solves).sum();
     assert_eq!(t.solves, summed);
+}
+
+/// Budget-exhausted runs emit the new `budget_exhausted`/`retry` span
+/// kinds — and ONLY such runs do, which is why the checked-in goldens
+/// (recorded without budgets) stay valid without regeneration.
+#[test]
+fn exhausted_budgets_emit_spans_only_on_the_budgeted_path() {
+    // Default run: no robustness spans anywhere in the trace.
+    let (_, clean) = traced_run("counter", 1);
+    for kind in ["budget_exhausted", "retry", "panic"] {
+        assert!(
+            !clean.contains(&format!("\"kind\":\"{kind}\"")),
+            "default run leaked a {kind} span — goldens would break"
+        );
+    }
+    // Budgeted run with a zero deadline: every attempt exhausts, each
+    // retry is announced, and the report telemetry agrees.
+    let (tracer, ring): (Tracer, Arc<RingSink>) = Tracer::ring(100_000);
+    let (ila, rtl, maps) = counter_fixture();
+    let opts = VerifyOptions {
+        jobs: Some(1),
+        tracer,
+        budget: SolveBudget {
+            conflicts: None,
+            timeout: Some(std::time::Duration::ZERO),
+        },
+        retries: 1,
+        ..Default::default()
+    };
+    let report = verify_module(&ila, &rtl, &maps, &opts).unwrap();
+    let jsonl = ring
+        .events()
+        .iter()
+        .map(|e| e.to_json_line())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let count = |kind: &str| {
+        jsonl
+            .lines()
+            .filter(|l| l.contains(&format!("\"kind\":\"{kind}\"")))
+            .count()
+    };
+    let instrs = report.instructions_checked();
+    assert_eq!(report.counts().unknown, instrs);
+    // Two attempts per instruction (initial + 1 retry), each exhausted.
+    assert_eq!(count("budget_exhausted"), instrs * 2, "{jsonl}");
+    assert_eq!(count("retry"), instrs, "{jsonl}");
+    assert_eq!(report.telemetry.unknown, instrs as u64);
+    assert_eq!(report.telemetry.retries, instrs as u64);
 }
 
 /// CI matrix hook: `GILA_TEST_JOBS` picks the pool size this suite
