@@ -17,6 +17,8 @@ use std::time::Instant;
 
 use gila_designs::{all_case_studies, CaseStudy};
 use gila_json::Value;
+use gila_lint::{lint_module, lint_rtl, LintOptions};
+use gila_trace::Tracer;
 use gila_verify::{verify_module, ModuleReport, VerifyOptions};
 
 const POOL_JOBS: usize = 4;
@@ -55,6 +57,21 @@ fn bench(runs: usize) -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("benchmarking {} ...", cs.name);
         let (sequential_s, seq_report) = best_run(&cs, 1, runs);
         let (pooled_s, _) = best_run(&cs, POOL_JOBS, runs);
+        // Static analysis rides along: lint the ILA model and the RTL
+        // and record the wall time, proving the whole pass stays
+        // sub-second per design.
+        let lint_s = {
+            let mut best = f64::INFINITY;
+            for _ in 0..runs {
+                let t0 = Instant::now();
+                let report =
+                    lint_module(cs.name, &cs.ila, &LintOptions { jobs: 1 }, &Tracer::disabled());
+                let _ = lint_rtl(cs.name, &cs.rtl, &Tracer::disabled());
+                assert_eq!(report.errors(), 0, "{}: {}", cs.name, report.render_human());
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            best
+        };
         // Telemetry is taken from the deterministic sequential run, so
         // artifact diffs reflect engine changes, not scheduling noise.
         let t = &seq_report.telemetry;
@@ -64,6 +81,7 @@ fn bench(runs: usize) -> Result<(), Box<dyn std::error::Error>> {
             ("sequential_s".into(), sequential_s.into()),
             ("pooled_s".into(), pooled_s.into()),
             ("speedup".into(), (sequential_s / pooled_s).into()),
+            ("lint_s".into(), lint_s.into()),
             (
                 "telemetry".into(),
                 Value::Object(vec![
@@ -120,11 +138,16 @@ fn check_artifact(doc: &Value) -> Result<(), String> {
         row.get("instructions")
             .and_then(Value::as_u64)
             .ok_or_else(|| ctx("instructions"))?;
-        for key in ["sequential_s", "pooled_s", "speedup"] {
+        for key in ["sequential_s", "pooled_s", "speedup", "lint_s"] {
             let v = row.get(key).and_then(Value::as_f64).ok_or_else(|| ctx(key))?;
             if !(v.is_finite() && v > 0.0) {
                 return Err(format!("{design}: {key} = {v} is not a positive time"));
             }
+        }
+        // The static-analysis pass must stay sub-second per design.
+        let lint_s = row.get("lint_s").and_then(Value::as_f64).expect("checked");
+        if lint_s >= 1.0 {
+            return Err(format!("{design}: lint_s = {lint_s} is not sub-second"));
         }
         let telemetry = row.get("telemetry").ok_or_else(|| ctx("telemetry"))?;
         for key in [

@@ -468,6 +468,84 @@ pub fn sim(flags: &[(String, String)]) -> CmdResult {
     Ok(0)
 }
 
+/// `gila lint`: SAT-backed static analysis over specs and RTL.
+///
+/// Exit codes: 0 = no error-class or denied findings, 1 = at least one
+/// error-class or `--deny`ed finding, 2 = usage or parse error.
+pub fn lint(positional: &[String], flags: &[(String, String)]) -> CmdResult {
+    use gila_lint::{lint_module, lint_rtl, lint_spec, Code, LintOptions, LintReport};
+
+    let json = flag(flags, "json").is_some();
+    let mut deny = Vec::new();
+    for d in flag_all(flags, "deny") {
+        deny.push(
+            Code::parse(d).ok_or_else(|| format!("--deny expects a GL0xx code, got {d:?}"))?,
+        );
+    }
+    let jobs = match flag(flags, "jobs") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--jobs expects a worker count, got {v:?}"))?,
+        None => 1,
+    };
+    let opts = LintOptions { jobs: jobs.max(1) };
+    let tracer = match flag(flags, "trace") {
+        Some(path) => Tracer::jsonl_file(std::path::Path::new(path))
+            .map_err(|e| format!("opening --trace {path}: {e}"))?,
+        None => Tracer::disabled(),
+    };
+    let mut reports: Vec<LintReport> = Vec::new();
+    if flag(flags, "all-designs").is_some() {
+        for cs in gila_designs::all_case_studies() {
+            let mut report = lint_module(cs.name, &cs.ila, &opts, &tracer);
+            report
+                .diagnostics
+                .extend(lint_rtl(cs.name, &cs.rtl, &tracer));
+            reports.push(report);
+        }
+    } else if let Some(path) = positional.first() {
+        let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let spec = gila_lang::parse_spec(&text).map_err(|e| format!("{path}: {e}"))?;
+        reports.push(lint_spec(path, &spec, &opts, &tracer));
+    } else if flag(flags, "rtl").is_none() {
+        return Err("lint needs a SPEC.ila argument, --rtl IMPL.v, or --all-designs".into());
+    }
+    if let Some(path) = flag(flags, "rtl") {
+        let rtl = load_rtl(path)?;
+        let mut report = LintReport::new(path);
+        report.diagnostics = lint_rtl(path, &rtl, &tracer);
+        reports.push(report);
+    }
+    let errors: usize = reports.iter().map(LintReport::errors).sum();
+    let warnings: usize = reports.iter().map(LintReport::warnings).sum();
+    let denied: usize = reports.iter().map(|r| r.denied(&deny)).sum();
+    if json {
+        let doc = gila_json::Value::object(vec![
+            ("tool".into(), "gila-lint".into()),
+            ("version".into(), 1u64.into()),
+            (
+                "targets".into(),
+                gila_json::Value::Array(reports.iter().map(LintReport::to_json).collect()),
+            ),
+            (
+                "summary".into(),
+                gila_json::Value::object(vec![
+                    ("targets".into(), reports.len().into()),
+                    ("errors".into(), errors.into()),
+                    ("warnings".into(), warnings.into()),
+                    ("denied".into(), denied.into()),
+                ]),
+            ),
+        ]);
+        println!("{}", doc.pretty());
+    } else {
+        for r in &reports {
+            print!("{}", r.render_human());
+        }
+    }
+    Ok(u8::from(errors > 0 || denied > 0))
+}
+
 /// `gila props`: print the auto-generated refinement properties.
 pub fn props(flags: &[(String, String)]) -> CmdResult {
     let ila = load_ila(require(flags, "ila")?)?;

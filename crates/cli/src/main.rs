@@ -28,14 +28,29 @@ USAGE:
   gila props     --ila SPEC.ila --map MAP.json [--map MAP2.json ...]
   gila export    --rtl IMPL.v [--prop EXPR] [-o OUT.btor2]
   gila sim       (--rtl IMPL.v | --ila SPEC.ila) --stimulus FILE
+  gila lint      (SPEC.ila | --all-designs) [--rtl IMPL.v] [--json]
+                 [--deny CODE ...] [--jobs N] [--trace OUT.jsonl]
 
 EXIT CODES:
-  0  success (all properties hold / invariants proved)
-  1  a property failed or an invariant was refuted
+  0  success (all properties hold / invariants proved / lint clean)
+  1  a property failed, an invariant was refuted, or lint found an
+     error-class or --deny'ed diagnostic
   2  usage or input error
   3  undecided: at least one verdict is UNKNOWN (solve budget exhausted)
   4  internal error (a verification job panicked, or a checkpoint/
      scheduler failure); 4 beats 1 beats 3 when a run mixes outcomes
+
+LINT OPTIONS:
+  --all-designs        lint the ILA model and RTL of all eight bundled
+                       case studies instead of a spec file
+  --rtl IMPL.v         also run the RTL passes (GL011-GL013) on IMPL.v
+  --json               emit a machine-readable report on stdout
+  --deny CODE          exit 1 if CODE (e.g. GL001) was reported, even if
+                       it is warning-class; repeatable
+  --jobs N             lint ports on N worker threads; output is
+                       identical at any job count
+  --trace OUT          write one lint_pass telemetry span per pass per
+                       target to OUT (JSONL)
 
 VERIFY OPTIONS:
   --jobs N             check instructions on a work-stealing pool of N
@@ -71,7 +86,10 @@ fn parse_args(args: &[String]) -> (Vec<String>, Vec<(String, String)>) {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags have no value; value flags consume the next arg.
-            if matches!(name, "stop-at-first-cex" | "parallel" | "incremental" | "stats") {
+            if matches!(
+                name,
+                "stop-at-first-cex" | "parallel" | "incremental" | "stats" | "json" | "all-designs"
+            ) {
                 flags.push((name.to_string(), String::new()));
             } else {
                 i += 1;
@@ -100,9 +118,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
     let (positional, flags) = parse_args(&args[1..]);
-    let _ = positional;
     let result = match cmd.as_str() {
         "verify" => commands::verify(&flags),
+        "lint" => commands::lint(&positional, &flags),
         "describe" => commands::describe(&flags),
         "synth" => commands::synth(&flags),
         "check-inv" => commands::check_inv(&flags),

@@ -65,15 +65,28 @@ pub fn decode_gap(port: &PortIla, assumption: Option<ExprRef>) -> Option<Witness
     }
 }
 
+/// A pair of instructions whose decode conditions can hold
+/// simultaneously, with a concrete command triggering both.
+///
+/// Pairs are reported in declaration order: `first` always precedes
+/// `second` in the port, and the list itself follows the pairwise scan
+/// order, so output is stable across runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeOverlap {
+    /// The earlier-declared instruction of the pair.
+    pub first: String,
+    /// The later-declared instruction of the pair.
+    pub second: String,
+    /// A command on which both decode conditions hold.
+    pub witness: Witness,
+}
+
 /// Checks decode *determinism*: returns every pair of instructions whose
 /// decode conditions can hold simultaneously (under `assumption`).
 ///
 /// An empty result means at most one instruction triggers per command —
 /// together with an empty [`decode_gap`], exactly one always triggers.
-pub fn decode_overlaps(
-    port: &PortIla,
-    assumption: Option<ExprRef>,
-) -> Vec<(String, String, Witness)> {
+pub fn decode_overlaps(port: &PortIla, assumption: Option<ExprRef>) -> Vec<DecodeOverlap> {
     let mut overlaps = Vec::new();
     let instrs = port.instructions();
     for i in 0..instrs.len() {
@@ -86,15 +99,34 @@ pub fn decode_overlaps(
             }
             smt.assert(&ctx, both);
             if smt.check().is_sat() {
-                overlaps.push((
-                    instrs[i].name.clone(),
-                    instrs[j].name.clone(),
-                    extract_witness(port, &ctx, &smt),
-                ));
+                overlaps.push(DecodeOverlap {
+                    first: instrs[i].name.clone(),
+                    second: instrs[j].name.clone(),
+                    witness: extract_witness(port, &ctx, &smt),
+                });
             }
         }
     }
     overlaps
+}
+
+/// Checks for *dead* instructions: instructions whose decode condition
+/// is unsatisfiable (under `assumption`) and therefore can never
+/// trigger. Returns their names in declaration order.
+pub fn dead_instructions(port: &PortIla, assumption: Option<ExprRef>) -> Vec<String> {
+    let mut dead = Vec::new();
+    for instr in port.instructions() {
+        let ctx = port.ctx().clone();
+        let mut smt = SmtSolver::new();
+        if let Some(a) = assumption {
+            smt.assert(&ctx, a);
+        }
+        smt.assert(&ctx, instr.decode);
+        if !smt.check().is_sat() {
+            dead.push(instr.name.clone());
+        }
+    }
+    dead
 }
 
 fn extract_witness(port: &PortIla, ctx: &gila_expr::ExprCtx, smt: &SmtSolver) -> Witness {
@@ -172,10 +204,23 @@ mod tests {
         let p = two_instr_port(true, false);
         let os = decode_overlaps(&p, None);
         assert_eq!(os.len(), 1);
-        assert_eq!(os[0].0, "a");
-        assert_eq!(os[0].1, "b");
-        let x = os[0].2.inputs.iter().find(|(n, _)| n == "x").unwrap();
+        assert_eq!(os[0].first, "a");
+        assert_eq!(os[0].second, "b");
+        let x = os[0].witness.inputs.iter().find(|(n, _)| n == "x").unwrap();
         assert_eq!(x.1.as_bv().to_u64(), 0);
+    }
+
+    #[test]
+    fn dead_instruction_detected() {
+        let mut p = two_instr_port(true, true);
+        let x = p.ctx().find_var("x").unwrap();
+        let never = {
+            let a = p.ctx_mut().eq_u64(x, 0);
+            let b = p.ctx_mut().eq_u64(x, 1);
+            p.ctx_mut().and(a, b)
+        };
+        p.instr("dead").decode(never).add().unwrap();
+        assert_eq!(dead_instructions(&p, None), vec!["dead".to_string()]);
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod model;
 mod module;
 mod sim;
 
-pub use check::{decode_gap, decode_overlaps, Witness};
+pub use check::{dead_instructions, decode_gap, decode_overlaps, DecodeOverlap, Witness};
 pub use compose::{
     integrate, shared_states, shared_updated_states, AuxStateSpec, ConflictResolver, IntegrateError, NoResolver,
     PortPriorityResolver, Resolution, RoundRobinResolver, Side, SpecificationGap,

@@ -30,6 +30,8 @@ pub struct StateVar {
     pub var: ExprRef,
     /// Optional reset value.
     pub init: Option<Value>,
+    /// Source line of the declaration, when parsed from a `.ila` file.
+    pub line: Option<usize>,
 }
 
 /// An input pin (or pin group) of a port.
@@ -41,6 +43,8 @@ pub struct InputVar {
     pub sort: Sort,
     /// The expression-level variable.
     pub var: ExprRef,
+    /// Source line of the declaration, when parsed from a `.ila` file.
+    pub line: Option<usize>,
 }
 
 /// One *atomic* instruction: a decode condition plus state updates.
@@ -60,6 +64,8 @@ pub struct Instruction {
     pub decode: ExprRef,
     /// Next-state functions; states not mentioned are unchanged.
     pub updates: BTreeMap<String, ExprRef>,
+    /// Source line of the declaration, when parsed from a `.ila` file.
+    pub line: Option<usize>,
 }
 
 /// An error while building a port-ILA.
@@ -243,7 +249,24 @@ impl PortIla {
             "input {name:?} clashes with an existing declaration"
         );
         let var = self.ctx.var(name.clone(), sort);
-        self.inputs.push(InputVar { name, sort, var });
+        self.inputs.push(InputVar {
+            name,
+            sort,
+            var,
+            line: None,
+        });
+        var
+    }
+
+    /// Like [`PortIla::input`], tagging the declaration with a source
+    /// line so diagnostics can point back into the `.ila` file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used (see [`PortIla::input`]).
+    pub fn input_at(&mut self, name: impl Into<String>, sort: Sort, line: usize) -> ExprRef {
+        let var = self.input(name, sort);
+        self.inputs.last_mut().expect("just pushed").line = Some(line);
         var
     }
 
@@ -265,7 +288,26 @@ impl PortIla {
             kind,
             var,
             init: None,
+            line: None,
         });
+        var
+    }
+
+    /// Like [`PortIla::state`], tagging the declaration with a source
+    /// line so diagnostics can point back into the `.ila` file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used (see [`PortIla::state`]).
+    pub fn state_at(
+        &mut self,
+        name: impl Into<String>,
+        sort: Sort,
+        kind: StateKind,
+        line: usize,
+    ) -> ExprRef {
+        let var = self.state(name, sort, kind);
+        self.states.last_mut().expect("just pushed").line = Some(line);
         var
     }
 
@@ -338,6 +380,7 @@ impl PortIla {
             parent: None,
             decode: None,
             updates: Vec::new(),
+            line: None,
         }
     }
 
@@ -353,6 +396,7 @@ impl PortIla {
             parent: Some(parent.into()),
             decode: None,
             updates: Vec::new(),
+            line: None,
         }
     }
 
@@ -362,6 +406,7 @@ impl PortIla {
         parent: Option<String>,
         decode: ExprRef,
         updates: Vec<(String, ExprRef)>,
+        line: Option<usize>,
     ) -> Result<(), ModelError> {
         if self.instructions.iter().any(|i| i.name == name) {
             return Err(ModelError::DuplicateName { name });
@@ -425,6 +470,7 @@ impl PortIla {
             parent,
             decode,
             updates: map,
+            line,
         });
         Ok(())
     }
@@ -465,6 +511,7 @@ pub struct InstrBuilder<'a> {
     parent: Option<String>,
     decode: Option<ExprRef>,
     updates: Vec<(String, ExprRef)>,
+    line: Option<usize>,
 }
 
 impl InstrBuilder<'_> {
@@ -477,6 +524,12 @@ impl InstrBuilder<'_> {
     /// Adds a next-state function for `state`.
     pub fn update(mut self, state: impl Into<String>, expr: ExprRef) -> Self {
         self.updates.push((state.into(), expr));
+        self
+    }
+
+    /// Tags the instruction with the source line of its declaration.
+    pub fn at(mut self, line: usize) -> Self {
+        self.line = Some(line);
         self
     }
 
@@ -493,7 +546,7 @@ impl InstrBuilder<'_> {
             None => self.port.ctx.tt(),
         };
         self.port
-            .add_instruction(self.name, self.parent, decode, self.updates)
+            .add_instruction(self.name, self.parent, decode, self.updates, self.line)
     }
 }
 

@@ -32,5 +32,5 @@ mod parser;
 mod printer;
 
 pub use lexer::IlaSyntaxError;
-pub use parser::parse_ila;
+pub use parser::{parse_ila, parse_spec, ElabNote, IntegrationReport, SpecFile};
 pub use printer::{port_to_ila_text, to_ila_text, PrintIlaError};

@@ -25,12 +25,98 @@
 //! the surrounding context (`mem_wait := 1` writes a 1-bit one).
 
 use gila_core::{
-    integrate, ConflictResolver, ModuleIla, NoResolver, PortIla, PortPriorityResolver,
-    RoundRobinResolver, StateKind, ValuePriorityResolver,
+    integrate, shared_updated_states, ConflictResolver, IntegrateError, ModuleIla, NoResolver,
+    PortIla, PortPriorityResolver, RoundRobinResolver, SpecificationGap, StateKind,
+    ValuePriorityResolver,
 };
 use gila_expr::{BitVecValue, ExprRef, Sort};
 
 use crate::lexer::{lex, IlaSyntaxError, SpannedToken, Token};
+
+/// An implicit width adjustment the elaborator performed silently.
+///
+/// The language deliberately adapts operand widths (max-width join on
+/// binary operators, truncate-or-extend on assignment), which is
+/// convenient but can hide real specification bugs; notes record every
+/// such adjustment so `gila-lint` can surface the suspicious ones.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ElabNote {
+    /// A `state := value` assignment silently dropped high bits.
+    TruncatedAssign {
+        /// Port being elaborated.
+        port: String,
+        /// Instruction containing the assignment.
+        instruction: String,
+        /// The assigned state.
+        state: String,
+        /// Source line of the assignment.
+        line: usize,
+        /// Width of the right-hand side.
+        from_width: u32,
+        /// Width of the state (what the value was truncated to).
+        to_width: u32,
+    },
+    /// Two sized operands of unequal widths met at a binary or ternary
+    /// operator; the narrower one was implicitly zero-extended.
+    WidthMismatch {
+        /// Port being elaborated.
+        port: String,
+        /// Instruction containing the expression.
+        instruction: String,
+        /// The operator the operands met at (e.g. `"+"`, `"?:"`).
+        op: String,
+        /// Source line of the expression.
+        line: usize,
+        /// Width of the left operand.
+        left_width: u32,
+        /// Width of the right operand.
+        right_width: u32,
+    },
+}
+
+/// One `integrate` directive of a module file, with the specification
+/// gaps its resolver left open (empty when it integrated cleanly).
+#[derive(Debug)]
+pub struct IntegrationReport {
+    /// Name of the integrated port.
+    pub name: String,
+    /// Member port names, in directive order.
+    pub members: Vec<String>,
+    /// The resolver kind keyword (`none`, `value_priority`, ...).
+    pub resolver: String,
+    /// Source line of the directive.
+    pub line: usize,
+    /// Unresolved conflicting-update combinations, if any.
+    pub gaps: Vec<SpecificationGap>,
+}
+
+/// The lenient parse of a `.ila` file, for static analysis.
+///
+/// Unlike [`parse_ila`], which refuses files whose `integrate`
+/// directives leave specification gaps or whose ports share updated
+/// state without integration, this form records those findings and
+/// keeps going, so a linter can report *all* of them with source
+/// positions. [`SpecFile::module`] is `Some` exactly when the strict
+/// parse would have succeeded.
+#[derive(Debug)]
+pub struct SpecFile {
+    /// Module name (or the port name, for a bare-port file).
+    pub name: String,
+    /// Whether the file used the `module { ... }` form.
+    pub is_module: bool,
+    /// The port blocks as written, *before* any integration, with
+    /// source lines on declarations and instructions.
+    pub ports: Vec<PortIla>,
+    /// Every `integrate` directive, with its unresolved gaps.
+    pub integrations: Vec<IntegrationReport>,
+    /// States updated by several ports that no directive integrates —
+    /// composing such a module would fail.
+    pub unintegrated_shared: Vec<String>,
+    /// Implicit width adjustments recorded during elaboration.
+    pub notes: Vec<ElabNote>,
+    /// The composed module, when the file is strictly well-formed.
+    pub module: Option<ModuleIla>,
+}
 
 /// A value under elaboration: a concrete expression or a still-unsized
 /// decimal literal awaiting a width from context.
@@ -40,9 +126,26 @@ enum Val {
     Lit(u64),
 }
 
+/// A top-level item of a module file, in source order.
+enum Item {
+    Port(PortIla),
+    Integrate(RawIntegrate),
+}
+
+struct RawIntegrate {
+    name: String,
+    members: Vec<String>,
+    resolver_kind: String,
+    resolver: Box<dyn ConflictResolver>,
+    line: usize,
+}
+
 struct Parser {
     tokens: Vec<SpannedToken>,
     pos: usize,
+    notes: Vec<ElabNote>,
+    cur_port: String,
+    cur_instr: String,
 }
 
 impl Parser {
@@ -189,9 +292,27 @@ impl Parser {
         }
     }
 
-    fn join(&mut self, p: &mut PortIla, a: Val, b: Val) -> Result<(ExprRef, ExprRef), IlaSyntaxError> {
+    fn join(
+        &mut self,
+        p: &mut PortIla,
+        a: Val,
+        b: Val,
+        op: &str,
+    ) -> Result<(ExprRef, ExprRef), IlaSyntaxError> {
         let w = match (self.width_of(p, a), self.width_of(p, b)) {
-            (Some(wa), Some(wb)) => wa.max(wb),
+            (Some(wa), Some(wb)) => {
+                if wa != wb {
+                    self.notes.push(ElabNote::WidthMismatch {
+                        port: self.cur_port.clone(),
+                        instruction: self.cur_instr.clone(),
+                        op: op.to_string(),
+                        line: self.line(),
+                        left_width: wa,
+                        right_width: wb,
+                    });
+                }
+                wa.max(wb)
+            }
             (Some(w), None) | (None, Some(w)) => w,
             (None, None) => 64,
         };
@@ -221,7 +342,7 @@ impl Parser {
                     return Ok(Val::Expr(p.ctx_mut().ite(cb, te, fe)));
                 }
             }
-            let (t, f) = self.join(p, t, f)?;
+            let (t, f) = self.join(p, t, f, "?:")?;
             return Ok(Val::Expr(p.ctx_mut().ite(cb, t, f)));
         }
         Ok(c)
@@ -279,7 +400,7 @@ impl Parser {
             };
             return Ok(Val::Lit(r));
         }
-        let (ea, eb) = self.join(p, a, b)?;
+        let (ea, eb) = self.join(p, a, b, sym)?;
         let ctx = p.ctx_mut();
         let out = match sym {
             "+" => ctx.bvadd(ea, eb),
@@ -522,17 +643,19 @@ impl Parser {
     // ------------------------------------------------------------------
 
     fn port_block(&mut self, name: String) -> Result<PortIla, IlaSyntaxError> {
+        self.cur_port = name.clone();
         let mut p = PortIla::new(name);
         self.eat_sym("{")?;
         loop {
             if self.try_sym("}") {
                 return Ok(p);
             }
+            let dline = self.line();
             if self.try_kw("input") {
                 let name = self.ident()?;
                 self.eat_sym(":")?;
                 let sort = self.sort()?;
-                p.input(name, sort);
+                p.input_at(name, sort, dline);
                 continue;
             }
             let output = self.try_kw("output");
@@ -545,7 +668,7 @@ impl Parser {
                 } else {
                     StateKind::Internal
                 };
-                p.state(name.clone(), sort, kind);
+                p.state_at(name.clone(), sort, kind, dline);
                 if self.try_kw("init") {
                     let (_, v) = self.number()?;
                     let value: gila_expr::Value = match sort {
@@ -589,6 +712,7 @@ impl Parser {
                 )));
             };
             let iname = self.ident()?;
+            self.cur_instr = iname.clone();
             let parent = if is_sub {
                 self.eat_kw("of")?;
                 Some(self.ident()?)
@@ -604,6 +728,7 @@ impl Parser {
             // Updates accumulate; repeated writes to one memory chain.
             let mut updates: Vec<(String, ExprRef)> = Vec::new();
             while !self.try_sym("}") {
+                let aline = self.line();
                 let target = self.ident()?;
                 let sv = p
                     .find_state(&target)
@@ -621,6 +746,18 @@ impl Parser {
                     self.eat_sym("]")?;
                     self.eat_sym(":=")?;
                     let data_v = self.expr(&mut p)?;
+                    if let Some(wd) = self.width_of(&p, data_v) {
+                        if wd > data_width {
+                            self.notes.push(ElabNote::TruncatedAssign {
+                                port: self.cur_port.clone(),
+                                instruction: self.cur_instr.clone(),
+                                state: target.clone(),
+                                line: aline,
+                                from_width: wd,
+                                to_width: data_width,
+                            });
+                        }
+                    }
                     let addr = self.resolve_val(&mut p, addr_v, addr_width);
                     let data = self.resolve_val(&mut p, data_v, data_width);
                     let base = updates
@@ -635,6 +772,23 @@ impl Parser {
                 } else {
                     self.eat_sym(":=")?;
                     let v = self.expr(&mut p)?;
+                    let twidth = match tsort {
+                        Sort::Bv(w) => Some(w),
+                        Sort::Bool => Some(1),
+                        Sort::Mem { .. } => None,
+                    };
+                    if let (Some(w), Some(wv)) = (twidth, self.width_of(&p, v)) {
+                        if wv > w {
+                            self.notes.push(ElabNote::TruncatedAssign {
+                                port: self.cur_port.clone(),
+                                instruction: self.cur_instr.clone(),
+                                state: target.clone(),
+                                line: aline,
+                                from_width: wv,
+                                to_width: w,
+                            });
+                        }
+                    }
                     let e = match tsort {
                         Sort::Bv(w) => self.resolve_val(&mut p, v, w),
                         Sort::Bool => {
@@ -658,7 +812,7 @@ impl Parser {
                 Some(par) => p.sub_instr(iname, par),
                 None => p.instr(iname),
             };
-            b = b.decode(decode);
+            b = b.decode(decode).at(dline);
             for (n, e) in updates {
                 b = b.update(n, e);
             }
@@ -692,18 +846,21 @@ impl Parser {
         })
     }
 
-    fn file(&mut self) -> Result<ModuleIla, IlaSyntaxError> {
+    /// Parses the file into top-level items without applying any
+    /// `integrate` directive. Returns (name, is_module, items).
+    fn items(&mut self) -> Result<(String, bool, Vec<Item>), IlaSyntaxError> {
         if self.try_kw("module") {
             let mname = self.ident()?;
             self.eat_sym("{")?;
-            let mut ports: Vec<PortIla> = Vec::new();
+            let mut items = Vec::new();
             while !self.try_sym("}") {
                 if self.try_kw("port") {
                     let pname = self.ident()?;
-                    ports.push(self.port_block(pname)?);
+                    items.push(Item::Port(self.port_block(pname)?));
                     continue;
                 }
                 if self.try_kw("integrate") {
+                    let line = self.line();
                     let iname = self.ident()?;
                     self.eat_sym("=")?;
                     let mut members = vec![self.ident()?];
@@ -721,19 +878,13 @@ impl Parser {
                         self.pos = save;
                         self.resolver()?
                     };
-                    let selected: Vec<&PortIla> = members
-                        .iter()
-                        .map(|m| {
-                            ports
-                                .iter()
-                                .find(|p| p.name() == m)
-                                .ok_or_else(|| self.err(format!("unknown port {m:?}")))
-                        })
-                        .collect::<Result<_, _>>()?;
-                    let integrated = integrate(iname, &selected, resolver.as_ref())
-                        .map_err(|e| self.err(e.to_string()))?;
-                    ports.retain(|p| !members.iter().any(|m| m == p.name()));
-                    ports.push(integrated);
+                    items.push(Item::Integrate(RawIntegrate {
+                        name: iname,
+                        members,
+                        resolver_kind: kind,
+                        resolver,
+                        line,
+                    }));
                     continue;
                 }
                 return Err(self.err(format!(
@@ -744,7 +895,7 @@ impl Parser {
             if self.pos != self.tokens.len() {
                 return Err(self.err("trailing tokens after module"));
             }
-            return ModuleIla::compose(mname, ports).map_err(|e| self.err(e.to_string()));
+            return Ok((mname, true, items));
         }
         // Bare port file.
         self.eat_kw("port")?;
@@ -753,8 +904,48 @@ impl Parser {
         if self.pos != self.tokens.len() {
             return Err(self.err("trailing tokens after port"));
         }
-        Ok(ModuleIla::single_port(port))
+        Ok((port.name().to_string(), false, vec![Item::Port(port)]))
     }
+
+    fn file(&mut self) -> Result<ModuleIla, IlaSyntaxError> {
+        let (name, is_module, items) = self.items()?;
+        let end_line = self.line();
+        if !is_module {
+            let Some(Item::Port(port)) = items.into_iter().next() else {
+                unreachable!("bare-port parse yields exactly one port item");
+            };
+            return Ok(ModuleIla::single_port(port));
+        }
+        let mut ports: Vec<PortIla> = Vec::new();
+        for item in items {
+            match item {
+                Item::Port(p) => ports.push(p),
+                Item::Integrate(raw) => {
+                    let selected = select_members(&ports, &raw)?;
+                    let integrated = integrate(raw.name.clone(), &selected, raw.resolver.as_ref())
+                        .map_err(|e| IlaSyntaxError::new(raw.line, e.to_string()))?;
+                    ports.retain(|p| !raw.members.iter().any(|m| m == p.name()));
+                    ports.push(integrated);
+                }
+            }
+        }
+        ModuleIla::compose(name, ports).map_err(|e| IlaSyntaxError::new(end_line, e.to_string()))
+    }
+}
+
+fn select_members<'a>(
+    ports: &'a [PortIla],
+    raw: &RawIntegrate,
+) -> Result<Vec<&'a PortIla>, IlaSyntaxError> {
+    raw.members
+        .iter()
+        .map(|m| {
+            ports
+                .iter()
+                .find(|p| p.name() == m)
+                .ok_or_else(|| IlaSyntaxError::new(raw.line, format!("unknown port {m:?}")))
+        })
+        .collect()
 }
 
 /// Parses a `.ila` source file into a [`ModuleIla`].
@@ -765,8 +956,99 @@ impl Parser {
 /// syntactic, and semantic (sort/`integrate`) problems.
 pub fn parse_ila(src: &str) -> Result<ModuleIla, IlaSyntaxError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        notes: Vec::new(),
+        cur_port: String::new(),
+        cur_instr: String::new(),
+    };
     p.file()
+}
+
+/// Parses a `.ila` source file leniently, for static analysis.
+///
+/// Composition problems — unresolved `integrate` gaps and shared
+/// updated states no directive covers — are *recorded* in the returned
+/// [`SpecFile`] instead of failing the parse.
+///
+/// # Errors
+///
+/// Still returns an [`IlaSyntaxError`] for lexical, syntactic, and
+/// hard semantic problems (unknown ports, sort clashes, ...): a file
+/// that does not elaborate cannot be analyzed.
+pub fn parse_spec(src: &str) -> Result<SpecFile, IlaSyntaxError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        notes: Vec::new(),
+        cur_port: String::new(),
+        cur_instr: String::new(),
+    };
+    let (name, is_module, items) = p.items()?;
+    let mut pre: Vec<PortIla> = Vec::new();
+    let mut working: Vec<PortIla> = Vec::new();
+    let mut integrations: Vec<IntegrationReport> = Vec::new();
+    let mut any_gaps = false;
+    for item in items {
+        match item {
+            Item::Port(port) => {
+                pre.push(port.clone());
+                working.push(port);
+            }
+            Item::Integrate(raw) => {
+                let selected = select_members(&working, &raw)?;
+                let gaps = match integrate(raw.name.clone(), &selected, raw.resolver.as_ref()) {
+                    Ok(integrated) => {
+                        working.retain(|p| !raw.members.iter().any(|m| m == p.name()));
+                        working.push(integrated);
+                        Vec::new()
+                    }
+                    Err(IntegrateError::SpecificationGaps(gaps)) => {
+                        // The members stay un-integrated but are still
+                        // *covered* by a directive; drop them so they do
+                        // not additionally count as unintegrated shares.
+                        working.retain(|p| !raw.members.iter().any(|m| m == p.name()));
+                        any_gaps = true;
+                        gaps
+                    }
+                    Err(other) => return Err(IlaSyntaxError::new(raw.line, other.to_string())),
+                };
+                integrations.push(IntegrationReport {
+                    name: raw.name,
+                    members: raw.members,
+                    resolver: raw.resolver_kind,
+                    line: raw.line,
+                    gaps,
+                });
+            }
+        }
+    }
+    let refs: Vec<&PortIla> = working.iter().collect();
+    let unintegrated_shared = if is_module {
+        shared_updated_states(&refs)
+    } else {
+        Vec::new()
+    };
+    let module = if !any_gaps && unintegrated_shared.is_empty() {
+        if is_module {
+            ModuleIla::compose(name.clone(), working).ok()
+        } else {
+            working.pop().map(ModuleIla::single_port)
+        }
+    } else {
+        None
+    };
+    Ok(SpecFile {
+        name,
+        is_module,
+        ports: pre,
+        integrations,
+        unintegrated_shared,
+        notes: p.notes,
+        module,
+    })
 }
 
 #[cfg(test)]

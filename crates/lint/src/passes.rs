@@ -1,0 +1,451 @@
+//! The spec-side pass pipeline: decode proofs, state-usage analysis,
+//! width notes, and composition checks.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use gila_core::{dead_instructions, decode_gap, decode_overlaps, ModuleIla, PortIla, StateKind};
+use gila_lang::{ElabNote, SpecFile};
+use gila_trace::{Event, SpanKind, Tracer};
+
+use crate::{Code, Diagnostic, LintReport};
+
+/// Tuning knobs for a lint run.
+#[derive(Clone, Debug)]
+pub struct LintOptions {
+    /// Worker threads for the per-port passes (the SAT-backed decode
+    /// proofs dominate); diagnostics come back in declaration order
+    /// regardless, so output is identical at any job count.
+    pub jobs: usize,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions { jobs: 1 }
+    }
+}
+
+/// Names a port's instructions read (decode + update right-hand sides)
+/// and the states they write.
+struct Usage {
+    read: BTreeSet<String>,
+    written: BTreeSet<String>,
+}
+
+fn usage_of(port: &PortIla) -> Usage {
+    let mut roots = Vec::new();
+    for i in port.instructions() {
+        roots.push(i.decode);
+        roots.extend(i.updates.values().copied());
+    }
+    Usage {
+        read: port
+            .ctx()
+            .vars_of(&roots)
+            .into_iter()
+            .filter_map(|v| port.ctx().var_name(v).map(str::to_string))
+            .collect(),
+        written: port
+            .instructions()
+            .iter()
+            .flat_map(|i| i.updates.keys().cloned())
+            .collect(),
+    }
+}
+
+/// Pass 1+2: SAT-backed decode completeness/determinism proofs plus
+/// dead-instruction detection.
+fn decode_pass(port: &PortIla) -> Vec<Diagnostic> {
+    let mut ds = Vec::new();
+    if port.instructions().is_empty() {
+        return ds;
+    }
+    for name in dead_instructions(port, None) {
+        let line = port.find_instruction(&name).and_then(|i| i.line);
+        ds.push(
+            Diagnostic::new(
+                Code::DeadInstruction,
+                format!(
+                    "port '{}': instruction '{}' can never trigger: its decode \
+                     condition is unsatisfiable",
+                    port.name(),
+                    name
+                ),
+            )
+            .port(port.name())
+            .instruction(&name)
+            .at(line),
+        );
+    }
+    if let Some(w) = decode_gap(port, None) {
+        ds.push(
+            Diagnostic::new(
+                Code::DecodeGap,
+                format!(
+                    "port '{}': decode is incomplete: no instruction triggers \
+                     on the witness command",
+                    port.name()
+                ),
+            )
+            .port(port.name())
+            .witness(w),
+        );
+    }
+    for o in decode_overlaps(port, None) {
+        let line = port.find_instruction(&o.second).and_then(|i| i.line);
+        ds.push(
+            Diagnostic::new(
+                Code::DecodeOverlap,
+                format!(
+                    "port '{}': instructions '{}' and '{}' can trigger on the \
+                     same command",
+                    port.name(),
+                    o.first,
+                    o.second
+                ),
+            )
+            .port(port.name())
+            .instruction(&format!("{} & {}", o.first, o.second))
+            .at(line)
+            .witness(o.witness),
+        );
+    }
+    ds
+}
+
+/// Pass 3: unused / never-written / write-only architectural state.
+///
+/// `usage` holds every port's read/written sets and `idx` names the
+/// port under analysis: a state another port of the same module reads
+/// or writes is shared, not dead — sibling usage suppresses the lint.
+fn state_pass(port: &PortIla, usage: &[Usage], idx: usize) -> Vec<Diagnostic> {
+    let read = &usage[idx].read;
+    let written = &usage[idx].written;
+    let elsewhere = |f: fn(&Usage) -> &BTreeSet<String>, name: &str| {
+        usage
+            .iter()
+            .enumerate()
+            .any(|(j, u)| j != idx && f(u).contains(name))
+    };
+    let mut ds = Vec::new();
+    for i in port.inputs() {
+        if !read.contains(&i.name) {
+            ds.push(
+                Diagnostic::new(
+                    Code::UnusedVar,
+                    format!("port '{}': input '{}' is never used", port.name(), i.name),
+                )
+                .port(port.name())
+                .state(&i.name)
+                .at(i.line),
+            );
+        }
+    }
+    for s in port.states() {
+        let r = read.contains(&s.name) || elsewhere(|u| &u.read, &s.name);
+        let w = written.contains(&s.name) || elsewhere(|u| &u.written, &s.name);
+        if !r && !w {
+            ds.push(
+                Diagnostic::new(
+                    Code::UnusedVar,
+                    format!(
+                        "port '{}': state '{}' is never read or written",
+                        port.name(),
+                        s.name
+                    ),
+                )
+                .port(port.name())
+                .state(&s.name)
+                .at(s.line),
+            );
+        } else if r && !w && s.init.is_none() {
+            ds.push(
+                Diagnostic::new(
+                    Code::ReadNeverWritten,
+                    format!(
+                        "port '{}': state '{}' is read but never written and \
+                         has no reset value",
+                        port.name(),
+                        s.name
+                    ),
+                )
+                .port(port.name())
+                .state(&s.name)
+                .at(s.line),
+            );
+        } else if w && !r && s.kind == StateKind::Internal {
+            ds.push(
+                Diagnostic::new(
+                    Code::WriteOnlyState,
+                    format!(
+                        "port '{}': internal state '{}' is written but never read",
+                        port.name(),
+                        s.name
+                    ),
+                )
+                .port(port.name())
+                .state(&s.name)
+                .at(s.line),
+            );
+        }
+    }
+    ds
+}
+
+/// Per-port pass results, kept separate per pass so callers can emit
+/// one timing span per pass.
+struct PortDiags {
+    decode: Vec<Diagnostic>,
+    state: Vec<Diagnostic>,
+    decode_ns: u64,
+    state_ns: u64,
+}
+
+fn port_diags(port: &PortIla, usage: &[Usage], idx: usize) -> PortDiags {
+    let t0 = Instant::now();
+    let decode = decode_pass(port);
+    let decode_ns = t0.elapsed().as_nanos() as u64;
+    let t1 = Instant::now();
+    let state = state_pass(port, usage, idx);
+    PortDiags {
+        decode,
+        state,
+        decode_ns,
+        state_ns: t1.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Runs the per-port passes, fanning ports out over `opts.jobs` worker
+/// threads. Results come back in declaration order, so output does not
+/// depend on the job count.
+fn run_port_passes(ports: &[&PortIla], opts: &LintOptions) -> Vec<PortDiags> {
+    let usage: Vec<Usage> = ports.iter().map(|p| usage_of(p)).collect();
+    let usage = &usage;
+    let jobs = opts.jobs.max(1).min(ports.len().max(1));
+    if jobs <= 1 {
+        return ports
+            .iter()
+            .enumerate()
+            .map(|(i, p)| port_diags(p, usage, i))
+            .collect();
+    }
+    let mut slots: Vec<Option<PortDiags>> = Vec::new();
+    slots.resize_with(ports.len(), || None);
+    std::thread::scope(|scope| {
+        let mut pending: Vec<(usize, &mut Option<PortDiags>)> =
+            slots.iter_mut().enumerate().collect();
+        let mut shards: Vec<Vec<(usize, &mut Option<PortDiags>)>> = Vec::new();
+        shards.resize_with(jobs, Vec::new);
+        for (i, slot) in pending.drain(..) {
+            shards[i % jobs].push((i, slot));
+        }
+        for shard in shards {
+            scope.spawn(move || {
+                for (i, slot) in shard {
+                    *slot = Some(port_diags(ports[i], usage, i));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled slot"))
+        .collect()
+}
+
+/// Emits one `lint_pass` span for a pass over `target`.
+fn span(tracer: &Tracer, target: &str, pass: &str, diags: usize, wall_ns: u64) {
+    tracer.record(|| {
+        Event::new(SpanKind::LintPass)
+            .port(target)
+            .label(pass)
+            .field("diags", diags as u64)
+            .field("wall_ns", wall_ns)
+    });
+}
+
+/// Collects the per-port findings (interleaved per port, declaration
+/// order) and emits one timing span per pass.
+fn collect_port_passes(
+    report: &mut LintReport,
+    ports: &[&PortIla],
+    opts: &LintOptions,
+    tracer: &Tracer,
+) {
+    let results = run_port_passes(ports, opts);
+    let (mut decode_n, mut decode_ns, mut state_n, mut state_ns) = (0, 0, 0, 0);
+    for r in results {
+        decode_n += r.decode.len();
+        decode_ns += r.decode_ns;
+        state_n += r.state.len();
+        state_ns += r.state_ns;
+        report.diagnostics.extend(r.decode);
+        report.diagnostics.extend(r.state);
+    }
+    span(tracer, &report.target, "decode", decode_n, decode_ns);
+    span(tracer, &report.target, "state_usage", state_n, state_ns);
+}
+
+/// Lints a set of ports (decode proofs + state usage) and returns the
+/// findings in declaration order.
+pub fn lint_ports(ports: &[&PortIla], opts: &LintOptions) -> Vec<Diagnostic> {
+    let mut report = LintReport::new("");
+    collect_port_passes(&mut report, ports, opts, &Tracer::disabled());
+    report.diagnostics
+}
+
+/// Pass 4: surfaces the implicit width adjustments the elaborator
+/// recorded while parsing.
+fn width_pass(report: &mut LintReport, notes: &[ElabNote]) {
+    for note in notes {
+        match note {
+            ElabNote::TruncatedAssign {
+                port,
+                instruction,
+                state,
+                line,
+                from_width,
+                to_width,
+            } => report.diagnostics.push(
+                Diagnostic::new(
+                    Code::TruncatedAssign,
+                    format!(
+                        "port '{port}', instruction '{instruction}': assignment \
+                         to '{state}' truncates a bv{from_width} value to bv{to_width}"
+                    ),
+                )
+                .port(port)
+                .instruction(instruction)
+                .state(state)
+                .at(Some(*line)),
+            ),
+            ElabNote::WidthMismatch {
+                port,
+                instruction,
+                op,
+                line,
+                left_width,
+                right_width,
+            } => report.diagnostics.push(
+                Diagnostic::new(
+                    Code::WidthMismatch,
+                    format!(
+                        "port '{port}', instruction '{instruction}': operands of \
+                         '{op}' have widths bv{left_width} and bv{right_width}; \
+                         the narrower is implicitly zero-extended"
+                    ),
+                )
+                .port(port)
+                .instruction(instruction)
+                .at(Some(*line)),
+            ),
+        }
+    }
+}
+
+/// Pass 5: composition lints — unresolved `integrate` gaps and shared
+/// updated states no directive covers, surfaced statically.
+fn compose_pass(report: &mut LintReport, spec: &SpecFile) {
+    for integ in &spec.integrations {
+        for gap in &integ.gaps {
+            report.diagnostics.push(
+                Diagnostic::new(
+                    Code::UnresolvedConflict,
+                    format!(
+                        "integrate '{}' (resolve {}): {}",
+                        integ.name, integ.resolver, gap
+                    ),
+                )
+                .port(&integ.name)
+                .state(&gap.state)
+                .at(Some(integ.line)),
+            );
+        }
+    }
+    for state in &spec.unintegrated_shared {
+        let updaters: Vec<&str> = spec
+            .ports
+            .iter()
+            .filter(|p| {
+                p.instructions()
+                    .iter()
+                    .any(|i| i.updates.contains_key(state))
+            })
+            .map(|p| p.name())
+            .collect();
+        let line = spec
+            .ports
+            .iter()
+            .find(|p| updaters.contains(&p.name()))
+            .and_then(|p| p.find_state(state))
+            .and_then(|s| s.line);
+        report.diagnostics.push(
+            Diagnostic::new(
+                Code::UnintegratedShared,
+                format!(
+                    "state '{}' is updated by ports {} but no integrate \
+                     directive covers them; composing this module will fail",
+                    state,
+                    updaters
+                        .iter()
+                        .map(|p| format!("'{p}'"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            )
+            .state(state)
+            .at(line),
+        );
+    }
+}
+
+/// Lints a leniently parsed `.ila` file: per-port decode proofs and
+/// state usage on the *pre-integration* ports (where source spans
+/// live), the elaborator's width notes, and the composition findings.
+pub fn lint_spec(
+    target: &str,
+    spec: &SpecFile,
+    opts: &LintOptions,
+    tracer: &Tracer,
+) -> LintReport {
+    let mut report = LintReport::new(target);
+    let refs: Vec<&PortIla> = spec.ports.iter().collect();
+    collect_port_passes(&mut report, &refs, opts, tracer);
+    let t0 = Instant::now();
+    let before = report.diagnostics.len();
+    width_pass(&mut report, &spec.notes);
+    span(
+        tracer,
+        target,
+        "width",
+        report.diagnostics.len() - before,
+        t0.elapsed().as_nanos() as u64,
+    );
+    let t1 = Instant::now();
+    let before = report.diagnostics.len();
+    compose_pass(&mut report, spec);
+    span(
+        tracer,
+        target,
+        "compose",
+        report.diagnostics.len() - before,
+        t1.elapsed().as_nanos() as u64,
+    );
+    report
+}
+
+/// Lints a built module-ILA (e.g. a registry design): the per-port
+/// decode proofs and state-usage passes. Built models carry no source
+/// spans or elaboration notes, so the width pass does not apply, and
+/// composition already succeeded by construction.
+pub fn lint_module(
+    target: &str,
+    module: &ModuleIla,
+    opts: &LintOptions,
+    tracer: &Tracer,
+) -> LintReport {
+    let mut report = LintReport::new(target);
+    let refs: Vec<&PortIla> = module.ports().iter().collect();
+    collect_port_passes(&mut report, &refs, opts, tracer);
+    report
+}

@@ -1,0 +1,189 @@
+//! RTL-side lints over the elaborated `gila-rtl` IR: unused inputs,
+//! undriven state, and state outside the observable cone.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use gila_expr::ExprRef;
+use gila_rtl::RtlModule;
+use gila_trace::{Event, SpanKind, Tracer};
+
+use crate::{Code, Diagnostic};
+
+/// Input names conventionally consumed by the clocking/reset
+/// infrastructure rather than by next-state logic; never reported as
+/// unused.
+const EXEMPT_INPUTS: [&str; 6] = ["clk", "clock", "rst", "reset", "rst_n", "resetn"];
+
+fn var_names(m: &RtlModule, roots: &[ExprRef]) -> BTreeSet<String> {
+    m.ctx()
+        .vars_of(roots)
+        .into_iter()
+        .filter_map(|v| m.ctx().var_name(v).map(str::to_string))
+        .collect()
+}
+
+/// Pass 6a: inputs that drive no register, memory, or signal logic.
+fn unused_input_pass(m: &RtlModule) -> Vec<Diagnostic> {
+    let mut roots: Vec<ExprRef> = Vec::new();
+    roots.extend(m.regs().iter().map(|r| r.next));
+    roots.extend(m.mems().iter().map(|mm| mm.next));
+    roots.extend(m.signals().iter().map(|s| s.expr));
+    let used = var_names(m, &roots);
+    let mut ds = Vec::new();
+    for i in m.inputs() {
+        if !used.contains(&i.name) && !EXEMPT_INPUTS.contains(&i.name.as_str()) {
+            ds.push(
+                Diagnostic::new(
+                    Code::RtlUnusedInput,
+                    format!(
+                        "module '{}': input '{}' drives no logic",
+                        m.name(),
+                        i.name
+                    ),
+                )
+                .port(m.name())
+                .state(&i.name),
+            );
+        }
+    }
+    ds
+}
+
+/// Pass 6b: registers/memories that hold their value forever and have
+/// no reset value — their contents are unconstrained at every cycle.
+fn undriven_state_pass(m: &RtlModule) -> Vec<Diagnostic> {
+    let mut ds = Vec::new();
+    for r in m.regs() {
+        if r.next == r.var && r.init.is_none() {
+            ds.push(
+                Diagnostic::new(
+                    Code::RtlUndrivenState,
+                    format!(
+                        "module '{}': register '{}' is never driven and has no \
+                         reset value",
+                        m.name(),
+                        r.name
+                    ),
+                )
+                .port(m.name())
+                .state(&r.name),
+            );
+        }
+    }
+    for mm in m.mems() {
+        if mm.next == mm.var && mm.init.is_none() {
+            ds.push(
+                Diagnostic::new(
+                    Code::RtlUndrivenState,
+                    format!(
+                        "module '{}': memory '{}' is never driven and has no \
+                         reset contents",
+                        m.name(),
+                        mm.name
+                    ),
+                )
+                .port(m.name())
+                .state(&mm.name),
+            );
+        }
+    }
+    ds
+}
+
+/// Pass 6c: state elements outside the observable cone — no path
+/// through next-state dependencies reaches any output signal. Skipped
+/// when the module declares no outputs (nothing is observable, so the
+/// cone is undefined).
+fn dead_state_pass(m: &RtlModule) -> Vec<Diagnostic> {
+    let outputs: Vec<ExprRef> = m
+        .signals()
+        .iter()
+        .filter(|s| s.output)
+        .map(|s| s.expr)
+        .collect();
+    if outputs.is_empty() {
+        return Vec::new();
+    }
+    // Fixpoint: seed with the state names outputs read, then pull in
+    // everything the next-state functions of cone members read.
+    let mut cone = var_names(m, &outputs);
+    loop {
+        let mut roots: Vec<ExprRef> = Vec::new();
+        roots.extend(
+            m.regs()
+                .iter()
+                .filter(|r| cone.contains(&r.name))
+                .map(|r| r.next),
+        );
+        roots.extend(
+            m.mems()
+                .iter()
+                .filter(|mm| cone.contains(&mm.name))
+                .map(|mm| mm.next),
+        );
+        let grown: BTreeSet<String> = cone.union(&var_names(m, &roots)).cloned().collect();
+        if grown.len() == cone.len() {
+            break;
+        }
+        cone = grown;
+    }
+    let mut ds = Vec::new();
+    for r in m.regs() {
+        if !cone.contains(&r.name) {
+            ds.push(
+                Diagnostic::new(
+                    Code::RtlDeadState,
+                    format!(
+                        "module '{}': register '{}' never influences an output",
+                        m.name(),
+                        r.name
+                    ),
+                )
+                .port(m.name())
+                .state(&r.name),
+            );
+        }
+    }
+    for mm in m.mems() {
+        if !cone.contains(&mm.name) {
+            ds.push(
+                Diagnostic::new(
+                    Code::RtlDeadState,
+                    format!(
+                        "module '{}': memory '{}' never influences an output",
+                        m.name(),
+                        mm.name
+                    ),
+                )
+                .port(m.name())
+                .state(&mm.name),
+            );
+        }
+    }
+    ds
+}
+
+/// Lints an elaborated RTL module: unused inputs (GL011), undriven
+/// state (GL012), and state outside the observable cone (GL013).
+/// Emits one `lint_pass` timing span per pass against `target`.
+pub fn lint_rtl(target: &str, m: &RtlModule, tracer: &Tracer) -> Vec<Diagnostic> {
+    let mut ds = Vec::new();
+    for (pass, f) in [
+        ("rtl_unused_input", unused_input_pass as fn(&RtlModule) -> Vec<Diagnostic>),
+        ("rtl_undriven_state", undriven_state_pass),
+        ("rtl_dead_state", dead_state_pass),
+    ] {
+        let t0 = Instant::now();
+        let found = f(m);
+        tracer.record(|| {
+            Event::new(SpanKind::LintPass)
+                .port(target)
+                .label(pass)
+                .field("diags", found.len() as u64)
+                .field("wall_ns", t0.elapsed().as_nanos() as u64)
+        });
+        ds.extend(found);
+    }
+    ds
+}

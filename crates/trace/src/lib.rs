@@ -45,6 +45,8 @@ pub enum SpanKind {
     Retry,
     /// A job panicked and was isolated by the scheduler.
     Panic,
+    /// One static-analysis pass of `gila-lint` over one target.
+    LintPass,
 }
 
 impl SpanKind {
@@ -58,6 +60,7 @@ impl SpanKind {
             SpanKind::BudgetExhausted => "budget_exhausted",
             SpanKind::Retry => "retry",
             SpanKind::Panic => "panic",
+            SpanKind::LintPass => "lint_pass",
         }
     }
 }

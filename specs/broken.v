@@ -1,0 +1,17 @@
+// Deliberately broken RTL exercising the gila-lint RTL passes
+// (GL011-GL013). The module is well-formed Verilog in the supported
+// subset; the defects are semantic, not syntactic.
+module broken_rtl(clk, go, noise, out);
+  input clk;
+  input go;
+  input [7:0] noise;   // GL011: drives no logic
+  output [7:0] out;
+  reg [7:0] live;
+  reg [7:0] floating;  // GL012: never driven, no reset value
+  reg [7:0] shadow;    // GL013: driven, but never influences an output
+  always @(posedge clk) begin
+    live <= ((go == 1'b1) ? (live + 8'h01) : live);
+    shadow <= (shadow + 8'h01);
+  end
+  assign out = live;
+endmodule

@@ -13,6 +13,7 @@
 //! - [`sat`] / [`smt`]: CDCL SAT solver and bit-blaster
 //! - [`mc`]: transition systems and bounded model checking
 //! - [`verify`]: refinement maps, property generation, verification engine
+//! - [`lint`]: SAT-backed static analysis with structured diagnostics
 //! - [`trace`]: structured verification telemetry (spans, counters, sinks)
 //! - [`designs`]: the eight DATE 2021 case studies
 pub use gila_core as core;
@@ -20,6 +21,7 @@ pub use gila_designs as designs;
 pub use gila_expr as expr;
 pub use gila_json as json;
 pub use gila_lang as lang;
+pub use gila_lint as lint;
 pub use gila_mc as mc;
 pub use gila_rtl as rtl;
 pub use gila_sat as sat;
