@@ -1,17 +1,29 @@
 //! Measures sequential vs pooled verification wall-clock per case study
 //! and writes the `BENCH_verify.json` artifact.
 //!
-//! Sequential is `jobs = 1` (fresh engine per instruction); pooled is a
-//! four-worker work-stealing pool with persistent incremental engines.
-//! Each configuration is run `--runs N` times (default 3) and the best
-//! time is kept, so the artifact reflects steady-state cost, not
-//! first-run noise. Rows also carry the solver-effort telemetry totals
-//! of the sequential run, so regressions in *work done* (not just wall
-//! clock) show up in the artifact diff.
+//! Sequential is `jobs = 1`; pooled is a four-worker work-stealing pool
+//! with persistent incremental engines. Each configuration is run
+//! `--runs N` times (default 3) and the best time is kept, so the
+//! artifact reflects steady-state cost, not first-run noise. Rows also
+//! carry the solver-effort telemetry totals of the sequential run, so
+//! regressions in *work done* (not just wall clock) show up in the
+//! artifact diff.
 //!
-//! `bench_verify --check` re-reads `BENCH_verify.json` and validates its
-//! schema instead of benchmarking — CI runs this after a `--runs 1`
-//! smoke pass to assert the artifact stays machine-readable.
+//! Preprocessing is measured A/B per design: `cnf_vars_pre` /
+//! `cnf_clauses_pre` come from a `--no-preprocess` sequential run,
+//! `cnf_vars_post` / `cnf_clauses_post` and `coi_dropped` from the
+//! preprocessed one, and the artifact's `geomean_cnf_reduction` is the
+//! geometric-mean shrink of (vars + clauses) across designs.
+//!
+//! Modes:
+//! * `bench_verify [--runs N]` — benchmark and (re)write the artifact,
+//!   recording `geomean_speedup_vs_baseline` against the previously
+//!   committed artifact when one exists.
+//! * `bench_verify --check` — validate the committed artifact's schema.
+//! * `bench_verify --baseline FILE --check-regress TOL` — run a fresh
+//!   benchmark (without touching the artifact) and exit non-zero when
+//!   the geomean pooled wall-time regressed by more than `TOL` (e.g.
+//!   `0.5` = 50%) against `FILE`. CI runs this with a loose tolerance.
 
 use std::time::Instant;
 
@@ -25,9 +37,10 @@ const POOL_JOBS: usize = 4;
 const DEFAULT_RUNS: usize = 3;
 const ARTIFACT: &str = "BENCH_verify.json";
 
-fn best_run(cs: &CaseStudy, jobs: usize, runs: usize) -> (f64, ModuleReport) {
+fn best_run(cs: &CaseStudy, jobs: usize, runs: usize, preprocess: bool) -> (f64, ModuleReport) {
     let opts = VerifyOptions {
         jobs: Some(jobs),
+        preprocess,
         ..Default::default()
     };
     let mut best_s = f64::INFINITY;
@@ -45,7 +58,12 @@ fn best_run(cs: &CaseStudy, jobs: usize, runs: usize) -> (f64, ModuleReport) {
     (best_s, best_report.expect("runs >= 1"))
 }
 
-fn bench(runs: usize) -> Result<(), Box<dyn std::error::Error>> {
+fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn bench_rows(runs: usize) -> Vec<Value> {
     let mut rows = Vec::new();
     for cs in all_case_studies() {
         // The i8051 datapath's memory blast dominates everything else;
@@ -55,8 +73,11 @@ fn bench(runs: usize) -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         eprintln!("benchmarking {} ...", cs.name);
-        let (sequential_s, seq_report) = best_run(&cs, 1, runs);
-        let (pooled_s, _) = best_run(&cs, POOL_JOBS, runs);
+        let (sequential_s, seq_report) = best_run(&cs, 1, runs, true);
+        let (pooled_s, _) = best_run(&cs, POOL_JOBS, runs, true);
+        // The preprocessing A/B leg: CNF counters are deterministic, so
+        // one --no-preprocess run is enough for the "pre" columns.
+        let (_, pre_report) = best_run(&cs, 1, 1, false);
         // Static analysis rides along: lint the ILA model and the RTL
         // and record the wall time, proving the whole pass stays
         // sub-second per design.
@@ -75,6 +96,7 @@ fn bench(runs: usize) -> Result<(), Box<dyn std::error::Error>> {
         // Telemetry is taken from the deterministic sequential run, so
         // artifact diffs reflect engine changes, not scheduling noise.
         let t = &seq_report.telemetry;
+        let pre = &pre_report.telemetry;
         rows.push(Value::Object(vec![
             ("design".into(), cs.name.into()),
             ("instructions".into(), cs.ila.stats().instructions.into()),
@@ -82,6 +104,14 @@ fn bench(runs: usize) -> Result<(), Box<dyn std::error::Error>> {
             ("pooled_s".into(), pooled_s.into()),
             ("speedup".into(), (sequential_s / pooled_s).into()),
             ("lint_s".into(), lint_s.into()),
+            ("cnf_vars_pre".into(), pre.cnf_vars.into()),
+            ("cnf_clauses_pre".into(), pre.cnf_clauses.into()),
+            ("cnf_vars_post".into(), t.cnf_vars.into()),
+            ("cnf_clauses_post".into(), t.cnf_clauses.into()),
+            (
+                "coi_dropped".into(),
+                (t.coi_states_dropped + t.coi_inputs_dropped).into(),
+            ),
             (
                 "telemetry".into(),
                 Value::Object(vec![
@@ -102,13 +132,85 @@ fn bench(runs: usize) -> Result<(), Box<dyn std::error::Error>> {
             ),
         ]));
     }
-    let doc = Value::Object(vec![
+    rows
+}
+
+/// Per-row CNF size (vars + clauses) before and after preprocessing.
+fn cnf_pre_post(row: &Value) -> Option<(f64, f64)> {
+    let get = |k: &str| row.get(k).and_then(Value::as_u64);
+    let pre = get("cnf_vars_pre")? + get("cnf_clauses_pre")?;
+    let post = get("cnf_vars_post")? + get("cnf_clauses_post")?;
+    Some((pre as f64, post as f64))
+}
+
+/// Geometric-mean CNF shrink across rows: 1 - geomean(post/pre).
+fn geomean_cnf_reduction(rows: &[Value]) -> Option<f64> {
+    let ratios: Vec<f64> = rows
+        .iter()
+        .map(|row| cnf_pre_post(row).map(|(pre, post)| post.max(1.0) / pre.max(1.0)))
+        .collect::<Option<_>>()?;
+    Some(1.0 - geomean(&ratios))
+}
+
+/// Pooled wall-times keyed by design name.
+fn pooled_times(doc_rows: &[Value]) -> Vec<(String, f64)> {
+    doc_rows
+        .iter()
+        .filter_map(|row| {
+            Some((
+                row.get("design")?.as_str()?.to_string(),
+                row.get("pooled_s")?.as_f64()?,
+            ))
+        })
+        .collect()
+}
+
+/// Geomean of fresh/baseline pooled-time ratios over common designs.
+fn geomean_time_ratio(fresh: &[Value], baseline: &[Value]) -> Option<f64> {
+    let base = pooled_times(baseline);
+    let ratios: Vec<f64> = pooled_times(fresh)
+        .iter()
+        .filter_map(|(name, s)| {
+            let (_, b) = base.iter().find(|(n, _)| n == name)?;
+            Some(s / b)
+        })
+        .collect();
+    if ratios.is_empty() {
+        None
+    } else {
+        Some(geomean(&ratios))
+    }
+}
+
+fn bench(runs: usize) -> Result<(), Box<dyn std::error::Error>> {
+    // Read the previously committed artifact first: the speedup-vs-
+    // baseline column compares against it before it is overwritten.
+    let previous = std::fs::read_to_string(ARTIFACT)
+        .ok()
+        .and_then(|text| gila_json::parse(&text).ok());
+    let rows = bench_rows(runs);
+    let mut doc = vec![
         ("benchmark".into(), "verify: sequential vs pooled".into()),
         ("pool_jobs".into(), POOL_JOBS.into()),
         ("runs_per_config".into(), runs.into()),
-        ("rows".into(), Value::Array(rows)),
-    ]);
-    std::fs::write(ARTIFACT, doc.pretty() + "\n")?;
+    ];
+    if let Some(reduction) = geomean_cnf_reduction(&rows) {
+        eprintln!("geomean CNF reduction (vars+clauses) vs --no-preprocess: {:.1}%", reduction * 100.0);
+        doc.push(("geomean_cnf_reduction".into(), reduction.into()));
+    }
+    if let Some(prev_rows) = previous
+        .as_ref()
+        .and_then(|d| d.get("rows"))
+        .and_then(Value::as_array)
+    {
+        if let Some(ratio) = geomean_time_ratio(&rows, prev_rows) {
+            let speedup = 1.0 / ratio;
+            eprintln!("geomean pooled speedup vs committed baseline: {speedup:.2}x");
+            doc.push(("geomean_speedup_vs_baseline".into(), speedup.into()));
+        }
+    }
+    doc.push(("rows".into(), Value::Array(rows)));
+    std::fs::write(ARTIFACT, Value::Object(doc).pretty() + "\n")?;
     eprintln!("wrote {ARTIFACT}");
     Ok(())
 }
@@ -122,6 +224,16 @@ fn check_artifact(doc: &Value) -> Result<(), String> {
     doc.get("pool_jobs")
         .and_then(Value::as_usize)
         .ok_or("pool_jobs must be an integer")?;
+    // The preprocessing columns must show a real, finite shrink.
+    let reduction = doc
+        .get("geomean_cnf_reduction")
+        .and_then(Value::as_f64)
+        .ok_or("missing geomean_cnf_reduction")?;
+    if !(reduction.is_finite() && (0.0..1.0).contains(&reduction)) {
+        return Err(format!(
+            "geomean_cnf_reduction = {reduction} is not a shrink in [0, 1)"
+        ));
+    }
     let rows = doc
         .get("rows")
         .and_then(Value::as_array)
@@ -148,6 +260,22 @@ fn check_artifact(doc: &Value) -> Result<(), String> {
         let lint_s = row.get("lint_s").and_then(Value::as_f64).expect("checked");
         if lint_s >= 1.0 {
             return Err(format!("{design}: lint_s = {lint_s} is not sub-second"));
+        }
+        for key in [
+            "cnf_vars_pre",
+            "cnf_clauses_pre",
+            "cnf_vars_post",
+            "cnf_clauses_post",
+            "coi_dropped",
+        ] {
+            row.get(key).and_then(Value::as_u64).ok_or_else(|| ctx(key))?;
+        }
+        let (pre, post) = cnf_pre_post(row).expect("checked");
+        if post > pre {
+            return Err(format!(
+                "{design}: post-preprocessing CNF ({post}) larger than \
+                 unpreprocessed ({pre})"
+            ));
         }
         let telemetry = row.get("telemetry").ok_or_else(|| ctx("telemetry"))?;
         for key in [
@@ -198,10 +326,46 @@ fn check() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Fresh benchmark vs a committed baseline: exits with an error when the
+/// geomean pooled wall-time slowed down by more than `tolerance`.
+fn check_regress(
+    baseline_path: &str,
+    tolerance: f64,
+    runs: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading --baseline {baseline_path}: {e}"))?;
+    let baseline = gila_json::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let base_rows = baseline
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{baseline_path}: rows must be an array"))?;
+    let fresh = bench_rows(runs);
+    let ratio = geomean_time_ratio(&fresh, base_rows)
+        .ok_or_else(|| format!("{baseline_path}: no designs in common with this build"))?;
+    eprintln!(
+        "geomean pooled wall-time vs baseline: {:.2}x ({} = {:.0}% tolerance)",
+        ratio,
+        baseline_path,
+        tolerance * 100.0
+    );
+    if ratio > 1.0 + tolerance {
+        return Err(format!(
+            "performance regression: geomean pooled wall-time is {ratio:.2}x the \
+             baseline, beyond the {tolerance} tolerance"
+        )
+        .into());
+    }
+    eprintln!("within tolerance");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut runs = DEFAULT_RUNS;
     let mut check_only = false;
+    let mut baseline: Option<String> = None;
+    let mut tolerance: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -214,13 +378,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .filter(|&n| n >= 1)
                     .ok_or("--runs needs a positive integer")?;
             }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(
+                    args.get(i)
+                        .ok_or("--baseline needs a file path")?
+                        .clone(),
+                );
+            }
+            "--check-regress" => {
+                i += 1;
+                tolerance = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|t| t.is_finite() && *t >= 0.0)
+                        .ok_or("--check-regress needs a non-negative tolerance (e.g. 0.5)")?,
+                );
+            }
             other => return Err(format!("unknown argument {other:?}").into()),
         }
         i += 1;
     }
-    if check_only {
-        check()
-    } else {
-        bench(runs)
+    match (check_only, baseline, tolerance) {
+        (true, None, None) => check(),
+        (false, Some(path), Some(tol)) => check_regress(&path, tol, runs),
+        (false, None, None) => bench(runs),
+        _ => Err("--baseline and --check-regress go together (and exclude --check)".into()),
     }
 }

@@ -131,6 +131,7 @@ pub fn verify(flags: &[(String, String)]) -> CmdResult {
         fault_plan,
         checkpoint: flag(flags, "checkpoint").map(PathBuf::from),
         resume: flag(flags, "resume").map(PathBuf::from),
+        preprocess: flag(flags, "no-preprocess").is_none(),
     };
     let report = match verify_module(&ila, &rtl, &maps, &opts) {
         Ok(report) => report,
@@ -257,6 +258,15 @@ fn print_stats_table(report: &ModuleReport) {
         report.telemetry.panicked,
         report.telemetry.retries,
         report.telemetry.budget_spent_conflicts
+    );
+    println!(
+        "  preprocessing: coi dropped {} state(s) + {} input(s);   inprocessing \
+         removed {} clause(s), {} literal(s), learned {} failed literal(s)",
+        report.telemetry.coi_states_dropped,
+        report.telemetry.coi_inputs_dropped,
+        report.telemetry.inprocess_clauses_removed,
+        report.telemetry.inprocess_lits_removed,
+        report.telemetry.inprocess_failed_literals
     );
 }
 

@@ -20,7 +20,7 @@ USAGE:
   gila verify    --ila SPEC.ila --rtl IMPL.v --map MAP.json [--map MAP2.json ...]
                  [--stop-at-first-cex] [--parallel] [--incremental] [--jobs N]
                  [--conflict-budget N] [--timeout-ms N] [--retries N]
-                 [--checkpoint FILE] [--resume FILE]
+                 [--checkpoint FILE] [--resume FILE] [--no-preprocess]
                  [--vcd PREFIX] [--trace OUT.jsonl] [--stats]
   gila describe  --ila SPEC.ila [--format ila]
   gila synth     --ila SPEC.ila [-o OUT.v]
@@ -69,6 +69,10 @@ VERIFY OPTIONS:
   --resume FILE        replay decided verdicts from FILE and re-verify
                        only undecided (unknown/panicked/missing) jobs;
                        combine with --checkpoint to keep extending FILE
+  --no-preprocess      disable the formula preprocessing pipeline
+                       (cone-of-influence slicing, cached simplification,
+                       SAT inprocessing) for A/B comparison; preprocessing
+                       is on by default and never changes verdicts
   --trace OUT          write a JSONL telemetry trace: one span per port,
                        instruction, SAT solve, CNF blast, and unroll event
   --stats              print a per-port solver/CNF/scheduling summary table"
@@ -88,7 +92,13 @@ fn parse_args(args: &[String]) -> (Vec<String>, Vec<(String, String)>) {
             // Boolean flags have no value; value flags consume the next arg.
             if matches!(
                 name,
-                "stop-at-first-cex" | "parallel" | "incremental" | "stats" | "json" | "all-designs"
+                "stop-at-first-cex"
+                    | "parallel"
+                    | "incremental"
+                    | "stats"
+                    | "json"
+                    | "all-designs"
+                    | "no-preprocess"
             ) {
                 flags.push((name.to_string(), String::new()));
             } else {

@@ -44,7 +44,7 @@ mod value;
 pub use ctx::{ExprCtx, ExprNode, ExprRef, Op, SortError};
 pub use display::ExprDisplay;
 pub use eval::{eval, Env, EvalError};
-pub use simplify::{simplify, simplify_cached};
+pub use simplify::simplify_cached;
 pub use smtlib::{to_smtlib_script, to_smtlib_term};
 pub use sort::Sort;
 pub use subst::{import, import_mapped, import_renamed, substitute, substitute_cached};

@@ -16,23 +16,25 @@ use crate::ctx::{ExprCtx, ExprNode, ExprRef, Op};
 /// the free variables (a property checked by randomized tests in this
 /// crate and by SAT-based equivalence checks in `gila-smt`).
 ///
+/// The `memo` table maps already-simplified sub-expressions to their
+/// rewrites and is shared across roots: the verification engine keeps
+/// one table per port plan so every conjunct of every instruction reuses
+/// earlier work. A context only ever grows and hash-consing makes
+/// structurally equal nodes pointer-equal, so entries never go stale.
+///
 /// # Examples
 ///
 /// ```
-/// use gila_expr::{simplify, ExprCtx, Sort};
+/// use std::collections::HashMap;
+/// use gila_expr::{simplify_cached, ExprCtx, Sort};
 ///
 /// let mut ctx = ExprCtx::new();
+/// let mut memo = HashMap::new();
 /// let x = ctx.var("x", Sort::Bv(8));
 /// let zero = ctx.bv_u64(0, 8);
 /// let e = ctx.bvadd(x, zero);
-/// assert_eq!(simplify(&mut ctx, e), x);
+/// assert_eq!(simplify_cached(&mut ctx, e, &mut memo), x);
 /// ```
-pub fn simplify(ctx: &mut ExprCtx, root: ExprRef) -> ExprRef {
-    let mut memo = HashMap::new();
-    simplify_cached(ctx, root, &mut memo)
-}
-
-/// Like [`simplify`] but shares a memo table across multiple roots.
 pub fn simplify_cached(
     ctx: &mut ExprCtx,
     root: ExprRef,
@@ -72,7 +74,83 @@ fn rewrite(ctx: &mut ExprCtx, e: ExprRef) -> Option<ExprRef> {
     };
     let is_zero = |ctx: &ExprCtx, a: ExprRef| ctx.as_bv_const(a).is_some_and(|v| v.is_zero());
     let is_ones = |ctx: &ExprCtx, a: ExprRef| ctx.as_bv_const(a).is_some_and(|v| v.is_ones());
+    let is_one =
+        |ctx: &ExprCtx, a: ExprRef| ctx.as_bv_const(a).is_some_and(|v| v.try_to_u64() == Some(1));
     match op {
+        // Boolean connectives: constant cases fold at construction time;
+        // these are the structural identities the folder cannot see.
+        Op::And | Op::Or => {
+            if args[0] == args[1] {
+                return Some(args[0]);
+            }
+            None
+        }
+        Op::Xor => {
+            if args[0] == args[1] {
+                return Some(ctx.ff());
+            }
+            for (c, other) in [(args[0], args[1]), (args[1], args[0])] {
+                if let Some(b) = ctx.as_bool_const(c) {
+                    return Some(if b { ctx.not(other) } else { other });
+                }
+            }
+            None
+        }
+        Op::Iff => {
+            if args[0] == args[1] {
+                return Some(ctx.tt());
+            }
+            for (c, other) in [(args[0], args[1]), (args[1], args[0])] {
+                if let Some(b) = ctx.as_bool_const(c) {
+                    return Some(if b { other } else { ctx.not(other) });
+                }
+            }
+            None
+        }
+        Op::Implies => {
+            if args[0] == args[1] {
+                return Some(ctx.tt());
+            }
+            None
+        }
+        Op::Ite => {
+            let (c, t, f) = (args[0], args[1], args[2]);
+            // ite(c, true, false) = c and ite(c, false, true) = ¬c.
+            if ctx.sort_of(t).is_bool() {
+                match (ctx.as_bool_const(t), ctx.as_bool_const(f)) {
+                    (Some(true), Some(false)) => return Some(c),
+                    (Some(false), Some(true)) => return Some(ctx.not(c)),
+                    _ => {}
+                }
+            }
+            // ite(¬c, t, f) = ite(c, f, t) — normalizes double branches
+            // so equal-branch folding can fire on the inner condition.
+            if let ExprNode::App {
+                op: Op::Not,
+                args: nargs,
+                ..
+            } = ctx.node(c).clone()
+            {
+                return Some(ctx.ite(nargs[0], f, t));
+            }
+            None
+        }
+        Op::BvNot => match ctx.node(args[0]).clone() {
+            ExprNode::App {
+                op: Op::BvNot,
+                args: iargs,
+                ..
+            } => Some(iargs[0]),
+            _ => None,
+        },
+        Op::BvNeg => match ctx.node(args[0]).clone() {
+            ExprNode::App {
+                op: Op::BvNeg,
+                args: iargs,
+                ..
+            } => Some(iargs[0]),
+            _ => None,
+        },
         Op::BvAdd => {
             if is_zero(ctx, args[0]) {
                 return Some(args[1]);
@@ -151,6 +229,59 @@ fn rewrite(ctx: &mut ExprCtx, e: ExprRef) -> Option<ExprRef> {
             }
             None
         }
+        Op::BvShl | Op::BvLshr | Op::BvAshr => {
+            // Shift by zero, or of a zero value, is the identity/zero
+            // (ashr of zero included: the sign of zero is zero).
+            if is_zero(ctx, args[1]) || is_zero(ctx, args[0]) {
+                return Some(args[0]);
+            }
+            // shl/lshr by a constant >= width collapse to zero; ashr
+            // does not (it fills with the sign bit).
+            if op != Op::BvAshr {
+                let w = ctx.sort_of(e).bv_width()?;
+                if let Some(v) = ctx.as_bv_const(args[1]) {
+                    if v.try_to_u64().is_none_or(|n| n >= u64::from(w)) {
+                        return Some(ctx.bv_u64(0, w));
+                    }
+                }
+            }
+            None
+        }
+        Op::BvUdiv => {
+            if is_one(ctx, args[1]) {
+                return Some(args[0]);
+            }
+            None
+        }
+        Op::BvUrem => {
+            if is_one(ctx, args[1]) {
+                let w = ctx.sort_of(e).bv_width()?;
+                return Some(ctx.bv_u64(0, w));
+            }
+            None
+        }
+        Op::BvConcat => {
+            // Adjacent extracts of the same source fuse back into one:
+            // concat(x[hi:m+1], x[m:lo]) = x[hi:lo].
+            if let (
+                ExprNode::App {
+                    op: Op::BvExtract { hi: h1, lo: l1 },
+                    args: a1,
+                    ..
+                },
+                ExprNode::App {
+                    op: Op::BvExtract { hi: h2, lo: l2 },
+                    args: a2,
+                    ..
+                },
+            ) = (ctx.node(args[0]).clone(), ctx.node(args[1]).clone())
+            {
+                if a1[0] == a2[0] && l1 == h2 + 1 {
+                    return Some(ctx.extract(a1[0], h1, l2));
+                }
+            }
+            None
+        }
         Op::BvExtract { hi, lo } => {
             let arg = args[0];
             let arg_w = ctx.sort_of(arg).bv_width()?;
@@ -180,9 +311,10 @@ fn rewrite(ctx: &mut ExprCtx, e: ExprRef) -> Option<ExprRef> {
                     args: iargs,
                     ..
                 } => Some(ctx.extract(iargs[0], hi + lo2, lo + lo2)),
-                // extract of a zext that stays within the original width.
+                // extract of an extension that stays within the original
+                // width (both extensions preserve the low bits).
                 ExprNode::App {
-                    op: Op::BvZext { .. },
+                    op: Op::BvZext { .. } | Op::BvSext { .. },
                     args: iargs,
                     ..
                 } => {
@@ -201,6 +333,14 @@ fn rewrite(ctx: &mut ExprCtx, e: ExprRef) -> Option<ExprRef> {
                 args: iargs,
                 ..
             } => Some(ctx.zext(iargs[0], to)),
+            _ => None,
+        },
+        Op::BvSext { to } => match ctx.node(args[0]).clone() {
+            ExprNode::App {
+                op: Op::BvSext { .. },
+                args: iargs,
+                ..
+            } => Some(ctx.sext(iargs[0], to)),
             _ => None,
         },
         Op::Eq => {
@@ -249,6 +389,11 @@ mod tests {
 
     fn bv_var(ctx: &mut ExprCtx, n: &str, w: u32) -> ExprRef {
         ctx.var(n, Sort::Bv(w))
+    }
+
+    /// Fresh-memo convenience wrapper for the identity tests below.
+    fn simplify(ctx: &mut ExprCtx, root: ExprRef) -> ExprRef {
+        simplify_cached(ctx, root, &mut HashMap::new())
     }
 
     #[test]
@@ -326,6 +471,121 @@ mod tests {
         let r = ctx.mem_read(w, a2);
         let expected = ctx.mem_read(m, a2);
         assert_eq!(simplify(&mut ctx, r), expected);
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let mut ctx = ExprCtx::new();
+        let p = ctx.var("p", Sort::Bool);
+        let q = ctx.var("q", Sort::Bool);
+        let tt = ctx.tt();
+        let ff = ctx.ff();
+        let e = ctx.xor(p, p);
+        assert_eq!(simplify(&mut ctx, e), ff);
+        let e = ctx.xor(p, ff);
+        assert_eq!(simplify(&mut ctx, e), p);
+        let e = ctx.xor(tt, p);
+        let not_p = ctx.not(p);
+        assert_eq!(simplify(&mut ctx, e), not_p);
+        let e = ctx.iff(p, p);
+        assert_eq!(simplify(&mut ctx, e), tt);
+        let e = ctx.iff(p, tt);
+        assert_eq!(simplify(&mut ctx, e), p);
+        let e = ctx.implies(p, p);
+        assert_eq!(simplify(&mut ctx, e), tt);
+        let e = ctx.and(q, q);
+        assert_eq!(simplify(&mut ctx, e), q);
+        let e = ctx.or(q, q);
+        assert_eq!(simplify(&mut ctx, e), q);
+    }
+
+    #[test]
+    fn ite_identities() {
+        let mut ctx = ExprCtx::new();
+        let p = ctx.var("p", Sort::Bool);
+        let x = bv_var(&mut ctx, "x", 8);
+        let y = bv_var(&mut ctx, "y", 8);
+        let tt = ctx.tt();
+        let ff = ctx.ff();
+        let e = ctx.ite(p, tt, ff);
+        assert_eq!(simplify(&mut ctx, e), p);
+        let e = ctx.ite(p, ff, tt);
+        let not_p = ctx.not(p);
+        assert_eq!(simplify(&mut ctx, e), not_p);
+        // ite(¬p, x, y) normalizes to ite(p, y, x).
+        let np = ctx.not(p);
+        let e = ctx.ite(np, x, y);
+        let expected = ctx.ite(p, y, x);
+        assert_eq!(simplify(&mut ctx, e), expected);
+    }
+
+    #[test]
+    fn involutions_cancel() {
+        let mut ctx = ExprCtx::new();
+        let x = bv_var(&mut ctx, "x", 8);
+        let nn = ctx.bvnot(x);
+        let e = ctx.bvnot(nn);
+        assert_eq!(simplify(&mut ctx, e), x);
+        let ng = ctx.bvneg(x);
+        let e = ctx.bvneg(ng);
+        assert_eq!(simplify(&mut ctx, e), x);
+    }
+
+    #[test]
+    fn shift_and_division_identities() {
+        let mut ctx = ExprCtx::new();
+        let x = bv_var(&mut ctx, "x", 8);
+        let z = ctx.bv_u64(0, 8);
+        let one = ctx.bv_u64(1, 8);
+        let big = ctx.bv_u64(9, 8);
+        for f in [ExprCtx::bvshl, ExprCtx::bvlshr, ExprCtx::bvashr] {
+            let e = f(&mut ctx, x, z);
+            assert_eq!(simplify(&mut ctx, e), x);
+            let e = f(&mut ctx, z, x);
+            assert_eq!(simplify(&mut ctx, e), z);
+        }
+        // Over-shifting collapses to zero for the logical shifts only.
+        let e = ctx.bvshl(x, big);
+        assert_eq!(simplify(&mut ctx, e), z);
+        let e = ctx.bvlshr(x, big);
+        assert_eq!(simplify(&mut ctx, e), z);
+        let e = ctx.bvashr(x, big);
+        assert_ne!(simplify(&mut ctx, e), z);
+        let e = ctx.bvudiv(x, one);
+        assert_eq!(simplify(&mut ctx, e), x);
+        let e = ctx.bvurem(x, one);
+        assert_eq!(simplify(&mut ctx, e), z);
+    }
+
+    #[test]
+    fn concat_of_adjacent_extracts_fuses() {
+        let mut ctx = ExprCtx::new();
+        let x = bv_var(&mut ctx, "x", 16);
+        let hi = ctx.extract(x, 11, 6);
+        let lo = ctx.extract(x, 5, 2);
+        let e = ctx.concat(hi, lo);
+        let expected = ctx.extract(x, 11, 2);
+        assert_eq!(simplify(&mut ctx, e), expected);
+        // Full reassembly is the identity.
+        let hi = ctx.extract(x, 15, 8);
+        let lo = ctx.extract(x, 7, 0);
+        let e = ctx.concat(hi, lo);
+        assert_eq!(simplify(&mut ctx, e), x);
+    }
+
+    #[test]
+    fn extensions_compose() {
+        let mut ctx = ExprCtx::new();
+        let x = bv_var(&mut ctx, "x", 8);
+        let z1 = ctx.sext(x, 12);
+        let e = ctx.sext(z1, 16);
+        let expected = ctx.sext(x, 16);
+        assert_eq!(simplify(&mut ctx, e), expected);
+        // Extracting below the original width sees through either
+        // extension.
+        let e = ctx.extract(z1, 5, 1);
+        let expected = ctx.extract(x, 5, 1);
+        assert_eq!(simplify(&mut ctx, e), expected);
     }
 
     #[test]

@@ -236,6 +236,17 @@ impl TransitionSystem {
     pub fn constraints(&self) -> &[ExprRef] {
         &self.constraints
     }
+
+    /// Drops every state and input whose name is not in `keep`, along
+    /// with the associated next-state expressions and initial values.
+    /// Constraints and the expression context are untouched, so handles
+    /// into [`Self::ctx`] remain valid.
+    pub(crate) fn retain_vars(&mut self, keep: &std::collections::BTreeSet<String>) {
+        self.states.retain(|v| keep.contains(&v.name));
+        self.inputs.retain(|v| keep.contains(&v.name));
+        self.next.retain(|name, _| keep.contains(name));
+        self.init.retain(|name, _| keep.contains(name));
+    }
 }
 
 #[cfg(test)]

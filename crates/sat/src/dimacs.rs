@@ -148,4 +148,66 @@ mod tests {
         assert!(parse_dimacs("p cnf x 1\n").is_err());
         assert!(parse_dimacs("1 one 0\n").is_err());
     }
+
+    #[test]
+    fn header_optional_and_var_count_inferred() {
+        let (n, clauses) = parse_dimacs("1 -3 0\n2 0\n").unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(clauses.len(), 2);
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        fn clauses_strategy() -> impl Strategy<Value = Vec<Vec<Lit>>> {
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    (0u32..8, any::<bool>()).prop_map(|(v, pos)| Lit::new(Var(v), pos)),
+                    0..5,
+                ),
+                0..16,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Rendering and re-parsing recovers the exact clause list
+            /// (including empty clauses) and the declared variable count.
+            #[test]
+            fn render_parse_roundtrip(clauses in clauses_strategy()) {
+                let text = to_dimacs(8, &clauses);
+                let (n, back) = parse_dimacs(&text).unwrap();
+                prop_assert_eq!(n, 8);
+                prop_assert_eq!(back, clauses);
+            }
+
+            /// Comments, blank lines, and clauses split across lines are
+            /// cosmetic: parsing is invariant under them.
+            #[test]
+            fn parse_ignores_layout(clauses in clauses_strategy()) {
+                let plain = to_dimacs(8, &clauses);
+                let mut decorated = String::from("c header comment\n\n");
+                for line in plain.lines() {
+                    if line.starts_with("p ") {
+                        // The header must stay on one line.
+                        decorated.push_str(line);
+                        decorated.push('\n');
+                        continue;
+                    }
+                    // One token per line, interleaved with comments.
+                    for tok in line.split_whitespace() {
+                        decorated.push_str(tok);
+                        decorated.push('\n');
+                    }
+                    decorated.push_str("c between\n");
+                }
+                let (n, a) = parse_dimacs(&plain).unwrap();
+                let (m, b) = parse_dimacs(&decorated).unwrap();
+                prop_assert_eq!(n, m);
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
 }

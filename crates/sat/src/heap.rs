@@ -157,4 +157,98 @@ mod tests {
         h.insert(Var(0), &activity);
         assert_eq!(h.len(), 1);
     }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// One randomized workload step: insert a variable, pop the
+        /// maximum, or bump a variable's activity (increase-key, the
+        /// only direction VSIDS ever moves between rescales — rescaling
+        /// scales all activities uniformly and preserves order).
+        #[derive(Clone, Debug)]
+        enum Step {
+            Insert(u32),
+            Pop,
+            Bump(u32, u32),
+        }
+
+        fn step() -> impl Strategy<Value = Step> {
+            prop_oneof![
+                (0u32..12).prop_map(Step::Insert),
+                Just(Step::Pop),
+                (0u32..12, 1u32..1000).prop_map(|(v, by)| Step::Bump(v, by)),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Against a naive reference model: after any workload of
+            /// inserts, pops, and increase-key bumps, every pop returns
+            /// exactly the queued variable of maximal activity, and
+            /// membership matches the model throughout.
+            #[test]
+            fn matches_reference_model(
+                seed in proptest::collection::vec(0u32..12, 0..6),
+                steps in proptest::collection::vec(step(), 1..40),
+            ) {
+                let mut activity = vec![0.0f64; 12];
+                for (i, a) in activity.iter_mut().enumerate() {
+                    *a = i as f64;
+                }
+                let mut h = VarHeap::new();
+                let mut model: Vec<u32> = Vec::new();
+                for v in seed {
+                    h.insert(Var(v), &activity);
+                    if !model.contains(&v) {
+                        model.push(v);
+                    }
+                }
+                for s in steps {
+                    match s {
+                        Step::Insert(v) => {
+                            h.insert(Var(v), &activity);
+                            if !model.contains(&v) {
+                                model.push(v);
+                            }
+                        }
+                        Step::Pop => match h.pop(&activity) {
+                            None => prop_assert!(model.is_empty()),
+                            Some(v) => {
+                                // Any queued variable of maximal
+                                // activity is a correct answer (bumps
+                                // can create ties).
+                                prop_assert!(model.contains(&v.0));
+                                let max = model
+                                    .iter()
+                                    .map(|&m| activity[m as usize])
+                                    .fold(f64::NEG_INFINITY, f64::max);
+                                prop_assert_eq!(activity[v.index()], max);
+                                model.retain(|&m| m != v.0);
+                            }
+                        },
+                        Step::Bump(v, by) => {
+                            // Increase-key only.
+                            activity[v as usize] += by as f64;
+                            h.update(Var(v), &activity);
+                        }
+                    }
+                    for v in 0..12u32 {
+                        prop_assert_eq!(h.contains(Var(v)), model.contains(&v));
+                    }
+                }
+                // Drain: the heap empties in non-increasing activity
+                // order.
+                let mut last = f64::INFINITY;
+                while let Some(v) = h.pop(&activity) {
+                    prop_assert!(activity[v.index()] <= last);
+                    last = activity[v.index()];
+                    model.retain(|&m| m != v.0);
+                }
+                prop_assert!(model.is_empty());
+                prop_assert!(h.is_empty());
+            }
+        }
+    }
 }

@@ -1,0 +1,92 @@
+//! Configuration and reporting types for bounded inprocessing.
+//!
+//! Inprocessing simplifies the permanent clause database *between*
+//! solve calls, at decision level 0. Every derived fact (a removed
+//! clause, a strengthened literal, a learnt unit) is a consequence of
+//! the permanent clauses alone — never of any assumption — so the
+//! simplified database is equisatisfiable with the original under every
+//! future assumption set. The pass is budgeted: it does a bounded
+//! amount of work and stops, preserving incremental-solving latency.
+//!
+//! The phases, in order (see [`crate::Solver::inprocess`]):
+//!
+//! 1. **Satisfied-clause elimination + strengthening.** Clauses with a
+//!    level-0 true literal are deleted (level-0 assignments are
+//!    permanent, so they can never matter again — this is what reclaims
+//!    clauses guarded by a popped activation scope's negated unit);
+//!    level-0 false literals are removed from the remaining clauses.
+//! 2. **Subsumption and self-subsuming resolution.** If clause `C ⊆ D`,
+//!    `D` is deleted; if `C \ {l} ⊆ D \ {¬l}`, `¬l` is removed from
+//!    `D`. Pair checks are drawn from an occurrence-list queue and
+//!    counted against [`InprocessConfig::subsumption_checks`].
+//! 3. **Failed-literal probing.** A bounded number of unassigned
+//!    literals are assumed at a probe decision level; if unit
+//!    propagation derives a conflict, the negation is a level-0 unit.
+
+/// Resource bounds for one [`crate::Solver::inprocess`] call.
+///
+/// Each field caps one phase; a pass never exceeds its caps and the
+/// wall-clock deadline / cancellation token installed on the solver
+/// ([`crate::Solver::set_limits`], [`crate::Solver::set_cancel`]) are
+/// honoured as well, so inprocessing can never stall a budgeted run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InprocessConfig {
+    /// Maximum clause-pair subset checks in the subsumption phase.
+    pub subsumption_checks: u64,
+    /// Maximum failed-literal probes (each probe is one propagation to
+    /// fixpoint from a single assumed literal).
+    pub probes: u64,
+    /// Clauses longer than this are not used as subsuming candidates
+    /// (long clauses rarely subsume anything; skipping them keeps the
+    /// occurrence queue short).
+    pub max_subsuming_len: usize,
+}
+
+impl Default for InprocessConfig {
+    fn default() -> Self {
+        InprocessConfig {
+            subsumption_checks: 20_000,
+            probes: 128,
+            max_subsuming_len: 8,
+        }
+    }
+}
+
+/// What one [`crate::Solver::inprocess`] call accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InprocessStats {
+    /// Clauses deleted because a literal is true at level 0.
+    pub clauses_satisfied: u64,
+    /// Clauses deleted because another clause subsumes them.
+    pub clauses_subsumed: u64,
+    /// Literals removed (level-0 false literals plus self-subsuming
+    /// resolution strengthenings).
+    pub lits_removed: u64,
+    /// Level-0 units learned by failed-literal probing.
+    pub failed_literals: u64,
+    /// Probes attempted.
+    pub probes: u64,
+    /// Clause-pair subset checks performed.
+    pub subsumption_checks: u64,
+}
+
+impl InprocessStats {
+    /// Component-wise sum, for aggregating across calls.
+    pub fn merge(&mut self, other: InprocessStats) {
+        self.clauses_satisfied += other.clauses_satisfied;
+        self.clauses_subsumed += other.clauses_subsumed;
+        self.lits_removed += other.lits_removed;
+        self.failed_literals += other.failed_literals;
+        self.probes += other.probes;
+        self.subsumption_checks += other.subsumption_checks;
+    }
+
+    /// True when the pass found nothing to do (useful for scheduling
+    /// heuristics and for tests).
+    pub fn is_noop(&self) -> bool {
+        self.clauses_satisfied == 0
+            && self.clauses_subsumed == 0
+            && self.lits_removed == 0
+            && self.failed_literals == 0
+    }
+}

@@ -8,9 +8,11 @@
 //! Features: two-watched-literal unit propagation, first-UIP clause
 //! learning with local minimization, VSIDS branching with phase saving,
 //! Luby restarts, LBD/activity-guided learnt-clause reduction, solving
-//! under assumptions (incremental use), and resource-bounded solving
+//! under assumptions (incremental use), resource-bounded solving
 //! ([`SolveLimits`] budgets plus a shared [`CancelToken`]) that returns
-//! [`SolveResult::Unknown`] instead of hanging.
+//! [`SolveResult::Unknown`] instead of hanging, and bounded
+//! inprocessing ([`Solver::inprocess`]) that shrinks the permanent
+//! clause database between solve calls without breaking incrementality.
 //!
 //! # Examples
 //!
@@ -30,9 +32,11 @@
 
 mod dimacs;
 mod heap;
+mod inprocess;
 mod lit;
 mod solver;
 
 pub use dimacs::{parse_dimacs, solver_from_dimacs, to_dimacs, ParseDimacsError};
+pub use inprocess::{InprocessConfig, InprocessStats};
 pub use lit::{LBool, Lit, Var};
 pub use solver::{CancelToken, ResourceOut, SolveLimits, SolveResult, Solver, SolverStats};

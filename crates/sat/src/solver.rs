@@ -9,6 +9,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::heap::VarHeap;
+use crate::inprocess::{InprocessConfig, InprocessStats};
 use crate::lit::{LBool, Lit, Var};
 
 /// Reference to a clause in the solver's arena.
@@ -817,6 +818,323 @@ impl Solver {
         }
     }
 
+    /// Runs one bounded inprocessing pass over the permanent clause
+    /// database; see [`InprocessConfig`] for the phases and their
+    /// budgets. Must be called between solve calls (the solver is at
+    /// decision level 0 then); a call at a deeper level is a no-op.
+    ///
+    /// Every simplification is a consequence of the permanent clauses
+    /// alone, so the result is correct under any future assumptions —
+    /// the contract incremental callers (activation-literal scopes,
+    /// `solve_with_assumptions`) rely on. The installed
+    /// [`SolveLimits::deadline`] and [`CancelToken`] are honoured: the
+    /// pass stops early (consistently — watches rebuilt, no partial
+    /// clause left behind) when either fires. Effort spent here is
+    /// *not* charged to the next solve call's budget, which snapshots
+    /// its counters at entry.
+    pub fn inprocess(&mut self, cfg: &InprocessConfig) -> InprocessStats {
+        let mut st = InprocessStats::default();
+        if !self.ok || self.decision_level() != 0 {
+            return st;
+        }
+        // Reach the level-0 propagation fixpoint on valid watches first.
+        if self.propagate().is_some() {
+            self.ok = false;
+            return st;
+        }
+        // Level-0 assignments are permanent and never re-analyzed, so
+        // their reasons can be dropped — that unlocks deleting reason
+        // clauses that are now satisfied.
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var();
+            self.reason[v.index()] = None;
+        }
+        loop {
+            let mut units = self.inprocess_cleanup(&mut st);
+            if self.ok && st.subsumption_checks < cfg.subsumption_checks {
+                self.inprocess_subsume(cfg, &mut st, &mut units);
+            }
+            self.rebuild_watches();
+            if !self.ok {
+                return st;
+            }
+            let progress = !units.is_empty();
+            for u in units {
+                match self.lit_value(u) {
+                    LBool::True => {}
+                    LBool::False => {
+                        self.ok = false;
+                        return st;
+                    }
+                    LBool::Undef => self.unchecked_enqueue(u, None),
+                }
+            }
+            if self.propagate().is_some() {
+                self.ok = false;
+                return st;
+            }
+            if !progress || self.inprocess_interrupted() {
+                break;
+            }
+        }
+        self.inprocess_probe(cfg, &mut st);
+        self.stats.learnt_clauses = self.learnt_count as u64;
+        st
+    }
+
+    /// Deadline/cancellation check for the inprocessing phases.
+    fn inprocess_interrupted(&self) -> bool {
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.limits.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Marks a clause deleted without touching the watch lists (the
+    /// caller rebuilds them); adjusts the learnt count.
+    fn inprocess_delete(&mut self, i: usize) {
+        let c = &mut self.clauses[i];
+        debug_assert!(!c.deleted);
+        if c.learnt {
+            self.learnt_count -= 1;
+        }
+        c.deleted = true;
+        c.lits.clear();
+        c.lits.shrink_to_fit();
+    }
+
+    /// Phase 1: delete level-0-satisfied clauses, strip level-0 false
+    /// literals, and collect clauses that became unit.
+    fn inprocess_cleanup(&mut self, st: &mut InprocessStats) -> Vec<Lit> {
+        let mut units = Vec::new();
+        for i in 0..self.clauses.len() {
+            if self.clauses[i].deleted {
+                continue;
+            }
+            let satisfied = self.clauses[i]
+                .lits
+                .iter()
+                .any(|&l| self.lit_value(l) == LBool::True);
+            if satisfied {
+                st.clauses_satisfied += 1;
+                self.inprocess_delete(i);
+                continue;
+            }
+            let before = self.clauses[i].lits.len();
+            let kept: Vec<Lit> = self.clauses[i]
+                .lits
+                .iter()
+                .copied()
+                .filter(|&l| self.lit_value(l) != LBool::False)
+                .collect();
+            if kept.len() != before {
+                st.lits_removed += (before - kept.len()) as u64;
+                self.clauses[i].lits = kept;
+            }
+            match self.clauses[i].lits.len() {
+                0 => {
+                    // Every literal false at level 0: the formula is
+                    // unsatisfiable.
+                    self.ok = false;
+                    return units;
+                }
+                1 => {
+                    units.push(self.clauses[i].lits[0]);
+                    self.inprocess_delete(i);
+                }
+                _ => {}
+            }
+        }
+        units
+    }
+
+    /// Phase 2: bounded subsumption and self-subsuming resolution over
+    /// occurrence lists.
+    fn inprocess_subsume(
+        &mut self,
+        cfg: &InprocessConfig,
+        st: &mut InprocessStats,
+        units: &mut Vec<Lit>,
+    ) {
+        // Sorted literal lists make subset checks binary searches. The
+        // watch order of the first two literals is destroyed — fine,
+        // the caller rebuilds all watches.
+        for c in &mut self.clauses {
+            if !c.deleted {
+                c.lits.sort_unstable();
+            }
+        }
+        let n_lit_slots = self.watches.len();
+        let mut occ: Vec<Vec<u32>> = vec![Vec::new(); n_lit_slots];
+        for (i, c) in self.clauses.iter().enumerate() {
+            if c.deleted {
+                continue;
+            }
+            for &l in &c.lits {
+                occ[l.index()].push(i as u32);
+            }
+        }
+        let var_sig = |lits: &[Lit]| -> u64 {
+            lits.iter()
+                .fold(0u64, |s, l| s | 1u64 << (l.var().index() % 64))
+        };
+        let mut sigs: Vec<u64> = self
+            .clauses
+            .iter()
+            .map(|c| if c.deleted { 0 } else { var_sig(&c.lits) })
+            .collect();
+        // `sub` subsumes `sup` (both sorted); with `flip = Some(p)`,
+        // checks the self-subsumption condition sub \ {p} ⊆ sup \ {¬p}
+        // by looking for ¬p in sup instead of p.
+        let subset = |sub: &[Lit], sup: &[Lit], flip: Option<Lit>| -> bool {
+            sub.iter().all(|&l| {
+                let want = if Some(l) == flip { !l } else { l };
+                sup.binary_search(&want).is_ok()
+            })
+        };
+        'clauses: for i in 0..self.clauses.len() {
+            if st.subsumption_checks >= cfg.subsumption_checks {
+                break;
+            }
+            if self.clauses[i].deleted || self.clauses[i].lits.len() > cfg.max_subsuming_len {
+                continue;
+            }
+            let lits_i = self.clauses[i].lits.clone();
+            let sig_i = sigs[i];
+            // Backward subsumption: scan the occurrence list of the
+            // rarest literal of C for clauses D ⊇ C.
+            let best = lits_i
+                .iter()
+                .copied()
+                .min_by_key(|l| occ[l.index()].len())
+                .expect("cleanup leaves no empty clauses");
+            for &cand in &occ[best.index()] {
+                if st.subsumption_checks >= cfg.subsumption_checks {
+                    continue 'clauses;
+                }
+                let j = cand as usize;
+                if j == i
+                    || self.clauses[j].deleted
+                    || self.clauses[j].lits.len() < lits_i.len()
+                    || sig_i & !sigs[j] != 0
+                {
+                    continue;
+                }
+                st.subsumption_checks += 1;
+                if subset(&lits_i, &self.clauses[j].lits, None) {
+                    // If a learnt clause subsumes an original one, the
+                    // original's constraint must survive future
+                    // learnt-database reductions: promote the subsumer.
+                    if self.clauses[i].learnt && !self.clauses[j].learnt {
+                        self.clauses[i].learnt = false;
+                        self.learnt_count -= 1;
+                    }
+                    st.clauses_subsumed += 1;
+                    self.inprocess_delete(j);
+                }
+            }
+            // Self-subsuming resolution: C strengthens D on p when
+            // C \ {p} ⊆ D \ {¬p}; the resolvent replaces D.
+            for &p in &lits_i {
+                for &cand in &occ[(!p).index()] {
+                    if st.subsumption_checks >= cfg.subsumption_checks {
+                        continue 'clauses;
+                    }
+                    let j = cand as usize;
+                    if j == i
+                        || self.clauses[j].deleted
+                        || self.clauses[j].lits.len() < lits_i.len()
+                        || sig_i & !sigs[j] != 0
+                    {
+                        continue;
+                    }
+                    st.subsumption_checks += 1;
+                    if subset(&lits_i, &self.clauses[j].lits, Some(p)) {
+                        let pos = self.clauses[j]
+                            .lits
+                            .binary_search(&!p)
+                            .expect("subset check found ¬p");
+                        self.clauses[j].lits.remove(pos);
+                        st.lits_removed += 1;
+                        sigs[j] = var_sig(&self.clauses[j].lits);
+                        if self.clauses[j].lits.len() == 1 {
+                            units.push(self.clauses[j].lits[0]);
+                            self.inprocess_delete(j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase 3: failed-literal probing. Each probe assumes one literal
+    /// at a fresh decision level; a propagation conflict proves its
+    /// negation as a level-0 unit.
+    fn inprocess_probe(&mut self, cfg: &InprocessConfig, st: &mut InprocessStats) {
+        if !self.ok {
+            return;
+        }
+        for vi in 0..self.num_vars() {
+            if st.probes >= cfg.probes {
+                break;
+            }
+            if st.probes.is_multiple_of(16) && self.inprocess_interrupted() {
+                break;
+            }
+            if self.assigns[vi] != LBool::Undef {
+                continue;
+            }
+            let v = Var(vi as u32);
+            for phase in [self.polarity[vi], !self.polarity[vi]] {
+                if st.probes >= cfg.probes || self.assigns[vi] != LBool::Undef {
+                    break;
+                }
+                st.probes += 1;
+                self.new_decision_level();
+                self.unchecked_enqueue(Lit::new(v, phase), None);
+                let failed = self.propagate().is_some();
+                self.cancel_until(0);
+                if failed {
+                    st.failed_literals += 1;
+                    self.unchecked_enqueue(Lit::new(v, !phase), None);
+                    if self.propagate().is_some() {
+                        self.ok = false;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reconstructs every watch list from the (possibly mutated) clause
+    /// database. All literals of surviving clauses are unassigned at
+    /// level 0 when this is called, so watching the first two is valid.
+    fn rebuild_watches(&mut self) {
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for i in 0..self.clauses.len() {
+            let (deleted, len) = {
+                let c = &self.clauses[i];
+                (c.deleted, c.lits.len())
+            };
+            if deleted || len < 2 {
+                continue;
+            }
+            let cref = ClauseRef(i as u32);
+            let (l0, l1) = (self.clauses[i].lits[0], self.clauses[i].lits[1]);
+            self.watches[(!l0).index()].push(Watcher { cref, blocker: l1 });
+            self.watches[(!l1).index()].push(Watcher { cref, blocker: l0 });
+        }
+    }
+
     /// The value of `v` in the most recent satisfying model.
     ///
     /// Returns `None` if no model is available or the variable was left
@@ -1237,6 +1555,170 @@ mod tests {
         assert_eq!(s.solve_with_assumptions(&[!v[0]]), SolveResult::Unsat);
         assert!(s.solve().is_sat());
         assert_eq!(s.value(v[0].var()), Some(true));
+    }
+
+    #[test]
+    fn inprocess_reclaims_clauses_satisfied_by_level0_units() {
+        // The activation-literal pattern: clauses guarded by `!sel`
+        // become permanently satisfied once the unit `!sel` lands, and
+        // inprocessing must delete them all.
+        let (mut s, sel) = guarded_php(4, 3);
+        let before = s.num_clauses();
+        s.add_clause([!sel]); // retract the guarded scope
+        let st = s.inprocess(&InprocessConfig::default());
+        assert!(st.clauses_satisfied > 0, "{st:?}");
+        assert!(s.num_clauses() < before, "{before} -> {}", s.num_clauses());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn inprocess_subsumption_deletes_supersets() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], v[1], v[2]]);
+        s.add_clause([v[0], v[1], v[3]]);
+        let st = s.inprocess(&InprocessConfig::default());
+        assert_eq!(st.clauses_subsumed, 2, "{st:?}");
+        assert_eq!(s.num_clauses(), 1);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn inprocess_self_subsumption_strengthens() {
+        // (a ∨ b) and (¬a ∨ b ∨ c) resolve on a to (b ∨ c), which
+        // replaces the longer clause; the binary then subsumes nothing
+        // further but b∨c must behave like the resolvent.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[0], v[1], v[2]]);
+        let st = s.inprocess(&InprocessConfig::default());
+        assert!(st.lits_removed >= 1, "{st:?}");
+        // Semantics preserved: assuming ¬b forces (a from the first
+        // clause and c from the strengthened resolvent).
+        assert!(s.solve_with_assumptions(&[!v[1]]).is_sat());
+        assert_eq!(s.lit_model_value(v[2]), Some(true));
+    }
+
+    #[test]
+    fn inprocess_probing_learns_failed_literals() {
+        // ¬a propagates b and ¬b via (a ∨ b) ∧ (a ∨ ¬b): probing ¬a
+        // conflicts, so a must be learnt as a level-0 unit.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], !v[1]]);
+        s.add_clause([v[2], v[0]]); // keep another var around
+        // Subsumption disabled so the unit can only come from probing.
+        let st = s.inprocess(&InprocessConfig {
+            subsumption_checks: 0,
+            ..Default::default()
+        });
+        assert!(st.failed_literals >= 1, "{st:?}");
+        assert!(s.solve().is_sat());
+        assert_eq!(s.lit_model_value(v[0]), Some(true));
+    }
+
+    #[test]
+    fn inprocess_preserves_verdicts_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x1217);
+        for round in 0..80 {
+            let n_vars = rng.gen_range(4..=8usize);
+            let n_clauses = rng.gen_range(4..=28usize);
+            let clauses: Vec<Vec<(usize, bool)>> = (0..n_clauses)
+                .map(|_| {
+                    (0..rng.gen_range(1..=3usize))
+                        .map(|_| (rng.gen_range(0..n_vars), rng.gen_bool(0.5)))
+                        .collect()
+                })
+                .collect();
+            let assumptions: Vec<(usize, bool)> = (0..rng.gen_range(0..=2usize))
+                .map(|_| (rng.gen_range(0..n_vars), rng.gen_bool(0.5)))
+                .collect();
+            let mut brute = false;
+            'outer: for m in 0u32..(1 << n_vars) {
+                for &(v, pos) in &assumptions {
+                    if ((m >> v) & 1 == 1) != pos {
+                        continue 'outer;
+                    }
+                }
+                for c in &clauses {
+                    if !c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos) {
+                        continue 'outer;
+                    }
+                }
+                brute = true;
+                break;
+            }
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..n_vars).map(|_| s.new_var()).collect();
+            let mut ok = true;
+            for c in &clauses {
+                ok &= s.add_clause(c.iter().map(|&(v, pos)| Lit::new(vars[v], pos)));
+            }
+            // Interleave: inprocess, solve, inprocess again, solve with
+            // assumptions — the verdicts must match brute force and
+            // stay consistent across passes.
+            s.inprocess(&InprocessConfig::default());
+            let lits: Vec<Lit> = assumptions
+                .iter()
+                .map(|&(v, pos)| Lit::new(vars[v], pos))
+                .collect();
+            let got = ok && s.solve_with_assumptions(&lits).is_sat();
+            assert_eq!(got, brute, "round {round}: {clauses:?} / {assumptions:?}");
+            s.inprocess(&InprocessConfig::default());
+            let again = ok && s.solve_with_assumptions(&lits).is_sat();
+            assert_eq!(again, brute, "round {round} after second pass");
+        }
+    }
+
+    #[test]
+    fn inprocess_respects_budgets_and_cancellation() {
+        let (mut s, _) = guarded_php(6, 5);
+        let cfg = InprocessConfig {
+            subsumption_checks: 3,
+            probes: 2,
+            ..Default::default()
+        };
+        let st = s.inprocess(&cfg);
+        assert!(st.subsumption_checks <= 3, "{st:?}");
+        assert!(st.probes <= 2, "{st:?}");
+        // A cancelled token stops probing but leaves the solver valid.
+        let (mut s2, sel) = guarded_php(5, 4);
+        let tok = CancelToken::new();
+        s2.set_cancel(tok.clone());
+        tok.cancel();
+        s2.inprocess(&InprocessConfig::default());
+        tok.reset();
+        assert_eq!(s2.solve_with_assumptions(&[sel]), SolveResult::Unsat);
+        assert!(s2.solve_with_assumptions(&[!sel]).is_sat());
+    }
+
+    #[test]
+    fn inprocess_detects_level0_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], !v[1]]);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[0], !v[1]]);
+        // Probing either variable fails both ways: the formula is UNSAT
+        // and inprocessing alone can prove it.
+        s.inprocess(&InprocessConfig::default());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn inprocess_is_noop_on_clean_database() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[1], v[2]]);
+        let st = s.inprocess(&InprocessConfig::default());
+        assert!(st.is_noop(), "{st:?}");
+        assert!(s.solve().is_sat());
     }
 
     #[test]

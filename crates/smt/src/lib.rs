@@ -34,4 +34,6 @@
 mod blast;
 
 pub use blast::{prove_equiv, BlastStats, SmtResult, SmtSolver};
-pub use gila_sat::{CancelToken, ResourceOut, SolveLimits, SolverStats};
+pub use gila_sat::{
+    CancelToken, InprocessConfig, InprocessStats, ResourceOut, SolveLimits, SolverStats,
+};

@@ -47,6 +47,12 @@ pub enum SpanKind {
     Panic,
     /// One static-analysis pass of `gila-lint` over one target.
     LintPass,
+    /// Cone-of-influence slicing of the transition system for one port
+    /// plan (states/inputs kept and dropped ride as fields).
+    Coi,
+    /// One bounded SAT inprocessing pass between solve calls (clauses
+    /// reclaimed, literals removed, failed literals ride as fields).
+    Inprocess,
 }
 
 impl SpanKind {
@@ -61,6 +67,8 @@ impl SpanKind {
             SpanKind::Retry => "retry",
             SpanKind::Panic => "panic",
             SpanKind::LintPass => "lint_pass",
+            SpanKind::Coi => "coi",
+            SpanKind::Inprocess => "inprocess",
         }
     }
 }
@@ -306,6 +314,17 @@ pub struct Telemetry {
     pub retries: u64,
     /// Conflicts burned by solve attempts that ended in `Unknown`.
     pub budget_spent_conflicts: u64,
+    /// State variables removed by cone-of-influence slicing (summed
+    /// over port plans).
+    pub coi_states_dropped: u64,
+    /// Input variables removed by cone-of-influence slicing.
+    pub coi_inputs_dropped: u64,
+    /// Clauses reclaimed by inprocessing (satisfied plus subsumed).
+    pub inprocess_clauses_removed: u64,
+    /// Literals removed by inprocessing strengthening.
+    pub inprocess_lits_removed: u64,
+    /// Level-0 units learned by failed-literal probing.
+    pub inprocess_failed_literals: u64,
 }
 
 impl Telemetry {
@@ -329,6 +348,13 @@ impl Telemetry {
             retries: self.retries + other.retries,
             budget_spent_conflicts: self.budget_spent_conflicts
                 + other.budget_spent_conflicts,
+            coi_states_dropped: self.coi_states_dropped + other.coi_states_dropped,
+            coi_inputs_dropped: self.coi_inputs_dropped + other.coi_inputs_dropped,
+            inprocess_clauses_removed: self.inprocess_clauses_removed
+                + other.inprocess_clauses_removed,
+            inprocess_lits_removed: self.inprocess_lits_removed + other.inprocess_lits_removed,
+            inprocess_failed_literals: self.inprocess_failed_literals
+                + other.inprocess_failed_literals,
         }
     }
 
@@ -352,6 +378,20 @@ impl Telemetry {
             (
                 "budget_spent_conflicts".into(),
                 self.budget_spent_conflicts.into(),
+            ),
+            ("coi_states_dropped".into(), self.coi_states_dropped.into()),
+            ("coi_inputs_dropped".into(), self.coi_inputs_dropped.into()),
+            (
+                "inprocess_clauses_removed".into(),
+                self.inprocess_clauses_removed.into(),
+            ),
+            (
+                "inprocess_lits_removed".into(),
+                self.inprocess_lits_removed.into(),
+            ),
+            (
+                "inprocess_failed_literals".into(),
+                self.inprocess_failed_literals.into(),
             ),
         ])
     }
@@ -535,6 +575,43 @@ mod tests {
         assert_eq!(
             j.get("budget_spent_conflicts").and_then(Value::as_u64),
             Some(150)
+        );
+    }
+
+    #[test]
+    fn preprocessing_span_kinds_and_counters() {
+        assert_eq!(SpanKind::Coi.as_str(), "coi");
+        assert_eq!(SpanKind::Inprocess.as_str(), "inprocess");
+        let e = Event::new(SpanKind::Coi)
+            .port("p")
+            .field("states_dropped", 4)
+            .field("inputs_dropped", 2);
+        assert_eq!(
+            e.to_json_line(),
+            r#"{"kind":"coi","port":"p","states_dropped":4,"inputs_dropped":2}"#
+        );
+        let a = Telemetry {
+            coi_states_dropped: 4,
+            inprocess_clauses_removed: 10,
+            ..Default::default()
+        };
+        let b = Telemetry {
+            coi_states_dropped: 1,
+            coi_inputs_dropped: 2,
+            inprocess_lits_removed: 3,
+            inprocess_failed_literals: 1,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.coi_states_dropped, 5);
+        assert_eq!(m.coi_inputs_dropped, 2);
+        assert_eq!(m.inprocess_clauses_removed, 10);
+        assert_eq!(m.inprocess_lits_removed, 3);
+        let j = m.to_json();
+        assert_eq!(j.get("coi_states_dropped").and_then(Value::as_u64), Some(5));
+        assert_eq!(
+            j.get("inprocess_failed_literals").and_then(Value::as_u64),
+            Some(1)
         );
     }
 

@@ -201,6 +201,7 @@ pub(crate) fn load_resume(
                 worker: None,
                 queue_ns: 0,
                 stolen: false,
+                inprocess: Default::default(),
             },
         );
     }
@@ -227,6 +228,7 @@ mod tests {
             worker: None,
             queue_ns: 0,
             stolen: false,
+            inprocess: Default::default(),
         }
     }
 

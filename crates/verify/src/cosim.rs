@@ -127,7 +127,11 @@ impl fmt::Display for CosimError {
 
 impl std::error::Error for CosimError {}
 
-fn random_value(rng: &mut impl Rng, sort: Sort) -> Value {
+/// A uniformly random [`Value`] of `sort` (memories get eight random
+/// writes over a zeroed array). Shared with the randomized property
+/// tests so expression-level checks draw environments from the same
+/// distribution the co-simulator uses for states and inputs.
+pub fn random_value(rng: &mut impl Rng, sort: Sort) -> Value {
     match sort {
         Sort::Bool => Value::Bool(rng.gen()),
         Sort::Bv(w) => {

@@ -24,10 +24,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gila_core::{Instruction, ModuleIla, PortIla};
-use gila_expr::{import, import_mapped, ExprRef, Sort, Value};
-use gila_mc::{TransitionSystem, Unrolling};
+use gila_expr::{import, import_mapped, simplify_cached, ExprRef, Sort, Value};
+use gila_mc::{coi_slice, support, CoiStats, TransitionSystem, Unrolling};
 use gila_rtl::{parse_rtl_expr, RtlModule, VerilogError};
-use gila_smt::{BlastStats, ResourceOut, SmtResult, SmtSolver, SolveLimits, SolverStats};
+use gila_smt::{
+    BlastStats, InprocessConfig, InprocessStats, ResourceOut, SmtResult, SmtSolver, SolveLimits,
+    SolverStats,
+};
 use gila_trace::{Event, SpanKind, Telemetry, Tracer};
 
 use crate::checkpoint::CheckpointWriter;
@@ -307,6 +310,10 @@ pub struct InstrVerdict {
     /// Whether a worker stole this job from a peer's deque rather than
     /// taking it from its own queue or the global injector.
     pub stolen: bool,
+    /// What the inprocessing pass run after this job reclaimed from the
+    /// shared clause database (all-zero when preprocessing is off or
+    /// the pass found nothing).
+    pub inprocess: InprocessStats,
 }
 
 /// The verification report for one port.
@@ -450,7 +457,7 @@ impl ModuleReport {
 }
 
 /// Options controlling a verification run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct VerifyOptions {
     /// Stop a port's run at the first counterexample (used for the
     /// "Time (bug)" measurement). Under a worker pool (`jobs`) this
@@ -497,6 +504,30 @@ pub struct VerifyOptions {
     /// newly decided verdicts are appended to the same file. `unknown`
     /// and `panicked` entries are re-verified.
     pub resume: Option<PathBuf>,
+    /// Formula preprocessing (on by default; `--no-preprocess` for A/B
+    /// comparisons): cone-of-influence slicing of the transition system
+    /// per port plan, cached expression simplification before blasting,
+    /// persistent per-port solver reuse on the sequential path, and a
+    /// bounded SAT inprocessing pass between instructions.
+    pub preprocess: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            stop_at_first_cex: false,
+            parallel: false,
+            incremental: false,
+            jobs: None,
+            tracer: Tracer::default(),
+            budget: SolveBudget::default(),
+            retries: 0,
+            fault_plan: None,
+            checkpoint: None,
+            resume: None,
+            preprocess: true,
+        }
+    }
 }
 
 /// The per-job knobs a scheduler threads through to every check.
@@ -505,6 +536,9 @@ pub(crate) struct JobPolicy {
     pub(crate) budget: SolveBudget,
     pub(crate) retries: u32,
     pub(crate) fault: Option<Arc<FaultPlan>>,
+    /// Preprocessing on the job path: cached simplification before
+    /// blasting and an inprocessing pass after each job.
+    pub(crate) preprocess: bool,
 }
 
 /// Shared run state: job policy, checkpoint sink, and verdicts resumed
@@ -546,6 +580,7 @@ impl<'t> RunCtx<'t> {
                 budget: opts.budget,
                 retries: opts.retries,
                 fault: opts.fault_plan.clone(),
+                preprocess: opts.preprocess,
             },
             tracer: &opts.tracer,
             checkpoint,
@@ -588,6 +623,16 @@ pub(crate) struct JobMeta {
 pub(crate) struct WorkerEngine {
     pub(crate) u: Unrolling,
     pub(crate) smt: SmtSolver,
+    /// Memo table for [`simplify_cached`], shared across every
+    /// instruction this engine serves: the unrolling's context only
+    /// grows (hash-consing survives rollback), so simplifications of
+    /// the common next-state logic are computed once per engine.
+    pub(crate) simplify_memo: HashMap<ExprRef, ExprRef>,
+    /// Total blasted clauses when the last inprocessing pass ran;
+    /// inprocessing is amortized against CNF growth (see
+    /// [`run_job_guarded`]), so small engines are never scanned
+    /// repeatedly for nothing.
+    pub(crate) inprocess_mark: u64,
 }
 
 impl WorkerEngine {
@@ -599,6 +644,8 @@ impl WorkerEngine {
         WorkerEngine {
             u,
             smt: SmtSolver::new(),
+            simplify_memo: HashMap::new(),
+            inprocess_mark: 0,
         }
     }
 }
@@ -855,8 +902,16 @@ pub(crate) fn check_instruction_planned(
         let snap = engine.u.snapshot();
         engine.u.extend_to(plan.instrs[idx].bound);
         engine.smt.push_scope();
-        let result =
-            check_instruction_inner(plan, idx, instr, engine, tracer, meta, &mut solves);
+        let result = check_instruction_inner(
+            plan,
+            idx,
+            instr,
+            engine,
+            tracer,
+            meta,
+            &mut solves,
+            policy.preprocess,
+        );
         engine.smt.pop_scope();
         engine.smt.set_limits(SolveLimits::default());
         match result {
@@ -946,6 +1001,7 @@ pub(crate) fn check_instruction_planned(
         worker: meta.worker,
         queue_ns: meta.queue_ns,
         stolen: meta.stolen,
+        inprocess: InprocessStats::default(),
     })
 }
 
@@ -973,7 +1029,40 @@ pub(crate) fn run_job_guarded(
         check_instruction_planned(plan, idx, engine, tracer, meta, policy)
     }));
     match outcome {
-        Ok(res) => res,
+        Ok(mut res) => {
+            // Inprocess between jobs, outside the job's effort window:
+            // popped activation scopes leave permanently satisfied
+            // clauses behind, and level-0 simplification of the shared
+            // database benefits every later instruction on this engine.
+            // Amortized: a pass scans the whole clause database, so it
+            // only fires once the CNF has grown enough since the last
+            // one to plausibly pay for the scan.
+            const INPROCESS_GROWTH: u64 = 4096;
+            if policy.preprocess {
+                if let (Ok(v), Some(engine)) = (&mut res, engine_slot.as_mut()) {
+                    let clauses = engine.smt.stats().clauses;
+                    if clauses >= engine.inprocess_mark + INPROCESS_GROWTH {
+                        engine.inprocess_mark = clauses;
+                        let st = engine.smt.inprocess(&InprocessConfig::default());
+                        v.inprocess = st;
+                        if !st.is_noop() {
+                            tracer.record(|| {
+                                Event::new(SpanKind::Inprocess)
+                                    .port(plan.port.name())
+                                    .instruction(&v.instruction)
+                                    .worker(meta.worker)
+                                    .field("clauses_satisfied", st.clauses_satisfied)
+                                    .field("clauses_subsumed", st.clauses_subsumed)
+                                    .field("lits_removed", st.lits_removed)
+                                    .field("failed_literals", st.failed_literals)
+                                    .field("probes", st.probes)
+                            });
+                        }
+                    }
+                }
+            }
+            res
+        }
         Err(payload) => {
             *engine_slot = None;
             let message = panic_message(payload.as_ref());
@@ -997,6 +1086,7 @@ pub(crate) fn run_job_guarded(
                 worker: meta.worker,
                 queue_ns: meta.queue_ns,
                 stolen: meta.stolen,
+                inprocess: InprocessStats::default(),
             })
         }
     }
@@ -1024,8 +1114,24 @@ fn check_instruction_inner(
     tracer: &Tracer,
     meta: JobMeta,
     solves: &mut u64,
+    preprocess: bool,
 ) -> Result<CheckResult, VerifyError> {
-    let WorkerEngine { u, smt } = engine;
+    let WorkerEngine {
+        u,
+        smt,
+        simplify_memo,
+        ..
+    } = engine;
+    // Rewrite-simplify a conjunct before it reaches the blaster; the
+    // engine-wide memo makes repeat sub-circuits (the grafted
+    // next-state logic) free on later instructions.
+    let simp = |u: &mut Unrolling, memo: &mut HashMap<ExprRef, ExprRef>, e: ExprRef| {
+        if preprocess {
+            simplify_cached(u.ctx_mut(), e, memo)
+        } else {
+            e
+        }
+    };
     let port = plan.port;
     let map = plan.map;
     let ip = &plan.instrs[idx];
@@ -1147,9 +1253,11 @@ fn check_instruction_inner(
     // conditions there (retracted on pop, CNF kept). Per-frame cases
     // then differ only in their assumption lists.
     for &c in &start_conjuncts {
+        let c = simp(u, simplify_memo, c);
         smt.assert(u.ctx(), c);
     }
     for &c in &policy_conjuncts {
+        let c = simp(u, simplify_memo, c);
         smt.assert(u.ctx(), c);
     }
 
@@ -1164,11 +1272,12 @@ fn check_instruction_inner(
                 for k in 1..j {
                     let ck = u.map_expr(k, *cond);
                     let cb = u.ctx_mut().bv_to_bool(ck);
-                    assumptions.push(u.ctx_mut().not(cb));
+                    let nb = u.ctx_mut().not(cb);
+                    assumptions.push(simp(u, simplify_memo, nb));
                 }
                 let cj = u.map_expr(j, *cond);
                 let cb = u.ctx_mut().bv_to_bool(cj);
-                assumptions.push(cb);
+                assumptions.push(simp(u, simplify_memo, cb));
                 cases.push((j, assumptions));
             }
             cases
@@ -1198,6 +1307,7 @@ fn check_instruction_inner(
         let eqs = post_eq_at(u, frame);
         let eq_exprs: Vec<ExprRef> = eqs.iter().map(|(_, e)| *e).collect();
         let all_eq = u.ctx_mut().and_many(&eq_exprs);
+        let all_eq = simp(u, simplify_memo, all_eq);
         let viol = u.ctx_mut().not(all_eq);
         let mut assumptions = extra_assumptions;
         assumptions.push(viol);
@@ -1359,7 +1469,14 @@ fn run_port_sequential(
             Some(v) => v,
             None => {
                 let mut own = None;
-                let slot = if incremental { &mut shared } else { &mut own };
+                // Preprocessing implies the shared persistent engine:
+                // structural CNF sharing across a port's instructions
+                // is the point of keeping one solver alive.
+                let slot = if incremental || ctx.policy.preprocess {
+                    &mut shared
+                } else {
+                    &mut own
+                };
                 let v = run_job_guarded(
                     plan,
                     idx,
@@ -1408,6 +1525,10 @@ fn telemetry_of(verdicts: &[InstrVerdict]) -> Telemetry {
         t.queue_ns += v.queue_ns;
         t.steals += v.stolen as u64;
         t.retries += v.retries as u64;
+        t.inprocess_clauses_removed +=
+            v.inprocess.clauses_satisfied + v.inprocess.clauses_subsumed;
+        t.inprocess_lits_removed += v.inprocess.lits_removed;
+        t.inprocess_failed_literals += v.inprocess.failed_literals;
         match &v.result {
             CheckResult::Unknown { budget_spent, .. } => {
                 t.unknown += 1;
@@ -1424,6 +1545,79 @@ fn telemetry_of(verdicts: &[InstrVerdict]) -> Telemetry {
     }
     t.workers = (workers.len() as u64).max(1);
     t
+}
+
+/// Every transition-system expression a port plan will instantiate
+/// over the unrolling — the root set for cone-of-influence slicing.
+///
+/// Mapped state/input expressions are roots directly. Conditions
+/// (invariants, strengthenings, finish conditions) are parsed in the
+/// plan's scratch RTL, so their support is resolved back to
+/// transition-system expressions by signal name; a name that resolves
+/// to a wire contributes that wire's defining expression, which keeps
+/// the whole cone of the condition.
+fn coi_roots(
+    plan: &PortPlan<'_>,
+    ts: &TransitionSystem,
+    ts_signals: &BTreeMap<String, ExprRef>,
+) -> Vec<ExprRef> {
+    let mut roots: Vec<ExprRef> = Vec::new();
+    for (_, e, _) in &plan.mapped_states {
+        roots.push(*e);
+    }
+    for (_, e, _) in &plan.mapped_inputs {
+        roots.push(*e);
+    }
+    let mut cond_exprs: Vec<ExprRef> = plan.invariants.clone();
+    for ip in &plan.instrs {
+        cond_exprs.extend(ip.finish_expr);
+        cond_exprs.extend(ip.strengthening);
+    }
+    for name in support(plan.cond_rtl.ctx(), &cond_exprs) {
+        if let Some(&e) = ts_signals.get(&name) {
+            roots.push(e);
+        } else if let Some(e) = ts.ctx().find_var(&name) {
+            roots.push(e);
+        }
+    }
+    roots
+}
+
+/// Slices `ts` to the union cone of `plans` and emits a `coi` span.
+/// Returns the system unchanged when `preprocess` is off.
+fn coi_preprocess(
+    ts: TransitionSystem,
+    ts_signals: &BTreeMap<String, ExprRef>,
+    plans: &[&PortPlan<'_>],
+    scope: &str,
+    preprocess: bool,
+    tracer: &Tracer,
+) -> (TransitionSystem, Option<CoiStats>) {
+    if !preprocess {
+        return (ts, None);
+    }
+    let mut roots = Vec::new();
+    for plan in plans {
+        roots.extend(coi_roots(plan, &ts, ts_signals));
+    }
+    let (sliced, stats) = coi_slice(&ts, &roots);
+    tracer.record(|| {
+        Event::new(SpanKind::Coi)
+            .port(scope)
+            .field("states_kept", stats.states_kept as u64)
+            .field("states_dropped", stats.states_dropped as u64)
+            .field("inputs_kept", stats.inputs_kept as u64)
+            .field("inputs_dropped", stats.inputs_dropped as u64)
+    });
+    (sliced, Some(stats))
+}
+
+/// Folds a slicing report into a run's telemetry totals.
+fn add_coi_telemetry(t: &mut Telemetry, coi: Option<CoiStats>) {
+    if let Some(s) = coi {
+        t.coi_states_dropped += s.states_dropped as u64;
+        t.coi_inputs_dropped += s.inputs_dropped as u64;
+    }
 }
 
 /// Emits the per-port summary span once a port's verdicts are in.
@@ -1469,6 +1663,14 @@ fn verify_port_with(
     let start_all = Instant::now();
     let (ts, ts_signals) = rtl_to_ts(rtl)?;
     let plan = PortPlan::build(port, rtl, map, &ts_signals)?;
+    let (ts, coi) = coi_preprocess(
+        ts,
+        &ts_signals,
+        &[&plan],
+        port.name(),
+        opts.preprocess,
+        &opts.tracer,
+    );
     let verdicts = match resolve_mode(opts, plan.instrs.len()) {
         ExecMode::Sequential { incremental } => {
             run_port_sequential(&plan, &ts, incremental, opts.stop_at_first_cex, ctx)?
@@ -1489,10 +1691,12 @@ fn verify_port_with(
             port_result.verdicts.into_iter().map(|(_, v)| v).collect()
         }
     };
+    let mut telemetry = telemetry_of(&verdicts);
+    add_coi_telemetry(&mut telemetry, coi);
     let report = PortReport {
         port: port.name().to_string(),
         peak_stats: peak_of(&verdicts),
-        telemetry: telemetry_of(&verdicts),
+        telemetry,
         verdicts,
         total_time: start_all.elapsed(),
     };
@@ -1532,6 +1736,7 @@ pub fn verify_module(
     let total_jobs: usize = module.ports().iter().map(|p| p.instructions().len()).sum();
     let ctx = RunCtx::from_opts(opts)?;
     let mut pool_workers = None;
+    let mut module_coi = None;
     let ports = match resolve_mode(opts, total_jobs) {
         ExecMode::Sequential { .. } => {
             let mut ports = Vec::new();
@@ -1551,6 +1756,18 @@ pub fn verify_module(
             for port in module.ports() {
                 plans.push(PortPlan::build(port, rtl, map_for(port)?, &ts_signals)?);
             }
+            // The pool shares one transition system across all plans, so
+            // slice to the union cone of every port's roots.
+            let plan_refs: Vec<&PortPlan<'_>> = plans.iter().collect();
+            let (ts, coi) = coi_preprocess(
+                ts,
+                &ts_signals,
+                &plan_refs,
+                module.name(),
+                opts.preprocess,
+                &opts.tracer,
+            );
+            module_coi = coi;
             let outcome = crate::scheduler::run_pool(
                 &plans,
                 &ts,
@@ -1582,6 +1799,7 @@ pub fn verify_module(
     let mut telemetry = ports
         .iter()
         .fold(Telemetry::default(), |acc, p| acc.merge(&p.telemetry));
+    add_coi_telemetry(&mut telemetry, module_coi);
     if let Some(w) = pool_workers {
         telemetry.workers = w;
     }

@@ -85,7 +85,7 @@ pub use fault::{FaultAction, FaultPlan, FaultPlanError};
 pub use gila_smt::ResourceOut;
 pub use property::{render_all_properties, render_property};
 pub use refmap::{FinishCondition, InputPolicy, InstructionMap, RefinementMap};
-pub use cosim::{cosimulate, CosimError, Divergence};
+pub use cosim::{cosimulate, random_value, CosimError, Divergence};
 pub use equiv::{check_rtl_equivalence, EquivError, EquivOutcome};
 pub use invariants::validate_invariants;
 pub use mutation::{mutate_register, MutateError, Mutation, MutationReport};

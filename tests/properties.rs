@@ -7,11 +7,12 @@ use std::collections::BTreeMap;
 
 use gila::core::{integrate, PortIla, PortPriorityResolver, StateKind};
 use gila::expr::{
-    eval, simplify, BitVecValue, Env, ExprCtx, ExprRef, Sort, Value,
+    eval, simplify_cached, BitVecValue, Env, ExprCtx, ExprRef, Sort, Value,
 };
 use gila::sat::{Lit, Solver, Var};
 use gila::smt::SmtSolver;
 use proptest::prelude::*;
+use rand::SeedableRng;
 
 // ---------------------------------------------------------------------
 // BitVecValue vs u128 reference semantics
@@ -119,6 +120,15 @@ enum RandomOp {
     Lshr,
     Ashr,
     Ite,
+    Not,
+    Neg,
+    Udiv,
+    Urem,
+    Concat,
+    Extract,
+    Zext,
+    Sext,
+    Cmp,
 }
 
 fn random_op() -> impl Strategy<Value = RandomOp> {
@@ -133,9 +143,20 @@ fn random_op() -> impl Strategy<Value = RandomOp> {
         Just(RandomOp::Lshr),
         Just(RandomOp::Ashr),
         Just(RandomOp::Ite),
+        Just(RandomOp::Not),
+        Just(RandomOp::Neg),
+        Just(RandomOp::Udiv),
+        Just(RandomOp::Urem),
+        Just(RandomOp::Concat),
+        Just(RandomOp::Extract),
+        Just(RandomOp::Zext),
+        Just(RandomOp::Sext),
+        Just(RandomOp::Cmp),
     ]
 }
 
+/// Every node is kept at width `W` (structural ops re-extend or slice
+/// back) so any pool element can feed any operator.
 fn build_expr(ctx: &mut ExprCtx, ops: &[(RandomOp, u8, u8)], consts: &[u64]) -> ExprRef {
     const W: u32 = 7;
     let x = ctx.var("x", Sort::Bv(W));
@@ -161,6 +182,38 @@ fn build_expr(ctx: &mut ExprCtx, ops: &[(RandomOp, u8, u8)], consts: &[u64]) -> 
                 let c = ctx.ult(a, b);
                 ctx.ite(c, a, b)
             }
+            RandomOp::Not => ctx.bvnot(a),
+            RandomOp::Neg => ctx.bvneg(a),
+            RandomOp::Udiv => ctx.bvudiv(a, b),
+            RandomOp::Urem => ctx.bvurem(a, b),
+            RandomOp::Concat => {
+                let wide = ctx.concat(a, b);
+                ctx.extract(wide, W - 1, 0)
+            }
+            RandomOp::Extract => {
+                let hi = *ia as u32 % W;
+                let lo = *ib as u32 % (hi + 1);
+                let cut = ctx.extract(a, hi, lo);
+                ctx.zext(cut, W)
+            }
+            RandomOp::Zext => {
+                let cut = ctx.extract(a, W / 2, 0);
+                ctx.zext(cut, W)
+            }
+            RandomOp::Sext => {
+                let cut = ctx.extract(a, W / 2, 0);
+                ctx.sext(cut, W)
+            }
+            RandomOp::Cmp => {
+                // Exercise the boolean rewrites: a comparison network
+                // folded back into the bit-vector world.
+                let lt = ctx.ult(a, b);
+                let eq = ctx.eq(a, b);
+                let ne = ctx.not(eq);
+                let both = ctx.and(lt, ne);
+                let bit = ctx.bool_to_bv(both);
+                ctx.zext(bit, W)
+            }
         };
         pool.push(e);
     }
@@ -174,19 +227,29 @@ proptest! {
     fn simplify_preserves_semantics(
         ops in proptest::collection::vec((random_op(), any::<u8>(), any::<u8>()), 1..12),
         consts in proptest::collection::vec(any::<u64>(), 1..4),
-        vx in 0u64..128,
-        vy in 0u64..128,
+        seed in any::<u64>(),
     ) {
         let mut ctx = ExprCtx::new();
         let root = build_expr(&mut ctx, &ops, &consts);
-        let simplified = simplify(&mut ctx, root);
-        let mut env = Env::new();
-        env.bind_u64(&ctx, "x", vx);
-        env.bind_u64(&ctx, "y", vy);
-        prop_assert_eq!(
-            eval(&ctx, root, &env).expect("bound"),
-            eval(&ctx, simplified, &env).expect("bound")
-        );
+        // The verify engine shares one memo table across many roots;
+        // simplify through a shared table here too so the cached path
+        // (memo hits included) is what the property exercises.
+        let mut memo = std::collections::HashMap::new();
+        let simplified = simplify_cached(&mut ctx, root, &mut memo);
+        let x = ctx.find_var("x").expect("declared");
+        let y = ctx.find_var("y").expect("declared");
+        // Check the equivalence under several environments drawn from
+        // the co-simulator's value distribution, not just one point.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let mut env = Env::new();
+            env.bind(x, gila::verify::random_value(&mut rng, Sort::Bv(7)));
+            env.bind(y, gila::verify::random_value(&mut rng, Sort::Bv(7)));
+            prop_assert_eq!(
+                eval(&ctx, root, &env).expect("bound"),
+                eval(&ctx, simplified, &env).expect("bound")
+            );
+        }
     }
 
     #[test]
