@@ -36,18 +36,17 @@ use gila_verify::{verify_module, ModuleReport, VerifyOptions};
 const POOL_JOBS: usize = 4;
 const DEFAULT_RUNS: usize = 3;
 const ARTIFACT: &str = "BENCH_verify.json";
+/// The two slowest-sequential designs must not lose time on the pool
+/// beyond this factor (`pooled_s <= tolerance * sequential_s`); see
+/// [`check_artifact`].
+const POOL_GATE_TOLERANCE: f64 = 1.05;
 
-fn best_run(cs: &CaseStudy, jobs: usize, runs: usize, preprocess: bool) -> (f64, ModuleReport) {
-    let opts = VerifyOptions {
-        jobs: Some(jobs),
-        preprocess,
-        ..Default::default()
-    };
+fn best_run_with(cs: &CaseStudy, opts: &VerifyOptions, runs: usize) -> (f64, ModuleReport) {
     let mut best_s = f64::INFINITY;
     let mut best_report = None;
     for _ in 0..runs {
         let t0 = Instant::now();
-        let report = verify_module(&cs.ila, &cs.rtl, &cs.refmaps, &opts).expect("well-formed");
+        let report = verify_module(&cs.ila, &cs.rtl, &cs.refmaps, opts).expect("well-formed");
         assert!(report.all_hold(), "{}: {report:#?}", cs.name);
         let s = t0.elapsed().as_secs_f64();
         if s < best_s {
@@ -56,6 +55,15 @@ fn best_run(cs: &CaseStudy, jobs: usize, runs: usize, preprocess: bool) -> (f64,
         }
     }
     (best_s, best_report.expect("runs >= 1"))
+}
+
+fn best_run(cs: &CaseStudy, jobs: usize, runs: usize, preprocess: bool) -> (f64, ModuleReport) {
+    let opts = VerifyOptions {
+        jobs: Some(jobs),
+        preprocess,
+        ..Default::default()
+    };
+    best_run_with(cs, &opts, runs)
 }
 
 fn geomean(xs: &[f64]) -> f64 {
@@ -74,7 +82,21 @@ fn bench_rows(runs: usize) -> Vec<Value> {
         }
         eprintln!("benchmarking {} ...", cs.name);
         let (sequential_s, seq_report) = best_run(&cs, 1, runs, true);
-        let (pooled_s, _) = best_run(&cs, POOL_JOBS, runs, true);
+        let (pooled_s, pooled_report) = best_run(&cs, POOL_JOBS, runs, true);
+        // The clause-sharing leg: same pool, short learnt clauses
+        // exchanged between workers of a port. Its wall time rides
+        // along for the diff; the exchange counters prove the wiring
+        // is live on designs the adaptive threshold routes to the pool
+        // (designs below the threshold fall back and report zeros).
+        let (pooled_share_s, share_report) = best_run_with(
+            &cs,
+            &VerifyOptions {
+                jobs: Some(POOL_JOBS),
+                share_clauses: true,
+                ..Default::default()
+            },
+            runs,
+        );
         // The preprocessing A/B leg: CNF counters are deterministic, so
         // one --no-preprocess run is enough for the "pre" columns.
         let (_, pre_report) = best_run(&cs, 1, 1, false);
@@ -103,6 +125,23 @@ fn bench_rows(runs: usize) -> Vec<Value> {
             ("sequential_s".into(), sequential_s.into()),
             ("pooled_s".into(), pooled_s.into()),
             ("speedup".into(), (sequential_s / pooled_s).into()),
+            // Scheduling shape of the pooled run: how many per-port
+            // job batches the scheduler cut (0 = the adaptive
+            // threshold routed this design to the sequential engine).
+            ("batch_count".into(), pooled_report.telemetry.batches.into()),
+            ("pooled_share_s".into(), pooled_share_s.into()),
+            (
+                "clauses_exported".into(),
+                share_report.telemetry.clauses_exported.into(),
+            ),
+            (
+                "clauses_imported".into(),
+                share_report.telemetry.clauses_imported.into(),
+            ),
+            (
+                "clauses_deduped".into(),
+                share_report.telemetry.clauses_deduped.into(),
+            ),
             ("lint_s".into(), lint_s.into()),
             ("cnf_vars_pre".into(), pre.cnf_vars.into()),
             ("cnf_clauses_pre".into(), pre.cnf_clauses.into()),
@@ -250,11 +289,19 @@ fn check_artifact(doc: &Value) -> Result<(), String> {
         row.get("instructions")
             .and_then(Value::as_u64)
             .ok_or_else(|| ctx("instructions"))?;
-        for key in ["sequential_s", "pooled_s", "speedup", "lint_s"] {
+        for key in ["sequential_s", "pooled_s", "speedup", "pooled_share_s", "lint_s"] {
             let v = row.get(key).and_then(Value::as_f64).ok_or_else(|| ctx(key))?;
             if !(v.is_finite() && v > 0.0) {
                 return Err(format!("{design}: {key} = {v} is not a positive time"));
             }
+        }
+        for key in [
+            "batch_count",
+            "clauses_exported",
+            "clauses_imported",
+            "clauses_deduped",
+        ] {
+            row.get(key).and_then(Value::as_u64).ok_or_else(|| ctx(key))?;
         }
         // The static-analysis pass must stay sub-second per design.
         let lint_s = row.get("lint_s").and_then(Value::as_f64).expect("checked");
@@ -311,6 +358,31 @@ fn check_artifact(doc: &Value) -> Result<(), String> {
             return Err(format!(
                 "{design}: {solves} solves for {instrs} instructions — every \
                  instruction issues at least one SAT check"
+            ));
+        }
+    }
+    // The pool must pay for itself where it matters: on the two
+    // slowest-sequential designs, pooled wall time may not exceed
+    // sequential by more than the tolerance. Small designs are exempt
+    // (the adaptive threshold routes them to the sequential engine, so
+    // their ratio is ~1.0 by construction and any gap is noise).
+    let mut by_seq: Vec<(&str, f64, f64)> = rows
+        .iter()
+        .map(|row| {
+            (
+                row.get("design").and_then(Value::as_str).expect("checked"),
+                row.get("sequential_s").and_then(Value::as_f64).expect("checked"),
+                row.get("pooled_s").and_then(Value::as_f64).expect("checked"),
+            )
+        })
+        .collect();
+    by_seq.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for &(design, sequential_s, pooled_s) in by_seq.iter().take(2) {
+        if pooled_s > POOL_GATE_TOLERANCE * sequential_s {
+            return Err(format!(
+                "{design}: pooled_s = {pooled_s:.4} loses to sequential_s = \
+                 {sequential_s:.4} beyond the {POOL_GATE_TOLERANCE}x gate — \
+                 the pool no longer pays on a design it must win"
             ));
         }
     }

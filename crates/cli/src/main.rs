@@ -21,6 +21,7 @@ USAGE:
                  [--stop-at-first-cex] [--parallel] [--incremental] [--jobs N]
                  [--conflict-budget N] [--timeout-ms N] [--retries N]
                  [--checkpoint FILE] [--resume FILE] [--no-preprocess]
+                 [--no-batch-ports] [--par-threshold N] [--share-clauses]
                  [--vcd PREFIX] [--trace OUT.jsonl] [--stats]
   gila describe  --ila SPEC.ila [--format ila]
   gila synth     --ila SPEC.ila [-o OUT.v]
@@ -73,6 +74,16 @@ VERIFY OPTIONS:
                        (cone-of-influence slicing, cached simplification,
                        SAT inprocessing) for A/B comparison; preprocessing
                        is on by default and never changes verdicts
+  --batch-ports        batch pool jobs per port so one worker amortizes a
+                       single unrolling + blast across the whole port;
+                       on by default, --no-batch-ports reverts to one job
+                       per instruction for A/B comparison
+  --par-threshold N    route a pooled run to the persistent sequential
+                       engine when its estimated blast work is below N
+                       (0 = always pool; default tuned from bench data)
+  --share-clauses      exchange short learnt clauses between pool workers
+                       serving chunks of the same port; changes solver
+                       effort but never verdicts (off by default)
   --trace OUT          write a JSONL telemetry trace: one span per port,
                        instruction, SAT solve, CNF blast, and unroll event
   --stats              print a per-port solver/CNF/scheduling summary table"
@@ -99,6 +110,9 @@ fn parse_args(args: &[String]) -> (Vec<String>, Vec<(String, String)>) {
                     | "json"
                     | "all-designs"
                     | "no-preprocess"
+                    | "batch-ports"
+                    | "no-batch-ports"
+                    | "share-clauses"
             ) {
                 flags.push((name.to_string(), String::new()));
             } else {

@@ -35,5 +35,5 @@ mod blast;
 
 pub use blast::{prove_equiv, BlastStats, SmtResult, SmtSolver};
 pub use gila_sat::{
-    CancelToken, InprocessConfig, InprocessStats, ResourceOut, SolveLimits, SolverStats,
+    CancelToken, InprocessConfig, InprocessStats, Lit, ResourceOut, SolveLimits, SolverStats,
 };

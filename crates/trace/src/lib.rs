@@ -325,6 +325,16 @@ pub struct Telemetry {
     pub inprocess_lits_removed: u64,
     /// Level-0 units learned by failed-literal probing.
     pub inprocess_failed_literals: u64,
+    /// Distinct scheduler batches (pooled runs; 0 on the sequential
+    /// path, where the notion of a batch does not exist).
+    pub batches: u64,
+    /// Learnt clauses published to the shared pool across all workers.
+    pub clauses_exported: u64,
+    /// Shared-pool clauses imported into worker solvers.
+    pub clauses_imported: u64,
+    /// Shared-pool clauses skipped by per-worker dedup (already seen or
+    /// self-published).
+    pub clauses_deduped: u64,
 }
 
 impl Telemetry {
@@ -355,6 +365,10 @@ impl Telemetry {
             inprocess_lits_removed: self.inprocess_lits_removed + other.inprocess_lits_removed,
             inprocess_failed_literals: self.inprocess_failed_literals
                 + other.inprocess_failed_literals,
+            batches: self.batches + other.batches,
+            clauses_exported: self.clauses_exported + other.clauses_exported,
+            clauses_imported: self.clauses_imported + other.clauses_imported,
+            clauses_deduped: self.clauses_deduped + other.clauses_deduped,
         }
     }
 
@@ -393,6 +407,10 @@ impl Telemetry {
                 "inprocess_failed_literals".into(),
                 self.inprocess_failed_literals.into(),
             ),
+            ("batches".into(), self.batches.into()),
+            ("clauses_exported".into(), self.clauses_exported.into()),
+            ("clauses_imported".into(), self.clauses_imported.into()),
+            ("clauses_deduped".into(), self.clauses_deduped.into()),
         ])
     }
 }

@@ -199,8 +199,13 @@ pub(crate) fn load_resume(
                 solves: 0,
                 retries: 0,
                 worker: None,
+                batch_id: None,
+                batch_size: 0,
                 queue_ns: 0,
                 stolen: false,
+                clauses_exported: 0,
+                clauses_imported: 0,
+                clauses_deduped: 0,
                 inprocess: Default::default(),
             },
         );
@@ -226,8 +231,13 @@ mod tests {
             solves: 2,
             retries: 0,
             worker: None,
+            batch_id: None,
+            batch_size: 0,
             queue_ns: 0,
             stolen: false,
+            clauses_exported: 0,
+            clauses_imported: 0,
+            clauses_deduped: 0,
             inprocess: Default::default(),
         }
     }

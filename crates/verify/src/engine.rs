@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gila_core::{Instruction, ModuleIla, PortIla};
-use gila_expr::{import, import_mapped, simplify_cached, ExprRef, Sort, Value};
+use gila_expr::{import, import_mapped, simplify_cached, ExprNode, ExprRef, Op, Sort, Value};
 use gila_mc::{coi_slice, support, CoiStats, TransitionSystem, Unrolling};
 use gila_rtl::{parse_rtl_expr, RtlModule, VerilogError};
 use gila_smt::{
@@ -304,12 +304,33 @@ pub struct InstrVerdict {
     /// Pool worker that served this instruction (`None` when run
     /// sequentially).
     pub worker: Option<usize>,
-    /// Time the job spent queued before a worker picked it up, in
-    /// nanoseconds (zero when run sequentially).
+    /// Scheduler batch this instruction was dispatched in (`None` when
+    /// run sequentially). Under port batching one work item carries a
+    /// whole port (or chunk of one), so `queue_ns` and `stolen` below
+    /// describe the *batch*, not the individual instruction; the batch
+    /// id lets `--stats` queue-latency rows aggregate per dispatch
+    /// instead of multiply-counting one pickup.
+    pub batch_id: Option<u64>,
+    /// Number of instructions in this verdict's batch (0 when run
+    /// sequentially, 1 when batching is off).
+    pub batch_size: u64,
+    /// Time this verdict's *batch* spent queued before a worker picked
+    /// it up, in nanoseconds (zero when run sequentially). Shared by
+    /// every verdict of the batch.
     pub queue_ns: u64,
-    /// Whether a worker stole this job from a peer's deque rather than
-    /// taking it from its own queue or the global injector.
+    /// Whether this verdict's *batch* was stolen from a peer's deque
+    /// rather than taken from the worker's own queue or the global
+    /// injector. Shared by every verdict of the batch.
     pub stolen: bool,
+    /// Learnt clauses this instruction's worker published to the shared
+    /// clause pool after the check (0 unless `--share-clauses`).
+    pub clauses_exported: u64,
+    /// Shared-pool clauses imported into the worker's solver after the
+    /// check (0 unless `--share-clauses`).
+    pub clauses_imported: u64,
+    /// Shared-pool clauses skipped by the worker's dedup filter —
+    /// already imported earlier or published by the worker itself.
+    pub clauses_deduped: u64,
     /// What the inprocessing pass run after this job reclaimed from the
     /// shared clause database (all-zero when preprocessing is off or
     /// the pass found nothing).
@@ -510,6 +531,27 @@ pub struct VerifyOptions {
     /// persistent per-port solver reuse on the sequential path, and a
     /// bounded SAT inprocessing pass between instructions.
     pub preprocess: bool,
+    /// Batch pool jobs per port (on by default; `--no-batch-ports` for
+    /// A/B comparisons): one work item carries a whole `PortPlan` — or
+    /// a chunk of one when the port has more instructions than the
+    /// pool can otherwise keep busy — so a single worker amortizes one
+    /// unrolling + blast across the port instead of paying it per
+    /// instruction. Off, the pool reverts to one job per
+    /// `(port, instruction)` pair.
+    pub batch_ports: bool,
+    /// Adaptive sequential fallback: a pooled run whose estimated blast
+    /// work ([`ctx.dag_size`](gila_expr::ExprCtx::dag_size) of each
+    /// port's sliced frame logic times its unroll depth) falls below
+    /// this threshold routes to the persistent sequential engine
+    /// instead, so small designs never pay pool overhead. `0` disables
+    /// the fallback (always pool when `jobs` asks for one).
+    pub par_threshold: u64,
+    /// Exchange short learnt clauses between pool workers serving the
+    /// same port (off by default): workers publish activation-free
+    /// learnt clauses over the port's shared CNF prefix to a
+    /// lock-striped pool between instructions and import what peers
+    /// published. Changes solver effort, never verdicts.
+    pub share_clauses: bool,
 }
 
 impl Default for VerifyOptions {
@@ -526,9 +568,24 @@ impl Default for VerifyOptions {
             checkpoint: None,
             resume: None,
             preprocess: true,
+            batch_ports: true,
+            par_threshold: DEFAULT_PAR_THRESHOLD,
+            share_clauses: false,
         }
     }
 }
+
+/// Default for [`VerifyOptions::par_threshold`], tuned on the bundled
+/// case studies (`BENCH_verify.json`): designs whose estimated blast
+/// work sits below this run faster on the persistent sequential engine
+/// than on a pool, because their solve time is too small to amortize
+/// worker spawn + per-worker blast duplication. On the bundled designs
+/// the split is wide — the control-dominated modules (decoder, AXI,
+/// memory interface, L2 cache) estimate below ~17.5k weighted clause
+/// groups and lose time on the pool, while the solver-bound ones
+/// (store buffer, NoC router, datapath) estimate above ~19k and gain
+/// 1.2-1.6x from it.
+pub const DEFAULT_PAR_THRESHOLD: u64 = 18_000;
 
 /// The per-job knobs a scheduler threads through to every check.
 #[derive(Clone, Default)]
@@ -612,6 +669,10 @@ pub(crate) struct JobMeta {
     pub(crate) worker: Option<usize>,
     pub(crate) queue_ns: u64,
     pub(crate) stolen: bool,
+    /// Scheduler batch the job was dispatched in (pool runs only).
+    pub(crate) batch_id: Option<u64>,
+    /// Instructions in the batch (0 on the sequential path).
+    pub(crate) batch_size: u64,
 }
 
 /// One worker's persistent verification state: a single unrolling of
@@ -973,7 +1034,7 @@ pub(crate) fn check_instruction_planned(
             .field("total_clauses", stats.clauses)
     });
     tracer.record(|| {
-        Event::new(SpanKind::Instruction)
+        let mut ev = Event::new(SpanKind::Instruction)
             .port(plan.port.name())
             .instruction(&instr.name)
             .label(result.tag())
@@ -987,7 +1048,13 @@ pub(crate) fn check_instruction_planned(
             .field("cnf_clauses", cnf_growth.clauses)
             .field("wall_ns", time.as_nanos() as u64)
             .field("queue_ns", meta.queue_ns)
-            .field("steals", meta.stolen as u64)
+            .field("steals", meta.stolen as u64);
+        // Batch fields only exist on pooled runs, so sequential golden
+        // traces are unchanged.
+        if let Some(batch) = meta.batch_id {
+            ev = ev.field("batch_id", batch).field("batch_size", meta.batch_size);
+        }
+        ev
     });
     Ok(InstrVerdict {
         instruction: instr.name.clone(),
@@ -999,8 +1066,13 @@ pub(crate) fn check_instruction_planned(
         solves,
         retries: attempt,
         worker: meta.worker,
+        batch_id: meta.batch_id,
+        batch_size: meta.batch_size,
         queue_ns: meta.queue_ns,
         stolen: meta.stolen,
+        clauses_exported: 0,
+        clauses_imported: 0,
+        clauses_deduped: 0,
         inprocess: InprocessStats::default(),
     })
 }
@@ -1084,8 +1156,13 @@ pub(crate) fn run_job_guarded(
                 solves: 0,
                 retries: 0,
                 worker: meta.worker,
+                batch_id: meta.batch_id,
+                batch_size: meta.batch_size,
                 queue_ns: meta.queue_ns,
                 stolen: meta.stolen,
+                clauses_exported: 0,
+                clauses_imported: 0,
+                clauses_deduped: 0,
                 inprocess: InprocessStats::default(),
             })
         }
@@ -1512,7 +1589,29 @@ fn peak_of(verdicts: &[InstrVerdict]) -> BlastStats {
 fn telemetry_of(verdicts: &[InstrVerdict]) -> Telemetry {
     let mut t = Telemetry::default();
     let mut workers: Vec<usize> = Vec::new();
+    let mut batches: Vec<u64> = Vec::new();
     for v in verdicts {
+        // Under batching, queue latency and steal status describe the
+        // *batch* (every verdict of a batch carries copies); count them
+        // once per distinct batch id so the `--stats` queue-latency
+        // rows are not multiplied by the batch size.
+        let new_batch = match v.batch_id {
+            Some(b) => {
+                let first = !batches.contains(&b);
+                if first {
+                    batches.push(b);
+                }
+                first
+            }
+            None => true,
+        };
+        if new_batch {
+            t.queue_ns += v.queue_ns;
+            t.steals += v.stolen as u64;
+        }
+        t.clauses_exported += v.clauses_exported;
+        t.clauses_imported += v.clauses_imported;
+        t.clauses_deduped += v.clauses_deduped;
         t.instructions += 1;
         t.solves += v.solves;
         t.decisions += v.effort.decisions;
@@ -1522,8 +1621,6 @@ fn telemetry_of(verdicts: &[InstrVerdict]) -> Telemetry {
         t.cnf_vars += v.cnf_growth.variables;
         t.cnf_clauses += v.cnf_growth.clauses;
         t.wall_ns += v.time.as_nanos() as u64;
-        t.queue_ns += v.queue_ns;
-        t.steals += v.stolen as u64;
         t.retries += v.retries as u64;
         t.inprocess_clauses_removed +=
             v.inprocess.clauses_satisfied + v.inprocess.clauses_subsumed;
@@ -1544,7 +1641,72 @@ fn telemetry_of(verdicts: &[InstrVerdict]) -> Telemetry {
         }
     }
     t.workers = (workers.len() as u64).max(1);
+    t.batches = batches.len() as u64;
     t
+}
+
+/// Rough proxy for the CNF a pooled run of `plan` over its sliced
+/// system `ts` would blast: every per-frame DAG node (next-state
+/// functions plus invariant constraints) weighted by its approximate
+/// clause contribution, times the deepest unroll any instruction
+/// needs, scaled by the instruction count (the number of solve
+/// obligations the pool could parallelize). Compared against
+/// [`VerifyOptions::par_threshold`] to route small modules to the
+/// persistent sequential engine.
+///
+/// The weights mirror `gila_smt::Blaster`: linear bit-vector ops cost
+/// one clause group per output bit, multiplication and division build
+/// a width-squared shift-add/restoring network, shifts a barrel of
+/// `w log w` muxes, and memory ops touch all `2^addr_width` words.
+pub(crate) fn estimate_port_work(plan: &PortPlan<'_>, ts: &TransitionSystem) -> u64 {
+    let ctx = ts.ctx();
+    let mut roots: Vec<ExprRef> = Vec::new();
+    for s in ts.states() {
+        if let Some(e) = ts.next_of(&s.name) {
+            roots.push(e);
+        }
+    }
+    roots.extend(ts.constraints().iter().copied());
+    let bits = |e: ExprRef| -> u64 {
+        match ctx.sort_of(e) {
+            Sort::Bool => 1,
+            Sort::Bv(w) => w as u64,
+            // A memory node materializes every word.
+            Sort::Mem {
+                addr_width,
+                data_width,
+            } => (1u64 << addr_width.min(24)) * data_width as u64,
+        }
+    };
+    let mut cnf: u64 = 0;
+    for e in ctx.post_order(&roots) {
+        let ExprNode::App { op, args, .. } = ctx.node(e) else {
+            continue; // leaves blast to fresh literals, no clauses
+        };
+        // Widest involved sort: comparisons output Bool but still
+        // blast a full-width comparator chain.
+        let w = args
+            .iter()
+            .map(|&a| bits(a))
+            .chain([bits(e)])
+            .max()
+            .unwrap_or(1);
+        cnf += match op {
+            Op::BvMul | Op::BvUdiv | Op::BvUrem => w.saturating_mul(w),
+            Op::BvShl | Op::BvLshr | Op::BvAshr => {
+                w.saturating_mul(64 - w.leading_zeros() as u64)
+            }
+            _ => w,
+        };
+    }
+    let frames = plan
+        .instrs
+        .iter()
+        .map(|ip| ip.bound as u64 + 1)
+        .max()
+        .unwrap_or(1);
+    cnf.saturating_mul(frames)
+        .saturating_mul(plan.instrs.len() as u64)
 }
 
 /// Every transition-system expression a port plan will instantiate
@@ -1675,12 +1837,26 @@ fn verify_port_with(
         ExecMode::Sequential { incremental } => {
             run_port_sequential(&plan, &ts, incremental, opts.stop_at_first_cex, ctx)?
         }
+        // Adaptive fallback: a port whose estimated blast work is below
+        // the threshold runs on the persistent sequential engine — the
+        // pool cannot win back its spawn + duplicate-blast overhead on
+        // designs this small.
+        ExecMode::Pool { .. }
+            if opts.par_threshold > 0
+                && estimate_port_work(&plan, &ts) < opts.par_threshold =>
+        {
+            run_port_sequential(&plan, &ts, true, opts.stop_at_first_cex, ctx)?
+        }
         ExecMode::Pool { workers } => {
             let outcome = crate::scheduler::run_pool(
                 std::slice::from_ref(&plan),
-                &ts,
-                workers,
-                opts.stop_at_first_cex,
+                std::slice::from_ref(&ts),
+                crate::scheduler::PoolConfig {
+                    workers,
+                    stop_at_first_cex: opts.stop_at_first_cex,
+                    batch_ports: opts.batch_ports,
+                    share_clauses: opts.share_clauses,
+                },
                 ctx,
             )?;
             let port_result = outcome.ports.into_iter().next().ok_or_else(|| {
@@ -1736,7 +1912,7 @@ pub fn verify_module(
     let total_jobs: usize = module.ports().iter().map(|p| p.instructions().len()).sum();
     let ctx = RunCtx::from_opts(opts)?;
     let mut pool_workers = None;
-    let mut module_coi = None;
+    let mut module_coi: Vec<Option<CoiStats>> = Vec::new();
     let ports = match resolve_mode(opts, total_jobs) {
         ExecMode::Sequential { .. } => {
             let mut ports = Vec::new();
@@ -1756,50 +1932,96 @@ pub fn verify_module(
             for port in module.ports() {
                 plans.push(PortPlan::build(port, rtl, map_for(port)?, &ts_signals)?);
             }
-            // The pool shares one transition system across all plans, so
-            // slice to the union cone of every port's roots.
-            let plan_refs: Vec<&PortPlan<'_>> = plans.iter().collect();
-            let (ts, coi) = coi_preprocess(
-                ts,
-                &ts_signals,
-                &plan_refs,
-                module.name(),
-                opts.preprocess,
-                &opts.tracer,
-            );
-            module_coi = coi;
-            let outcome = crate::scheduler::run_pool(
-                &plans,
-                &ts,
-                workers,
-                opts.stop_at_first_cex,
-                &ctx,
-            )?;
-            pool_workers = Some(outcome.workers_spawned as u64);
-            module
-                .ports()
+            // Slice per port — the same tight cones the sequential path
+            // gets — so a worker serving a port blasts only that port's
+            // logic instead of the union cone of the whole module.
+            let mut tss = Vec::with_capacity(plans.len());
+            for plan in &plans {
+                let (sliced, coi) = coi_preprocess(
+                    ts.clone(),
+                    &ts_signals,
+                    &[plan],
+                    plan.port.name(),
+                    opts.preprocess,
+                    &opts.tracer,
+                );
+                tss.push(sliced);
+                module_coi.push(coi);
+            }
+            let estimate: u64 = plans
                 .iter()
-                .zip(outcome.ports)
-                .map(|(port, pr)| {
-                    let verdicts: Vec<InstrVerdict> =
-                        pr.verdicts.into_iter().map(|(_, v)| v).collect();
+                .zip(&tss)
+                .map(|(p, t)| estimate_port_work(p, t))
+                .sum();
+            if opts.par_threshold > 0 && estimate < opts.par_threshold {
+                // Adaptive fallback: too small for the pool to win back
+                // its spawn + duplicate-blast overhead. One persistent
+                // sequential engine per port, ports in declaration order.
+                let mut ports = Vec::new();
+                for (plan, pts) in plans.iter().zip(&tss) {
+                    let t0 = Instant::now();
+                    let verdicts = run_port_sequential(
+                        plan,
+                        pts,
+                        true,
+                        opts.stop_at_first_cex,
+                        &ctx,
+                    )?;
                     let report = PortReport {
-                        port: port.name().to_string(),
+                        port: plan.port.name().to_string(),
                         peak_stats: peak_of(&verdicts),
                         telemetry: telemetry_of(&verdicts),
                         verdicts,
-                        total_time: pr.last_done,
+                        total_time: t0.elapsed(),
                     };
                     record_port_span(&opts.tracer, &report);
-                    report
-                })
-                .collect()
+                    let has_cex = report.first_counterexample().is_some();
+                    ports.push(report);
+                    if has_cex && opts.stop_at_first_cex {
+                        break;
+                    }
+                }
+                ports
+            } else {
+                let outcome = crate::scheduler::run_pool(
+                    &plans,
+                    &tss,
+                    crate::scheduler::PoolConfig {
+                        workers,
+                        stop_at_first_cex: opts.stop_at_first_cex,
+                        batch_ports: opts.batch_ports,
+                        share_clauses: opts.share_clauses,
+                    },
+                    &ctx,
+                )?;
+                pool_workers = Some(outcome.workers_spawned as u64);
+                module
+                    .ports()
+                    .iter()
+                    .zip(outcome.ports)
+                    .map(|(port, pr)| {
+                        let verdicts: Vec<InstrVerdict> =
+                            pr.verdicts.into_iter().map(|(_, v)| v).collect();
+                        let report = PortReport {
+                            port: port.name().to_string(),
+                            peak_stats: peak_of(&verdicts),
+                            telemetry: telemetry_of(&verdicts),
+                            verdicts,
+                            total_time: pr.last_done,
+                        };
+                        record_port_span(&opts.tracer, &report);
+                        report
+                    })
+                    .collect()
+            }
         }
     };
     let mut telemetry = ports
         .iter()
         .fold(Telemetry::default(), |acc, p| acc.merge(&p.telemetry));
-    add_coi_telemetry(&mut telemetry, module_coi);
+    for coi in module_coi {
+        add_coi_telemetry(&mut telemetry, coi);
+    }
     if let Some(w) = pool_workers {
         telemetry.workers = w;
     }

@@ -1,14 +1,26 @@
-//! Work-stealing verification scheduler.
+//! Work-stealing verification scheduler with per-port job batching and
+//! optional learnt-clause sharing.
 //!
-//! All `(port, instruction)` pairs of a run are flattened into one
-//! global job queue served by a fixed pool of workers. Each worker owns
-//! a persistent [`WorkerEngine`] — one unrolling of the RTL transition
-//! system and one incremental solver — so *parallel* and *incremental*
-//! compose: the blasted transition relation and learned clauses are
-//! paid once per worker rather than once per instruction. Jobs carry no
-//! solver state of their own; per-instruction conditions live in a
-//! solver scope that is retracted when the job finishes (see
-//! [`check_instruction_planned`]).
+//! Work is batched per port: one job carries a whole [`PortPlan`]'s
+//! instruction list — or a contiguous chunk of it when the port has
+//! enough instructions to keep several workers busy — so a single
+//! worker amortizes one `Unrolling` + blast of the port's transition
+//! relation across every instruction in the batch, exactly like the
+//! sequential persistent engine does. Each plan brings its *own*
+//! cone-of-influence-sliced transition system, so a worker serving a
+//! port blasts only that port's logic. Workers keep a small cache of
+//! per-port engines, so stealing a second chunk of a port they already
+//! served costs no new blast.
+//!
+//! With clause sharing enabled, the workers serving chunks of the same
+//! port exchange short learnt clauses through a per-port lock-striped
+//! pool. Every engine of a shared port is warmed up with an identical
+//! deterministic encoding of the port's frame logic, which makes the
+//! CNF variable numbering below the warm-up mark line up across
+//! engines; only activation-free clauses over that shared prefix are
+//! exported (see [`SmtSolver::export_shared_learnts`] for the
+//! soundness argument), so imports can change solver effort but never
+//! verdicts.
 //!
 //! Scheduling is deterministic in its *results* but not its order:
 //! workers pull from their local deque first, refill in batches from
@@ -16,24 +28,41 @@
 //! Verdicts are reassembled into declaration order afterwards, so a
 //! pooled run reports exactly what a sequential run would.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 use gila_mc::TransitionSystem;
-use gila_smt::CancelToken;
+use gila_smt::{CancelToken, Lit, SmtSolver};
 
 use crate::engine::{
     run_job_guarded, CheckResult, InstrVerdict, JobMeta, PortPlan, RunCtx, VerifyError,
     WorkerEngine,
 };
 
-/// One unit of work: a single instruction of a single port.
-#[derive(Clone, Copy, Debug)]
+/// One unit of work: a batch of instructions of a single port.
+#[derive(Clone, Debug)]
 struct Job {
     port: usize,
-    instr: usize,
+    /// Instruction indices of the batch, in declaration order.
+    instrs: Vec<usize>,
+    /// Run-unique batch id, recorded on every verdict of the batch.
+    batch_id: u64,
+}
+
+/// Scheduler knobs, resolved from [`crate::engine::VerifyOptions`].
+pub(crate) struct PoolConfig {
+    /// Requested pool size (the spawned count is capped by the number
+    /// of batches).
+    pub(crate) workers: usize,
+    /// Cancel all outstanding work on the first counterexample.
+    pub(crate) stop_at_first_cex: bool,
+    /// Batch jobs per port (chunked); off = one job per instruction.
+    pub(crate) batch_ports: bool,
+    /// Exchange learnt clauses between workers serving the same port.
+    pub(crate) share_clauses: bool,
 }
 
 /// A port's share of a pool run.
@@ -52,26 +81,37 @@ pub(crate) struct PoolOutcome {
     /// How many worker threads were spawned (≤ the requested size).
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) workers_spawned: usize,
-    /// How many engines were actually built (≤ `workers_spawned`;
-    /// lazily created, so idle workers never blast anything).
+    /// How many engines were actually built (lazily created, so idle
+    /// workers never blast anything).
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) engines_created: usize,
 }
 
-/// Runs every instruction of every plan on a pool of at most `workers`
-/// threads. All plans must target the same transition system `ts` (one
-/// [`crate::engine::rtl_to_ts`] call), so any worker's engine can serve
-/// any job.
+/// Per-port batches a worker can serve without rebuilding its engine
+/// cache entry. The cache holds this many ports' engines per worker;
+/// serving a third port evicts the least recently used engine.
+const ENGINE_CACHE: usize = 2;
+
+/// Maximum literal count of a shared learnt clause. Short clauses
+/// prune the most search per byte; long ones mostly burn import time
+/// and clause-database space.
+const SHARE_LEN_CAP: usize = 8;
+
+/// Runs every instruction of every plan on a pool of at most
+/// `cfg.workers` threads. `tss` holds one transition system per plan
+/// (typically per-port COI slices of the same module); a job for plan
+/// `i` is always served by an engine over `tss[i]`.
 ///
-/// With `stop_at_first_cex`, the first counterexample found anywhere
-/// cancels all queued work *and* interrupts in-flight solves through
-/// the workers' [`CancelToken`]s; an interrupted job reports
+/// With `cfg.stop_at_first_cex`, the first counterexample found
+/// anywhere cancels all queued work *and* interrupts in-flight solves
+/// through the workers' [`CancelToken`]s; an interrupted job reports
 /// `Unknown(Cancelled)`.
 ///
 /// Jobs already decided by the context's resumed checkpoint are never
 /// scheduled; their stored verdicts are merged into the result. A job
 /// that panics is isolated into a [`CheckResult::JobPanicked`] verdict
-/// ([`run_job_guarded`]) and the pool keeps draining.
+/// ([`run_job_guarded`]) and the pool keeps draining; the rest of the
+/// panicking batch continues on a rebuilt engine.
 ///
 /// # Errors
 ///
@@ -79,87 +119,153 @@ pub(crate) struct PoolOutcome {
 /// (the lowest `(port, instruction)` one, for determinism).
 pub(crate) fn run_pool(
     plans: &[PortPlan<'_>],
-    ts: &TransitionSystem,
-    workers: usize,
-    stop_at_first_cex: bool,
+    tss: &[TransitionSystem],
+    cfg: PoolConfig,
     ctx: &RunCtx<'_>,
 ) -> Result<PoolOutcome, VerifyError> {
+    assert_eq!(plans.len(), tss.len(), "one transition system per plan");
     let tracer = ctx.tracer;
-    let injector = Injector::new();
-    let mut total = 0usize;
-    let mut resumed: Vec<(Job, InstrVerdict)> = Vec::new();
+    let mut resumed: Vec<((usize, usize), InstrVerdict)> = Vec::new();
+    let mut pending: Vec<Vec<usize>> = Vec::with_capacity(plans.len());
     for (port, plan) in plans.iter().enumerate() {
+        let mut todo = Vec::new();
         for instr in 0..plan.instrs.len() {
             let name = &plan.port.instructions()[instr].name;
             match ctx.resumed_verdict(plan.port.name(), name) {
-                Some(v) => resumed.push((Job { port, instr }, v)),
-                None => {
-                    injector.push(Job { port, instr });
-                    total += 1;
-                }
+                Some(v) => resumed.push(((port, instr), v)),
+                None => todo.push(instr),
             }
         }
+        pending.push(todo);
     }
-    let workers_spawned = workers.clamp(1, total.max(1));
+    let total: usize = pending.iter().map(Vec::len).sum();
+    let jobs = make_jobs(&pending, cfg.workers, cfg.batch_ports);
+
+    // A port's clause stripe only activates when its instructions are
+    // split across at least two batches — with a single batch there is
+    // no peer to share with, and the warm-up encoding would be pure
+    // overhead.
+    let mut batches_of_port = vec![0usize; plans.len()];
+    for job in &jobs {
+        batches_of_port[job.port] += 1;
+    }
+    let stripes: Vec<ShareStripe> = batches_of_port
+        .iter()
+        .map(|&n| ShareStripe {
+            active: cfg.share_clauses && n >= 2,
+            clauses: Mutex::new(Vec::new()),
+        })
+        .collect();
+
+    let workers_spawned = cfg.workers.clamp(1, jobs.len().max(1));
+    let injector = Injector::new();
+    for job in jobs {
+        injector.push(job);
+    }
     let locals: Vec<Worker<Job>> = (0..workers_spawned).map(|_| Worker::new_fifo()).collect();
     let stealers: Vec<Stealer<Job>> = locals.iter().map(Worker::stealer).collect();
 
     let cancel = CancelToken::new();
     let engines_created = AtomicUsize::new(0);
     let t0 = Instant::now();
-    type JobRecord = (Job, Result<InstrVerdict, VerifyError>, Duration);
+    type JobRecord = (
+        (usize, usize),
+        Result<InstrVerdict, VerifyError>,
+        Duration,
+    );
     let results: Mutex<Vec<JobRecord>> = Mutex::new(Vec::with_capacity(total));
 
     let scope_result = crossbeam::thread::scope(|scope| {
         for (worker_id, local) in locals.into_iter().enumerate() {
             let (injector, stealers, cancel) = (&injector, &stealers, &cancel);
             let (engines_created, results, ctx) = (&engines_created, &results, &ctx);
+            let (tss, stripes) = (&tss, &stripes);
             scope.spawn(move |_| {
-                let mut engine: Option<WorkerEngine> = None;
+                // Per-port persistent engines, with the CNF-prefix mark
+                // of each (0 when its port's stripe is inactive).
+                let mut cache: Vec<(usize, WorkerEngine, usize)> = Vec::new();
+                // Per-port clause-sharing state: what this worker has
+                // already published or imported, and how far into the
+                // stripe it has read.
+                let mut share_local: HashMap<usize, ShareLocal> = HashMap::new();
                 while !cancel.is_cancelled() {
                     let Some((job, stolen)) = find_job(&local, injector, stealers) else {
                         break;
                     };
                     let queue_ns = t0.elapsed().as_nanos() as u64;
-                    let meta = JobMeta {
-                        worker: Some(worker_id),
-                        queue_ns,
-                        stolen,
-                    };
                     let plan = &plans[job.port];
-                    let res = run_job_guarded(
-                        plan,
-                        job.instr,
-                        &mut engine,
-                        || {
-                            engines_created.fetch_add(1, Ordering::Relaxed);
-                            let mut e = WorkerEngine::new(ts, tracer);
-                            // Cancellation interrupts this worker's
-                            // solver mid-search, not just job pickup.
-                            e.smt.set_cancel(cancel.clone());
-                            e
-                        },
-                        tracer,
-                        meta,
-                        &ctx.policy,
-                    );
-                    let done_at = t0.elapsed();
-                    let abort = match &res {
-                        Ok(v) => {
-                            ctx.record_checkpoint(plan.port.name(), v);
-                            stop_at_first_cex
-                                && matches!(v.result, CheckResult::CounterExample(_))
+                    let ts = &tss[job.port];
+                    let stripe = &stripes[job.port];
+                    let (mut slot, mut mark) = cache_take(&mut cache, job.port);
+                    for &idx in &job.instrs {
+                        if cancel.is_cancelled() {
+                            break;
                         }
-                        Err(_) => true,
-                    };
-                    results.lock().unwrap_or_else(|p| p.into_inner()).push((
-                        job,
-                        res,
-                        done_at,
-                    ));
-                    if abort {
-                        cancel.cancel();
+                        let meta = JobMeta {
+                            worker: Some(worker_id),
+                            queue_ns,
+                            stolen,
+                            batch_id: Some(job.batch_id),
+                            batch_size: job.instrs.len() as u64,
+                        };
+                        let had_engine = slot.is_some();
+                        let mark_cell = std::cell::Cell::new(0usize);
+                        let mut res = run_job_guarded(
+                            plan,
+                            idx,
+                            &mut slot,
+                            || {
+                                engines_created.fetch_add(1, Ordering::Relaxed);
+                                let mut e = WorkerEngine::new(ts, tracer);
+                                // Cancellation interrupts this worker's
+                                // solver mid-search, not just job pickup.
+                                e.smt.set_cancel(cancel.clone());
+                                if stripe.active {
+                                    mark_cell.set(warm_engine(&mut e, plan, ts));
+                                }
+                                e
+                            },
+                            tracer,
+                            meta,
+                            &ctx.policy,
+                        );
+                        if !had_engine && slot.is_some() {
+                            mark = mark_cell.get();
+                        }
+                        if slot.is_none() {
+                            // The job panicked and wiped the engine. A
+                            // rebuilt engine starts from a clean solver,
+                            // so forget this worker's sharing history:
+                            // the fresh solver may re-import everything.
+                            share_local.remove(&job.port);
+                            mark = 0;
+                        }
+                        if stripe.active {
+                            if let (Ok(v), Some(engine)) = (&mut res, slot.as_mut()) {
+                                let sl = share_local.entry(job.port).or_default();
+                                exchange_clauses(&mut engine.smt, mark, stripe, sl, v);
+                            }
+                        }
+                        let done_at = t0.elapsed();
+                        let abort = match &res {
+                            Ok(v) => {
+                                ctx.record_checkpoint(plan.port.name(), v);
+                                cfg.stop_at_first_cex
+                                    && matches!(v.result, CheckResult::CounterExample(_))
+                            }
+                            Err(_) => true,
+                        };
+                        results.lock().unwrap_or_else(|p| p.into_inner()).push((
+                            (job.port, idx),
+                            res,
+                            done_at,
+                        ));
+                        if abort {
+                            cancel.cancel();
+                            break;
+                        }
                     }
+                    cache_store(&mut cache, job.port, slot, mark);
                 }
             });
         }
@@ -176,8 +282,8 @@ pub(crate) fn run_pool(
     let mut records = results
         .into_inner()
         .unwrap_or_else(|poisoned| poisoned.into_inner());
-    records.extend(resumed.into_iter().map(|(job, v)| (job, Ok(v), Duration::ZERO)));
-    records.sort_by_key(|(job, _, _)| (job.port, job.instr));
+    records.extend(resumed.into_iter().map(|(key, v)| (key, Ok(v), Duration::ZERO)));
+    records.sort_by_key(|(key, _, _)| *key);
     let mut ports: Vec<PoolPortResult> = plans
         .iter()
         .map(|_| PoolPortResult {
@@ -185,10 +291,10 @@ pub(crate) fn run_pool(
             last_done: Duration::ZERO,
         })
         .collect();
-    for (job, res, done_at) in records {
+    for ((port, instr), res, done_at) in records {
         let verdict = res?;
-        let port = &mut ports[job.port];
-        port.verdicts.push((job.instr, verdict));
+        let port = &mut ports[port];
+        port.verdicts.push((instr, verdict));
         port.last_done = port.last_done.max(done_at);
     }
     Ok(PoolOutcome {
@@ -196,6 +302,164 @@ pub(crate) fn run_pool(
         workers_spawned,
         engines_created: engines_created.load(Ordering::Relaxed),
     })
+}
+
+/// Splits each port's pending instruction indices into batches.
+///
+/// With batching on, a port is split into a number of contiguous chunks
+/// proportional to its share of the total instruction count (rounded,
+/// at least 1, at most one chunk per instruction), targeting `workers`
+/// chunks overall: one heavyweight port is chunked so every worker gets
+/// a piece, while a pile of small ports still costs one unrolling
+/// each. Off, every instruction is its own single-element batch — the
+/// pre-batching granularity, kept for A/B comparison.
+fn make_jobs(pending: &[Vec<usize>], workers: usize, batch_ports: bool) -> Vec<Job> {
+    let total: usize = pending.iter().map(Vec::len).sum();
+    let mut jobs = Vec::new();
+    let mut batch_id = 0u64;
+    for (port, instrs) in pending.iter().enumerate() {
+        let n = instrs.len();
+        if n == 0 {
+            continue;
+        }
+        let chunks = if batch_ports {
+            ((n * workers + total / 2) / total.max(1)).clamp(1, n)
+        } else {
+            n
+        };
+        let base = n / chunks;
+        let extra = n % chunks;
+        let mut off = 0;
+        for c in 0..chunks {
+            let len = base + usize::from(c < extra);
+            jobs.push(Job {
+                port,
+                instrs: instrs[off..off + len].to_vec(),
+                batch_id,
+            });
+            batch_id += 1;
+            off += len;
+        }
+    }
+    jobs
+}
+
+/// Takes the cached engine for `port` out of the worker's cache, if
+/// present, along with its warm-up mark.
+fn cache_take(
+    cache: &mut Vec<(usize, WorkerEngine, usize)>,
+    port: usize,
+) -> (Option<WorkerEngine>, usize) {
+    match cache.iter().position(|(p, _, _)| *p == port) {
+        Some(pos) => {
+            let (_, engine, mark) = cache.remove(pos);
+            (Some(engine), mark)
+        }
+        None => (None, 0),
+    }
+}
+
+/// Returns an engine to the cache (most recently used at the back),
+/// evicting the least recently used entry past [`ENGINE_CACHE`].
+fn cache_store(
+    cache: &mut Vec<(usize, WorkerEngine, usize)>,
+    port: usize,
+    engine: Option<WorkerEngine>,
+    mark: usize,
+) {
+    if let Some(e) = engine {
+        cache.push((port, e, mark));
+        if cache.len() > ENGINE_CACHE {
+            cache.remove(0);
+        }
+    }
+}
+
+/// The per-port shared clause pool. One mutex per port (lock striping):
+/// workers serving different ports never contend, and workers of the
+/// same port only touch the lock once per instruction.
+struct ShareStripe {
+    /// Sharing only pays when ≥ 2 batches of the port exist.
+    active: bool,
+    /// Published clauses, in canonical (sorted-literal) form. Append
+    /// only; per-worker cursors track what each worker has read.
+    clauses: Mutex<Vec<Vec<Lit>>>,
+}
+
+/// One worker's view of one port's stripe.
+#[derive(Default)]
+struct ShareLocal {
+    /// Canonical clauses this worker has already published or imported
+    /// — its own solver already knows them, so they are never imported
+    /// (and never re-published).
+    seen: HashSet<Vec<Lit>>,
+    /// How far into the stripe this worker has read.
+    cursor: usize,
+}
+
+/// Builds the deterministic shared CNF prefix of a port's engine: every
+/// state, input, and invariant constraint of the sliced system, mapped
+/// over every frame up to the port's deepest instruction bound, encoded
+/// (not asserted — definitional clauses only). Any two engines of the
+/// same port run this identical sequence from a fresh solver, so their
+/// variable numbering agrees below the returned mark and activation-free
+/// clauses over the prefix transfer soundly between them.
+fn warm_engine(engine: &mut WorkerEngine, plan: &PortPlan<'_>, ts: &TransitionSystem) -> usize {
+    let max_bound = plan.instrs.iter().map(|ip| ip.bound).max().unwrap_or(0);
+    let WorkerEngine { u, smt, .. } = engine;
+    u.extend_to(max_bound);
+    for k in 0..=max_bound {
+        for v in ts.states().iter().chain(ts.inputs().iter()) {
+            let e = u.map_expr(k, v.var);
+            smt.encode(u.ctx(), e);
+        }
+        for &c in ts.constraints() {
+            let e = u.map_expr(k, c);
+            smt.encode(u.ctx(), e);
+        }
+    }
+    smt.cnf_vars()
+}
+
+/// One publish/import round against a port's stripe, run after each
+/// instruction (outside its effort window, like inprocessing). Exports
+/// go through the activation- and prefix-filtered
+/// [`SmtSolver::export_shared_learnts`]; canonicalization (sorted
+/// literals) makes the dedup set order-insensitive. Counters land on
+/// the instruction's verdict.
+fn exchange_clauses(
+    smt: &mut SmtSolver,
+    mark: usize,
+    stripe: &ShareStripe,
+    local: &mut ShareLocal,
+    v: &mut InstrVerdict,
+) {
+    let mut fresh: Vec<Vec<Lit>> = Vec::new();
+    for mut clause in smt.export_shared_learnts(SHARE_LEN_CAP, mark) {
+        clause.sort_unstable();
+        if local.seen.insert(clause.clone()) {
+            fresh.push(clause);
+        }
+    }
+    v.clauses_exported += fresh.len() as u64;
+    let incoming: Vec<Vec<Lit>> = {
+        let mut pool = stripe.clauses.lock().unwrap_or_else(|p| p.into_inner());
+        // Read the peers' clauses since the last visit *before*
+        // appending our own, so we never re-import what we publish.
+        let incoming = pool[local.cursor..].to_vec();
+        pool.extend(fresh);
+        local.cursor = pool.len();
+        incoming
+    };
+    let mut accept: Vec<Vec<Lit>> = Vec::new();
+    for clause in incoming {
+        if local.seen.insert(clause.clone()) {
+            accept.push(clause);
+        } else {
+            v.clauses_deduped += 1;
+        }
+    }
+    v.clauses_imported += smt.import_shared_clauses(accept.iter().map(Vec::as_slice)) as u64;
 }
 
 /// Local deque first, then a batch refill from the global injector,
@@ -227,18 +491,26 @@ mod tests {
     use crate::engine::{rtl_to_ts, verify_port, VerifyOptions};
     use crate::fault::{FaultAction, FaultPlan};
 
+    fn counter_cfg(workers: usize, stop_at_first_cex: bool) -> PoolConfig {
+        PoolConfig {
+            workers,
+            stop_at_first_cex,
+            batch_ports: true,
+            share_clauses: false,
+        }
+    }
+
     fn run_counter_pool(
         buggy: bool,
         workers: usize,
         stop_at_first_cex: bool,
     ) -> PoolOutcome {
-        run_counter_pool_with(buggy, workers, stop_at_first_cex, None)
+        run_counter_pool_with(buggy, counter_cfg(workers, stop_at_first_cex), None)
     }
 
     fn run_counter_pool_with(
         buggy: bool,
-        workers: usize,
-        stop_at_first_cex: bool,
+        cfg: PoolConfig,
         fault: Option<FaultPlan>,
     ) -> PoolOutcome {
         let port = counter_ila();
@@ -251,9 +523,8 @@ mod tests {
         ctx.policy.fault = fault.map(std::sync::Arc::new);
         run_pool(
             std::slice::from_ref(&plan),
-            &ts,
-            workers,
-            stop_at_first_cex,
+            std::slice::from_ref(&ts),
+            cfg,
             &ctx,
         )
         .unwrap()
@@ -284,15 +555,78 @@ mod tests {
     }
 
     #[test]
-    fn worker_count_never_exceeds_requested_jobs() {
-        // Two instructions: requesting 8 workers must spawn at most 2,
-        // and engines are only built for workers that actually ran.
+    fn worker_count_never_exceeds_batch_count() {
+        // Two instructions: with 8 workers requested, batching splits
+        // the port into (at most) one chunk per instruction, so at most
+        // 2 workers spawn, and engines are only built for workers that
+        // actually ran.
         let outcome = run_counter_pool(false, 8, false);
         assert_eq!(outcome.workers_spawned, 2);
         assert!(outcome.engines_created <= 2);
         let outcome = run_counter_pool(false, 1, false);
         assert_eq!(outcome.workers_spawned, 1);
         assert_eq!(outcome.engines_created, 1);
+    }
+
+    #[test]
+    fn batching_amortizes_one_engine_across_the_port() {
+        // With one worker, batching folds the whole port into one job:
+        // one batch id, one engine, queue/steal metadata shared by every
+        // verdict of the batch.
+        let outcome = run_counter_pool(false, 1, false);
+        assert_eq!(outcome.engines_created, 1);
+        let verdicts = &outcome.ports[0].verdicts;
+        assert_eq!(verdicts.len(), 2);
+        let first = &verdicts[0].1;
+        let second = &verdicts[1].1;
+        assert_eq!(first.batch_id, Some(0));
+        assert_eq!(second.batch_id, Some(0));
+        assert_eq!(first.batch_size, 2);
+        assert_eq!(second.batch_size, 2);
+        assert_eq!(first.queue_ns, second.queue_ns, "queue latency is per-batch");
+        assert_eq!(first.stolen, second.stolen);
+    }
+
+    #[test]
+    fn batching_off_restores_per_instruction_jobs() {
+        let cfg = PoolConfig {
+            workers: 8,
+            stop_at_first_cex: false,
+            batch_ports: false,
+            share_clauses: false,
+        };
+        let outcome = run_counter_pool_with(false, cfg, None);
+        let verdicts = &outcome.ports[0].verdicts;
+        assert_eq!(verdicts.len(), 2);
+        let ids: Vec<_> = verdicts.iter().map(|(_, v)| v.batch_id).collect();
+        assert_eq!(ids, vec![Some(0), Some(1)], "one batch per instruction");
+        assert!(verdicts.iter().all(|(_, v)| v.batch_size == 1));
+    }
+
+    #[test]
+    fn clause_sharing_preserves_verdicts() {
+        for buggy in [false, true] {
+            let baseline = run_counter_pool(buggy, 2, false);
+            let cfg = PoolConfig {
+                workers: 2,
+                stop_at_first_cex: false,
+                batch_ports: true,
+                share_clauses: true,
+            };
+            let shared = run_counter_pool_with(buggy, cfg, None);
+            let b = &baseline.ports[0].verdicts;
+            let s = &shared.ports[0].verdicts;
+            assert_eq!(b.len(), s.len(), "buggy={buggy}");
+            for ((_, want), (_, got)) in b.iter().zip(s) {
+                assert_eq!(want.instruction, got.instruction);
+                assert_eq!(
+                    want.result.holds(),
+                    got.result.holds(),
+                    "sharing flipped a verdict on {}",
+                    got.instruction
+                );
+            }
+        }
     }
 
     #[test]
@@ -345,9 +679,9 @@ mod tests {
     #[test]
     fn empty_plan_set_yields_empty_outcome() {
         let rtl = counter_rtl(false);
-        let (ts, _) = rtl_to_ts(&rtl).unwrap();
+        let (_ts, _) = rtl_to_ts(&rtl).unwrap();
         let tracer = gila_trace::Tracer::disabled();
-        let outcome = run_pool(&[], &ts, 4, false, &RunCtx::plain(&tracer)).unwrap();
+        let outcome = run_pool(&[], &[], counter_cfg(4, false), &RunCtx::plain(&tracer)).unwrap();
         assert!(outcome.ports.is_empty());
         assert_eq!(outcome.engines_created, 0);
     }
@@ -365,7 +699,8 @@ mod tests {
                 FaultAction::Panic("injected".into()),
                 Some(1),
             );
-            let outcome = run_counter_pool_with(false, workers, false, Some(fault));
+            let outcome =
+                run_counter_pool_with(false, counter_cfg(workers, false), Some(fault));
             let verdicts = &outcome.ports[0].verdicts;
             assert_eq!(verdicts.len(), 2, "workers={workers}");
             let inc = &verdicts[0].1;
@@ -383,7 +718,7 @@ mod tests {
 
     /// A worker whose engine was poisoned by a panic rebuilds it and
     /// keeps serving: with one worker, the panic on the first job must
-    /// not leave the second job with a corrupt solver.
+    /// not leave the second job with a corrupt solver — even mid-batch.
     #[test]
     fn single_worker_rebuilds_engine_after_panic() {
         let fault = FaultPlan::new().inject(
@@ -392,7 +727,7 @@ mod tests {
             FaultAction::Panic("first job dies".into()),
             Some(1),
         );
-        let outcome = run_counter_pool_with(true, 1, false, Some(fault));
+        let outcome = run_counter_pool_with(true, counter_cfg(1, false), Some(fault));
         let verdicts = &outcome.ports[0].verdicts;
         assert_eq!(verdicts.len(), 2);
         assert!(verdicts[0].1.result.is_panicked());
@@ -401,5 +736,28 @@ mod tests {
         assert!(verdicts[1].1.result.holds());
         // One engine for the panicked job, one rebuilt for the next.
         assert_eq!(outcome.engines_created, 2);
+    }
+
+    #[test]
+    fn make_jobs_balances_chunks_proportionally() {
+        // One port of 4 and one of 2, 4 workers: the big port gets 3
+        // chunks, the small one 1, totalling the worker count.
+        let pending = vec![vec![0, 1, 2, 3], vec![0, 1]];
+        let jobs = make_jobs(&pending, 4, true);
+        assert_eq!(jobs.len(), 4);
+        let sizes: Vec<usize> = jobs.iter().map(|j| j.instrs.len()).collect();
+        assert_eq!(sizes, vec![2, 1, 1, 2]);
+        // Chunks are contiguous, in declaration order, with unique ids.
+        assert_eq!(jobs[0].instrs, vec![0, 1]);
+        assert_eq!(jobs[1].instrs, vec![2]);
+        assert_eq!(jobs[2].instrs, vec![3]);
+        assert_eq!(jobs[3].instrs, vec![0, 1]);
+        let ids: Vec<u64> = jobs.iter().map(|j| j.batch_id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        // One worker: one batch per port regardless of size.
+        let jobs = make_jobs(&pending, 1, true);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].instrs.len(), 4);
+        assert_eq!(jobs[1].instrs.len(), 2);
     }
 }
