@@ -31,7 +31,7 @@ use gila_designs::{all_case_studies, CaseStudy};
 use gila_json::Value;
 use gila_lint::{lint_module, lint_rtl, LintOptions};
 use gila_trace::Tracer;
-use gila_verify::{verify_module, ModuleReport, VerifyOptions};
+use gila_verify::{cosimulate, cosimulate_compiled, verify_module, ModuleReport, VerifyOptions};
 
 const POOL_JOBS: usize = 4;
 const DEFAULT_RUNS: usize = 3;
@@ -40,6 +40,14 @@ const ARTIFACT: &str = "BENCH_verify.json";
 /// beyond this factor (`pooled_s <= tolerance * sequential_s`); see
 /// [`check_artifact`].
 const POOL_GATE_TOLERANCE: f64 = 1.05;
+/// Cycles per port for the co-simulation throughput legs. The
+/// interpreter re-walks the DAG per cycle, so it gets a short leash;
+/// the compiled tape gets enough cycles to amortize timer noise.
+const COSIM_INTERP_CYCLES: usize = 2000;
+const COSIM_COMPILED_CYCLES: usize = 100_000;
+/// The compiled backend must beat the interpreter by at least this
+/// factor in geomean across designs; see [`check_artifact`].
+const COSIM_GATE: f64 = 100.0;
 
 fn best_run_with(cs: &CaseStudy, opts: &VerifyOptions, runs: usize) -> (f64, ModuleReport) {
     let mut best_s = f64::INFINITY;
@@ -64,6 +72,41 @@ fn best_run(cs: &CaseStudy, jobs: usize, runs: usize, preprocess: bool) -> (f64,
         ..Default::default()
     };
     best_run_with(cs, &opts, runs)
+}
+
+/// Best-of-`runs` co-simulation throughput of both backends, in cycles
+/// per second summed over the design's ports (fixed RTL — the streams
+/// must run clean).
+fn cosim_rates(cs: &CaseStudy, runs: usize) -> (f64, f64) {
+    let mut best_interp = 0.0f64;
+    let mut best_compiled = 0.0f64;
+    for _ in 0..runs {
+        let mut interp_s = 0.0;
+        let mut compiled_s = 0.0;
+        let mut interp_cycles = 0u64;
+        let mut compiled_cycles = 0u64;
+        for port in cs.ila.ports() {
+            let map = cs
+                .refmaps
+                .iter()
+                .find(|m| m.name == port.name())
+                .expect("one refinement map per port");
+            let t0 = Instant::now();
+            let d = cosimulate(port, &cs.rtl, map, 7, COSIM_INTERP_CYCLES).expect("cosim runs");
+            assert!(d.is_none(), "{}: fixed RTL diverged", cs.name);
+            interp_s += t0.elapsed().as_secs_f64();
+            interp_cycles += COSIM_INTERP_CYCLES as u64;
+            let t0 = Instant::now();
+            let d = cosimulate_compiled(port, &cs.rtl, map, 7, COSIM_COMPILED_CYCLES)
+                .expect("cosim runs");
+            assert!(d.is_none(), "{}: fixed RTL diverged", cs.name);
+            compiled_s += t0.elapsed().as_secs_f64();
+            compiled_cycles += COSIM_COMPILED_CYCLES as u64;
+        }
+        best_interp = best_interp.max(interp_cycles as f64 / interp_s);
+        best_compiled = best_compiled.max(compiled_cycles as f64 / compiled_s);
+    }
+    (best_interp, best_compiled)
 }
 
 fn geomean(xs: &[f64]) -> f64 {
@@ -115,6 +158,10 @@ fn bench_rows(runs: usize) -> Vec<Value> {
             }
             best
         };
+        // The compiled-simulation leg: cosim throughput of both
+        // backends over the same designs, feeding the hunt-throughput
+        // gate (geomean compiled/interp >= 100x).
+        let (cosim_interp, cosim_compiled) = cosim_rates(&cs, runs);
         // Telemetry is taken from the deterministic sequential run, so
         // artifact diffs reflect engine changes, not scheduling noise.
         let t = &seq_report.telemetry;
@@ -143,6 +190,9 @@ fn bench_rows(runs: usize) -> Vec<Value> {
                 share_report.telemetry.clauses_deduped.into(),
             ),
             ("lint_s".into(), lint_s.into()),
+            ("cosim_cycles_per_s_interp".into(), cosim_interp.into()),
+            ("cosim_cycles_per_s_compiled".into(), cosim_compiled.into()),
+            ("cosim_speedup".into(), (cosim_compiled / cosim_interp).into()),
             ("cnf_vars_pre".into(), pre.cnf_vars.into()),
             ("cnf_clauses_pre".into(), pre.cnf_clauses.into()),
             ("cnf_vars_post".into(), t.cnf_vars.into()),
@@ -191,6 +241,15 @@ fn geomean_cnf_reduction(rows: &[Value]) -> Option<f64> {
     Some(1.0 - geomean(&ratios))
 }
 
+/// Geomean of per-row compiled/interp cosim throughput ratios.
+fn geomean_cosim_speedup(rows: &[Value]) -> Option<f64> {
+    let ratios: Vec<f64> = rows
+        .iter()
+        .map(|row| row.get("cosim_speedup").and_then(Value::as_f64))
+        .collect::<Option<_>>()?;
+    Some(geomean(&ratios))
+}
+
 /// Pooled wall-times keyed by design name.
 fn pooled_times(doc_rows: &[Value]) -> Vec<(String, f64)> {
     doc_rows
@@ -236,6 +295,10 @@ fn bench(runs: usize) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(reduction) = geomean_cnf_reduction(&rows) {
         eprintln!("geomean CNF reduction (vars+clauses) vs --no-preprocess: {:.1}%", reduction * 100.0);
         doc.push(("geomean_cnf_reduction".into(), reduction.into()));
+    }
+    if let Some(speedup) = geomean_cosim_speedup(&rows) {
+        eprintln!("geomean compiled-cosim speedup vs interpreter: {speedup:.1}x");
+        doc.push(("geomean_cosim_speedup".into(), speedup.into()));
     }
     if let Some(prev_rows) = previous
         .as_ref()
@@ -308,6 +371,12 @@ fn check_artifact(doc: &Value) -> Result<(), String> {
         if lint_s >= 1.0 {
             return Err(format!("{design}: lint_s = {lint_s} is not sub-second"));
         }
+        for key in ["cosim_cycles_per_s_interp", "cosim_cycles_per_s_compiled", "cosim_speedup"] {
+            let v = row.get(key).and_then(Value::as_f64).ok_or_else(|| ctx(key))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{design}: {key} = {v} is not a positive rate"));
+            }
+        }
         for key in [
             "cnf_vars_pre",
             "cnf_clauses_pre",
@@ -360,6 +429,17 @@ fn check_artifact(doc: &Value) -> Result<(), String> {
                  instruction issues at least one SAT check"
             ));
         }
+    }
+    // The compiled simulation backend must deliver the mass-hunting
+    // throughput it exists for.
+    let cosim = doc
+        .get("geomean_cosim_speedup")
+        .and_then(Value::as_f64)
+        .ok_or("missing geomean_cosim_speedup")?;
+    if !(cosim.is_finite() && cosim >= COSIM_GATE) {
+        return Err(format!(
+            "geomean_cosim_speedup = {cosim:.1} is below the {COSIM_GATE}x              compiled-vs-interpreter gate"
+        ));
     }
     // The pool must pay for itself where it matters: on the two
     // slowest-sequential designs, pooled wall time may not exceed

@@ -590,3 +590,329 @@ pub fn props(flags: &[(String, String)]) -> CmdResult {
     }
     Ok(0)
 }
+
+/// Parses a number-valued flag with a default.
+fn num_flag<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, Box<dyn Error>> {
+    match flag(flags, name) {
+        Some(v) => v
+            .parse::<T>()
+            .map_err(|_| format!("--{name} expects a number, got {v:?}").into()),
+        None => Ok(default),
+    }
+}
+
+/// Parses a recorded command stream (`Divergence::command_stream`
+/// format): `# start name=value` lines pin the RTL start state, other
+/// `#` lines are comments, and every remaining line is one cycle of
+/// `pin=0xHEX` input assignments.
+fn parse_stream(
+    text: &str,
+    rtl: &RtlModule,
+) -> Result<
+    (
+        std::collections::BTreeMap<String, gila_expr::Value>,
+        Vec<std::collections::BTreeMap<String, gila_expr::BitVecValue>>,
+    ),
+    Box<dyn Error>,
+> {
+    use gila_expr::Sort;
+    let state_sort = |name: &str| -> Option<Sort> {
+        rtl.regs()
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| Sort::Bv(r.width))
+            .or_else(|| {
+                rtl.mems().iter().find(|m| m.name == name).map(|m| Sort::Mem {
+                    addr_width: m.addr_width,
+                    data_width: m.data_width,
+                })
+            })
+    };
+    let mut start = std::collections::BTreeMap::new();
+    let mut inputs = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("# start ") {
+            let (name, v) = rest
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: bad start entry {rest:?}", ln + 1))?;
+            let name = name.trim();
+            let sort = state_sort(name)
+                .ok_or_else(|| format!("line {}: unknown RTL state {name:?}", ln + 1))?;
+            let v = gila_verify::parse_value(v.trim(), sort)
+                .ok_or_else(|| format!("line {}: bad value for {name:?}", ln + 1))?;
+            start.insert(name.to_string(), v);
+        } else if t.is_empty() || t.starts_with('#') {
+            continue;
+        } else {
+            let mut vec = std::collections::BTreeMap::new();
+            for tok in t.split_whitespace() {
+                let (name, v) = tok
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {}: bad stimulus token {tok:?}", ln + 1))?;
+                let width = rtl
+                    .find_input(name)
+                    .map(|i| i.width)
+                    .ok_or_else(|| format!("line {}: unknown RTL input {name:?}", ln + 1))?;
+                let v = gila_verify::parse_bv(v, width)
+                    .ok_or_else(|| format!("line {}: bad literal in {tok:?}", ln + 1))?;
+                vec.insert(name.to_string(), v);
+            }
+            inputs.push(vec);
+        }
+    }
+    Ok((start, inputs))
+}
+
+/// `gila hunt`: mass randomized bug hunting on the compiled simulation
+/// backend, with auto-shrunk reproducers.
+///
+/// Exit codes: 0 = every task clean, 1 = at least one divergence found
+/// (or a `--replay` stream reproduced one), 2 = usage or input error.
+pub fn hunt(flags: &[(String, String)]) -> CmdResult {
+    use gila_verify::{HuntConfig, HuntTarget};
+
+    let all = gila_designs::all_case_studies();
+    let explicit = flag(flags, "all-designs").is_none();
+    let mut selected: Vec<&gila_designs::CaseStudy> = Vec::new();
+    if explicit {
+        let wanted = flag_all(flags, "design");
+        if wanted.is_empty() {
+            return Err("hunt needs --design NAME (repeatable) or --all-designs".into());
+        }
+        for w in wanted {
+            let cs = all
+                .iter()
+                .find(|c| c.name.eq_ignore_ascii_case(w))
+                .ok_or_else(|| {
+                    format!(
+                        "unknown design {w:?}; known: {}",
+                        all.iter().map(|c| c.name).collect::<Vec<_>>().join(", ")
+                    )
+                })?;
+            selected.push(cs);
+        }
+    } else {
+        selected.extend(all.iter());
+    }
+    let buggy = flag(flags, "buggy").is_some();
+    let json = flag(flags, "json").is_some();
+    fn pick_rtl(cs: &gila_designs::CaseStudy, buggy: bool) -> Option<&RtlModule> {
+        if buggy {
+            cs.buggy_rtl.as_ref()
+        } else {
+            Some(&cs.rtl)
+        }
+    }
+
+    // Replay mode: deterministically re-run a recorded command stream.
+    if let Some(path) = flag(flags, "replay") {
+        if selected.len() != 1 || !explicit {
+            return Err("--replay needs exactly one --design".into());
+        }
+        let cs = selected[0];
+        let rtl = pick_rtl(cs, buggy)
+            .ok_or_else(|| format!("{} has no bug-injected RTL variant", cs.name))?;
+        let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let (start, inputs) = parse_stream(&text, rtl)?;
+        for port in cs.ila.ports() {
+            let Some(map) = cs.refmaps.iter().find(|m| m.name == port.name()) else {
+                continue;
+            };
+            // A stream recorded at another port may simply not decode
+            // here; that is not an error for replay.
+            match gila_verify::replay_compiled(port, rtl, map, &start, &inputs) {
+                Ok(Some(d)) => {
+                    if json {
+                        let doc = gila_json::Value::object(vec![
+                            ("design".into(), cs.name.into()),
+                            ("port".into(), port.name().into()),
+                            ("cycle".into(), (d.cycle as u64).into()),
+                            ("instruction".into(), d.instruction.clone().into()),
+                            ("state".into(), d.state.clone().into()),
+                            (
+                                "ila".into(),
+                                gila_verify::render_value(&d.ila_value).into(),
+                            ),
+                            (
+                                "rtl".into(),
+                                gila_verify::render_value(&d.rtl_value).into(),
+                            ),
+                            ("command_stream".into(), d.command_stream().into()),
+                        ]);
+                        println!("{}", doc.pretty());
+                    } else {
+                        println!("[{}/{}] {d}", cs.name, port.name());
+                    }
+                    return Ok(1);
+                }
+                Ok(None) | Err(_) => {}
+            }
+        }
+        println!(
+            "replay: no divergence reproduced on {} over {} cycles",
+            cs.name,
+            inputs.len()
+        );
+        return Ok(0);
+    }
+
+    let config = HuntConfig {
+        seeds: num_flag(flags, "seeds", 256u64)?,
+        cycles: num_flag(flags, "cycles", 1024usize)?,
+        jobs: num_flag(flags, "jobs", 1usize)?,
+        seed_base: num_flag(flags, "seed-base", 0xB06u64)?,
+        shrink: flag(flags, "no-shrink").is_none(),
+    };
+    let tracer = match flag(flags, "trace") {
+        Some(path) => Tracer::jsonl_file(std::path::Path::new(path))
+            .map_err(|e| format!("opening --trace {path}: {e}"))?,
+        None => Tracer::disabled(),
+    };
+    let mut targets = Vec::new();
+    for cs in &selected {
+        let Some(rtl) = pick_rtl(cs, buggy) else {
+            if explicit {
+                return Err(format!("{} has no bug-injected RTL variant", cs.name).into());
+            }
+            continue;
+        };
+        for port in cs.ila.ports() {
+            let Some(map) = cs.refmaps.iter().find(|m| m.name == port.name()) else {
+                continue;
+            };
+            targets.push(HuntTarget {
+                design: cs.name,
+                port,
+                rtl,
+                map,
+            });
+        }
+    }
+    if targets.is_empty() {
+        return Err(
+            "no hunt targets (with --buggy only designs with a bug-injected variant qualify)"
+                .into(),
+        );
+    }
+    let report = gila_verify::hunt(&targets, &config, &tracer).map_err(|e| e.to_string())?;
+
+    if let Some(dir) = flag(flags, "out") {
+        fs::create_dir_all(dir).map_err(|e| format!("creating --out {dir}: {e}"))?;
+        for f in &report.findings {
+            let stream = f
+                .shrunk
+                .as_ref()
+                .map(|s| s.divergence.command_stream())
+                .unwrap_or_else(|| f.divergence.command_stream());
+            let path = PathBuf::from(dir).join(format!(
+                "{}_{}_{}.stim",
+                sanitize(&f.design),
+                sanitize(&f.port),
+                f.seed
+            ));
+            fs::write(&path, stream).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+    }
+
+    if json {
+        let findings: Vec<gila_json::Value> = report
+            .findings
+            .iter()
+            .map(|f| {
+                let d = f.shrunk.as_ref().map(|s| &s.divergence).unwrap_or(&f.divergence);
+                let mut fields = vec![
+                    ("design".into(), f.design.clone().into()),
+                    ("port".into(), f.port.clone().into()),
+                    ("seed".into(), f.seed.into()),
+                    ("state".into(), d.state.clone().into()),
+                    ("instruction".into(), d.instruction.clone().into()),
+                    ("cycle".into(), (d.cycle as u64).into()),
+                    ("ila".into(), gila_verify::render_value(&d.ila_value).into()),
+                    ("rtl".into(), gila_verify::render_value(&d.rtl_value).into()),
+                    ("command_stream".into(), d.command_stream().into()),
+                ];
+                if let Some(s) = &f.shrunk {
+                    fields.push((
+                        "shrunk".into(),
+                        gila_json::Value::object(vec![
+                            ("commands".into(), (s.divergence.inputs.len() as u64).into()),
+                            ("original_cycles".into(), (s.original_cycles as u64).into()),
+                            ("replays".into(), (s.replays as u64).into()),
+                        ]),
+                    ));
+                }
+                gila_json::Value::object(fields)
+            })
+            .collect();
+        let errors: Vec<gila_json::Value> = report
+            .errors
+            .iter()
+            .map(|(design, port, seed, error)| {
+                gila_json::Value::object(vec![
+                    ("design".into(), design.clone().into()),
+                    ("port".into(), port.clone().into()),
+                    ("seed".into(), (*seed).into()),
+                    ("error".into(), error.clone().into()),
+                ])
+            })
+            .collect();
+        let doc = gila_json::Value::object(vec![
+            ("tool".into(), "gila-hunt".into()),
+            ("version".into(), 1u64.into()),
+            ("tasks".into(), (report.tasks as u64).into()),
+            ("clean_tasks".into(), (report.clean_tasks as u64).into()),
+            ("cycles_run".into(), report.cycles_run.into()),
+            ("findings".into(), gila_json::Value::Array(findings)),
+            ("errors".into(), gila_json::Value::Array(errors)),
+        ]);
+        println!("{}", doc.pretty());
+    } else {
+        println!(
+            "hunt: {} tasks over {} targets ({} seeds x {} cycles, jobs={}), {} cycles co-simulated",
+            report.tasks,
+            targets.len(),
+            config.seeds,
+            config.cycles,
+            config.jobs,
+            report.cycles_run,
+        );
+        for f in &report.findings {
+            let d = f.shrunk.as_ref().map(|s| &s.divergence).unwrap_or(&f.divergence);
+            println!(
+                "\n[{}/{} seed {}] state {:?} diverged at cycle {} after {:?}: ila = {}, rtl = {}",
+                f.design,
+                f.port,
+                f.seed,
+                d.state,
+                d.cycle,
+                d.instruction,
+                gila_verify::render_value(&d.ila_value),
+                gila_verify::render_value(&d.rtl_value),
+            );
+            if let Some(s) = &f.shrunk {
+                println!(
+                    "  shrunk to {} command(s) from {} cycle(s) in {} replay(s)",
+                    s.divergence.inputs.len(),
+                    s.original_cycles,
+                    s.replays
+                );
+            }
+            print!("{}", d.command_stream());
+        }
+        for (design, port, seed, error) in &report.errors {
+            println!("\n[{design}/{port} seed {seed}] error: {error}");
+        }
+        println!(
+            "\n{} clean, {} divergence(s), {} error(s)",
+            report.clean_tasks,
+            report.findings.len(),
+            report.errors.len()
+        );
+    }
+    Ok(u8::from(!report.findings.is_empty()))
+}

@@ -31,6 +31,10 @@ USAGE:
   gila sim       (--rtl IMPL.v | --ila SPEC.ila) --stimulus FILE
   gila lint      (SPEC.ila | --all-designs) [--rtl IMPL.v] [--json]
                  [--deny CODE ...] [--jobs N] [--trace OUT.jsonl]
+  gila hunt      (--design NAME ... | --all-designs) [--buggy] [--seeds N]
+                 [--cycles N] [--jobs N] [--seed-base N] [--no-shrink]
+                 [--out DIR] [--json] [--trace OUT.jsonl]
+  gila hunt      --replay FILE --design NAME [--buggy] [--json]
 
 EXIT CODES:
   0  success (all properties hold / invariants proved / lint clean)
@@ -40,6 +44,28 @@ EXIT CODES:
   3  undecided: at least one verdict is UNKNOWN (solve budget exhausted)
   4  internal error (a verification job panicked, or a checkpoint/
      scheduler failure); 4 beats 1 beats 3 when a run mixes outcomes
+
+HUNT OPTIONS:
+  --design NAME        hunt one bundled case study (repeatable); names as
+                       in Table I, case-insensitive (e.g. 'AXI Slave')
+  --all-designs        hunt every bundled case study
+  --buggy              hunt the bug-injected RTL variants instead of the
+                       fixed implementations (skips designs without one;
+                       exit 1 proves the hunter finds the seeded bugs)
+  --seeds N            random seeds per (design, port) target (default 256)
+  --cycles N           maximum commands per seed (default 1024)
+  --jobs N             worker threads compiling and co-simulating targets
+                       (default 1); findings are identical at any count
+  --seed-base N        first seed; task i runs seed N+i (default 2822)
+  --no-shrink          report divergences as found, skipping delta-debug
+                       minimization of the reproducing command stream
+  --out DIR            write each finding's (shrunk) command stream to
+                       DIR/design_port_seed.stim
+  --replay FILE        re-run a recorded command stream (the format that
+                       findings print) instead of hunting; exit 1 iff the
+                       divergence reproduces
+  --trace OUT          write one compile span per (worker, design, port)
+                       and one eval span per task to OUT (JSONL)
 
 LINT OPTIONS:
   --all-designs        lint the ILA model and RTL of all eight bundled
@@ -109,6 +135,8 @@ fn parse_args(args: &[String]) -> (Vec<String>, Vec<(String, String)>) {
                     | "stats"
                     | "json"
                     | "all-designs"
+                    | "buggy"
+                    | "no-shrink"
                     | "no-preprocess"
                     | "batch-ports"
                     | "no-batch-ports"
@@ -151,6 +179,7 @@ fn main() -> ExitCode {
         "props" => commands::props(&flags),
         "export" => commands::export(&flags),
         "sim" => commands::sim(&flags),
+        "hunt" => commands::hunt(&flags),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown command {other:?}");

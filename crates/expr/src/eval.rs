@@ -157,7 +157,10 @@ pub fn eval(ctx: &ExprCtx, root: ExprRef, env: &Env) -> Result<Value, EvalError>
     Ok(memo.remove(&root).expect("root evaluated"))
 }
 
-fn apply(op: Op, args: &[&Value]) -> Value {
+/// Concrete semantics of one operator application. Shared with the
+/// compiled tape's generic fallback instruction (`crate::lower`), so the
+/// interpreter and the tape agree by construction off the word fast path.
+pub(crate) fn apply(op: Op, args: &[&Value]) -> Value {
     use Op::*;
     match op {
         Not => Value::Bool(!args[0].as_bool()),

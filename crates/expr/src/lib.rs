@@ -35,6 +35,7 @@
 mod ctx;
 mod display;
 mod eval;
+mod lower;
 mod simplify;
 mod smtlib;
 mod sort;
@@ -44,6 +45,7 @@ mod value;
 pub use ctx::{ExprCtx, ExprNode, ExprRef, Op, SortError};
 pub use display::ExprDisplay;
 pub use eval::{eval, Env, EvalError};
+pub use lower::{Slot, TapeProgram, TapeState};
 pub use simplify::simplify_cached;
 pub use smtlib::{to_smtlib_script, to_smtlib_term};
 pub use sort::Sort;

@@ -81,6 +81,18 @@ impl BitVecValue {
         Self::from_u64(b as u64, 1)
     }
 
+    /// Overwrites `self` with `src`, reusing the limb allocation when
+    /// the limb counts match (the common case for same-width copies).
+    fn clone_bits_from(&mut self, src: &BitVecValue) {
+        self.width = src.width;
+        if self.limbs.len() == src.limbs.len() {
+            self.limbs.copy_from_slice(&src.limbs);
+        } else {
+            self.limbs.clear();
+            self.limbs.extend_from_slice(&src.limbs);
+        }
+    }
+
     /// Creates a value from bits, least-significant first.
     ///
     /// # Panics
@@ -560,6 +572,93 @@ impl MemValue {
     pub fn read(&self, addr: &BitVecValue) -> BitVecValue {
         let key = addr.to_u64() & ((1u64 << self.addr_width) - 1);
         self.written.get(&key).cloned().unwrap_or_else(|| self.default.clone())
+    }
+
+    /// Reads the word at a raw address (only the low `addr_width` bits
+    /// are used). Allocation-free counterpart of [`MemValue::read`] for
+    /// the compiled simulation tape.
+    pub fn read_word(&self, addr: u64) -> &BitVecValue {
+        let key = addr & ((1u64 << self.addr_width) - 1);
+        self.written.get(&key).unwrap_or(&self.default)
+    }
+
+    /// Returns a new memory with `data` stored at a raw address (only
+    /// the low `addr_width` bits are used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.width() != self.data_width()`.
+    pub fn write_word(&self, addr: u64, data: BitVecValue) -> Self {
+        assert_eq!(data.width(), self.data_width, "memory write width mismatch");
+        let key = addr & ((1u64 << self.addr_width) - 1);
+        let mut out = self.clone();
+        out.written.insert(key, data);
+        out
+    }
+
+    /// Overwrites `self` with `src`'s contents, reusing `self`'s
+    /// allocations where possible: entries at addresses both maps carry
+    /// are updated in place. The compiled simulation tape uses this for
+    /// register copies whose destination usually holds last cycle's
+    /// near-identical map, making the steady state allocation-free.
+    pub fn copy_from(&mut self, src: &MemValue) {
+        self.addr_width = src.addr_width;
+        self.data_width = src.data_width;
+        self.default.clone_bits_from(&src.default);
+        // Fast path: identical key sets (the steady state — the tape
+        // copies a register over last cycle's version of the same map)
+        // need one parallel walk and no per-key lookups. A partial copy
+        // before a key mismatch is harmless: the general path below
+        // rewrites every entry it keeps.
+        if self.written.len() == src.written.len() {
+            let mut same = true;
+            for ((dk, dv), (sk, sv)) in self.written.iter_mut().zip(src.written.iter()) {
+                if dk != sk {
+                    same = false;
+                    break;
+                }
+                dv.clone_bits_from(sv);
+            }
+            if same {
+                return;
+            }
+        }
+        self.written.retain(|k, _| src.written.contains_key(k));
+        for (k, v) in &src.written {
+            match self.written.entry(*k) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().clone_bits_from(v)
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Stores a word-sized value at a raw address in place, masked to
+    /// the data width. Allocation-free when the address was already
+    /// written — the hot store path of the compiled simulation tape,
+    /// which pairs it with a register move instead of a functional
+    /// [`MemValue::write_word`] copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.data_width() > 64`.
+    pub fn write_word_mut(&mut self, addr: u64, data: u64) {
+        assert!(self.data_width <= 64, "word write to wide memory");
+        let key = addr & ((1u64 << self.addr_width) - 1);
+        let masked = if self.data_width == 64 {
+            data
+        } else {
+            data & ((1u64 << self.data_width) - 1)
+        };
+        match self.written.entry(key) {
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().limbs[0] = masked,
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(BitVecValue::from_u64(masked, self.data_width));
+            }
+        }
     }
 
     /// Returns a new memory with `data` stored at `addr`.

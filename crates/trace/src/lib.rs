@@ -53,6 +53,12 @@ pub enum SpanKind {
     /// One bounded SAT inprocessing pass between solve calls (clauses
     /// reclaimed, literals removed, failed literals ride as fields).
     Inprocess,
+    /// One tape compilation of a co-simulation pair (instruction count
+    /// and register-bank sizes ride as fields).
+    Compile,
+    /// One compiled co-simulation run — a (design, port, seed) hunt
+    /// task (cycles executed and divergence count ride as fields).
+    Eval,
 }
 
 impl SpanKind {
@@ -69,6 +75,8 @@ impl SpanKind {
             SpanKind::LintPass => "lint_pass",
             SpanKind::Coi => "coi",
             SpanKind::Inprocess => "inprocess",
+            SpanKind::Compile => "compile",
+            SpanKind::Eval => "eval",
         }
     }
 }
@@ -445,9 +453,11 @@ pub fn canonicalize_jsonl(jsonl: &str) -> Result<String, String> {
 }
 
 /// The set of work-identifying spans in a JSONL trace: `(kind, port,
-/// instr, label)` for every `instruction` and `solve` event. Two runs
-/// that performed the same verification work have equal span sets no
-/// matter how the scheduler interleaved them.
+/// instr, label)` for every `instruction`, `solve`, `compile`, and
+/// `eval` event. Two runs that performed the same verification (or
+/// hunt) work have equal span sets no matter how the scheduler
+/// interleaved them — per-worker `compile` duplicates collapse because
+/// worker ids are not part of the key.
 pub fn span_set(jsonl: &str) -> Result<BTreeSet<(String, String, String, String)>, String> {
     let mut set = BTreeSet::new();
     for (idx, line) in jsonl.lines().enumerate() {
@@ -464,7 +474,7 @@ pub fn span_set(jsonl: &str) -> Result<BTreeSet<(String, String, String, String)
                 .to_string()
         };
         let kind = key("kind");
-        if kind == "instruction" || kind == "solve" {
+        if matches!(kind.as_str(), "instruction" | "solve" | "compile" | "eval") {
             set.insert((kind, key("port"), key("instr"), key("label")));
         }
     }

@@ -33,35 +33,108 @@ pub struct Divergence {
     /// The RTL input vectors driven on cycles `0..=cycle` — the exact
     /// command stream that reproduces this divergence.
     pub inputs: Vec<BTreeMap<String, BitVecValue>>,
+    /// The RTL start state the run began from. Together with `inputs`
+    /// this makes the divergence exactly replayable without the
+    /// original RNG.
+    pub start_state: BTreeMap<String, Value>,
 }
 
 impl Divergence {
     /// Renders the offending command stream in `gila sim` stimulus
-    /// format: one cycle per line, `name=0xHEX` pairs. Replaying it
-    /// (with the same random start state) reproduces the divergence.
+    /// format: `# start name=value` header lines pinning the RTL start
+    /// state, then one cycle per line of `name=0xHEX` pairs. Feeding the
+    /// text back through `gila hunt --replay` reproduces the divergence
+    /// exactly (the `# start` lines parse as comments everywhere else).
     pub fn command_stream(&self) -> String {
         let mut out = String::new();
+        for (name, v) in &self.start_state {
+            out.push_str(&format!("# start {name}={}\n", render_value(v)));
+        }
         for (cycle, inputs) in self.inputs.iter().enumerate() {
             out.push_str(&format!("# cycle {cycle}\n"));
             let rendered: Vec<String> = inputs
                 .iter()
-                .map(|(name, v)| match v.try_to_u64() {
-                    Some(x) => format!("{name}=0x{x:x}"),
-                    None => {
-                        let bits: String = v
-                            .to_bits()
-                            .iter()
-                            .rev()
-                            .map(|b| if *b { '1' } else { '0' })
-                            .collect();
-                        format!("{name}=0b{bits}")
-                    }
-                })
+                .map(|(name, v)| format!("{name}={}", render_bv(v)))
                 .collect();
             out.push_str(&rendered.join(" "));
             out.push('\n');
         }
         out
+    }
+}
+
+/// Renders a bit-vector as `0xHEX` (values fitting in 64 bits) or
+/// `0bBITS` (msb first). Inverse of [`parse_bv`].
+pub fn render_bv(v: &BitVecValue) -> String {
+    match v.try_to_u64() {
+        Some(x) => format!("0x{x:x}"),
+        None => {
+            let bits: String = v
+                .to_bits()
+                .iter()
+                .rev()
+                .map(|b| if *b { '1' } else { '0' })
+                .collect();
+            format!("0b{bits}")
+        }
+    }
+}
+
+/// Renders a [`Value`] in the command-stream format: booleans and
+/// bit-vectors via [`render_bv`], memories as
+/// `@DEFAULT{ADDR:DATA,...}`. Inverse of [`parse_value`].
+pub fn render_value(v: &Value) -> String {
+    match v {
+        Value::Bool(b) => format!("0x{}", u32::from(*b)),
+        Value::Bv(bv) => render_bv(bv),
+        Value::Mem(m) => {
+            let writes: Vec<String> = m
+                .iter_written()
+                .map(|(a, d)| format!("0x{a:x}:{}", render_bv(d)))
+                .collect();
+            format!("@{}{{{}}}", render_bv(m.default_word()), writes.join(","))
+        }
+    }
+}
+
+/// Parses a [`render_bv`]-formatted literal to `width` bits (excess high
+/// bits are truncated; missing high bits are zero).
+pub fn parse_bv(s: &str, width: u32) -> Option<BitVecValue> {
+    let v = if let Some(hex) = s.strip_prefix("0x") {
+        BitVecValue::parse_hex(hex)?
+    } else if let Some(bin) = s.strip_prefix("0b") {
+        BitVecValue::parse_binary(bin)?
+    } else {
+        return None;
+    };
+    Some(match v.width().cmp(&width) {
+        std::cmp::Ordering::Equal => v,
+        std::cmp::Ordering::Less => v.zext(width),
+        std::cmp::Ordering::Greater => v.extract(width - 1, 0),
+    })
+}
+
+/// Parses a [`render_value`]-formatted literal against an expected
+/// sort. Inverse of [`render_value`].
+pub fn parse_value(s: &str, sort: Sort) -> Option<Value> {
+    match sort {
+        Sort::Bool => Some(Value::Bool(!parse_bv(s, 1)?.is_zero())),
+        Sort::Bv(w) => Some(Value::Bv(parse_bv(s, w)?)),
+        Sort::Mem {
+            addr_width,
+            data_width,
+        } => {
+            let body = s.strip_prefix('@')?;
+            let (default, writes) = body.split_once('{')?;
+            let writes = writes.strip_suffix('}')?;
+            let mut m = MemValue::filled(addr_width, data_width, parse_bv(default, data_width)?);
+            for pair in writes.split(',').filter(|p| !p.is_empty()) {
+                let (addr, data) = pair.split_once(':')?;
+                let addr = parse_bv(addr, addr_width)?;
+                m = m.write(&addr, &parse_bv(data, data_width)?);
+            }
+            Some(Value::Mem(m))
+        }
     }
 }
 
@@ -127,33 +200,54 @@ impl fmt::Display for CosimError {
 
 impl std::error::Error for CosimError {}
 
-/// A uniformly random [`Value`] of `sort` (memories get eight random
-/// writes over a zeroed array). Shared with the randomized property
+/// A random bit-vector of `width` bits. Mostly uniform per-bit, but one
+/// draw in eight lands on a boundary value — zero, all-ones, one, or
+/// the sign bit alone — so narrow corner cases (carry out, sign
+/// flips, wrap-around) appear at realistic rates even for wide vectors.
+pub fn random_bv(rng: &mut impl Rng, width: u32) -> BitVecValue {
+    if rng.gen_range(0..8u32) == 0 {
+        match rng.gen_range(0..4u32) {
+            0 => BitVecValue::zero(width),
+            1 => BitVecValue::ones(width),
+            2 => BitVecValue::one(width),
+            _ => {
+                let bits: Vec<bool> = (0..width).map(|i| i == width - 1).collect();
+                BitVecValue::from_bits(&bits)
+            }
+        }
+    } else {
+        let bits: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
+        BitVecValue::from_bits(&bits)
+    }
+}
+
+/// A random [`Value`] of `sort`, boundary-biased via [`random_bv`].
+/// Memories get eight writes over a zeroed array, always including the
+/// lowest (`0`) and highest (`2^w - 1`) addresses so edge-of-address-
+/// space behaviour is exercised. Shared with the randomized property
 /// tests so expression-level checks draw environments from the same
 /// distribution the co-simulator uses for states and inputs.
 pub fn random_value(rng: &mut impl Rng, sort: Sort) -> Value {
     match sort {
         Sort::Bool => Value::Bool(rng.gen()),
-        Sort::Bv(w) => {
-            let bits: Vec<bool> = (0..w).map(|_| rng.gen()).collect();
-            Value::Bv(BitVecValue::from_bits(&bits))
-        }
+        Sort::Bv(w) => Value::Bv(random_bv(rng, w)),
         Sort::Mem {
             addr_width,
             data_width,
         } => {
             let mut m = MemValue::zeroed(addr_width, data_width);
-            for _ in 0..8 {
+            m = m.write(&BitVecValue::zero(addr_width), &random_bv(rng, data_width));
+            m = m.write(&BitVecValue::ones(addr_width), &random_bv(rng, data_width));
+            for _ in 0..6 {
                 let a = BitVecValue::from_u64(rng.gen(), addr_width);
-                let bits: Vec<bool> = (0..data_width).map(|_| rng.gen()).collect();
-                m = m.write(&a, &BitVecValue::from_bits(&bits));
+                m = m.write(&a, &random_bv(rng, data_width));
             }
             Value::Mem(m)
         }
     }
 }
 
-fn default_value(sort: Sort) -> Value {
+pub(crate) fn default_value(sort: Sort) -> Value {
     match sort {
         Sort::Bool => Value::Bool(false),
         Sort::Bv(w) => Value::Bv(BitVecValue::zero(w)),
@@ -193,6 +287,7 @@ pub fn cosimulate(
         let v = random_value(&mut rng, sort);
         rtl_sim.set_state(name, v).expect("known state");
     }
+    let start_state = rtl_sim.state().clone();
     let all_rtl_inputs: Vec<(String, u32)> = rtl
         .inputs()
         .iter()
@@ -296,6 +391,7 @@ pub fn cosimulate(
                     ila_value: ila_value.clone(),
                     rtl_value: rtl_value.clone(),
                     inputs: input_history,
+                    start_state,
                 }));
             }
         }
@@ -354,6 +450,75 @@ endmodule
             (d.rtl_value.as_bv().to_u64() + 255) % 256,
             d.ila_value.as_bv().to_u64()
         );
+    }
+
+    #[test]
+    fn random_values_cover_boundaries() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD15);
+        // Wide vectors: boundary draws must show up at a healthy rate —
+        // per-bit sampling alone would essentially never produce them.
+        let (mut zeros, mut ones, mut unit, mut sign) = (0u32, 0u32, 0u32, 0u32);
+        const N: u32 = 4000;
+        for _ in 0..N {
+            let v = random_bv(&mut rng, 32);
+            if v.is_zero() {
+                zeros += 1;
+            } else if v.is_ones() {
+                ones += 1;
+            } else if v.to_u64() == 1 {
+                unit += 1;
+            } else if v.to_u64() == 1 << 31 {
+                sign += 1;
+            }
+        }
+        for (what, n) in [("zero", zeros), ("ones", ones), ("one", unit), ("sign", sign)] {
+            // Expected ~ N/32 each; demand at least a quarter of that.
+            assert!(n >= N / 128, "boundary value {what} seen only {n} times");
+        }
+        // Memories: both ends of the address space are always written.
+        for _ in 0..16 {
+            let m = random_value(
+                &mut rng,
+                Sort::Mem {
+                    addr_width: 16,
+                    data_width: 8,
+                },
+            );
+            let Value::Mem(m) = m else { unreachable!() };
+            let written: Vec<u64> = m.iter_written().map(|(a, _)| a).collect();
+            assert!(written.contains(&0), "no write at address 0");
+            assert!(written.contains(&0xffff), "no write at the top address");
+        }
+    }
+
+    #[test]
+    fn command_stream_values_round_trip() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xF00);
+        let sorts = [
+            Sort::Bool,
+            Sort::Bv(1),
+            Sort::Bv(8),
+            Sort::Bv(64),
+            Sort::Bv(100),
+            Sort::Mem {
+                addr_width: 8,
+                data_width: 16,
+            },
+            Sort::Mem {
+                addr_width: 4,
+                data_width: 96,
+            },
+        ];
+        for sort in sorts {
+            for _ in 0..50 {
+                let v = random_value(&mut rng, sort);
+                let text = render_value(&v);
+                let back = parse_value(&text, sort).expect("parses back");
+                assert_eq!(back, v, "round-trip through {text:?}");
+            }
+        }
     }
 
     #[test]

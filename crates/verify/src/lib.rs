@@ -61,15 +61,18 @@
 
 mod abstraction;
 mod checkpoint;
+mod compiled;
 mod cosim;
 mod engine;
 mod equiv;
 mod fault;
+mod hunt;
 mod invariants;
 mod mutation;
 mod property;
 mod refmap;
 mod scheduler;
+mod shrink;
 mod synth;
 mod vcd;
 
@@ -85,8 +88,14 @@ pub use fault::{FaultAction, FaultPlan, FaultPlanError};
 pub use gila_smt::ResourceOut;
 pub use property::{render_all_properties, render_property};
 pub use refmap::{FinishCondition, InputPolicy, InstructionMap, RefinementMap};
-pub use cosim::{cosimulate, random_value, CosimError, Divergence};
+pub use compiled::{cosim_differential, cosimulate_compiled, replay_compiled};
+pub use cosim::{
+    cosimulate, parse_bv, parse_value, random_bv, random_value, render_bv, render_value,
+    CosimError, Divergence,
+};
 pub use equiv::{check_rtl_equivalence, EquivError, EquivOutcome};
+pub use hunt::{hunt, HuntConfig, HuntFinding, HuntReport, HuntTarget};
+pub use shrink::{shrink_divergence, ShrinkResult};
 pub use invariants::validate_invariants;
 pub use mutation::{mutate_register, MutateError, Mutation, MutationReport};
 pub use synth::{identity_refmap, identity_refmaps, synthesize_module, synthesize_port, SynthError};

@@ -25,6 +25,7 @@ pub use gila_lint as lint;
 pub use gila_mc as mc;
 pub use gila_rtl as rtl;
 pub use gila_sat as sat;
+pub use gila_sim_compile as sim_compile;
 pub use gila_smt as smt;
 pub use gila_trace as trace;
 pub use gila_verify as verify;
