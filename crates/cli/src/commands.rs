@@ -19,23 +19,23 @@ use gila_verify::{
 
 /// Commands return the process exit code; `Err` means a usage or input
 /// error (exit 2, mapped in `main`).
-type CmdResult = Result<u8, Box<dyn Error>>;
+pub(crate) type CmdResult = Result<u8, Box<dyn Error>>;
 
 /// Exit code for internal faults: a panicked verification job or a
 /// checkpoint/scheduler failure. Distinct from "property failed" so
 /// scripts can tell a refuted design from a broken run.
-const EXIT_INTERNAL: u8 = 4;
+pub(crate) const EXIT_INTERNAL: u8 = 4;
 /// Exit code when at least one verdict is Unknown (budget exhausted).
-const EXIT_UNKNOWN: u8 = 3;
+pub(crate) const EXIT_UNKNOWN: u8 = 3;
 
-fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+pub(crate) fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
     flags
         .iter()
         .find(|(n, _)| n == name)
         .map(|(_, v)| v.as_str())
 }
 
-fn flag_all<'a>(flags: &'a [(String, String)], name: &str) -> Vec<&'a str> {
+pub(crate) fn flag_all<'a>(flags: &'a [(String, String)], name: &str) -> Vec<&'a str> {
     flags
         .iter()
         .filter(|(n, _)| n == name)
@@ -43,7 +43,7 @@ fn flag_all<'a>(flags: &'a [(String, String)], name: &str) -> Vec<&'a str> {
         .collect()
 }
 
-fn require<'a>(flags: &'a [(String, String)], name: &str) -> Result<&'a str, Box<dyn Error>> {
+pub(crate) fn require<'a>(flags: &'a [(String, String)], name: &str) -> Result<&'a str, Box<dyn Error>> {
     flag(flags, name).ok_or_else(|| format!("missing required flag --{name}").into())
 }
 
@@ -140,6 +140,7 @@ pub fn verify(flags: &[(String, String)]) -> CmdResult {
         batch_ports: flag(flags, "no-batch-ports").is_none(),
         par_threshold,
         share_clauses: flag(flags, "share-clauses").is_some(),
+        ..VerifyOptions::default()
     };
     let report = match verify_module(&ila, &rtl, &maps, &opts) {
         Ok(report) => report,

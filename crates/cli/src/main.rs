@@ -11,6 +11,7 @@
 use std::process::ExitCode;
 
 mod commands;
+mod serve_cmd;
 
 fn usage() -> ! {
     eprintln!(
@@ -35,6 +36,13 @@ USAGE:
                  [--cycles N] [--jobs N] [--seed-base N] [--no-shrink]
                  [--out DIR] [--json] [--trace OUT.jsonl]
   gila hunt      --replay FILE --design NAME [--buggy] [--json]
+  gila serve     (--listen HOST:PORT ... | --socket PATH ...) [--cache FILE]
+                 [--cache-bytes N] [--cache-entries N] [--queue-cap N]
+                 [--workers N] [--jobs N] [--deadline-ms N]
+                 [--watchdog-factor N] [--drain-ms N] [--trace OUT.jsonl]
+  gila client    (--connect HOST:PORT | --socket PATH) [--design NAME ...]
+                 [--buggy] [--no-cache] [--deadline-ms N] [--retries N]
+                 [--stim FILE] [--stats] [--ping] [--shutdown] [--json]
 
 EXIT CODES:
   0  success (all properties hold / invariants proved / lint clean)
@@ -44,6 +52,39 @@ EXIT CODES:
   3  undecided: at least one verdict is UNKNOWN (solve budget exhausted)
   4  internal error (a verification job panicked, or a checkpoint/
      scheduler failure); 4 beats 1 beats 3 when a run mixes outcomes
+  5  (serve only) the drain budget expired with work still in flight;
+     stragglers were cancelled, the cache journal stayed consistent
+
+SERVE OPTIONS:
+  --listen HOST:PORT   accept TCP connections (repeatable; port 0 binds
+                       an ephemeral port, announced on stdout)
+  --socket PATH        accept Unix-domain connections (repeatable; a
+                       stale socket file is removed and re-bound)
+  --cache FILE         persist the content-addressed proof cache as an
+                       append-only JSONL journal at FILE; on restart the
+                       journal is replayed, dropping torn/corrupt records
+  --cache-bytes N      resident-cache byte budget (LRU eviction)
+  --cache-entries N    resident-cache entry budget
+  --queue-cap N        admission-queue bound; requests beyond it are shed
+                       immediately with an 'overloaded' + retry hint
+  --workers N          request-executing worker threads (default 2)
+  --jobs N             verification pool size per request
+  --deadline-ms N      default per-request deadline; the watchdog cancels
+                       requests overrunning it and recycles stuck workers
+  --drain-ms N         how long a SIGTERM/SIGINT drain waits for in-flight
+                       work before cancelling it (default 30000)
+
+CLIENT OPTIONS:
+  --design NAME        verify a bundled case study (repeatable)
+  --buggy              verify the bug-injected RTL variant
+  --no-cache           bypass the daemon's proof cache for this request
+  --deadline-ms N      per-request deadline, enforced daemon-side
+  --retries N          retry budget for 'overloaded' sheds and transport
+                       errors; a delivered response is never retried
+  --stim FILE          ship a recorded hunt command stream for replay
+                       (exit 1 iff the divergence reproduces)
+  --stats              fetch daemon + cache counters
+  --shutdown           ask the daemon to drain and exit
 
 HUNT OPTIONS:
   --design NAME        hunt one bundled case study (repeatable); names as
@@ -141,6 +182,9 @@ fn parse_args(args: &[String]) -> (Vec<String>, Vec<(String, String)>) {
                     | "batch-ports"
                     | "no-batch-ports"
                     | "share-clauses"
+                    | "no-cache"
+                    | "shutdown"
+                    | "ping"
             ) {
                 flags.push((name.to_string(), String::new()));
             } else {
@@ -180,6 +224,8 @@ fn main() -> ExitCode {
         "export" => commands::export(&flags),
         "sim" => commands::sim(&flags),
         "hunt" => commands::hunt(&flags),
+        "serve" => serve_cmd::serve(&flags),
+        "client" => serve_cmd::client(&flags),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown command {other:?}");

@@ -275,12 +275,59 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// Default nesting-depth ceiling for [`parse`]. Deep enough for every
+/// artifact this workspace writes (a few levels), shallow enough that a
+/// hostile `[[[[...]]]]` frame errors out long before the recursive
+/// descent can overflow the stack.
+pub const DEFAULT_MAX_DEPTH: usize = 512;
+
+/// Resource limits applied while parsing untrusted input (e.g. frames
+/// arriving over a `gila serve` socket).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum nesting depth of arrays/objects combined.
+    pub max_depth: usize,
+    /// Maximum input size in bytes; larger documents are rejected before
+    /// any parsing work happens.
+    pub max_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_depth: DEFAULT_MAX_DEPTH,
+            max_bytes: usize::MAX,
+        }
+    }
+}
+
 /// Parses a complete JSON document (trailing whitespace allowed,
-/// anything else after the top-level value is an error).
+/// anything else after the top-level value is an error). Applies the
+/// default [`ParseLimits`]: no byte cap, nesting capped at
+/// [`DEFAULT_MAX_DEPTH`].
 pub fn parse(input: &str) -> Result<Value, Error> {
+    parse_with_limits(input, ParseLimits::default())
+}
+
+/// Parses with explicit resource limits. Exceeding either limit yields a
+/// normal [`Error`] (mentioning "depth limit" or "byte limit") rather
+/// than unbounded recursion or allocation.
+pub fn parse_with_limits(input: &str, limits: ParseLimits) -> Result<Value, Error> {
+    if input.len() > limits.max_bytes {
+        return Err(Error {
+            offset: limits.max_bytes,
+            message: format!(
+                "input of {} bytes exceeds {} byte limit",
+                input.len(),
+                limits.max_bytes
+            ),
+        });
+    }
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
+        max_depth: limits.max_depth,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -294,6 +341,8 @@ pub fn parse(input: &str) -> Result<Value, Error> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl Parser<'_> {
@@ -346,12 +395,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(self.error("nesting exceeds depth limit"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -362,6 +421,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.error("expected ',' or ']' in array")),
@@ -371,10 +431,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(fields));
         }
         loop {
@@ -390,6 +452,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(fields));
                 }
                 _ => return Err(self.error("expected ',' or '}' in object")),
@@ -544,6 +607,43 @@ mod tests {
         assert_eq!(parse("17").unwrap().as_usize(), Some(17));
         assert_eq!(Value::from(2.5f64).to_compact(), "2.5");
         assert_eq!(Value::from(9000u64).to_compact(), "9000");
+    }
+
+    #[test]
+    fn hostile_deep_nesting_is_rejected_not_overflowed() {
+        // 10k-deep nesting must produce a clean error, not a stack
+        // overflow, under the default limits.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let deep = format!("{}null{}", open.repeat(10_000), close.repeat(10_000));
+            let err = parse(&deep).unwrap_err();
+            assert!(err.message.contains("depth limit"), "{}", err);
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_exact() {
+        let nested = |n: usize| format!("{}0{}", "[".repeat(n), "]".repeat(n));
+        let limits = ParseLimits {
+            max_depth: 8,
+            max_bytes: usize::MAX,
+        };
+        assert!(parse_with_limits(&nested(8), limits).is_ok());
+        assert!(parse_with_limits(&nested(9), limits).is_err());
+        // Sibling containers at the same level don't accumulate depth.
+        let wide = format!("[{}]", vec![nested(7); 16].join(","));
+        assert!(parse_with_limits(&wide, limits).is_ok());
+    }
+
+    #[test]
+    fn byte_cap_rejects_oversized_input_cleanly() {
+        let limits = ParseLimits {
+            max_depth: DEFAULT_MAX_DEPTH,
+            max_bytes: 16,
+        };
+        assert!(parse_with_limits("[1,2,3]", limits).is_ok());
+        let big = format!("\"{}\"", "x".repeat(64));
+        let err = parse_with_limits(&big, limits).unwrap_err();
+        assert!(err.message.contains("byte limit"), "{}", err);
     }
 
     #[test]

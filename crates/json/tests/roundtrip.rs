@@ -7,7 +7,7 @@
 //! strings (quotes, backslashes, control characters, non-ASCII), deeply
 //! nested arrays/objects, and integer/float edge values.
 
-use gila_json::{parse, Value};
+use gila_json::{parse, parse_with_limits, ParseLimits, Value};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -86,6 +86,46 @@ proptest! {
     fn pretty_and_compact_agree(v in value_strategy()) {
         // Both layouts must denote the same value.
         prop_assert_eq!(parse(&v.pretty()).unwrap(), parse(&v.to_compact()).unwrap());
+    }
+
+    /// Fuzz the depth limiter: arbitrary nesting depths, arbitrary
+    /// limits, arbitrary bracket mixes. Parsing must never crash, and it
+    /// must succeed iff the document's depth is within the limit.
+    #[test]
+    fn depth_limit_never_crashes_and_is_exact(
+        depth in 1usize..2_000,
+        max_depth in 1usize..64,
+        use_objects in any::<bool>(),
+    ) {
+        let (open, close) = if use_objects { ("{\"k\":", "}") } else { ("[", "]") };
+        let doc = format!("{}0{}", open.repeat(depth), close.repeat(depth));
+        let limits = ParseLimits { max_depth, max_bytes: usize::MAX };
+        let result = parse_with_limits(&doc, limits);
+        if depth <= max_depth {
+            prop_assert!(result.is_ok(), "depth {} within limit {}", depth, max_depth);
+        } else {
+            let err = result.unwrap_err();
+            prop_assert!(err.message.contains("depth limit"), "{}", err);
+        }
+    }
+
+    /// Fuzz the byte cap: any input, any cap. Oversized inputs must be
+    /// rejected with a "byte limit" error before parsing; others behave
+    /// exactly like the uncapped parser.
+    #[test]
+    fn byte_cap_matches_uncapped_semantics(
+        v in value_strategy(),
+        max_bytes in 0usize..256,
+    ) {
+        let doc = v.to_compact();
+        let limits = ParseLimits { max_depth: 512, max_bytes };
+        let result = parse_with_limits(&doc, limits);
+        if doc.len() > max_bytes {
+            let err = result.unwrap_err();
+            prop_assert!(err.message.contains("byte limit"), "{}", err);
+        } else {
+            prop_assert_eq!(result.unwrap(), v);
+        }
     }
 }
 

@@ -336,8 +336,10 @@ mod tests {
 
     #[test]
     fn bounded_bmc_reports_unknown_with_step() {
-        // An expired deadline trips at the first step whose query needs
-        // search (step 1); loosening it recovers the ordinary verdict.
+        // An already-expired deadline trips before the very first
+        // query: the solver fast-fails ahead of encoding (so external
+        // cancellation acts between properties, not only mid-search).
+        // Loosening it recovers the ordinary verdict.
         let mut ts = enabled_counter();
         let cnt = ts.ctx().find_var("cnt").unwrap();
         let lim = ts.ctx_mut().bv_u64(100, 8);
@@ -350,7 +352,7 @@ mod tests {
         match outcome {
             BmcOutcome::Unknown { reason, at_step } => {
                 assert_eq!(reason, ResourceOut::Deadline);
-                assert_eq!(at_step, 1);
+                assert_eq!(at_step, 0);
             }
             other => panic!("expected unknown, got {other:?}"),
         }

@@ -733,6 +733,25 @@ impl Solver {
         SolveResult::Unknown(reason)
     }
 
+    /// Whether the solver is already out of wall-clock resources —
+    /// cancelled, or past its deadline — *before* any new work starts.
+    /// Callers that do expensive encoding ahead of a solve (bit-blasting
+    /// in `gila-smt`) probe this to skip the encoding entirely: the
+    /// solve could only report the same `Unknown`.
+    pub fn resources_exhausted(&self) -> Option<ResourceOut> {
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                return Some(ResourceOut::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.limits.deadline {
+            if Instant::now() >= deadline {
+                return Some(ResourceOut::Deadline);
+            }
+        }
+        None
+    }
+
     /// The limit violated by this call's effort so far, if any.
     /// `check_clock` gates the (comparatively costly) deadline read.
     fn budget_exceeded(&self, check_clock: bool) -> Option<ResourceOut> {

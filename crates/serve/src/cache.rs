@@ -1,0 +1,345 @@
+//! The content-addressed proof cache.
+//!
+//! Verdicts are keyed by [`gila_verify::SliceKey`]: a canonical hash
+//! of the COI-sliced transition system, the instruction's ILA
+//! semantics, the correspondence obligations, and the
+//! semantically-relevant verification directives. Two requests that
+//! hash to the same key are asking the *same mathematical question*,
+//! so a cached verdict may be returned without solver work — the
+//! soundness argument lives with the key derivation in
+//! `gila-verify::cache_key` and in `DESIGN.md`.
+//!
+//! Persistence reuses the checkpoint journal discipline from the
+//! resume machinery: one flushed JSONL line per verdict, append-only,
+//! torn-tail tolerant. A cache line is exactly a checkpoint entry
+//! (via [`gila_verify::verdict_to_json`]) plus two fields: `"key"`
+//! (the content hash) and `"ckv"` (the key-derivation version). On
+//! startup the journal is replayed: corrupt or torn records are
+//! *dropped and counted*, never trusted — a half-written line after
+//! `kill -9` costs one cache entry, not the daemon. Later records win
+//! over earlier ones for the same key, so the journal is a log, not a
+//! map, and appends never need a read-modify-write cycle.
+//!
+//! The in-memory index is bounded by an entry count and a byte budget
+//! with LRU eviction. Eviction only drops the index entry; the
+//! journal shrinks at [`ProofCache::flush_and_compact`] (called on
+//! graceful drain), which rewrites it to exactly the resident set via
+//! a temp-file + rename so a crash mid-compaction leaves either the
+//! old journal or the new one, both valid.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use gila_json::Value;
+use gila_verify::{parse_journal_entry, verdict_to_json, InstrVerdict, JournalEntry, CACHE_KEY_VERSION};
+
+/// Configuration for [`ProofCache::open`].
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Journal path; `None` runs the cache in-memory only.
+    pub path: Option<PathBuf>,
+    /// Byte budget for the resident index (sum of journal-line sizes).
+    pub max_bytes: u64,
+    /// Entry budget for the resident index.
+    pub max_entries: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            path: None,
+            max_bytes: 64 * 1024 * 1024,
+            max_entries: 100_000,
+        }
+    }
+}
+
+/// What journal replay found at startup.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Verdicts recovered into the index.
+    pub recovered: u64,
+    /// Records dropped: torn tail, corrupt JSON, missing/mismatched
+    /// key fields, undecided outcomes, stale key-derivation version.
+    pub dropped: u64,
+}
+
+/// Point-in-time cache counters, for `--stats` and the `stats` op.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Resident entries.
+    pub entries: u64,
+    /// Resident bytes (journal-line proxy).
+    pub bytes: u64,
+    /// Lookup hits since open.
+    pub hits: u64,
+    /// Lookup misses since open.
+    pub misses: u64,
+    /// Verdicts inserted since open.
+    pub inserts: u64,
+    /// Entries evicted by the LRU/byte budget since open.
+    pub evictions: u64,
+    /// Verdicts recovered from the journal at open.
+    pub recovered: u64,
+    /// Journal records dropped at open.
+    pub recovery_dropped: u64,
+}
+
+struct CacheEntry {
+    port: String,
+    verdict: InstrVerdict,
+    line_bytes: u64,
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: HashMap<String, CacheEntry>,
+    clock: u64,
+    bytes: u64,
+    journal: Option<BufWriter<File>>,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    evictions: u64,
+}
+
+/// A thread-safe, journal-backed, content-addressed verdict store.
+pub struct ProofCache {
+    cfg: CacheConfig,
+    recovery: RecoveryStats,
+    inner: Mutex<CacheInner>,
+}
+
+fn entry_line(key: &str, port: &str, verdict: &InstrVerdict) -> String {
+    let mut obj = match verdict_to_json(port, verdict) {
+        Value::Object(fields) => fields,
+        other => vec![("entry".into(), other)],
+    };
+    obj.push(("key".into(), key.into()));
+    obj.push(("ckv".into(), (CACHE_KEY_VERSION as f64).into()));
+    let mut line = Value::Object(obj).to_compact();
+    line.push('\n');
+    line
+}
+
+impl ProofCache {
+    /// Opens the cache, replaying the journal when `cfg.path` exists.
+    pub fn open(cfg: CacheConfig) -> std::io::Result<ProofCache> {
+        let mut map: HashMap<String, CacheEntry> = HashMap::new();
+        let mut clock = 0u64;
+        let mut bytes = 0u64;
+        let mut recovery = RecoveryStats::default();
+        if let Some(path) = &cfg.path {
+            if path.exists() {
+                let text = std::fs::read_to_string(path)?;
+                for line in text.lines() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match replay_line(line) {
+                        Some((key, port, verdict)) => {
+                            let line_bytes = line.len() as u64 + 1;
+                            clock += 1;
+                            if let Some(old) = map.insert(
+                                key,
+                                CacheEntry {
+                                    port,
+                                    verdict,
+                                    line_bytes,
+                                    last_used: clock,
+                                },
+                            ) {
+                                // Last writer wins; the superseded
+                                // record no longer counts as resident.
+                                bytes -= old.line_bytes;
+                                recovery.recovered -= 1;
+                            }
+                            bytes += line_bytes;
+                            recovery.recovered += 1;
+                        }
+                        None => recovery.dropped += 1,
+                    }
+                }
+            }
+        }
+        let journal = match &cfg.path {
+            Some(path) => Some(BufWriter::new(
+                OpenOptions::new().create(true).append(true).open(path)?,
+            )),
+            None => None,
+        };
+        let cache = ProofCache {
+            cfg,
+            recovery,
+            inner: Mutex::new(CacheInner {
+                map,
+                clock,
+                bytes,
+                journal,
+                hits: 0,
+                misses: 0,
+                inserts: 0,
+                evictions: 0,
+            }),
+        };
+        // Recovered state must respect the budgets too.
+        {
+            let mut inner = cache.inner.lock().unwrap();
+            cache.enforce_budgets(&mut inner);
+        }
+        Ok(cache)
+    }
+
+    fn enforce_budgets(&self, inner: &mut CacheInner) {
+        while inner.map.len() > self.cfg.max_entries || inner.bytes > self.cfg.max_bytes {
+            // Linear LRU scan: resident sets are small enough (bounded
+            // by max_entries) that a heap would be ceremony.
+            let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(e) = inner.map.remove(&victim) {
+                inner.bytes -= e.line_bytes;
+                inner.evictions += 1;
+            }
+        }
+    }
+
+    /// Looks up a verdict by content key, refreshing its LRU slot.
+    /// The returned verdict's `instruction` field is whatever name it
+    /// was cached under; callers re-label it for the current design.
+    pub fn lookup(&self, key: &str) -> Option<(String, InstrVerdict)> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = clock;
+                let hit = (e.port.clone(), e.verdict.clone());
+                inner.hits += 1;
+                Some(hit)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a decided verdict, appending one flushed journal line.
+    /// Undecided outcomes (`unknown`, `panicked`) are rejected by
+    /// construction upstream — caching "I gave up" would make a
+    /// too-small budget permanent.
+    pub fn insert(&self, key: &str, port: &str, verdict: &InstrVerdict) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.contains_key(key) {
+            // Same content key ⇒ same question ⇒ same answer; just
+            // refresh the LRU slot instead of duplicating the line.
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(e) = inner.map.get_mut(key) {
+                e.last_used = clock;
+            }
+            return;
+        }
+        let line = entry_line(key, port, verdict);
+        if let Some(journal) = &mut inner.journal {
+            // One write + flush per record: the journal grows by whole
+            // lines, so a crash can tear at most the final one.
+            let _ = journal.write_all(line.as_bytes());
+            let _ = journal.flush();
+        }
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.bytes += line.len() as u64;
+        inner.inserts += 1;
+        inner.map.insert(
+            key.to_string(),
+            CacheEntry {
+                port: port.to_string(),
+                verdict: verdict.clone(),
+                line_bytes: line.len() as u64,
+                last_used: clock,
+            },
+        );
+        self.enforce_budgets(&mut inner);
+    }
+
+    /// Rewrites the journal to exactly the resident set (temp file +
+    /// rename, crash-safe) and flushes. Called on graceful drain.
+    pub fn flush_and_compact(&self) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(path) = self.cfg.path.clone() else {
+            return Ok(());
+        };
+        if let Some(journal) = &mut inner.journal {
+            journal.flush()?;
+        }
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            let mut entries: Vec<(&String, &CacheEntry)> = inner.map.iter().collect();
+            entries.sort_by_key(|(_, e)| e.last_used);
+            for (key, e) in entries {
+                w.write_all(entry_line(key, &e.port, &e.verdict).as_bytes())?;
+            }
+            w.flush()?;
+        }
+        // Drop the append handle before replacing the file under it.
+        inner.journal = None;
+        std::fs::rename(&tmp, &path)?;
+        inner.journal = Some(BufWriter::new(
+            OpenOptions::new().create(true).append(true).open(&path)?,
+        ));
+        inner.bytes = inner.map.values().map(|e| e.line_bytes).sum();
+        Ok(())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            entries: inner.map.len() as u64,
+            bytes: inner.bytes,
+            hits: inner.hits,
+            misses: inner.misses,
+            inserts: inner.inserts,
+            evictions: inner.evictions,
+            recovered: self.recovery.recovered,
+            recovery_dropped: self.recovery.dropped,
+        }
+    }
+
+    /// What journal replay found at open time.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// The journal path, if persistent.
+    pub fn path(&self) -> Option<&Path> {
+        self.cfg.path.as_deref()
+    }
+}
+
+/// Parses one journal line into `(key, port, verdict)`, or `None` if
+/// the record must be dropped (torn, corrupt, undecided, or from a
+/// different key-derivation version).
+fn replay_line(line: &str) -> Option<(String, String, InstrVerdict)> {
+    let value = gila_json::parse(line).ok()?;
+    let key = value.get("key")?.as_str()?.to_string();
+    let ckv = value.get("ckv")?.as_u64()?;
+    if ckv != CACHE_KEY_VERSION as u64 {
+        return None;
+    }
+    match parse_journal_entry(&value).ok()? {
+        JournalEntry::Decided { port, verdict, .. } => Some((key, port, *verdict)),
+        JournalEntry::Undecided { .. } => None,
+    }
+}

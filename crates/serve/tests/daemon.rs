@@ -1,0 +1,383 @@
+//! Daemon robustness: cold→warm over the wire, load shedding,
+//! disconnect cancellation, deadline watchdog, graceful drain, and
+//! client retry behavior under injected socket faults.
+//!
+//! Every test runs a real [`Server`] on an ephemeral TCP port (plus
+//! one Unix-socket case) inside the test process, so assertions can
+//! inspect server counters directly instead of scraping output.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gila_json::Value;
+use gila_serve::{
+    CacheConfig, Client, ClientConfig, DrainOutcome, Endpoint, Listen, ServeConfig, Server,
+};
+use gila_verify::FaultPlan;
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gila-serve-daemon-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn start(cfg: ServeConfig) -> (Server, String) {
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.tcp_addrs[0].to_string();
+    (server, addr)
+}
+
+fn base_cfg() -> ServeConfig {
+    ServeConfig {
+        listeners: vec![Listen::Tcp("127.0.0.1:0".into())],
+        cache: CacheConfig::default(),
+        drain_budget: Duration::from_secs(10),
+        ..ServeConfig::default()
+    }
+}
+
+fn client_for(addr: &str) -> Client {
+    let mut cfg = ClientConfig::new(Endpoint::Tcp(addr.to_string()));
+    cfg.retries = 8;
+    cfg.base_delay = Duration::from_millis(20);
+    cfg.seed = 7;
+    Client::connect(cfg)
+}
+
+fn verify_fields(design: &str) -> Vec<(String, Value)> {
+    vec![("design".to_string(), Value::String(design.to_string()))]
+}
+
+fn result_u64(resp: &Value, name: &str) -> u64 {
+    resp.get("result")
+        .and_then(|r| r.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("response lacks result.{name}: {}", resp.to_compact()))
+}
+
+/// Raw pipelined frames on one socket, for tests that need to control
+/// framing and connection lifetime below the Client abstraction.
+fn raw_send(stream: &mut TcpStream, id: u64, op: &str, extra: &str) {
+    let frame = format!("{{\"gila\":1,\"id\":{id},\"op\":\"{op}\"{extra}}}\n");
+    stream.write_all(frame.as_bytes()).unwrap();
+    stream.flush().unwrap();
+}
+
+#[test]
+fn cold_then_warm_over_the_wire_does_zero_solver_work() {
+    let (server, addr) = start(base_cfg());
+    let mut client = client_for(&addr);
+
+    let cold = client.request("verify", verify_fields("Decoder")).unwrap();
+    assert_eq!(cold.get("status").and_then(Value::as_str), Some("ok"));
+    assert!(result_u64(&cold, "solves") > 0);
+    assert_eq!(result_u64(&cold, "cache_hits"), 0);
+
+    let warm = client.request("verify", verify_fields("Decoder")).unwrap();
+    assert_eq!(result_u64(&warm, "solves"), 0, "warm request: zero solver work");
+    assert_eq!(result_u64(&warm, "cache_misses"), 0);
+    assert!(result_u64(&warm, "cache_hits") > 0);
+
+    let handle = server.handle();
+    handle.shutdown();
+    assert_eq!(server.shutdown_and_wait(), DrainOutcome::Clean);
+}
+
+#[test]
+fn unix_socket_speaks_the_same_protocol() {
+    let sock = tmp_path("unix.sock");
+    let mut cfg = base_cfg();
+    cfg.listeners = vec![Listen::Unix(sock.clone())];
+    let server = Server::start(cfg).expect("unix server starts");
+    let mut client = Client::connect(ClientConfig::new(Endpoint::Unix(sock.clone())));
+    let pong = client.request("ping", vec![]).unwrap();
+    assert_eq!(
+        pong.get("result").and_then(Value::as_str),
+        Some("pong"),
+        "unix transport carries frames"
+    );
+    server.handle().shutdown();
+    assert_eq!(server.shutdown_and_wait(), DrainOutcome::Clean);
+    assert!(!sock.exists(), "socket file removed on clean drain");
+}
+
+#[test]
+fn full_queue_sheds_immediately_and_backoff_recovers() {
+    let mut cfg = base_cfg();
+    cfg.workers = 1;
+    cfg.queue_cap = 1;
+    // Every job of the first request sleeps, pinning the one worker
+    // long enough for the flood behind it to hit a full queue.
+    cfg.fault_plan = Some(Arc::new(FaultPlan::parse("delay:300@*/**1").unwrap()));
+    let (server, addr) = start(cfg);
+    let handle = server.handle();
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    for id in 1..=4 {
+        raw_send(&mut stream, id, "verify", ",\"design\":\"Decoder\"");
+    }
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut ok = 0;
+    let mut overloaded = 0;
+    for _ in 0..4 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = gila_json::parse(&line).unwrap();
+        match resp.get("status").and_then(Value::as_str) {
+            Some("ok") => ok += 1,
+            Some("overloaded") => {
+                overloaded += 1;
+                assert!(
+                    resp.get("retry_after_ms").and_then(Value::as_u64).unwrap() > 0,
+                    "shed responses carry a backoff hint"
+                );
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+    assert!(ok >= 1, "admitted work completes");
+    assert!(overloaded >= 1, "excess load is shed, not queued");
+    let stats = handle.stats();
+    assert!(stats.get("shed").and_then(Value::as_u64).unwrap() >= 1);
+
+    // A retrying client gets through once the backlog clears: the shed
+    // is back-pressure, not an outage.
+    let mut client = client_for(&addr);
+    let resp = client.request("verify", verify_fields("Decoder")).unwrap();
+    assert_eq!(resp.get("status").and_then(Value::as_str), Some("ok"));
+
+    handle.shutdown();
+    assert_eq!(server.shutdown_and_wait(), DrainOutcome::Clean);
+}
+
+#[test]
+fn disconnecting_client_cancels_its_outstanding_work() {
+    let mut cfg = base_cfg();
+    cfg.workers = 1;
+    cfg.queue_cap = 8;
+    cfg.fault_plan = Some(Arc::new(FaultPlan::parse("delay:400@*/**1").unwrap()));
+    let (server, addr) = start(cfg);
+    let handle = server.handle();
+
+    {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        // One request occupies the worker (sleeping in the fault
+        // delay), one sits queued behind it.
+        raw_send(&mut stream, 1, "verify", ",\"design\":\"Decoder\"");
+        raw_send(&mut stream, 2, "verify", ",\"design\":\"Decoder\"");
+        std::thread::sleep(Duration::from_millis(100));
+        // Hang up: the daemon must cancel both, not verify into the void.
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let cancelled = handle
+            .stats()
+            .get("disconnect_cancelled")
+            .and_then(Value::as_u64)
+            .unwrap();
+        if cancelled >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disconnect never cancelled outstanding work"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    handle.shutdown();
+    assert_eq!(server.shutdown_and_wait(), DrainOutcome::Clean);
+}
+
+#[test]
+fn expired_deadline_yields_unknown_verdicts_not_a_hang() {
+    let (server, addr) = start(base_cfg());
+    let mut client = client_for(&addr);
+    let mut fields = verify_fields("Decoder");
+    fields.push(("deadline_ms".to_string(), 0.0.into()));
+    fields.push(("no_cache".to_string(), Value::Bool(true)));
+    let resp = client.request("verify", fields).unwrap();
+    assert_eq!(resp.get("status").and_then(Value::as_str), Some("ok"));
+    assert!(
+        result_u64(&resp, "unknown") > 0,
+        "an already-expired deadline gives up through the budget path"
+    );
+    // Nothing undecided may have been cached.
+    let stats = server.handle().stats();
+    assert_eq!(stats.get("cache_inserts").and_then(Value::as_u64), Some(0));
+    server.handle().shutdown();
+    assert_eq!(server.shutdown_and_wait(), DrainOutcome::Clean);
+}
+
+#[test]
+fn watchdog_cancels_requests_overrunning_their_deadline() {
+    let mut cfg = base_cfg();
+    cfg.workers = 1;
+    cfg.watchdog_factor = 1;
+    cfg.watchdog_poll = Duration::from_millis(10);
+    // The job sleeps 500ms *outside* any solver loop while its request
+    // deadline is 50ms: only the watchdog can notice the overrun.
+    cfg.fault_plan = Some(Arc::new(FaultPlan::parse("delay:500@*/**1").unwrap()));
+    let (server, addr) = start(cfg);
+    let handle = server.handle();
+    let mut client = client_for(&addr);
+    let mut fields = verify_fields("Decoder");
+    fields.push(("deadline_ms".to_string(), 50.0.into()));
+    let resp = client.request("verify", fields).unwrap();
+    // The response still arrives (cancellation is cooperative), but
+    // carries unknowns and the watchdog counter moved.
+    assert_eq!(resp.get("status").and_then(Value::as_str), Some("ok"));
+    assert!(result_u64(&resp, "unknown") > 0);
+    let stats = handle.stats();
+    assert!(
+        stats.get("watchdog_cancelled").and_then(Value::as_u64).unwrap() >= 1,
+        "watchdog must have fired: {}",
+        stats.to_compact()
+    );
+    handle.shutdown();
+    assert_eq!(server.shutdown_and_wait(), DrainOutcome::Clean);
+}
+
+#[test]
+fn drain_finishes_inflight_work_and_refuses_new_requests() {
+    let mut cfg = base_cfg();
+    cfg.workers = 1;
+    cfg.fault_plan = Some(Arc::new(FaultPlan::parse("delay:300@*/**1").unwrap()));
+    let (server, addr) = start(cfg);
+    let handle = server.handle();
+
+    let mut stream_a = TcpStream::connect(&addr).unwrap();
+    let mut reader_a = BufReader::new(stream_a.try_clone().unwrap());
+    raw_send(&mut stream_a, 1, "verify", ",\"design\":\"Decoder\"");
+
+    // Second connection established (and proven live) before drain.
+    let mut stream_b = TcpStream::connect(&addr).unwrap();
+    let mut reader_b = BufReader::new(stream_b.try_clone().unwrap());
+    raw_send(&mut stream_b, 1, "ping", "");
+    let mut line = String::new();
+    reader_b.read_line(&mut line).unwrap();
+
+    std::thread::sleep(Duration::from_millis(100));
+    handle.shutdown();
+
+    // New work is refused with a definite answer during the drain.
+    raw_send(&mut stream_b, 2, "verify", ",\"design\":\"Decoder\"");
+    line.clear();
+    reader_b.read_line(&mut line).unwrap();
+    let refused = gila_json::parse(&line).unwrap();
+    assert_eq!(
+        refused.get("status").and_then(Value::as_str),
+        Some("shutting-down")
+    );
+
+    // The in-flight request still completes with a real verdict.
+    line.clear();
+    reader_a.read_line(&mut line).unwrap();
+    let finished = gila_json::parse(&line).unwrap();
+    assert_eq!(finished.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(
+        finished
+            .get("result")
+            .and_then(|r| r.get("all_hold"))
+            .and_then(Value::as_bool),
+        Some(true)
+    );
+
+    assert_eq!(server.shutdown_and_wait(), DrainOutcome::Clean);
+}
+
+#[test]
+fn client_retries_torn_writes_but_never_a_delivered_response() {
+    let (server, addr) = start(base_cfg());
+    let handle = server.handle();
+
+    // The client's first write tears mid-frame (disconnect@0*1): the
+    // server drops the unsyncable connection, the client reconnects
+    // and retries — legal, because no response was ever received.
+    let mut cfg = ClientConfig::new(Endpoint::Tcp(addr.clone()));
+    cfg.retries = 4;
+    cfg.base_delay = Duration::from_millis(10);
+    cfg.seed = 3;
+    cfg.fault_plan = Some(Arc::new(FaultPlan::parse("disconnect@0*1").unwrap()));
+    let mut client = Client::connect(cfg);
+    let resp = client.request("verify", verify_fields("Decoder")).unwrap();
+    assert_eq!(resp.get("status").and_then(Value::as_str), Some("ok"));
+
+    // Exactly one verify reached a worker: the retry did not duplicate
+    // an already-answered request (the torn first attempt never
+    // parsed). The responses counter is bumped by the worker after the
+    // reply hits the wire, so give it a moment to settle.
+    let settle = Instant::now() + Duration::from_secs(2);
+    while handle.stats().get("responses").and_then(Value::as_u64) != Some(1) {
+        assert!(Instant::now() < settle, "responses counter never reached 1");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(handle.stats().get("requests").and_then(Value::as_u64), Some(1));
+
+    // An injected io-error before any bytes move is equally retryable.
+    let mut cfg = ClientConfig::new(Endpoint::Tcp(addr.clone()));
+    cfg.retries = 4;
+    cfg.base_delay = Duration::from_millis(10);
+    cfg.seed = 5;
+    cfg.fault_plan = Some(Arc::new(FaultPlan::parse("io-error@0*1").unwrap()));
+    let mut client = Client::connect(cfg);
+    let resp = client.request("ping", vec![]).unwrap();
+    assert_eq!(resp.get("result").and_then(Value::as_str), Some("pong"));
+
+    handle.shutdown();
+    assert_eq!(server.shutdown_and_wait(), DrainOutcome::Clean);
+}
+
+#[test]
+fn slow_client_frames_are_tolerated() {
+    let (server, addr) = start(base_cfg());
+    let mut cfg = ClientConfig::new(Endpoint::Tcp(addr));
+    // Every write from this client stalls 100ms mid-frame; the daemon
+    // must reassemble the dribbled frame rather than time out or tear.
+    cfg.fault_plan = Some(Arc::new(FaultPlan::parse("slow-client:100@*").unwrap()));
+    let mut client = Client::connect(cfg);
+    let resp = client.request("verify", verify_fields("Decoder")).unwrap();
+    assert_eq!(resp.get("status").and_then(Value::as_str), Some("ok"));
+    server.handle().shutdown();
+    assert_eq!(server.shutdown_and_wait(), DrainOutcome::Clean);
+}
+
+#[test]
+fn oversized_and_malformed_frames_get_answers_where_possible() {
+    let (server, addr) = start(base_cfg());
+
+    // Malformed JSON: answerable (id 0), connection stays usable.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream.write_all(b"{not json\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let resp = gila_json::parse(&line).unwrap();
+    assert_eq!(resp.get("status").and_then(Value::as_str), Some("error"));
+    // Still alive: a valid ping on the same connection works.
+    raw_send(&mut stream, 5, "ping", "");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("pong"));
+
+    // An oversized frame is unrecoverable: the daemon hangs up rather
+    // than buffering without bound.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let huge = vec![b'x'; gila_serve::MAX_FRAME_BYTES + 64];
+    // Write may fail partway once the server closes its end; both
+    // outcomes (short write error or EOF on read) prove the hang-up.
+    let write_result = stream.write_all(&huge);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let read_result = reader.read_line(&mut line);
+    assert!(
+        write_result.is_err() || matches!(read_result, Ok(0)) || read_result.is_err(),
+        "oversized frame must sever the connection"
+    );
+
+    server.handle().shutdown();
+    assert_eq!(server.shutdown_and_wait(), DrainOutcome::Clean);
+}

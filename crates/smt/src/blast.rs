@@ -799,6 +799,14 @@ impl SmtSolver {
             "assert expects a boolean expression, got {}",
             ctx.sort_of(e)
         );
+        // A cancelled/expired solver skips the encoding: every
+        // subsequent check fast-fails with `Unknown` (cancellation is
+        // never un-done within a run), so the skipped constraint can
+        // never be missed by a real verdict. Blasted definitions are
+        // conservative, so the partial state stays sound.
+        if self.solver.resources_exhausted().is_some() {
+            return;
+        }
         match self.blast(ctx, e) {
             Repr::Bool(l) => match self.scopes.last() {
                 Some(&active) => self.add_clause(vec![!active, l]),
@@ -932,6 +940,15 @@ impl SmtSolver {
     ///
     /// Panics if an assumption is not boolean-sorted.
     pub fn check_assuming(&mut self, ctx: &ExprCtx, assumptions: &[ExprRef]) -> SmtResult {
+        // Fast-fail before blasting: a cancelled or deadline-expired
+        // solver would only report the same `Unknown` after paying for
+        // the assumptions' (possibly large) encoding. This is what makes
+        // a serve-layer disconnect or watchdog cancellation take effect
+        // between properties, not just mid-search.
+        if self.solver.resources_exhausted().is_some() {
+            self.last_check_cnf = BlastStats::default();
+            return self.solver.solve_with_assumptions(&self.scopes.clone()).into();
+        }
         let before = self.stats;
         let mut lits: Vec<Lit> = assumptions
             .iter()

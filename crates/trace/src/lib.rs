@@ -59,6 +59,21 @@ pub enum SpanKind {
     /// One compiled co-simulation run — a (design, port, seed) hunt
     /// task (cycles executed and divergence count ride as fields).
     Eval,
+    /// One request handled by the `gila serve` daemon (op and outcome
+    /// ride as label/fields).
+    Request,
+    /// A (port, instruction) verdict answered from the proof cache with
+    /// zero solver work.
+    CacheHit,
+    /// A (port, instruction) property that missed the proof cache and
+    /// was discharged by the solver.
+    CacheMiss,
+    /// A request rejected by admission control (queue full); the
+    /// retry-after hint rides as a field.
+    Shed,
+    /// A graceful daemon drain: in-flight jobs finished, journal
+    /// flushed (drained job count rides as a field).
+    Drain,
 }
 
 impl SpanKind {
@@ -77,6 +92,11 @@ impl SpanKind {
             SpanKind::Inprocess => "inprocess",
             SpanKind::Compile => "compile",
             SpanKind::Eval => "eval",
+            SpanKind::Request => "request",
+            SpanKind::CacheHit => "cache_hit",
+            SpanKind::CacheMiss => "cache_miss",
+            SpanKind::Shed => "shed",
+            SpanKind::Drain => "drain",
         }
     }
 }

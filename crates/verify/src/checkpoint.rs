@@ -78,6 +78,110 @@ impl CheckpointWriter {
     }
 }
 
+/// Serializes one verdict in the checkpoint entry schema (see the
+/// module docs). Public so other journals — the serve-layer proof
+/// cache — reuse the exact torn-tail-tolerant format, possibly with
+/// extra fields appended to the object.
+pub fn verdict_to_json(port: &str, v: &InstrVerdict) -> Value {
+    entry_json(port, v)
+}
+
+/// One parsed journal entry: either a decided verdict or an undecided
+/// marker (`unknown`/`panicked`) that must *remove* any earlier
+/// decision for the same `(port, instruction)` pair.
+#[derive(Debug)]
+pub enum JournalEntry {
+    /// A decided verdict (`holds`, `cex` summary, `unreached`).
+    Decided {
+        /// Port the verdict belongs to.
+        port: String,
+        /// Instruction name.
+        instr: String,
+        /// The reconstructed verdict (zero effort counters). Boxed:
+        /// verdicts dwarf the `Undecided` variant.
+        verdict: Box<InstrVerdict>,
+    },
+    /// An undecided outcome: the job never produced an answer.
+    Undecided {
+        /// Port the entry belongs to.
+        port: String,
+        /// Instruction name.
+        instr: String,
+    },
+}
+
+/// Parses one checkpoint entry object back into a [`JournalEntry`].
+/// The inverse of [`verdict_to_json`] up to the fields a journal keeps
+/// (counterexamples come back as summaries). Unknown extra fields are
+/// ignored, so journals may extend the schema.
+pub fn parse_journal_entry(entry: &Value) -> Result<JournalEntry, String> {
+    let field = |key: &str| {
+        entry
+            .get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    };
+    let port = field("port")?;
+    let instr = field("instr")?;
+    let result = match field("verdict")?.as_str() {
+        "holds" => CheckResult::Holds,
+        "unreached" => CheckResult::FinishNotReached {
+            max_cycles: entry
+                .get("max_cycles")
+                .and_then(Value::as_usize)
+                .unwrap_or(0),
+        },
+        "cex" => CheckResult::CounterExample(Box::new(RefinementCex {
+            finish_cycle: entry
+                .get("finish_cycle")
+                .and_then(Value::as_usize)
+                .unwrap_or(0),
+            rtl_start_state: Default::default(),
+            rtl_inputs: Vec::new(),
+            rtl_trace: Vec::new(),
+            rtl_finish_state: Default::default(),
+            ila_post_state: Default::default(),
+            mismatched_states: entry
+                .get("mismatched")
+                .and_then(Value::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Value::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })),
+        "unknown" | "panicked" => return Ok(JournalEntry::Undecided { port, instr }),
+        other => return Err(format!("unknown verdict {other:?}")),
+    };
+    let verdict = InstrVerdict {
+        instruction: instr.clone(),
+        result,
+        time: Duration::ZERO,
+        stats: Default::default(),
+        cnf_growth: Default::default(),
+        effort: Default::default(),
+        solves: 0,
+        retries: 0,
+        worker: None,
+        batch_id: None,
+        batch_size: 0,
+        queue_ns: 0,
+        stolen: false,
+        clauses_exported: 0,
+        clauses_imported: 0,
+        clauses_deduped: 0,
+        inprocess: Default::default(),
+    };
+    Ok(JournalEntry::Decided {
+        port,
+        instr,
+        verdict: Box::new(verdict),
+    })
+}
+
 fn entry_json(port: &str, v: &InstrVerdict) -> Value {
     let mut fields = vec![
         ("port".to_string(), Value::String(port.to_string())),
@@ -141,77 +245,20 @@ pub(crate) fn load_resume(
             Err(_) if last => break,
             Err(e) => return Err(err(format!("line {}: {e}", i + 1))),
         };
-        let field = |key: &str| {
-            entry
-                .get(key)
-                .and_then(Value::as_str)
-                .map(str::to_string)
-                .ok_or_else(|| err(format!("line {}: missing field {key:?}", i + 1)))
-        };
-        let port = field("port")?;
-        let instr = field("instr")?;
-        let result = match field("verdict")?.as_str() {
-            "holds" => CheckResult::Holds,
-            "unreached" => CheckResult::FinishNotReached {
-                max_cycles: entry
-                    .get("max_cycles")
-                    .and_then(Value::as_usize)
-                    .unwrap_or(0),
-            },
-            "cex" => CheckResult::CounterExample(Box::new(RefinementCex {
-                finish_cycle: entry
-                    .get("finish_cycle")
-                    .and_then(Value::as_usize)
-                    .unwrap_or(0),
-                rtl_start_state: Default::default(),
-                rtl_inputs: Vec::new(),
-                rtl_trace: Vec::new(),
-                rtl_finish_state: Default::default(),
-                ila_post_state: Default::default(),
-                mismatched_states: entry
-                    .get("mismatched")
-                    .and_then(Value::as_array)
-                    .map(|a| {
-                        a.iter()
-                            .filter_map(Value::as_str)
-                            .map(str::to_string)
-                            .collect()
-                    })
-                    .unwrap_or_default(),
-            })),
-            // Undecided outcomes: drop any earlier decision is wrong —
-            // they never had one — and make sure the job reruns.
-            "unknown" | "panicked" => {
-                decided.remove(&(port, instr));
-                continue;
+        match parse_journal_entry(&entry).map_err(|e| err(format!("line {}: {e}", i + 1)))? {
+            JournalEntry::Decided {
+                port,
+                instr,
+                verdict,
+            } => {
+                decided.insert((port, instr), *verdict);
             }
-            other => return Err(err(format!("line {}: unknown verdict {other:?}", i + 1))),
-        };
-        decided.insert(
-            (port, instr),
-            InstrVerdict {
-                instruction: String::new(), // filled below from the key
-                result,
-                time: Duration::ZERO,
-                stats: Default::default(),
-                cnf_growth: Default::default(),
-                effort: Default::default(),
-                solves: 0,
-                retries: 0,
-                worker: None,
-                batch_id: None,
-                batch_size: 0,
-                queue_ns: 0,
-                stolen: false,
-                clauses_exported: 0,
-                clauses_imported: 0,
-                clauses_deduped: 0,
-                inprocess: Default::default(),
-            },
-        );
-    }
-    for ((_, instr), v) in decided.iter_mut() {
-        v.instruction = instr.clone();
+            // Undecided outcomes: keeping any earlier decision is wrong —
+            // they never had one — so make sure the job reruns.
+            JournalEntry::Undecided { port, instr } => {
+                decided.remove(&(port, instr));
+            }
+        }
     }
     Ok(decided)
 }

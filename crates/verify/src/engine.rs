@@ -28,8 +28,8 @@ use gila_expr::{import, import_mapped, simplify_cached, ExprNode, ExprRef, Op, S
 use gila_mc::{coi_slice, support, CoiStats, TransitionSystem, Unrolling};
 use gila_rtl::{parse_rtl_expr, RtlModule, VerilogError};
 use gila_smt::{
-    BlastStats, InprocessConfig, InprocessStats, ResourceOut, SmtResult, SmtSolver, SolveLimits,
-    SolverStats,
+    BlastStats, CancelToken, InprocessConfig, InprocessStats, ResourceOut, SmtResult, SmtSolver,
+    SolveLimits, SolverStats,
 };
 use gila_trace::{Event, SpanKind, Telemetry, Tracer};
 
@@ -552,6 +552,18 @@ pub struct VerifyOptions {
     /// lock-striped pool between instructions and import what peers
     /// published. Changes solver effort, never verdicts.
     pub share_clauses: bool,
+    /// External cancellation: when this token is cancelled (by a
+    /// disconnecting client, a watchdog, or any other supervisor), every
+    /// engine of the run fast-fails its remaining solves with
+    /// [`CheckResult::Unknown`] (`reason: cancelled`). `None` (the
+    /// default) leaves cancellation to the run's internal token.
+    pub cancel: Option<CancelToken>,
+    /// Externally decided verdicts keyed by `(port, instruction)` — the
+    /// proof cache's seam. Jobs found here are not re-verified; they are
+    /// merged with `resume` entries (and win over them) and flow into
+    /// reports exactly like resumed checkpoint verdicts, with zero
+    /// solver work.
+    pub decided: HashMap<(String, String), InstrVerdict>,
 }
 
 impl Default for VerifyOptions {
@@ -571,6 +583,8 @@ impl Default for VerifyOptions {
             batch_ports: true,
             par_threshold: DEFAULT_PAR_THRESHOLD,
             share_clauses: false,
+            cancel: None,
+            decided: HashMap::new(),
         }
     }
 }
@@ -596,6 +610,9 @@ pub(crate) struct JobPolicy {
     /// Preprocessing on the job path: cached simplification before
     /// blasting and an inprocessing pass after each job.
     pub(crate) preprocess: bool,
+    /// External cancellation token installed on every engine the run
+    /// creates (see [`VerifyOptions::cancel`]).
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 /// Shared run state: job policy, checkpoint sink, and verdicts resumed
@@ -620,10 +637,14 @@ impl<'t> RunCtx<'t> {
     }
 
     fn from_opts(opts: &'t VerifyOptions) -> Result<Self, VerifyError> {
-        let resumed = match &opts.resume {
+        let mut resumed = match &opts.resume {
             Some(path) => crate::checkpoint::load_resume(path)?,
             None => HashMap::new(),
         };
+        // Externally decided verdicts (the proof cache) win over resumed
+        // checkpoint entries: the cache key covers the property content,
+        // a checkpoint file only its name.
+        resumed.extend(opts.decided.clone());
         // `--checkpoint` starts a fresh file; `--resume` alone keeps
         // appending to the file it read, so an interrupted resumed run
         // can itself be resumed.
@@ -638,6 +659,7 @@ impl<'t> RunCtx<'t> {
                 retries: opts.retries,
                 fault: opts.fault_plan.clone(),
                 preprocess: opts.preprocess,
+                cancel: opts.cancel.clone(),
             },
             tracer: &opts.tracer,
             checkpoint,
@@ -792,10 +814,10 @@ pub(crate) struct InstrPlan {
     /// Unrolling depth (the finish cycle, or the `Condition` bound).
     pub(crate) bound: usize,
     /// Parsed finish condition, in the plan's scratch-RTL context.
-    finish_expr: Option<ExprRef>,
+    pub(crate) finish_expr: Option<ExprRef>,
     /// Parsed start strengthening, in the plan's scratch-RTL context.
-    strengthening: Option<ExprRef>,
-    input_policy: InputPolicy,
+    pub(crate) strengthening: Option<ExprRef>,
+    pub(crate) input_policy: InputPolicy,
 }
 
 /// A port's verification work, planned once and then executed by any
@@ -806,15 +828,15 @@ pub(crate) struct InstrPlan {
 /// whole module per instruction.
 pub(crate) struct PortPlan<'a> {
     pub(crate) port: &'a PortIla,
-    map: &'a RefinementMap,
+    pub(crate) map: &'a RefinementMap,
     /// `(ila state, ts expr, ila sort)` per state-map entry.
-    mapped_states: Vec<(String, ExprRef, Sort)>,
+    pub(crate) mapped_states: Vec<(String, ExprRef, Sort)>,
     /// `(ila input, ts expr, ila sort)` per interface-map entry.
-    mapped_inputs: Vec<(String, ExprRef, Sort)>,
+    pub(crate) mapped_inputs: Vec<(String, ExprRef, Sort)>,
     /// Scratch RTL whose context owns all parsed condition expressions.
-    cond_rtl: RtlModule,
+    pub(crate) cond_rtl: RtlModule,
     /// Parsed invariants, in `cond_rtl`'s context.
-    invariants: Vec<ExprRef>,
+    pub(crate) invariants: Vec<ExprRef>,
     pub(crate) instrs: Vec<InstrPlan>,
 }
 
@@ -1558,7 +1580,13 @@ fn run_port_sequential(
                     plan,
                     idx,
                     slot,
-                    || WorkerEngine::new(ts, ctx.tracer),
+                    || {
+                        let mut e = WorkerEngine::new(ts, ctx.tracer);
+                        if let Some(tok) = &ctx.policy.cancel {
+                            e.smt.set_cancel(tok.clone());
+                        }
+                        e
+                    },
                     ctx.tracer,
                     JobMeta::default(),
                     &ctx.policy,

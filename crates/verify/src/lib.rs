@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 mod abstraction;
+mod cache_key;
 mod checkpoint;
 mod compiled;
 mod cosim;
@@ -77,12 +78,13 @@ mod synth;
 mod vcd;
 
 pub use abstraction::{abstract_port_memory, abstract_rtl_memory, AbstractError};
-pub use checkpoint::CheckpointWriter;
+pub use cache_key::{slice_keys, SliceKey, CACHE_KEY_VERSION};
+pub use checkpoint::{parse_journal_entry, verdict_to_json, CheckpointWriter, JournalEntry};
 pub use engine::{
     rtl_to_ts, verify_module, verify_port, BudgetSpent, CheckResult, InstrVerdict, ModuleReport,
     PortReport, RefinementCex, SolveBudget, VerdictCounts, VerifyError, VerifyOptions,
 };
-pub use fault::{FaultAction, FaultPlan, FaultPlanError};
+pub use fault::{FaultAction, FaultPlan, FaultPlanError, SocketFault};
 /// Re-exported so budget consumers can name the resource that ran out
 /// without depending on `gila-smt` directly.
 pub use gila_smt::ResourceOut;

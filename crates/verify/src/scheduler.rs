@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 use gila_mc::TransitionSystem;
-use gila_smt::{CancelToken, Lit, SmtSolver};
+use gila_smt::{Lit, SmtSolver};
 
 use crate::engine::{
     run_job_guarded, CheckResult, InstrVerdict, JobMeta, PortPlan, RunCtx, VerifyError,
@@ -165,7 +165,14 @@ pub(crate) fn run_pool(
     let locals: Vec<Worker<Job>> = (0..workers_spawned).map(|_| Worker::new_fifo()).collect();
     let stealers: Vec<Stealer<Job>> = locals.iter().map(Worker::stealer).collect();
 
-    let cancel = CancelToken::new();
+    // An externally supplied token (a serve-layer client disconnect or
+    // watchdog) doubles as the pool's internal stop token, so one
+    // cancellation path interrupts job pickup and in-flight solves alike.
+    let cancel = ctx
+        .policy
+        .cancel
+        .clone()
+        .unwrap_or_default();
     let engines_created = AtomicUsize::new(0);
     let t0 = Instant::now();
     type JobRecord = (
