@@ -1,0 +1,549 @@
+//! Widening fixpoints over transition systems and port-ILAs.
+//!
+//! Both analyses compute an abstract environment `A` mapping each state
+//! variable to an [`AbsValue`] such that
+//!
+//! 1. every initial state is described (`abs(init) ⊑ A`), and
+//! 2. `A` is closed under one transition with arbitrary inputs
+//!    (`F(A) ⊑ A`),
+//!
+//! i.e. `A` is an *inductive* over-approximation of the reachable
+//! states. The iteration strategy is standard: a handful of precise
+//! (join) iterations to let small state machines stabilize exactly,
+//! then widening to force convergence, then a bounded narrowing phase
+//! (`A ← init ⊔ F(A)`) to claw back precision lost to widening. Because
+//! the transfer functions are not formally proven monotone, the final
+//! environment is *verified* to satisfy (1) and (2) before anything is
+//! emitted — states that fail verification are degraded to top, which
+//! trivially satisfies both.
+
+use std::collections::HashMap;
+
+use gila_core::PortIla;
+use gila_expr::{
+    abs_eval, abs_eval_nodes, AbsBool, AbsEnv, AbsValue, ExprCtx, ExprNode, ExprRef, Op,
+};
+use gila_mc::TransitionSystem;
+
+use crate::oracle::{assume, assume_with};
+use crate::{Domain, Invariant};
+
+/// Recursion budget for branch-conditioned evaluation of `ite` spines.
+const COND_DEPTH: u32 = 64;
+
+/// Evaluates `e` with *branch conditioning*: at each `ite` whose
+/// condition is undecided, the two branches are evaluated under
+/// environments refined by [`assume_with`] on the condition, and the
+/// results joined. This is what lets the classic wrap-around update
+/// `ite(s == MAX, 0, s + 1)` stay bounded — the else-branch knows
+/// `s != MAX`, so incrementing cannot leave the interval.
+///
+/// Falls back to plain [`abs_eval`] past the depth budget (sound, just
+/// less precise).
+fn cond_eval(ctx: &ExprCtx, e: ExprRef, env: &AbsEnv, depth: u32) -> AbsValue {
+    let ExprNode::App { op: Op::Ite, args, .. } = ctx.node(e) else {
+        return abs_eval(ctx, e, env);
+    };
+    if depth == 0 {
+        return abs_eval(ctx, e, env);
+    }
+    let (c, t, f) = (args[0], args[1], args[2]);
+    match abs_eval(ctx, c, env) {
+        AbsValue::Bool(AbsBool::True) => return cond_eval(ctx, t, env, depth - 1),
+        AbsValue::Bool(AbsBool::False) => return cond_eval(ctx, f, env, depth - 1),
+        AbsValue::Bool(AbsBool::Bot) => return AbsValue::bottom_of(&ctx.sort_of(e)),
+        _ => {}
+    }
+    let tv = assume_with(ctx, c, true, env).map(|et| cond_eval(ctx, t, &et, depth - 1));
+    let fv = assume_with(ctx, c, false, env).map(|ef| cond_eval(ctx, f, &ef, depth - 1));
+    match (tv, fv) {
+        (Some(a), Some(b)) => a.join(&b),
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => AbsValue::bottom_of(&ctx.sort_of(e)),
+    }
+}
+
+/// Join-only iterations before widening kicks in.
+const PRECISE_ITERS: u32 = 8;
+/// Narrowing iterations after the widened fixpoint stabilizes.
+const NARROW_ITERS: u32 = 2;
+/// Hard iteration cap; hitting it degrades the analysis to top.
+const MAX_ITERS: u32 = 64;
+
+/// Result of [`analyze_ts`].
+#[derive(Clone, Debug)]
+pub struct TsAnalysis {
+    /// The inductive abstract environment (state variable → value set).
+    pub env: AbsEnv,
+    /// Proven inductive invariants, interned in the system's context.
+    pub invariants: Vec<Invariant>,
+    /// Fixpoint iterations until stabilization.
+    pub iterations: u32,
+}
+
+/// Result of [`analyze_port`].
+#[derive(Clone, Debug)]
+pub struct PortAnalysis {
+    /// The inductive abstract environment over architectural states.
+    pub env: AbsEnv,
+    /// Fixpoint iterations until stabilization.
+    pub iterations: u32,
+}
+
+/// One definite read of a never-initialized state (GL014 evidence).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UninitRead {
+    /// The instruction whose decode or update performs the read.
+    pub instruction: String,
+    /// The init-less state being read.
+    pub state: String,
+}
+
+/// The generic fixpoint driver. `init` seeds the environment; `step`
+/// computes the post-state environment for the bound variables under
+/// the current one. Returns the verified inductive environment and the
+/// iteration count.
+fn fixpoint<F>(vars: &[(ExprRef, gila_expr::Sort)], init: &AbsEnv, step: F) -> (AbsEnv, u32)
+where
+    F: Fn(&AbsEnv) -> HashMap<ExprRef, AbsValue>,
+{
+    let mut env = init.clone();
+    let mut iterations = 0u32;
+    loop {
+        iterations += 1;
+        let stepped = step(&env);
+        let mut next = AbsEnv::new();
+        let mut changed = false;
+        for (var, sort) in vars {
+            let cur = env
+                .get(*var)
+                .cloned()
+                .unwrap_or_else(|| AbsValue::top_of(sort));
+            let post = stepped
+                .get(var)
+                .cloned()
+                .unwrap_or_else(|| AbsValue::top_of(sort));
+            let joined = cur.join(&post);
+            let new = if iterations > PRECISE_ITERS {
+                cur.widen(&joined)
+            } else {
+                joined
+            };
+            if new != cur {
+                changed = true;
+            }
+            next.bind(*var, new);
+        }
+        env = next;
+        if !changed {
+            break;
+        }
+        if iterations >= MAX_ITERS {
+            // Did not converge: degrade to top, which is trivially
+            // inductive, rather than emit an unproven environment.
+            let mut top = AbsEnv::new();
+            for (var, sort) in vars {
+                top.bind(*var, AbsValue::top_of(sort));
+            }
+            return (top, iterations);
+        }
+    }
+    // Narrowing: from a post-fixpoint, `init ⊔ F(A)` stays a
+    // post-fixpoint for monotone F and is no less precise.
+    for _ in 0..NARROW_ITERS {
+        let stepped = step(&env);
+        let mut next = AbsEnv::new();
+        for (var, sort) in vars {
+            let seed = init
+                .get(*var)
+                .cloned()
+                .unwrap_or_else(|| AbsValue::top_of(sort));
+            let post = stepped
+                .get(var)
+                .cloned()
+                .unwrap_or_else(|| AbsValue::top_of(sort));
+            next.bind(*var, seed.join(&post));
+        }
+        env = next;
+    }
+    // Verification: the transfer functions are not formally proven
+    // monotone, so check inductiveness explicitly and degrade any
+    // failing state to top (top always passes).
+    loop {
+        let stepped = step(&env);
+        let mut failing: Vec<(ExprRef, gila_expr::Sort)> = Vec::new();
+        for (var, sort) in vars {
+            let cur = env
+                .get(*var)
+                .cloned()
+                .unwrap_or_else(|| AbsValue::top_of(sort));
+            let post = stepped
+                .get(var)
+                .cloned()
+                .unwrap_or_else(|| AbsValue::top_of(sort));
+            let seed = init
+                .get(*var)
+                .cloned()
+                .unwrap_or_else(|| AbsValue::top_of(sort));
+            if !cur.includes(&post) || !cur.includes(&seed) {
+                failing.push((*var, *sort));
+            }
+        }
+        if failing.is_empty() {
+            break;
+        }
+        for (var, sort) in failing {
+            env.bind(var, AbsValue::top_of(&sort));
+        }
+    }
+    (env, iterations)
+}
+
+/// Runs the widening fixpoint over a transition system and emits the
+/// facts it proved as invariant expressions, interned in the system's
+/// own context (hence `&mut`).
+///
+/// Inputs are unconstrained (top) at every step, and the system's
+/// assumed constraints are deliberately *not* used for refinement, so
+/// the returned invariants are consequences of the raw transition
+/// relation alone — sound to assert in any solver context that asserts
+/// that relation.
+pub fn analyze_ts(ts: &mut TransitionSystem) -> TsAnalysis {
+    let vars: Vec<(ExprRef, gila_expr::Sort)> =
+        ts.states().iter().map(|s| (s.var, s.sort)).collect();
+    let mut init = AbsEnv::new();
+    for s in ts.states() {
+        let v = match ts.init_of(&s.name) {
+            Some(v) => AbsValue::from_value(v),
+            None => AbsValue::top_of(&s.sort),
+        };
+        init.bind(s.var, v);
+    }
+    let nexts: Vec<(ExprRef, Option<ExprRef>)> = ts
+        .states()
+        .iter()
+        .map(|s| (s.var, ts.next_of(&s.name)))
+        .collect();
+    let ctx = ts.ctx();
+    let (env, iterations) = fixpoint(&vars, &init, |cur| {
+        nexts
+            .iter()
+            .map(|(var, next)| {
+                let sort = ctx.sort_of(*var);
+                let post = match next {
+                    Some(n) => cond_eval(ctx, *n, cur, COND_DEPTH),
+                    None => AbsValue::top_of(&sort),
+                };
+                (*var, post)
+            })
+            .collect()
+    });
+    let mut invariants = Vec::new();
+    for s in ts.states().to_vec() {
+        if let Some(v) = env.get(s.var).cloned() {
+            emit_invariants(ts.ctx_mut(), s.var, &v, iterations, &mut invariants);
+        }
+    }
+    TsAnalysis {
+        env,
+        invariants,
+        iterations,
+    }
+}
+
+/// Turns one state's non-trivial abstract value into invariant
+/// expressions over its variable.
+fn emit_invariants(
+    ctx: &mut ExprCtx,
+    var: ExprRef,
+    v: &AbsValue,
+    iterations: u32,
+    out: &mut Vec<Invariant>,
+) {
+    match v {
+        AbsValue::Bool(b) => {
+            if let Some(c) = b.as_const() {
+                let expr = if c { var } else { ctx.not(var) };
+                out.push(Invariant {
+                    expr,
+                    domain: Domain::Constant,
+                    iterations,
+                });
+            }
+        }
+        AbsValue::Bv(bv) => {
+            if bv.is_bottom() {
+                // An unreachable state variable proves nothing useful
+                // (and cannot arise: the initial seed is non-empty).
+                return;
+            }
+            if let Some(c) = bv.as_const().cloned() {
+                let k = ctx.bv(c);
+                let expr = ctx.eq(var, k);
+                out.push(Invariant {
+                    expr,
+                    domain: Domain::Constant,
+                    iterations,
+                });
+                return;
+            }
+            let mask = bv.known_zero().or(bv.known_one());
+            if !mask.is_zero() {
+                let m = ctx.bv(mask);
+                let k = ctx.bv(bv.known_one().clone());
+                let masked = ctx.bvand(var, m);
+                let expr = ctx.eq(masked, k);
+                out.push(Invariant {
+                    expr,
+                    domain: Domain::KnownBits,
+                    iterations,
+                });
+            }
+            if !bv.lo().is_zero() {
+                let lo = ctx.bv(bv.lo().clone());
+                let expr = ctx.ule(lo, var);
+                out.push(Invariant {
+                    expr,
+                    domain: Domain::Interval,
+                    iterations,
+                });
+            }
+            if !bv.hi().is_ones() {
+                let hi = ctx.bv(bv.hi().clone());
+                let expr = ctx.ule(var, hi);
+                out.push(Invariant {
+                    expr,
+                    domain: Domain::Interval,
+                    iterations,
+                });
+            }
+        }
+        AbsValue::Mem => {}
+    }
+}
+
+/// Builds the abstract seed environment of a port: states with a reset
+/// value are abstracted exactly, init-less states are unconstrained.
+fn port_init_env(port: &PortIla) -> AbsEnv {
+    let mut env = AbsEnv::new();
+    for s in port.states() {
+        let v = match &s.init {
+            Some(v) => AbsValue::from_value(v),
+            None => AbsValue::top_of(&s.sort),
+        };
+        env.bind(s.var, v);
+    }
+    env
+}
+
+/// Runs the widening fixpoint over a port-ILA's architectural states.
+///
+/// The transfer joins over all instructions — each conditioned on its
+/// decode via [`assume`] — plus the hold case (no instruction fires,
+/// every state keeps its value), so it is sound regardless of decode
+/// priority or overlap.
+pub fn analyze_port(port: &PortIla) -> PortAnalysis {
+    let vars: Vec<(ExprRef, gila_expr::Sort)> =
+        port.states().iter().map(|s| (s.var, s.sort)).collect();
+    let init = port_init_env(port);
+    let ctx = port.ctx();
+    let (env, iterations) = fixpoint(&vars, &init, |cur| {
+        // Hold case: every state may keep its current value.
+        let mut acc: HashMap<ExprRef, AbsValue> = vars
+            .iter()
+            .map(|(var, sort)| {
+                let v = cur
+                    .get(*var)
+                    .cloned()
+                    .unwrap_or_else(|| AbsValue::top_of(sort));
+                (*var, v)
+            })
+            .collect();
+        for instr in port.instructions() {
+            // Condition on the decode firing; a refuted decode cannot
+            // contribute any post-state.
+            let Some(cond) = assume(ctx, instr.decode, cur) else {
+                continue;
+            };
+            for s in port.states() {
+                if let Some(u) = instr.updates.get(&s.name) {
+                    let post = cond_eval(ctx, *u, &cond, COND_DEPTH);
+                    let entry = acc.get_mut(&s.var).expect("seeded above");
+                    *entry = entry.join(&post);
+                }
+                // States not updated by this instruction hold, which
+                // the hold seed already covers.
+            }
+        }
+        acc
+    });
+    PortAnalysis { env, iterations }
+}
+
+/// Finds states that can be *consumed before they are ever written*
+/// on the first step out of reset (GL014 evidence): init-less states
+/// that some instruction's update reads unconditionally while that
+/// instruction's decode does not itself depend on the state.
+///
+/// For each candidate state `u`, the state is bound to bottom (no
+/// possible value) and every other state to its reset abstraction; an
+/// instruction whose decode stays non-bottom (it can trigger without
+/// knowing `u`) but whose update evaluates to bottom necessarily
+/// consumed `u`. Two deliberate exclusions keep the report signal-dense:
+///
+/// * States no instruction ever writes are GL005's territory ("read but
+///   never written"), not a read-*before*-write.
+/// * Instructions whose decode reads `u` are protocol-conditioned — the
+///   specification gates the read on a state predicate, the idiom
+///   multi-step instructions use — and are not reported.
+///
+/// At most one read is reported per state: the earliest reading
+/// instruction in declaration order.
+pub fn uninit_reads(port: &PortIla) -> Vec<UninitRead> {
+    let ctx = port.ctx();
+    let written: std::collections::BTreeSet<&str> = port
+        .instructions()
+        .iter()
+        .flat_map(|i| i.updates.keys())
+        .map(String::as_str)
+        .collect();
+    let mut out = Vec::new();
+    for u in port.states() {
+        if u.init.is_some() || !written.contains(u.name.as_str()) {
+            continue;
+        }
+        if matches!(u.sort, gila_expr::Sort::Mem { .. }) {
+            // The memory domain has no bottom; tracked reads are
+            // word-level only.
+            continue;
+        }
+        let mut env = AbsEnv::new();
+        for s in port.states() {
+            let v = if s.name == u.name {
+                AbsValue::bottom_of(&s.sort)
+            } else {
+                match &s.init {
+                    Some(v) => AbsValue::from_value(v),
+                    None => AbsValue::top_of(&s.sort),
+                }
+            };
+            env.bind(s.var, v);
+        }
+        for instr in port.instructions() {
+            let roots: Vec<ExprRef> = std::iter::once(instr.decode)
+                .chain(instr.updates.values().copied())
+                .collect();
+            let vals = abs_eval_nodes(ctx, &roots, &env);
+            if vals[&instr.decode].is_bottom() {
+                continue;
+            }
+            if roots[1..].iter().any(|r| vals[r].is_bottom()) {
+                out.push(UninitRead {
+                    instruction: instr.name.clone(),
+                    state: u.name.clone(),
+                });
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gila_expr::{abs_eval, BitVecValue, Sort};
+
+    /// counter with a bounded step register: step ∈ {0,1,2}, never 3.
+    fn stepper_ts() -> TransitionSystem {
+        let mut ts = TransitionSystem::new("stepper");
+        let step = ts.state("step", Sort::Bv(4));
+        let go = ts.input("go", Sort::Bv(1));
+        let c = ts.ctx_mut();
+        let two = c.bv_u64(2, 4);
+        let zero = c.bv_u64(0, 4);
+        let one = c.bv_u64(1, 4);
+        let at2 = c.eq(step, two);
+        let inc = c.bvadd(step, one);
+        let wrapped = c.ite(at2, zero, inc);
+        let go1 = c.eq_u64(go, 1);
+        let next = c.ite(go1, wrapped, step);
+        ts.set_next("step", next).unwrap();
+        ts.set_init("step", BitVecValue::from_u64(0, 4)).unwrap();
+        ts
+    }
+
+    #[test]
+    fn ts_fixpoint_bounds_the_step_register() {
+        let mut ts = stepper_ts();
+        let analysis = analyze_ts(&mut ts);
+        let step = ts.ctx().find_var("step").unwrap();
+        let v = analysis.env.get(step).unwrap().clone();
+        match v {
+            AbsValue::Bv(bv) => {
+                assert!(bv.hi().to_u64() <= 3, "hi = {}", bv.hi().to_u64());
+                // Bits 2..3 of a {0,1,2} register are provably zero.
+                assert!(bv.known_zero().bit(3));
+                assert!(bv.known_zero().bit(2));
+            }
+            other => panic!("expected bv, got {other:?}"),
+        }
+        assert!(
+            !analysis.invariants.is_empty(),
+            "expected invariants for the bounded step register"
+        );
+        // Every emitted invariant must hold in the abstract env itself
+        // (sanity: the exprs were built from that env).
+        for inv in &analysis.invariants {
+            let verdict = abs_eval(ts.ctx(), inv.expr, &analysis.env);
+            assert_ne!(
+                verdict,
+                AbsValue::Bool(gila_expr::AbsBool::False),
+                "invariant refuted by its own env"
+            );
+        }
+    }
+
+    #[test]
+    fn uninit_read_is_reported() {
+        let mut p = PortIla::new("p");
+        let cmd = p.input("cmd", Sort::Bv(2));
+        let ghost = p.state("ghost", Sort::Bv(8), gila_core::StateKind::Internal);
+        let out = p.state("out", Sort::Bv(8), gila_core::StateKind::Output);
+        let _ = out;
+        let c = p.ctx_mut();
+        let dec = c.eq_u64(cmd, 1);
+        let one = c.bv_u64(1, 8);
+        let upd = c.bvadd(ghost, one);
+        p.instr("consume").decode(dec).update("out", upd).add().unwrap();
+        // `ghost` is never written yet: GL005 territory, not reported.
+        assert!(uninit_reads(&p).is_empty());
+        let c = p.ctx_mut();
+        let dec2 = c.eq_u64(cmd, 2);
+        let fill = c.bv_u64(7, 8);
+        p.instr("load").decode(dec2).update("ghost", fill).add().unwrap();
+        let reads = uninit_reads(&p);
+        assert_eq!(
+            reads,
+            vec![UninitRead {
+                instruction: "consume".into(),
+                state: "ghost".into()
+            }]
+        );
+        // A decode-guarded read (decode itself tests the state) is the
+        // multi-step-protocol idiom and is not reported.
+        let c = p.ctx_mut();
+        let guard = c.eq_u64(ghost, 7);
+        let dec3 = {
+            let d = c.eq_u64(cmd, 3);
+            c.and(d, guard)
+        };
+        let upd3 = c.bvadd(ghost, one);
+        p.instr("step2").decode(dec3).update("out", upd3).add().unwrap();
+        assert_eq!(uninit_reads(&p).len(), 1);
+        // Initializing the state silences the report.
+        p.set_init("ghost", BitVecValue::from_u64(0, 8)).unwrap();
+        assert!(uninit_reads(&p).is_empty());
+    }
+}

@@ -207,18 +207,30 @@ fn bench_rows(runs: usize) -> Vec<Value> {
         let (_, pre_report) = best_run(&cs, 1, 1, false);
         // Static analysis rides along: lint the ILA model and the RTL
         // and record the wall time, proving the whole pass stays
-        // sub-second per design.
-        let lint_s = {
+        // sub-second per design. The abstract-interpretation fast path
+        // reports its own bookkeeping: `absint_s` is the fixpoint's
+        // share of the wall time, `absint_discharged` the number of
+        // whole (port, code) lint verdicts it decided without a single
+        // SAT call. Both are deterministic, so one run's stats stand
+        // for all.
+        let (lint_s, absint_s, absint_discharged) = {
             let mut best = f64::INFINITY;
+            let mut absint_s = 0.0;
+            let mut discharged = 0u64;
             for _ in 0..runs {
                 let t0 = Instant::now();
                 let report =
-                    lint_module(cs.name, &cs.ila, &LintOptions { jobs: 1 }, &Tracer::disabled());
+                    lint_module(cs.name, &cs.ila, &LintOptions::default(), &Tracer::disabled());
                 let _ = lint_rtl(cs.name, &cs.rtl, &Tracer::disabled());
                 assert_eq!(report.errors(), 0, "{}: {}", cs.name, report.render_human());
-                best = best.min(t0.elapsed().as_secs_f64());
+                let s = t0.elapsed().as_secs_f64();
+                if s < best {
+                    best = s;
+                    absint_s = report.stats.absint_ns as f64 / 1e9;
+                }
+                discharged = report.stats.lints_discharged_static;
             }
-            best
+            (best, absint_s, discharged)
         };
         // The compiled-simulation leg: cosim throughput of both
         // backends over the same designs, feeding the hunt-throughput
@@ -255,6 +267,8 @@ fn bench_rows(runs: usize) -> Vec<Value> {
                 share_report.telemetry.clauses_deduped.into(),
             ),
             ("lint_s".into(), lint_s.into()),
+            ("absint_s".into(), absint_s.into()),
+            ("absint_discharged".into(), absint_discharged.into()),
             ("cosim_cycles_per_s_interp".into(), cosim_interp.into()),
             ("cosim_cycles_per_s_compiled".into(), cosim_compiled.into()),
             ("cosim_speedup".into(), (cosim_compiled / cosim_interp).into()),
@@ -439,6 +453,20 @@ fn check_artifact(doc: &Value) -> Result<(), String> {
         if lint_s >= 1.0 {
             return Err(format!("{design}: lint_s = {lint_s} is not sub-second"));
         }
+        // The abstract-interpretation columns: the fixpoint's share of
+        // the lint time and the whole-verdict discharges it earned.
+        let absint_s = row
+            .get("absint_s")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| ctx("absint_s"))?;
+        if !(absint_s.is_finite() && (0.0..1.0).contains(&absint_s)) {
+            return Err(format!(
+                "{design}: absint_s = {absint_s} is not a sub-second time"
+            ));
+        }
+        row.get("absint_discharged")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ctx("absint_discharged"))?;
         for key in ["cosim_cycles_per_s_interp", "cosim_cycles_per_s_compiled", "cosim_speedup"] {
             let v = row.get(key).and_then(Value::as_f64).ok_or_else(|| ctx(key))?;
             if !(v.is_finite() && v > 0.0) {
@@ -515,6 +543,24 @@ fn check_artifact(doc: &Value) -> Result<(), String> {
                  instruction issues at least one SAT check"
             ));
         }
+    }
+    // The abstract-interpretation fast path must earn its keep: at
+    // least one registry design discharges at least one whole lint
+    // verdict without any SAT call.
+    let discharging = rows
+        .iter()
+        .filter(|row| {
+            row.get("absint_discharged")
+                .and_then(Value::as_u64)
+                .is_some_and(|n| n >= 1)
+        })
+        .count();
+    if discharging < 1 {
+        return Err(
+            "no design discharges a lint verdict statically — the absint \
+             fast path is dead weight"
+                .into(),
+        );
     }
     // The compiled simulation backend must deliver the mass-hunting
     // throughput it exists for.

@@ -140,6 +140,7 @@ pub fn verify(flags: &[(String, String)]) -> CmdResult {
         batch_ports: flag(flags, "no-batch-ports").is_none(),
         par_threshold,
         share_clauses: flag(flags, "share-clauses").is_some(),
+        absint: flag(flags, "no-absint").is_none(),
         ..VerifyOptions::default()
     };
     let report = match verify_module(&ila, &rtl, &maps, &opts) {
@@ -286,6 +287,10 @@ fn print_stats_table(report: &ModuleReport) {
         report.telemetry.inprocess_clauses_removed,
         report.telemetry.inprocess_lits_removed,
         report.telemetry.inprocess_failed_literals
+    );
+    println!(
+        "  absint: {} invariant(s) proved and asserted as step-implication lemmas",
+        report.telemetry.invariants_proved
     );
 }
 
@@ -517,7 +522,10 @@ pub fn lint(positional: &[String], flags: &[(String, String)]) -> CmdResult {
             .map_err(|_| format!("--jobs expects a worker count, got {v:?}"))?,
         None => 1,
     };
-    let opts = LintOptions { jobs: jobs.max(1) };
+    let opts = LintOptions {
+        jobs: jobs.max(1),
+        absint: flag(flags, "no-absint").is_none(),
+    };
     let tracer = match flag(flags, "trace") {
         Some(path) => Tracer::jsonl_file(std::path::Path::new(path))
             .map_err(|e| format!("opening --trace {path}: {e}"))?,

@@ -22,8 +22,8 @@ USAGE:
                  [--stop-at-first-cex] [--parallel] [--incremental] [--jobs N]
                  [--conflict-budget N] [--timeout-ms N] [--retries N]
                  [--checkpoint FILE] [--resume FILE] [--no-preprocess]
-                 [--no-batch-ports] [--par-threshold N] [--share-clauses]
-                 [--vcd PREFIX] [--trace OUT.jsonl] [--stats]
+                 [--no-absint] [--no-batch-ports] [--par-threshold N]
+                 [--share-clauses] [--vcd PREFIX] [--trace OUT.jsonl] [--stats]
   gila describe  --ila SPEC.ila [--format ila]
   gila synth     --ila SPEC.ila [-o OUT.v]
   gila check-inv --rtl IMPL.v --invariant EXPR [--invariant EXPR ...] [--depth K]
@@ -31,7 +31,7 @@ USAGE:
   gila export    --rtl IMPL.v [--prop EXPR] [-o OUT.btor2]
   gila sim       (--rtl IMPL.v | --ila SPEC.ila) --stimulus FILE
   gila lint      (SPEC.ila | --all-designs) [--rtl IMPL.v] [--json]
-                 [--deny CODE ...] [--jobs N] [--trace OUT.jsonl]
+                 [--deny CODE ...] [--jobs N] [--no-absint] [--trace OUT.jsonl]
   gila hunt      (--design NAME ... | --all-designs) [--buggy] [--seeds N]
                  [--cycles N] [--jobs N] [--seed-base N] [--no-shrink]
                  [--out DIR] [--json] [--trace OUT.jsonl]
@@ -117,6 +117,9 @@ LINT OPTIONS:
                        it is warning-class; repeatable
   --jobs N             lint ports on N worker threads; output is
                        identical at any job count
+  --no-absint          disable the abstract-interpretation fast path that
+                       discharges decode checks without SAT calls; the
+                       reported diagnostics are identical either way
   --trace OUT          write one lint_pass telemetry span per pass per
                        target to OUT (JSONL)
 
@@ -141,6 +144,9 @@ VERIFY OPTIONS:
                        (cone-of-influence slicing, cached simplification,
                        SAT inprocessing) for A/B comparison; preprocessing
                        is on by default and never changes verdicts
+  --no-absint          skip the abstract-interpretation fixpoint and the
+                       invariant lemmas it asserts before BMC; on by
+                       default, proven-sound, and verdict-preserving
   --batch-ports        batch pool jobs per port so one worker amortizes a
                        single unrolling + blast across the whole port;
                        on by default, --no-batch-ports reverts to one job
@@ -179,6 +185,7 @@ fn parse_args(args: &[String]) -> (Vec<String>, Vec<(String, String)>) {
                     | "buggy"
                     | "no-shrink"
                     | "no-preprocess"
+                    | "no-absint"
                     | "batch-ports"
                     | "no-batch-ports"
                     | "share-clauses"

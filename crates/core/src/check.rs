@@ -81,6 +81,41 @@ pub struct DecodeOverlap {
     pub witness: Witness,
 }
 
+/// Checks one instruction pair for overlap: if the decode conditions of
+/// instructions `i` and `j` (declaration indices) can hold
+/// simultaneously (under `assumption`), returns the overlap with a
+/// witness. This is the per-pair granularity behind
+/// [`decode_overlaps`], exposed so callers that already proved some
+/// pairs disjoint by other means can run SAT only on the rest.
+///
+/// # Panics
+///
+/// Panics if `i` or `j` is out of range.
+pub fn decode_overlap_pair(
+    port: &PortIla,
+    i: usize,
+    j: usize,
+    assumption: Option<ExprRef>,
+) -> Option<DecodeOverlap> {
+    let instrs = port.instructions();
+    let mut ctx = port.ctx().clone();
+    let both = ctx.and(instrs[i].decode, instrs[j].decode);
+    let mut smt = SmtSolver::new();
+    if let Some(a) = assumption {
+        smt.assert(&ctx, a);
+    }
+    smt.assert(&ctx, both);
+    if smt.check().is_sat() {
+        Some(DecodeOverlap {
+            first: instrs[i].name.clone(),
+            second: instrs[j].name.clone(),
+            witness: extract_witness(port, &ctx, &smt),
+        })
+    } else {
+        None
+    }
+}
+
 /// Checks decode *determinism*: returns every pair of instructions whose
 /// decode conditions can hold simultaneously (under `assumption`).
 ///
@@ -88,45 +123,42 @@ pub struct DecodeOverlap {
 /// together with an empty [`decode_gap`], exactly one always triggers.
 pub fn decode_overlaps(port: &PortIla, assumption: Option<ExprRef>) -> Vec<DecodeOverlap> {
     let mut overlaps = Vec::new();
-    let instrs = port.instructions();
-    for i in 0..instrs.len() {
-        for j in (i + 1)..instrs.len() {
-            let mut ctx = port.ctx().clone();
-            let both = ctx.and(instrs[i].decode, instrs[j].decode);
-            let mut smt = SmtSolver::new();
-            if let Some(a) = assumption {
-                smt.assert(&ctx, a);
-            }
-            smt.assert(&ctx, both);
-            if smt.check().is_sat() {
-                overlaps.push(DecodeOverlap {
-                    first: instrs[i].name.clone(),
-                    second: instrs[j].name.clone(),
-                    witness: extract_witness(port, &ctx, &smt),
-                });
-            }
+    let n = port.instructions().len();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            overlaps.extend(decode_overlap_pair(port, i, j, assumption));
         }
     }
     overlaps
+}
+
+/// Checks whether the instruction at declaration index `idx` is *dead*:
+/// its decode condition is unsatisfiable (under `assumption`) and it
+/// can never trigger. Per-instruction granularity behind
+/// [`dead_instructions`].
+///
+/// # Panics
+///
+/// Panics if `idx` is out of range.
+pub fn instruction_dead(port: &PortIla, idx: usize, assumption: Option<ExprRef>) -> bool {
+    let instr = &port.instructions()[idx];
+    let ctx = port.ctx().clone();
+    let mut smt = SmtSolver::new();
+    if let Some(a) = assumption {
+        smt.assert(&ctx, a);
+    }
+    smt.assert(&ctx, instr.decode);
+    !smt.check().is_sat()
 }
 
 /// Checks for *dead* instructions: instructions whose decode condition
 /// is unsatisfiable (under `assumption`) and therefore can never
 /// trigger. Returns their names in declaration order.
 pub fn dead_instructions(port: &PortIla, assumption: Option<ExprRef>) -> Vec<String> {
-    let mut dead = Vec::new();
-    for instr in port.instructions() {
-        let ctx = port.ctx().clone();
-        let mut smt = SmtSolver::new();
-        if let Some(a) = assumption {
-            smt.assert(&ctx, a);
-        }
-        smt.assert(&ctx, instr.decode);
-        if !smt.check().is_sat() {
-            dead.push(instr.name.clone());
-        }
-    }
-    dead
+    (0..port.instructions().len())
+        .filter(|&i| instruction_dead(port, i, assumption))
+        .map(|i| port.instructions()[i].name.clone())
+        .collect()
 }
 
 fn extract_witness(port: &PortIla, ctx: &gila_expr::ExprCtx, smt: &SmtSolver) -> Witness {

@@ -47,7 +47,10 @@ mod model;
 mod module;
 mod sim;
 
-pub use check::{dead_instructions, decode_gap, decode_overlaps, DecodeOverlap, Witness};
+pub use check::{
+    dead_instructions, decode_gap, decode_overlap_pair, decode_overlaps, instruction_dead,
+    DecodeOverlap, Witness,
+};
 pub use compose::{
     integrate, shared_states, shared_updated_states, AuxStateSpec, ConflictResolver, IntegrateError, NoResolver,
     PortPriorityResolver, Resolution, RoundRobinResolver, Side, SpecificationGap,

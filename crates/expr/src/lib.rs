@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+mod absval;
 mod ctx;
 mod display;
 mod eval;
@@ -42,6 +43,7 @@ mod sort;
 mod subst;
 mod value;
 
+pub use absval::{abs_apply, abs_eval, abs_eval_nodes, AbsBool, AbsBv, AbsEnv, AbsValue, Flat};
 pub use ctx::{ExprCtx, ExprNode, ExprRef, Op, SortError};
 pub use display::ExprDisplay;
 pub use eval::{eval, Env, EvalError};

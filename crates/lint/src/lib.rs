@@ -104,11 +104,20 @@ pub enum Code {
     RtlUndrivenState,
     /// GL013: an RTL state element never influences an output.
     RtlDeadState,
+    /// GL014: an init-less state can be read before it is ever written.
+    UninitStateRead,
+    /// GL015: a truncation drops bits that are provably set.
+    TruncatedSetBits,
+    /// GL016: an output state provably never changes from one constant.
+    ConstantOutput,
+    /// GL017: an instruction's decode is satisfiable in isolation but
+    /// provably false in every reachable state.
+    UnreachableInstruction,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 13] = [
+    pub const ALL: [Code; 17] = [
         Code::DecodeGap,
         Code::DecodeOverlap,
         Code::DeadInstruction,
@@ -122,6 +131,10 @@ impl Code {
         Code::RtlUnusedInput,
         Code::RtlUndrivenState,
         Code::RtlDeadState,
+        Code::UninitStateRead,
+        Code::TruncatedSetBits,
+        Code::ConstantOutput,
+        Code::UnreachableInstruction,
     ];
 
     /// The stable `GL0xx` identifier.
@@ -140,6 +153,10 @@ impl Code {
             Code::RtlUnusedInput => "GL011",
             Code::RtlUndrivenState => "GL012",
             Code::RtlDeadState => "GL013",
+            Code::UninitStateRead => "GL014",
+            Code::TruncatedSetBits => "GL015",
+            Code::ConstantOutput => "GL016",
+            Code::UnreachableInstruction => "GL017",
         }
     }
 
@@ -239,10 +256,37 @@ impl Diagnostic {
         self.code.severity()
     }
 
+    /// A stable identity for the finding: FNV-1a over the code and the
+    /// context names (port, instruction, state), *not* over the message
+    /// text, the source line, or the witness. Rewording a message or
+    /// inserting lines above a finding keeps its fingerprint, so
+    /// suppression lists and CI diffs can track findings across edits.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        for part in [
+            self.code.as_str(),
+            &self.port,
+            &self.instruction,
+            &self.state,
+        ] {
+            for b in part.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            // Separator so ("ab","c") and ("a","bc") differ.
+            h ^= 0xff;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+
     fn to_json(&self) -> Json {
         let mut obj: Vec<(String, Json)> = vec![
             ("code".into(), self.code.as_str().into()),
             ("severity".into(), self.severity().as_str().into()),
+            ("fingerprint".into(), format!("{:016x}", self.fingerprint()).into()),
         ];
         if !self.port.is_empty() {
             obj.push(("port".into(), self.port.as_str().into()));
@@ -311,6 +355,32 @@ fn witness_to_json(w: &Witness) -> Json {
     ])
 }
 
+/// How much lint work the abstract-interpretation fast path settled
+/// without the SAT solver. Carried on [`LintReport`] for `--stats` and
+/// the bench harness; deliberately *not* serialized into the report's
+/// JSON, which must be byte-identical with the fast path on or off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LintStats {
+    /// Lint questions (one per code per port) whose every SAT query was
+    /// settled by the abstract verdict alone.
+    pub lints_discharged_static: u64,
+    /// Individual SAT queries skipped because the abstract verdict was
+    /// conclusive.
+    pub sat_calls_avoided: u64,
+    /// Wall-clock nanoseconds spent in abstract interpretation (the
+    /// decode oracle plus the GL014–GL017 fixpoint pass).
+    pub absint_ns: u64,
+}
+
+impl LintStats {
+    /// Accumulates another stats block into this one.
+    pub fn merge(&mut self, other: &LintStats) {
+        self.lints_discharged_static += other.lints_discharged_static;
+        self.sat_calls_avoided += other.sat_calls_avoided;
+        self.absint_ns += other.absint_ns;
+    }
+}
+
 /// Every finding for one target (a spec file, a design, or an RTL
 /// module), in deterministic order: ports in declaration order, passes
 /// in pipeline order within a port, file-level findings last.
@@ -320,6 +390,8 @@ pub struct LintReport {
     pub target: String,
     /// The findings, in deterministic order.
     pub diagnostics: Vec<Diagnostic>,
+    /// Fast-path bookkeeping (not part of the JSON rendering).
+    pub stats: LintStats,
 }
 
 impl LintReport {
@@ -328,6 +400,7 @@ impl LintReport {
         LintReport {
             target: target.into(),
             diagnostics: Vec::new(),
+            stats: LintStats::default(),
         }
     }
 

@@ -4,11 +4,15 @@
 use std::collections::BTreeSet;
 use std::time::Instant;
 
-use gila_core::{dead_instructions, decode_gap, decode_overlaps, ModuleIla, PortIla, StateKind};
+use gila_absint::{analyze_port, uninit_reads, DecodeOracle};
+use gila_core::{
+    decode_gap, decode_overlap_pair, instruction_dead, ModuleIla, PortIla, StateKind,
+};
+use gila_expr::{abs_eval, abs_eval_nodes, AbsBool, AbsValue, ExprNode, Op, Sort};
 use gila_lang::{ElabNote, SpecFile};
 use gila_trace::{Event, SpanKind, Tracer};
 
-use crate::{Code, Diagnostic, LintReport};
+use crate::{Code, Diagnostic, LintReport, LintStats};
 
 /// Tuning knobs for a lint run.
 #[derive(Clone, Debug)]
@@ -17,11 +21,22 @@ pub struct LintOptions {
     /// proofs dominate); diagnostics come back in declaration order
     /// regardless, so output is identical at any job count.
     pub jobs: usize,
+    /// Try the abstract-interpretation verdict before SAT on the decode
+    /// lints (GL001–GL003). Diagnostics are identical either way — the
+    /// fast path only skips SAT calls whose outcome it proves, and any
+    /// finding that carries a witness still goes to the solver — so
+    /// this is purely a performance knob (`--no-absint` in the CLI).
+    /// The GL014–GL017 passes are analyses, not fast paths, and run
+    /// regardless.
+    pub absint: bool,
 }
 
 impl Default for LintOptions {
     fn default() -> Self {
-        LintOptions { jobs: 1 }
+        LintOptions {
+            jobs: 1,
+            absint: true,
+        }
     }
 }
 
@@ -53,14 +68,49 @@ fn usage_of(port: &PortIla) -> Usage {
     }
 }
 
-/// Pass 1+2: SAT-backed decode completeness/determinism proofs plus
-/// dead-instruction detection.
-fn decode_pass(port: &PortIla) -> Vec<Diagnostic> {
+/// Pass 1+2: decode completeness/determinism proofs plus dead-
+/// instruction detection. With `use_absint`, each SAT query is first
+/// offered to the [`DecodeOracle`]; a conclusive abstract verdict
+/// settles the question without the solver. Verdicts that *report* a
+/// finding with a witness (a gap or an overlap) always go to SAT so
+/// the diagnostic — witness bytes included — is identical either way.
+///
+/// Returns the diagnostics and the declaration indices of dead
+/// instructions (consumed by the GL017 pass, which must not re-report
+/// them).
+fn decode_pass(
+    port: &PortIla,
+    use_absint: bool,
+    stats: &mut LintStats,
+) -> (Vec<Diagnostic>, Vec<usize>) {
     let mut ds = Vec::new();
+    let mut dead = Vec::new();
     if port.instructions().is_empty() {
-        return ds;
+        return (ds, dead);
     }
-    for name in dead_instructions(port, None) {
+    let oracle = if use_absint {
+        Some(DecodeOracle::new(port))
+    } else {
+        None
+    };
+    let n = port.instructions().len();
+    let mut all_dead_static = true;
+    for idx in 0..n {
+        let is_dead = match oracle.as_ref().and_then(|o| o.decode_satisfiable(idx)) {
+            Some(sat) => {
+                stats.sat_calls_avoided += 1;
+                !sat
+            }
+            None => {
+                all_dead_static = false;
+                instruction_dead(port, idx, None)
+            }
+        };
+        if !is_dead {
+            continue;
+        }
+        dead.push(idx);
+        let name = port.instructions()[idx].name.clone();
         let line = port.find_instruction(&name).and_then(|i| i.line);
         ds.push(
             Diagnostic::new(
@@ -77,7 +127,13 @@ fn decode_pass(port: &PortIla) -> Vec<Diagnostic> {
             .at(line),
         );
     }
-    if let Some(w) = decode_gap(port, None) {
+    if all_dead_static {
+        stats.lints_discharged_static += 1;
+    }
+    if oracle.as_ref().and_then(|o| o.no_gap()) == Some(true) {
+        stats.sat_calls_avoided += 1;
+        stats.lints_discharged_static += 1;
+    } else if let Some(w) = decode_gap(port, None) {
         ds.push(
             Diagnostic::new(
                 Code::DecodeGap,
@@ -91,26 +147,40 @@ fn decode_pass(port: &PortIla) -> Vec<Diagnostic> {
             .witness(w),
         );
     }
-    for o in decode_overlaps(port, None) {
-        let line = port.find_instruction(&o.second).and_then(|i| i.line);
-        ds.push(
-            Diagnostic::new(
-                Code::DecodeOverlap,
-                format!(
-                    "port '{}': instructions '{}' and '{}' can trigger on the \
-                     same command",
-                    port.name(),
-                    o.first,
-                    o.second
-                ),
-            )
-            .port(port.name())
-            .instruction(&format!("{} & {}", o.first, o.second))
-            .at(line)
-            .witness(o.witness),
-        );
+    let mut all_pairs_static = true;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if oracle.as_ref().and_then(|o| o.pair_disjoint(i, j)) == Some(true) {
+                stats.sat_calls_avoided += 1;
+                continue;
+            }
+            all_pairs_static = false;
+            let Some(o) = decode_overlap_pair(port, i, j, None) else {
+                continue;
+            };
+            let line = port.find_instruction(&o.second).and_then(|i| i.line);
+            ds.push(
+                Diagnostic::new(
+                    Code::DecodeOverlap,
+                    format!(
+                        "port '{}': instructions '{}' and '{}' can trigger on the \
+                         same command",
+                        port.name(),
+                        o.first,
+                        o.second
+                    ),
+                )
+                .port(port.name())
+                .instruction(&format!("{} & {}", o.first, o.second))
+                .at(line)
+                .witness(o.witness),
+            );
+        }
     }
-    ds
+    if n > 1 && all_pairs_static {
+        stats.lints_discharged_static += 1;
+    }
+    (ds, dead)
 }
 
 /// Pass 3: unused / never-written / write-only architectural state.
@@ -192,26 +262,197 @@ fn state_pass(port: &PortIla, usage: &[Usage], idx: usize) -> Vec<Diagnostic> {
     ds
 }
 
+/// Pass 6 ("absint"): the word-level abstract-interpretation lints.
+///
+/// * **GL014** — an init-less state some instruction can consume before
+///   any instruction has written it ([`uninit_reads`]).
+/// * **GL015** — a truncation (`extract [hi:0]`) that provably drops a
+///   set bit under the port's inductive fixpoint environment.
+/// * **GL016** — an output state the fixpoint proves equal to one
+///   constant in every reachable state.
+/// * **GL017** — an instruction whose decode is satisfiable in
+///   isolation (not GL003-dead) yet provably false in every reachable
+///   state.
+///
+/// The pass is an analysis, not a fast path: it runs at any
+/// `LintOptions::absint` setting, so reports are identical with the
+/// fast path on or off.
+fn absint_pass(port: &PortIla, dead: &[usize]) -> Vec<Diagnostic> {
+    let mut ds = Vec::new();
+    for r in uninit_reads(port) {
+        let line = port.find_state(&r.state).and_then(|s| s.line);
+        ds.push(
+            Diagnostic::new(
+                Code::UninitStateRead,
+                format!(
+                    "port '{}': state '{}' has no reset value but instruction \
+                     '{}' can read it before any instruction has written it",
+                    port.name(),
+                    r.state,
+                    r.instruction
+                ),
+            )
+            .port(port.name())
+            .instruction(&r.instruction)
+            .state(&r.state)
+            .at(line),
+        );
+    }
+    if port.instructions().is_empty() {
+        return ds;
+    }
+    let analysis = analyze_port(port);
+    let ctx = port.ctx();
+    // GL015: a truncation at the *root* of an update — the shape the
+    // elaborator gives a truncating assignment, as opposed to a
+    // deliberate nested bit-slice — whose dropped high bits are
+    // provably set under the reachable-state environment refined by
+    // the instruction's own decode.
+    for instr in port.instructions() {
+        let Some(env) = gila_absint::assume(ctx, instr.decode, &analysis.env) else {
+            // Decode refuted in every reachable state: GL017 territory.
+            continue;
+        };
+        for (state, rhs) in &instr.updates {
+            let ExprNode::App {
+                op: Op::BvExtract { hi, lo: 0 },
+                args,
+                ..
+            } = ctx.node(*rhs)
+            else {
+                continue;
+            };
+            let arg = args[0];
+            let Sort::Bv(w) = ctx.sort_of(arg) else {
+                continue;
+            };
+            if hi + 1 >= w {
+                continue;
+            }
+            let vals = abs_eval_nodes(ctx, &[*rhs], &env);
+            let Some(AbsValue::Bv(bv)) = vals.get(&arg) else {
+                continue;
+            };
+            if bv.is_bottom() {
+                continue;
+            }
+            if let Some(bit) = (hi + 1..w).find(|&b| bv.known_one().bit(b)) {
+                ds.push(
+                    Diagnostic::new(
+                        Code::TruncatedSetBits,
+                        format!(
+                            "port '{}', instruction '{}': assignment to '{}' \
+                             truncates bv{} to bv{} and drops bit {}, which \
+                             is provably set",
+                            port.name(),
+                            instr.name,
+                            state,
+                            w,
+                            hi + 1,
+                            bit
+                        ),
+                    )
+                    .port(port.name())
+                    .instruction(&instr.name)
+                    .state(state)
+                    .at(instr.line),
+                );
+            }
+        }
+    }
+    // GL016: outputs some instruction writes, yet the fixpoint proves
+    // they can only ever hold one value. Never-written outputs are
+    // GL004's territory.
+    let written: BTreeSet<&str> = port
+        .instructions()
+        .iter()
+        .flat_map(|i| i.updates.keys())
+        .map(String::as_str)
+        .collect();
+    for s in port.states() {
+        if s.kind != StateKind::Output || !written.contains(s.name.as_str()) {
+            continue;
+        }
+        let Some(v) = analysis.env.get(s.var) else {
+            continue;
+        };
+        if let Some(c) = v.as_exact() {
+            ds.push(
+                Diagnostic::new(
+                    Code::ConstantOutput,
+                    format!(
+                        "port '{}': output '{}' is written but provably constant: \
+                         it reads {} in every reachable state",
+                        port.name(),
+                        s.name,
+                        crate::value_str(&c)
+                    ),
+                )
+                .port(port.name())
+                .state(&s.name)
+                .at(s.line),
+            );
+        }
+    }
+    // GL017: reachability-aware dead decode. GL003 (arbitrary-state
+    // unsatisfiability) subsumes these instructions when it fires, so
+    // SAT-confirmed dead ones are skipped.
+    for (idx, instr) in port.instructions().iter().enumerate() {
+        if dead.contains(&idx) {
+            continue;
+        }
+        if abs_eval(ctx, instr.decode, &analysis.env) == AbsValue::Bool(AbsBool::False) {
+            ds.push(
+                Diagnostic::new(
+                    Code::UnreachableInstruction,
+                    format!(
+                        "port '{}': instruction '{}' can never trigger: its decode \
+                         condition is provably false in every reachable state",
+                        port.name(),
+                        instr.name
+                    ),
+                )
+                .port(port.name())
+                .instruction(&instr.name)
+                .at(instr.line),
+            );
+        }
+    }
+    ds
+}
+
 /// Per-port pass results, kept separate per pass so callers can emit
 /// one timing span per pass.
 struct PortDiags {
     decode: Vec<Diagnostic>,
     state: Vec<Diagnostic>,
+    absint: Vec<Diagnostic>,
     decode_ns: u64,
     state_ns: u64,
+    absint_ns: u64,
+    stats: LintStats,
 }
 
-fn port_diags(port: &PortIla, usage: &[Usage], idx: usize) -> PortDiags {
+fn port_diags(port: &PortIla, usage: &[Usage], idx: usize, use_absint: bool) -> PortDiags {
+    let mut stats = LintStats::default();
     let t0 = Instant::now();
-    let decode = decode_pass(port);
+    let (decode, dead) = decode_pass(port, use_absint, &mut stats);
     let decode_ns = t0.elapsed().as_nanos() as u64;
     let t1 = Instant::now();
     let state = state_pass(port, usage, idx);
+    let state_ns = t1.elapsed().as_nanos() as u64;
+    let t2 = Instant::now();
+    let absint = absint_pass(port, &dead);
+    let absint_ns = t2.elapsed().as_nanos() as u64;
+    stats.absint_ns = absint_ns;
     PortDiags {
         decode,
         state,
+        absint,
         decode_ns,
-        state_ns: t1.elapsed().as_nanos() as u64,
+        state_ns,
+        absint_ns,
+        stats,
     }
 }
 
@@ -226,7 +467,7 @@ fn run_port_passes(ports: &[&PortIla], opts: &LintOptions) -> Vec<PortDiags> {
         return ports
             .iter()
             .enumerate()
-            .map(|(i, p)| port_diags(p, usage, i))
+            .map(|(i, p)| port_diags(p, usage, i, opts.absint))
             .collect();
     }
     let mut slots: Vec<Option<PortDiags>> = Vec::new();
@@ -242,7 +483,7 @@ fn run_port_passes(ports: &[&PortIla], opts: &LintOptions) -> Vec<PortDiags> {
         for shard in shards {
             scope.spawn(move || {
                 for (i, slot) in shard {
-                    *slot = Some(port_diags(ports[i], usage, i));
+                    *slot = Some(port_diags(ports[i], usage, i, opts.absint));
                 }
             });
         }
@@ -274,16 +515,22 @@ fn collect_port_passes(
 ) {
     let results = run_port_passes(ports, opts);
     let (mut decode_n, mut decode_ns, mut state_n, mut state_ns) = (0, 0, 0, 0);
+    let (mut absint_n, mut absint_ns) = (0, 0);
     for r in results {
         decode_n += r.decode.len();
         decode_ns += r.decode_ns;
         state_n += r.state.len();
         state_ns += r.state_ns;
+        absint_n += r.absint.len();
+        absint_ns += r.absint_ns;
+        report.stats.merge(&r.stats);
         report.diagnostics.extend(r.decode);
         report.diagnostics.extend(r.state);
+        report.diagnostics.extend(r.absint);
     }
     span(tracer, &report.target, "decode", decode_n, decode_ns);
     span(tracer, &report.target, "state_usage", state_n, state_ns);
+    span(tracer, &report.target, "absint", absint_n, absint_ns);
 }
 
 /// Lints a set of ports (decode proofs + state usage) and returns the

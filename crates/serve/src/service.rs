@@ -262,6 +262,7 @@ impl Service {
         use gila_lint::{lint_module, lint_rtl, LintOptions};
         let opts = LintOptions {
             jobs: self.jobs.unwrap_or(1).max(1),
+            ..LintOptions::default()
         };
         let (target, module, rtl) = if let Some(name) = req.str_field("design") {
             let cs = self.find_design(name)?;

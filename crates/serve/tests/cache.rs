@@ -11,7 +11,7 @@ use gila_json::Value;
 use gila_serve::{CacheConfig, ProofCache, Service};
 use gila_smt::CancelToken;
 use gila_trace::Tracer;
-use gila_verify::slice_keys;
+use gila_verify::{slice_keys, CACHE_KEY_VERSION};
 
 fn tmp_path(name: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
@@ -230,12 +230,38 @@ fn duplicate_keys_resolve_last_writer_wins_deterministically() {
 fn stale_key_version_records_are_dropped() {
     let path = tmp_path("ckv");
     let (lines, _) = warm_journal(&path);
-    let stale = lines[0].replace("\"ckv\":1", "\"ckv\":999");
+    let current = format!("\"ckv\":{CACHE_KEY_VERSION}");
+    let stale = lines[0].replace(&current, "\"ckv\":999");
     assert_ne!(stale, lines[0], "test must actually rewrite the version");
     std::fs::write(&path, format!("{stale}\n{}\n", lines[1])).unwrap();
     let cache = reopen(&path);
     assert_eq!(cache.recovery().recovered, 1);
     assert_eq!(cache.recovery().dropped, 1, "future key-derivation versions are not trusted");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A journal written before the absint lemma pipeline (key-derivation
+/// version 1) must miss on recovery, not be credited to the v2
+/// pipeline: the version tag is exactly how a stale pre-absint entry
+/// is kept from skipping work it never proved.
+#[test]
+fn pre_absint_v1_journal_entries_are_dropped_on_recovery() {
+    assert!(
+        CACHE_KEY_VERSION >= 2,
+        "the absint lemma pipeline bumped the key version past 1"
+    );
+    let path = tmp_path("ckv-v1");
+    let (lines, keys) = warm_journal(&path);
+    let current = format!("\"ckv\":{CACHE_KEY_VERSION}");
+    let pre_absint = lines[0].replace(&current, "\"ckv\":1");
+    assert_ne!(pre_absint, lines[0], "test must actually rewrite the version");
+    std::fs::write(&path, format!("{pre_absint}\n{}\n", lines[1])).unwrap();
+    let cache = reopen(&path);
+    assert_eq!(cache.recovery().recovered, 1);
+    assert_eq!(cache.recovery().dropped, 1, "pre-absint records are not trusted");
+    // The downgraded record's key no longer resolves; its sibling does.
+    assert!(cache.lookup(&keys[0]).is_none());
+    assert!(cache.lookup(&keys[1]).is_some());
     let _ = std::fs::remove_file(&path);
 }
 

@@ -74,6 +74,10 @@ pub enum SpanKind {
     /// A graceful daemon drain: in-flight jobs finished, journal
     /// flushed (drained job count rides as a field).
     Drain,
+    /// One abstract-interpretation fixpoint over a port's transition
+    /// system or architectural states (invariants proved and fixpoint
+    /// iterations ride as fields).
+    Absint,
 }
 
 impl SpanKind {
@@ -97,6 +101,7 @@ impl SpanKind {
             SpanKind::CacheMiss => "cache_miss",
             SpanKind::Shed => "shed",
             SpanKind::Drain => "drain",
+            SpanKind::Absint => "absint",
         }
     }
 }
@@ -363,6 +368,14 @@ pub struct Telemetry {
     /// Shared-pool clauses skipped by per-worker dedup (already seen or
     /// self-published).
     pub clauses_deduped: u64,
+    /// Inductive invariants proved by the abstract interpreter and
+    /// asserted as solver-level lemmas (summed over port plans).
+    pub invariants_proved: u64,
+    /// Lint checks fully discharged by the abstract interpreter — the
+    /// whole (port, code) verdict was decided without any SAT call.
+    pub lints_discharged_static: u64,
+    /// Individual SAT queries the lint fast path made unnecessary.
+    pub sat_calls_avoided: u64,
 }
 
 impl Telemetry {
@@ -397,6 +410,10 @@ impl Telemetry {
             clauses_exported: self.clauses_exported + other.clauses_exported,
             clauses_imported: self.clauses_imported + other.clauses_imported,
             clauses_deduped: self.clauses_deduped + other.clauses_deduped,
+            invariants_proved: self.invariants_proved + other.invariants_proved,
+            lints_discharged_static: self.lints_discharged_static
+                + other.lints_discharged_static,
+            sat_calls_avoided: self.sat_calls_avoided + other.sat_calls_avoided,
         }
     }
 
@@ -439,6 +456,12 @@ impl Telemetry {
             ("clauses_exported".into(), self.clauses_exported.into()),
             ("clauses_imported".into(), self.clauses_imported.into()),
             ("clauses_deduped".into(), self.clauses_deduped.into()),
+            ("invariants_proved".into(), self.invariants_proved.into()),
+            (
+                "lints_discharged_static".into(),
+                self.lints_discharged_static.into(),
+            ),
+            ("sat_calls_avoided".into(), self.sat_calls_avoided.into()),
         ])
     }
 }

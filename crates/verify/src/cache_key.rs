@@ -42,7 +42,13 @@ use crate::refmap::RefinementMap;
 /// Version tag folded into every key. Bump whenever the key material or
 /// serialization changes — stale journal entries then miss instead of
 /// being misapplied.
-pub const CACHE_KEY_VERSION: u32 = 1;
+///
+/// v2: abstract-interpretation lemmas (`gila-absint`) are asserted into
+/// the solver before BMC. The lemmas are proven consequences of the
+/// transition relation, so decided verdicts cannot change — but the
+/// bump keeps any pre-absint journal from being credited to a pipeline
+/// it never saw, per the policy above.
+pub const CACHE_KEY_VERSION: u32 = 2;
 
 /// The cache key of one `(port, instruction)` verification property.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -564,6 +564,16 @@ pub struct VerifyOptions {
     /// reports exactly like resumed checkpoint verdicts, with zero
     /// solver work.
     pub decided: HashMap<(String, String), InstrVerdict>,
+    /// Abstract interpretation (on by default; `--no-absint` for A/B
+    /// comparisons): run the `gila-absint` widening fixpoint over each
+    /// port's sliced transition system and assert every proven
+    /// invariant as a step-implication lemma (`I(j-1) → I(j)`, never
+    /// `I(0)`) before BMC. The lemmas are consequences of the raw
+    /// transition relation, so they prune solver search without ever
+    /// changing a verdict. Ports whose estimated solver work is below
+    /// [`ABSINT_WORK_THRESHOLD`] skip the fixpoint — the lemmas cannot
+    /// repay their cost there (verdicts are identical either way).
+    pub absint: bool,
 }
 
 impl Default for VerifyOptions {
@@ -585,6 +595,7 @@ impl Default for VerifyOptions {
             share_clauses: false,
             cancel: None,
             decided: HashMap::new(),
+            absint: true,
         }
     }
 }
@@ -838,6 +849,13 @@ pub(crate) struct PortPlan<'a> {
     /// Parsed invariants, in `cond_rtl`'s context.
     pub(crate) invariants: Vec<ExprRef>,
     pub(crate) instrs: Vec<InstrPlan>,
+    /// Conjunction of every invariant the abstract interpreter proved
+    /// over the port's (sliced) transition system, interned in that
+    /// system's context — `None` until [`absint_preprocess`] runs, or
+    /// when it proves nothing.
+    pub(crate) absint_lemma: Option<ExprRef>,
+    /// How many individual invariants the lemma conjoins.
+    pub(crate) invariants_proved: u64,
 }
 
 impl<'a> PortPlan<'a> {
@@ -929,6 +947,8 @@ impl<'a> PortPlan<'a> {
             cond_rtl,
             invariants,
             instrs,
+            absint_lemma: None,
+            invariants_proved: 0,
         })
     }
 }
@@ -1358,6 +1378,23 @@ fn check_instruction_inner(
     for &c in &policy_conjuncts {
         let c = simp(u, simplify_memo, c);
         smt.assert(u.ctx(), c);
+    }
+
+    // Abstract-interpretation lemmas: each proven invariant I is
+    // inductive for the raw transition relation (inputs unconstrained),
+    // so `I(j-1) → I(j)` is already a consequence of the unrolled
+    // constraints at every step — asserting it prunes solver search
+    // without removing a single model. `I(0)` is deliberately NOT
+    // asserted: the property starts from an *arbitrary* mapped state,
+    // which need not satisfy the reachable-state invariant.
+    if let Some(lemma) = plan.absint_lemma {
+        for j in 1..=bound {
+            let prev = u.map_expr(j - 1, lemma);
+            let cur = u.map_expr(j, lemma);
+            let imp = u.ctx_mut().implies(prev, cur);
+            let imp = simp(u, simplify_memo, imp);
+            smt.assert(u.ctx(), imp);
+        }
     }
 
     let frames_to_check: Vec<(usize, Vec<ExprRef>)> = match &finish_ts {
@@ -1802,6 +1839,49 @@ fn coi_preprocess(
     (sliced, Some(stats))
 }
 
+/// Minimum [`estimate_port_work`] before the invariant-lemma pass is
+/// worth running: on millisecond-scale ports the whole verification
+/// finishes in less time than the fixpoint, so the lemmas can never
+/// repay their cost. The cutoff reuses [`DEFAULT_PAR_THRESHOLD`] — the
+/// same estimate already separates the bundled control-dominated
+/// designs (≤17.5k, where solves are trivial) from the solver-bound
+/// ones (≥19k, where the lemmas showed 1.05–1.14x). Skipping is purely
+/// a scheduling decision: the lemmas are redundant consequences of the
+/// transition relation, so verdicts are identical either way.
+const ABSINT_WORK_THRESHOLD: u64 = DEFAULT_PAR_THRESHOLD;
+
+/// Runs the `gila-absint` widening fixpoint over a port's (sliced)
+/// transition system and attaches the proven invariants to the plan as
+/// one lemma conjunction, interned in the system's own context so
+/// [`Unrolling::map_expr`] can instantiate it per frame. Emits an
+/// `absint` span; a no-op when `enabled` is off or the port's
+/// estimated solver work is too small to repay the fixpoint
+/// ([`ABSINT_WORK_THRESHOLD`]).
+fn absint_preprocess(
+    plan: &mut PortPlan<'_>,
+    ts: &mut TransitionSystem,
+    enabled: bool,
+    tracer: &Tracer,
+) {
+    if !enabled || estimate_port_work(plan, ts) < ABSINT_WORK_THRESHOLD {
+        return;
+    }
+    let t0 = Instant::now();
+    let analysis = gila_absint::analyze_ts(ts);
+    let exprs: Vec<ExprRef> = analysis.invariants.iter().map(|i| i.expr).collect();
+    if !exprs.is_empty() {
+        plan.absint_lemma = Some(ts.ctx_mut().and_many(&exprs));
+        plan.invariants_proved = exprs.len() as u64;
+    }
+    tracer.record(|| {
+        Event::new(SpanKind::Absint)
+            .port(plan.port.name())
+            .field("invariants", exprs.len() as u64)
+            .field("iterations", analysis.iterations as u64)
+            .field("wall_ns", t0.elapsed().as_nanos() as u64)
+    });
+}
+
 /// Folds a slicing report into a run's telemetry totals.
 fn add_coi_telemetry(t: &mut Telemetry, coi: Option<CoiStats>) {
     if let Some(s) = coi {
@@ -1852,8 +1932,8 @@ fn verify_port_with(
 ) -> Result<PortReport, VerifyError> {
     let start_all = Instant::now();
     let (ts, ts_signals) = rtl_to_ts(rtl)?;
-    let plan = PortPlan::build(port, rtl, map, &ts_signals)?;
-    let (ts, coi) = coi_preprocess(
+    let mut plan = PortPlan::build(port, rtl, map, &ts_signals)?;
+    let (mut ts, coi) = coi_preprocess(
         ts,
         &ts_signals,
         &[&plan],
@@ -1861,6 +1941,7 @@ fn verify_port_with(
         opts.preprocess,
         &opts.tracer,
     );
+    absint_preprocess(&mut plan, &mut ts, opts.absint, &opts.tracer);
     let verdicts = match resolve_mode(opts, plan.instrs.len()) {
         ExecMode::Sequential { incremental } => {
             run_port_sequential(&plan, &ts, incremental, opts.stop_at_first_cex, ctx)?
@@ -1897,6 +1978,7 @@ fn verify_port_with(
     };
     let mut telemetry = telemetry_of(&verdicts);
     add_coi_telemetry(&mut telemetry, coi);
+    telemetry.invariants_proved += plan.invariants_proved;
     let report = PortReport {
         port: port.name().to_string(),
         peak_stats: peak_of(&verdicts),
@@ -1964,15 +2046,16 @@ pub fn verify_module(
             // gets — so a worker serving a port blasts only that port's
             // logic instead of the union cone of the whole module.
             let mut tss = Vec::with_capacity(plans.len());
-            for plan in &plans {
-                let (sliced, coi) = coi_preprocess(
+            for plan in plans.iter_mut() {
+                let (mut sliced, coi) = coi_preprocess(
                     ts.clone(),
                     &ts_signals,
-                    &[plan],
+                    &[&*plan],
                     plan.port.name(),
                     opts.preprocess,
                     &opts.tracer,
                 );
+                absint_preprocess(plan, &mut sliced, opts.absint, &opts.tracer);
                 tss.push(sliced);
                 module_coi.push(coi);
             }
@@ -1995,10 +2078,12 @@ pub fn verify_module(
                         opts.stop_at_first_cex,
                         &ctx,
                     )?;
+                    let mut telemetry = telemetry_of(&verdicts);
+                    telemetry.invariants_proved += plan.invariants_proved;
                     let report = PortReport {
                         port: plan.port.name().to_string(),
                         peak_stats: peak_of(&verdicts),
-                        telemetry: telemetry_of(&verdicts),
+                        telemetry,
                         verdicts,
                         total_time: t0.elapsed(),
                     };
@@ -2027,13 +2112,16 @@ pub fn verify_module(
                     .ports()
                     .iter()
                     .zip(outcome.ports)
-                    .map(|(port, pr)| {
+                    .zip(&plans)
+                    .map(|((port, pr), plan)| {
                         let verdicts: Vec<InstrVerdict> =
                             pr.verdicts.into_iter().map(|(_, v)| v).collect();
+                        let mut telemetry = telemetry_of(&verdicts);
+                        telemetry.invariants_proved += plan.invariants_proved;
                         let report = PortReport {
                             port: port.name().to_string(),
                             peak_stats: peak_of(&verdicts),
-                            telemetry: telemetry_of(&verdicts),
+                            telemetry,
                             verdicts,
                             total_time: pr.last_done,
                         };

@@ -8,6 +8,7 @@
 //!
 //! See the individual crates for details:
 //! - [`expr`]: expression DSL (bool / bitvector / memory sorts)
+//! - [`absint`]: abstract interpretation (inductive invariants, lint discharge)
 //! - [`core`]: ILA model, ports, composition, simulation
 //! - [`rtl`]: RTL IR, Verilog-subset frontend, simulator
 //! - [`sat`] / [`smt`]: CDCL SAT solver and bit-blaster
@@ -16,6 +17,7 @@
 //! - [`lint`]: SAT-backed static analysis with structured diagnostics
 //! - [`trace`]: structured verification telemetry (spans, counters, sinks)
 //! - [`designs`]: the eight DATE 2021 case studies
+pub use gila_absint as absint;
 pub use gila_core as core;
 pub use gila_designs as designs;
 pub use gila_expr as expr;

@@ -1,0 +1,298 @@
+//! The soundness property the whole abstract-interpretation stack
+//! rests on: abstract evaluation **over-approximates** concrete
+//! evaluation. For any expression `e` and any abstract environment `A`
+//! that contains a concrete environment `env`,
+//!
+//! ```text
+//! eval(e, env) ∈ γ(abs_eval(e, abs(env)))
+//! ```
+//!
+//! Tested on random expression DAGs at three abstraction levels:
+//! exact point abstractions (`α(env)`), joined two-point environments
+//! (exercising all three reduced-product domains at once), and widened
+//! environments (the values a fixpoint passes through after
+//! `PRECISE_ITERS`, where intervals jump to extremes and known-bits
+//! masks drop). A hole in any transfer function shows up here as a
+//! concrete result falling outside its abstract value.
+
+use gila::expr::{
+    abs_eval, eval, AbsEnv, AbsValue, Env, ExprCtx, ExprRef, Sort,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::SeedableRng;
+
+#[derive(Clone, Debug)]
+enum RandomOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Lshr,
+    Ashr,
+    Ite,
+    Not,
+    Neg,
+    Udiv,
+    Urem,
+    Concat,
+    Extract,
+    Zext,
+    Sext,
+    Cmp,
+}
+
+fn random_op() -> impl Strategy<Value = RandomOp> {
+    prop_oneof![
+        Just(RandomOp::Add),
+        Just(RandomOp::Sub),
+        Just(RandomOp::Mul),
+        Just(RandomOp::And),
+        Just(RandomOp::Or),
+        Just(RandomOp::Xor),
+        Just(RandomOp::Shl),
+        Just(RandomOp::Lshr),
+        Just(RandomOp::Ashr),
+        Just(RandomOp::Ite),
+        Just(RandomOp::Not),
+        Just(RandomOp::Neg),
+        Just(RandomOp::Udiv),
+        Just(RandomOp::Urem),
+        Just(RandomOp::Concat),
+        Just(RandomOp::Extract),
+        Just(RandomOp::Zext),
+        Just(RandomOp::Sext),
+        Just(RandomOp::Cmp),
+    ]
+}
+
+const W: u32 = 7;
+
+/// Same expression factory as `tests/properties.rs`: every node is
+/// kept at width `W` so any pool element can feed any operator, and
+/// the comparison arm folds boolean nodes back into the bit-vector
+/// world so `AbsBool` transfer functions are exercised too.
+fn build_expr(ctx: &mut ExprCtx, ops: &[(RandomOp, u8, u8)], consts: &[u64]) -> ExprRef {
+    let x = ctx.var("x", Sort::Bv(W));
+    let y = ctx.var("y", Sort::Bv(W));
+    let mut pool = vec![x, y];
+    for &c in consts {
+        pool.push(ctx.bv_u64(c & 0x7F, W));
+    }
+    for (op, ia, ib) in ops {
+        let a = pool[*ia as usize % pool.len()];
+        let b = pool[*ib as usize % pool.len()];
+        let e = match op {
+            RandomOp::Add => ctx.bvadd(a, b),
+            RandomOp::Sub => ctx.bvsub(a, b),
+            RandomOp::Mul => ctx.bvmul(a, b),
+            RandomOp::And => ctx.bvand(a, b),
+            RandomOp::Or => ctx.bvor(a, b),
+            RandomOp::Xor => ctx.bvxor(a, b),
+            RandomOp::Shl => ctx.bvshl(a, b),
+            RandomOp::Lshr => ctx.bvlshr(a, b),
+            RandomOp::Ashr => ctx.bvashr(a, b),
+            RandomOp::Ite => {
+                let c = ctx.ult(a, b);
+                ctx.ite(c, a, b)
+            }
+            RandomOp::Not => ctx.bvnot(a),
+            RandomOp::Neg => ctx.bvneg(a),
+            RandomOp::Udiv => ctx.bvudiv(a, b),
+            RandomOp::Urem => ctx.bvurem(a, b),
+            RandomOp::Concat => {
+                let wide = ctx.concat(a, b);
+                ctx.extract(wide, W - 1, 0)
+            }
+            RandomOp::Extract => {
+                let hi = *ia as u32 % W;
+                let lo = *ib as u32 % (hi + 1);
+                let cut = ctx.extract(a, hi, lo);
+                ctx.zext(cut, W)
+            }
+            RandomOp::Zext => {
+                let cut = ctx.extract(a, W / 2, 0);
+                ctx.zext(cut, W)
+            }
+            RandomOp::Sext => {
+                let cut = ctx.extract(a, W / 2, 0);
+                ctx.sext(cut, W)
+            }
+            RandomOp::Cmp => {
+                let lt = ctx.ult(a, b);
+                let eq = ctx.eq(a, b);
+                let ne = ctx.not(eq);
+                let both = ctx.and(lt, ne);
+                let bit = ctx.bool_to_bv(both);
+                ctx.zext(bit, W)
+            }
+        };
+        pool.push(e);
+    }
+    *pool.last().expect("non-empty")
+}
+
+/// One random concrete environment over `x` and `y`.
+fn random_env(ctx: &ExprCtx, rng: &mut rand::rngs::StdRng) -> Env {
+    let x = ctx.find_var("x").expect("declared");
+    let y = ctx.find_var("y").expect("declared");
+    let mut env = Env::new();
+    env.bind(x, gila::verify::random_value(rng, Sort::Bv(W)));
+    env.bind(y, gila::verify::random_value(rng, Sort::Bv(W)));
+    env
+}
+
+/// `eval(e, env) ∈ γ(abs_eval(e, A))` — the membership the docstring
+/// promises, with a readable failure message.
+fn assert_member(
+    ctx: &ExprCtx,
+    root: ExprRef,
+    env: &Env,
+    abs_env: &AbsEnv,
+) -> Result<(), TestCaseError> {
+    let concrete = eval(ctx, root, env).expect("bound");
+    let abstracted = abs_eval(ctx, root, abs_env);
+    prop_assert!(
+        abstracted.contains(&concrete),
+        "concrete {concrete:?} escaped abstract {abstracted:?}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Point abstraction: `A = α(env)` binds every variable exactly, so
+    /// the abstract result must contain the (single) concrete result.
+    /// All three domains are at their most precise here — any transfer
+    /// function that drops a case fails loudly.
+    #[test]
+    fn abs_eval_over_approximates_eval_at_points(
+        ops in proptest::collection::vec((random_op(), any::<u8>(), any::<u8>()), 1..12),
+        consts in proptest::collection::vec(any::<u64>(), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut ctx = ExprCtx::new();
+        let root = build_expr(&mut ctx, &ops, &consts);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let env = random_env(&ctx, &mut rng);
+            let abs_env = AbsEnv::from_env(&env);
+            assert_member(&ctx, root, &env, &abs_env)?;
+        }
+    }
+
+    /// Joined two-point abstraction: `A(v) = α(env₁(v)) ⊔ α(env₂(v))`
+    /// contains both environments, so both concrete results must fall
+    /// inside the abstract one. The join of two constants exercises
+    /// the reduced product non-trivially: known-bits keeps the agreeing
+    /// bits, the interval spans the pair, and the congruence domain
+    /// drops to top.
+    #[test]
+    fn abs_eval_over_approximates_eval_under_joins(
+        ops in proptest::collection::vec((random_op(), any::<u8>(), any::<u8>()), 1..12),
+        consts in proptest::collection::vec(any::<u64>(), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut ctx = ExprCtx::new();
+        let root = build_expr(&mut ctx, &ops, &consts);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            let env1 = random_env(&ctx, &mut rng);
+            let env2 = random_env(&ctx, &mut rng);
+            let (a1, a2) = (AbsEnv::from_env(&env1), AbsEnv::from_env(&env2));
+            let mut joined = AbsEnv::new();
+            for (var, v) in a1.iter() {
+                joined.bind(var, v.join(a2.get(var).expect("same vars")));
+            }
+            assert_member(&ctx, root, &env1, &joined)?;
+            assert_member(&ctx, root, &env2, &joined)?;
+        }
+    }
+
+    /// Widening points: `A(v) = α(env₁(v)) ∇ (α(env₁(v)) ⊔ α(env₂(v)))`
+    /// is exactly the value a fixpoint iteration holds after
+    /// `PRECISE_ITERS` — unstable interval bounds jump to the extremes
+    /// and unstable known bits drop. Widening only ever loses
+    /// precision, so membership must still hold for both environments.
+    #[test]
+    fn abs_eval_over_approximates_eval_at_widening_points(
+        ops in proptest::collection::vec((random_op(), any::<u8>(), any::<u8>()), 1..12),
+        consts in proptest::collection::vec(any::<u64>(), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut ctx = ExprCtx::new();
+        let root = build_expr(&mut ctx, &ops, &consts);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            let env1 = random_env(&ctx, &mut rng);
+            let env2 = random_env(&ctx, &mut rng);
+            let (a1, a2) = (AbsEnv::from_env(&env1), AbsEnv::from_env(&env2));
+            let mut widened = AbsEnv::new();
+            for (var, v) in a1.iter() {
+                let joined = v.join(a2.get(var).expect("same vars"));
+                let wide = v.widen(&joined);
+                // The widening invariant the fixpoint relies on:
+                // ∇ covers everything the join covered.
+                prop_assert!(wide.includes(&joined), "{wide:?} lost {joined:?}");
+                widened.bind(var, wide);
+            }
+            assert_member(&ctx, root, &env1, &widened)?;
+            assert_member(&ctx, root, &env2, &widened)?;
+        }
+    }
+
+    /// Exactness round-trip: when every input is an exact abstraction
+    /// and the abstract result claims exactness (`as_exact`), it must
+    /// equal the concrete result — over-approximation may lose
+    /// precision, never invent it.
+    #[test]
+    fn abs_eval_exact_claims_match_eval(
+        ops in proptest::collection::vec((random_op(), any::<u8>(), any::<u8>()), 1..10),
+        consts in proptest::collection::vec(any::<u64>(), 1..3),
+        seed in any::<u64>(),
+    ) {
+        let mut ctx = ExprCtx::new();
+        let root = build_expr(&mut ctx, &ops, &consts);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let env = random_env(&ctx, &mut rng);
+            let abs_env = AbsEnv::from_env(&env);
+            if let Some(claimed) = abs_eval(&ctx, root, &abs_env).as_exact() {
+                let concrete = eval(&ctx, root, &env).expect("bound");
+                prop_assert_eq!(claimed, concrete);
+            }
+        }
+    }
+}
+
+/// The membership property, pinned at the widening extremes: an
+/// environment widened to full top must still contain every result
+/// (top transfer functions cannot produce bottom).
+#[test]
+fn abs_eval_under_top_env_never_goes_bottom() {
+    let mut ctx = ExprCtx::new();
+    let ops = [
+        (RandomOp::Add, 0u8, 1u8),
+        (RandomOp::Mul, 2, 0),
+        (RandomOp::Cmp, 3, 1),
+        (RandomOp::Ite, 4, 2),
+    ];
+    let root = build_expr(&mut ctx, &ops, &[0x55]);
+    let x = ctx.find_var("x").expect("declared");
+    let y = ctx.find_var("y").expect("declared");
+    let mut top_env = AbsEnv::new();
+    top_env.bind(x, AbsValue::top_of(&Sort::Bv(W)));
+    top_env.bind(y, AbsValue::top_of(&Sort::Bv(W)));
+    let result = abs_eval(&ctx, root, &top_env);
+    assert!(!result.is_bottom(), "top inputs produced bottom: {result:?}");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2822);
+    for _ in 0..16 {
+        let env = random_env(&ctx, &mut rng);
+        let concrete = eval(&ctx, root, &env).expect("bound");
+        assert!(result.contains(&concrete), "{concrete:?} escaped top-env result {result:?}");
+    }
+}
